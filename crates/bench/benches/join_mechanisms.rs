@@ -1,0 +1,88 @@
+//! Join-coordination mechanisms under contention: Nowa's flat wait-free
+//! counter (one `fetch_sub` per join, §IV-B), a mutex-guarded count
+//! (Fibril, Listing 2), and a SNZI tree (Acar et al., §II-D related work).
+//!
+//! Single-site traffic favours the flat counter (that is the paper's
+//! argument for keeping the state inline in the frame); the SNZI's
+//! distributed leaves pay extra CASes per operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nowa_runtime::Snzi;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Barrier};
+
+const OPS: usize = 20_000;
+const THREADS: usize = 4;
+
+fn contend<F: Fn(usize) + Sync + Send + 'static>(f: Arc<F>) {
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let f = f.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..OPS / THREADS {
+                    f(t);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("join_mech/flat_counter/uncontended", |b| {
+        let counter = AtomicI64::new(i64::MAX);
+        b.iter(|| black_box(counter.fetch_sub(1, Ordering::AcqRel)))
+    });
+
+    c.bench_function("join_mech/snzi/uncontended", |b| {
+        let snzi = Snzi::new(8);
+        b.iter(|| {
+            snzi.arrive(black_box(0));
+            snzi.depart(0);
+        })
+    });
+
+    c.bench_function("join_mech/flat_counter/contended", |b| {
+        b.iter(|| {
+            let counter = Arc::new(AtomicI64::new(i64::MAX));
+            let c2 = counter.clone();
+            contend(Arc::new(move |_| {
+                black_box(c2.fetch_sub(1, Ordering::AcqRel));
+            }));
+        })
+    });
+
+    c.bench_function("join_mech/mutex_count/contended", |b| {
+        b.iter(|| {
+            let counter = Arc::new(std::sync::Mutex::new(0i64));
+            let c2 = counter.clone();
+            contend(Arc::new(move |_| {
+                *c2.lock().unwrap() -= 1;
+            }));
+        })
+    });
+
+    c.bench_function("join_mech/snzi/contended_per_leaf", |b| {
+        b.iter(|| {
+            let snzi = Arc::new(Snzi::new(THREADS));
+            let s2 = snzi.clone();
+            contend(Arc::new(move |leaf| {
+                s2.arrive(leaf);
+                s2.depart(leaf);
+            }));
+        })
+    });
+}
+
+criterion_group! {
+    name = join_mechanisms;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = benches
+}
+criterion_main!(join_mechanisms);

@@ -1,0 +1,36 @@
+//! The twelve Table I kernels at `Tiny` scale under the Nowa runtime and
+//! the Fibril-style baseline — the real-runtime counterpart of the Fig. 7
+//! comparison (host-limited; the thread sweep lives in `nowa-bench fig7`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nowa_kernels::{BenchId, Size};
+use nowa_runtime::{Config, Flavor, Runtime};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
+    let nowa = Runtime::new(Config::with_workers(workers)).unwrap();
+    let fibril = Runtime::new(Config::with_workers(workers).flavor(Flavor::FIBRIL)).unwrap();
+
+    for bench in BenchId::ALL {
+        c.bench_function(&format!("kernel/{}/serial", bench.name()), |b| {
+            b.iter(|| black_box(bench.run(Size::Tiny)))
+        });
+        c.bench_function(&format!("kernel/{}/nowa", bench.name()), |b| {
+            b.iter(|| nowa.run(|| black_box(bench.run(Size::Tiny))))
+        });
+        c.bench_function(&format!("kernel/{}/fibril", bench.name()), |b| {
+            b.iter(|| fibril.run(|| black_box(bench.run(Size::Tiny))))
+        });
+    }
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(150));
+    targets = benches
+}
+criterion_main!(kernels);

@@ -1,0 +1,35 @@
+//! Throughput of the discrete-event simulator itself (events per second),
+//! plus one-shot timings of the per-figure sweep building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nowa_sim::{bench_dags, simulate, SimBench, SimConfig, SimFlavor};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let dag = bench_dags::generate(SimBench::Fib, 18);
+    c.bench_function("sim/fib18/nowa/p16", |b| {
+        b.iter(|| black_box(simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 16)).makespan))
+    });
+    c.bench_function("sim/fib18/fibril/p16", |b| {
+        b.iter(|| black_box(simulate(&dag, SimConfig::new(SimFlavor::FibrilLock, 16)).makespan))
+    });
+    c.bench_function("sim/fib18/nowa/p256", |b| {
+        b.iter(|| black_box(simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 256)).makespan))
+    });
+    let nq = bench_dags::generate(SimBench::Nqueens, 9);
+    c.bench_function("sim/nqueens9/gomp/p64", |b| {
+        b.iter(|| {
+            black_box(simulate(&nq, SimConfig::new(SimFlavor::GlobalQueueGomp, 64)).makespan)
+        })
+    });
+    c.bench_function("sim/dag_generation/fib20", |b| {
+        b.iter(|| black_box(bench_dags::generate(SimBench::Fib, 20).tasks.len()))
+    });
+}
+
+criterion_group! {
+    name = sim_engine;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = benches
+}
+criterion_main!(sim_engine);

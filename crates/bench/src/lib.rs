@@ -1,0 +1,2 @@
+//! Criterion benchmarks live in `benches/`; this library is intentionally
+//! empty.

@@ -1,0 +1,454 @@
+//! # nowa-baselines — comparator runtime systems
+//!
+//! The paper's evaluation compares Nowa against closed or external
+//! comparators. This crate provides in-tree stand-ins that reproduce the
+//! *mechanisms* the paper attributes to each (see DESIGN.md §2):
+//!
+//! * [`BaselineKind::ChildStealTbb`] — **TBB stand-in**: child-stealing
+//!   work-stealing pool. `spawn` defers a heap-allocated child task to the
+//!   worker's deque; the parent continues; joins busy-help. Children
+//!   therefore execute in *reverse* order (§V-A's knapsack discussion) and
+//!   every spawn pays a dynamic allocation (§II-B).
+//! * [`BaselineKind::WsTasksOmp`] — **libomp stand-in**: the same
+//!   child-stealing structure plus the heavier per-task bookkeeping of an
+//!   OpenMP tasking implementation (per-task mutex/condvar signalling),
+//!   with **tied**/**untied** task modes: a worker waiting at a taskwait
+//!   with tied tasks may only execute tasks from its own deque.
+//! * [`BaselineKind::GlobalQueueGomp`] — **libgomp stand-in**: one central
+//!   mutex-protected task queue with condvar signalling on every
+//!   submission — the design whose contention makes fine-grained task
+//!   parallelism collapse (Fig. 10's `libgomp` curves).
+//!
+//! All three implement [`nowa_runtime::ForeignForkJoin`], so the unmodified
+//! kernels from `nowa-kernels` run on them through the same
+//! `nowa_runtime::api` entry points.
+
+#![warn(missing_docs)]
+
+use core::cell::Cell;
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nowa_runtime::foreign::{clear_foreign_executor, set_foreign_executor, ForeignForkJoin};
+use parking_lot::{Condvar, Mutex};
+
+/// Which baseline mechanism the pool implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Child-stealing work-stealing pool (TBB stand-in).
+    ChildStealTbb,
+    /// OpenMP-style tasking over work stealing (libomp stand-in).
+    WsTasksOmp {
+        /// Tied tasks: a waiting worker only runs tasks from its own deque.
+        tied: bool,
+    },
+    /// Central locked queue (libgomp stand-in).
+    GlobalQueueGomp,
+}
+
+impl BaselineKind {
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::ChildStealTbb => "tbb-like",
+            BaselineKind::WsTasksOmp { tied: false } => "libomp-like-untied",
+            BaselineKind::WsTasksOmp { tied: true } => "libomp-like-tied",
+            BaselineKind::GlobalQueueGomp => "libgomp-like",
+        }
+    }
+
+    /// Parses the names produced by [`BaselineKind::name`].
+    pub fn parse(name: &str) -> Option<BaselineKind> {
+        match name {
+            "tbb-like" | "tbb" => Some(BaselineKind::ChildStealTbb),
+            "libomp-like-untied" | "omp-untied" => Some(BaselineKind::WsTasksOmp { tied: false }),
+            "libomp-like-tied" | "omp-tied" => Some(BaselineKind::WsTasksOmp { tied: true }),
+            "libgomp-like" | "gomp" => Some(BaselineKind::GlobalQueueGomp),
+            _ => None,
+        }
+    }
+
+    /// All baseline kinds.
+    pub const ALL: [BaselineKind; 4] = [
+        BaselineKind::ChildStealTbb,
+        BaselineKind::WsTasksOmp { tied: false },
+        BaselineKind::WsTasksOmp { tied: true },
+        BaselineKind::GlobalQueueGomp,
+    ];
+}
+
+/// Heavy completion state for the OpenMP stand-in (one mutex + condvar per
+/// task — the per-task bookkeeping cost the paper's Fig. 10 exposes).
+struct HeavyState {
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// One deferred task.
+struct TaskNode {
+    /// The work; taken (under the lock) by whoever executes the task.
+    closure: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    /// Completion flag (Release on set, Acquire on read).
+    done: AtomicBool,
+    /// Present in the OpenMP stand-in only.
+    heavy: Option<HeavyState>,
+}
+
+type TaskRef = Arc<TaskNode>;
+
+impl TaskNode {
+    fn new(kind: BaselineKind, f: Box<dyn FnOnce() + Send + 'static>) -> TaskRef {
+        let heavy = matches!(kind, BaselineKind::WsTasksOmp { .. }).then(|| HeavyState {
+            lock: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        Arc::new(TaskNode {
+            closure: Mutex::new(Some(f)),
+            done: AtomicBool::new(false),
+            heavy,
+        })
+    }
+
+    /// Executes the task if it has not been claimed yet.
+    fn execute(&self) {
+        let work = self.closure.lock().take();
+        if let Some(work) = work {
+            work();
+            self.done.store(true, Ordering::Release);
+            if let Some(h) = &self.heavy {
+                let mut done = h.lock.lock();
+                *done = true;
+                h.cv.notify_all();
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+struct PoolInner {
+    kind: BaselineKind,
+    shutdown: AtomicBool,
+    /// Per-worker deques (TBB / OMP kinds).
+    deques: Box<[Mutex<VecDeque<TaskRef>>]>,
+    /// The central queue: the only queue for the gomp kind; the injection
+    /// queue for the others.
+    central: Mutex<VecDeque<TaskRef>>,
+    /// Signals task availability / shutdown.
+    cv: Condvar,
+    cv_lock: Mutex<()>,
+    /// Tasks executed (stat).
+    executed: AtomicU64,
+    /// Steals (stat).
+    steals: AtomicU64,
+}
+
+std::thread_local! {
+    /// `(pool, worker index)` of the calling baseline worker thread.
+    static CURRENT: Cell<Option<(*const PoolInner, usize)>> = const { Cell::new(None) };
+}
+
+impl PoolInner {
+    fn me(&self) -> Option<usize> {
+        CURRENT.with(|c| match c.get() {
+            Some((pool, idx)) if core::ptr::eq(pool, self) => Some(idx),
+            _ => None,
+        })
+    }
+
+    fn submit(&self, me: Option<usize>, task: TaskRef) {
+        match (self.kind, me) {
+            (BaselineKind::GlobalQueueGomp, _) | (_, None) => {
+                self.central.lock().push_back(task);
+            }
+            (_, Some(idx)) => {
+                self.deques[idx].lock().push_back(task);
+            }
+        }
+        self.cv.notify_one();
+    }
+
+    /// Takes the next task under the normal worker discipline:
+    /// own deque (LIFO) → steal (FIFO) → central queue.
+    fn next_task(&self, me: usize) -> Option<TaskRef> {
+        match self.kind {
+            BaselineKind::GlobalQueueGomp => self.central.lock().pop_front(),
+            _ => {
+                if let Some(t) = self.deques[me].lock().pop_back() {
+                    return Some(t);
+                }
+                let n = self.deques.len();
+                for i in 1..n {
+                    let victim = (me + i) % n;
+                    if let Some(t) = self.deques[victim].lock().pop_front() {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                }
+                self.central.lock().pop_front()
+            }
+        }
+    }
+
+    /// Help discipline while waiting for `target` at a join (taskwait).
+    fn wait_for(&self, me: usize, target: &TaskNode) {
+        let tied = matches!(self.kind, BaselineKind::WsTasksOmp { tied: true });
+        while !target.is_done() {
+            let task = if tied {
+                // Tied tasks: the suspended task is bound to this thread;
+                // the scheduler may only run tasks from our own deque
+                // (created here) while we wait.
+                self.deques[me].lock().pop_back()
+            } else {
+                self.next_task(me)
+            };
+            match task {
+                Some(t) => {
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    t.execute();
+                }
+                None => {
+                    if let Some(h) = &target.heavy {
+                        // OpenMP stand-in: sleep on the task's condvar.
+                        let mut done = h.lock.lock();
+                        if !*done {
+                            h.cv.wait_for(&mut done, std::time::Duration::from_micros(100));
+                        }
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ForeignForkJoin for PoolInner {
+    fn join2_dyn(&self, a: &mut (dyn FnMut() + Send), b: &mut (dyn FnMut() + Send)) {
+        let Some(me) = self.me() else {
+            // Not a pool worker: degrade to serial.
+            a();
+            b();
+            return;
+        };
+        // Defer `b` as a child task (child stealing: the deferred child may
+        // be stolen; the parent continues with `a` immediately).
+        struct RawClosure(*mut (dyn FnMut() + Send + 'static));
+        unsafe impl Send for RawClosure {}
+        // SAFETY: lifetime erasure of the borrow behind `b`; the shim runs
+        // at most once, and `wait_for` below blocks until it has completed,
+        // so the borrow outlives every use.
+        let raw = RawClosure(unsafe {
+            core::mem::transmute::<*mut (dyn FnMut() + Send), *mut (dyn FnMut() + Send + 'static)>(
+                b as *mut (dyn FnMut() + Send),
+            )
+        });
+        let shim: Box<dyn FnOnce() + Send + 'static> = Box::new(move || unsafe {
+            let raw = raw;
+            (*raw.0)()
+        });
+        let task = TaskNode::new(self.kind, shim);
+        self.submit(Some(me), task.clone());
+        a();
+        // Fast path: reclaim the child if nobody stole it.
+        task.execute();
+        self.wait_for(me, &task);
+    }
+}
+
+fn worker_main(pool: Arc<PoolInner>, index: usize) {
+    CURRENT.with(|c| c.set(Some((Arc::as_ptr(&pool), index))));
+    // SAFETY: the pool outlives the worker (joined before PoolInner drops).
+    unsafe { set_foreign_executor(Arc::as_ptr(&pool) as *const (dyn ForeignForkJoin + 'static)) };
+    loop {
+        if pool.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match pool.next_task(index) {
+            Some(t) => {
+                pool.executed.fetch_add(1, Ordering::Relaxed);
+                t.execute();
+            }
+            None => {
+                let mut guard = pool.cv_lock.lock();
+                pool.cv
+                    .wait_for(&mut guard, std::time::Duration::from_micros(200));
+            }
+        }
+    }
+    clear_foreign_executor();
+    CURRENT.with(|c| c.set(None));
+}
+
+/// A baseline runtime instance.
+pub struct BaselinePool {
+    inner: Arc<PoolInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl BaselinePool {
+    /// Starts a pool with `workers` threads.
+    pub fn new(kind: BaselineKind, workers: usize) -> BaselinePool {
+        assert!(workers > 0, "baseline pool needs at least one worker");
+        let inner = Arc::new(PoolInner {
+            kind,
+            shutdown: AtomicBool::new(false),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            central: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cv_lock: Mutex::new(()),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let pool = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("{}-worker-{i}", kind.name()))
+                    .spawn(move || worker_main(pool, i))
+                    .expect("spawning baseline worker")
+            })
+            .collect();
+        BaselinePool { inner, threads }
+    }
+
+    /// The pool's kind.
+    pub fn kind(&self) -> BaselineKind {
+        self.inner.kind
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// `(tasks executed, steals)` since startup.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.executed.load(Ordering::Relaxed),
+            self.inner.steals.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs `f` as a root task and blocks until it completes; panics are
+    /// propagated. Like `Runtime::run`, must not be called from a worker.
+    pub fn run<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        assert!(
+            self.inner.me().is_none(),
+            "BaselinePool::run must not be called from a pool worker"
+        );
+        struct Completion<R> {
+            slot: Mutex<Option<std::thread::Result<R>>>,
+            cv: Condvar,
+        }
+        let completion = Arc::new(Completion {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let completion = completion.clone();
+            let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                *completion.slot.lock() = Some(result);
+                completion.cv.notify_all();
+            });
+            // SAFETY: lifetime erasure; we block until completion below.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { core::mem::transmute(task) };
+            self.inner
+                .submit(None, TaskNode::new(self.inner.kind, task));
+        }
+        let mut guard = completion.slot.lock();
+        while guard.is_none() {
+            completion.cv.wait(&mut guard);
+        }
+        match guard.take().expect("completion filled") {
+            Ok(r) => r,
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+impl Drop for BaselinePool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = nowa_runtime::join2(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for k in BaselineKind::ALL {
+            assert_eq!(BaselineKind::parse(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn fib_on_all_baselines() {
+        for kind in BaselineKind::ALL {
+            let pool = BaselinePool::new(kind, 4);
+            assert_eq!(pool.run(|| fib(18)), 2584, "{}", kind.name());
+            let (executed, _) = pool.stats();
+            assert!(executed >= 1, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn child_stealing_steals_under_load() {
+        let pool = BaselinePool::new(BaselineKind::ChildStealTbb, 4);
+        assert_eq!(pool.run(|| fib(22)), 17711);
+        let (_, steals) = pool.stats();
+        assert!(steals > 0, "4 workers on fib(22) must steal");
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = BaselinePool::new(BaselineKind::ChildStealTbb, 2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|| panic!("baseline boom"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.run(|| 5), 5);
+    }
+
+    #[test]
+    fn sequential_runs() {
+        let pool = BaselinePool::new(BaselineKind::GlobalQueueGomp, 2);
+        for i in 0..20u64 {
+            assert_eq!(pool.run(|| fib(10) + i), 55 + i);
+        }
+    }
+
+    #[test]
+    fn borrows_across_run() {
+        let data: Vec<u64> = (0..50).collect();
+        let pool = BaselinePool::new(BaselineKind::WsTasksOmp { tied: false }, 3);
+        let sum = pool.run(|| {
+            nowa_runtime::map_reduce(0..data.len(), 4, &|i| data[i], &|a, b| a + b).unwrap()
+        });
+        assert_eq!(sum, 49 * 50 / 2);
+    }
+}

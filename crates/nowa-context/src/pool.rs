@@ -1,0 +1,281 @@
+//! Stack recirculation: per-worker caches over a global pool.
+//!
+//! §V-A of the paper: *“Nowa and Fibril use small per worker buffers of
+//! stacks and a global pool to recirculate stacks that changed ownership in
+//! the course of work-stealing. When put under stress by many workers, this
+//! single global pool can become a bottleneck”* (observed on `cholesky`).
+//!
+//! This module reproduces that design: [`WorkerStackCache`] is a bounded
+//! LIFO owned by one worker; overflow and underflow go to the shared
+//! [`StackPool`]. The pool keeps contention statistics so the bottleneck is
+//! observable, and offers an optional striped mode (the paper's suggested
+//! “improvements to the pool”) used as an ablation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stack::{MadvisePolicy, Stack};
+
+/// Counters exposed by the global pool (all Relaxed; statistics only).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Stacks handed out by the global pool.
+    pub global_gets: AtomicU64,
+    /// Stacks returned to the global pool.
+    pub global_puts: AtomicU64,
+    /// Fresh `mmap`s because the pool was empty.
+    pub maps: AtomicU64,
+}
+
+impl PoolStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as `(gets, puts, maps)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.global_gets.load(Ordering::Relaxed),
+            self.global_puts.load(Ordering::Relaxed),
+            self.maps.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The global stack pool shared by all workers of a runtime instance.
+pub struct StackPool {
+    /// One or more stripes; a single stripe reproduces the paper's
+    /// bottleneck-prone design.
+    stripes: Box<[Mutex<Vec<Stack>>]>,
+    stack_size: usize,
+    madvise: MadvisePolicy,
+    stats: PoolStats,
+    /// Round-robin-ish stripe selector.
+    next: AtomicU64,
+}
+
+impl StackPool {
+    /// Creates a pool producing stacks of `stack_size` usable bytes.
+    ///
+    /// `stripes = 1` is the paper's single global pool; more stripes is the
+    /// contention-dampening variant evaluated as an ablation.
+    pub fn new(stack_size: usize, madvise: MadvisePolicy, stripes: usize) -> Arc<StackPool> {
+        let stripes = stripes.max(1);
+        Arc::new(StackPool {
+            stripes: (0..stripes).map(|_| Mutex::new(Vec::new())).collect(),
+            stack_size,
+            madvise,
+            stats: PoolStats::default(),
+            next: AtomicU64::new(0),
+        })
+    }
+
+    /// The usable size of stacks produced by this pool.
+    pub fn stack_size(&self) -> usize {
+        self.stack_size
+    }
+
+    /// The madvise policy stacks are recycled under.
+    pub fn madvise_policy(&self) -> MadvisePolicy {
+        self.madvise
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    fn stripe(&self) -> &Mutex<Vec<Stack>> {
+        let n = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        &self.stripes[n % self.stripes.len()]
+    }
+
+    /// Takes a stack from the pool, mapping a fresh one if empty.
+    pub fn get(&self) -> Stack {
+        // Probe every stripe starting at a rotating offset.
+        let start = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        for i in 0..self.stripes.len() {
+            let stripe = &self.stripes[(start + i) % self.stripes.len()];
+            if let Some(stack) = stripe.lock().pop() {
+                PoolStats::bump(&self.stats.global_gets);
+                return stack;
+            }
+        }
+        PoolStats::bump(&self.stats.maps);
+        Stack::map(self.stack_size).expect("stack mmap failed")
+    }
+
+    /// Returns a drained stack to the pool, applying the madvise policy.
+    pub fn put(&self, stack: Stack) {
+        stack.release_all(self.madvise);
+        PoolStats::bump(&self.stats.global_puts);
+        self.stripe().lock().push(stack);
+    }
+
+    /// Pre-populates the pool with `n` mapped stacks.
+    pub fn prefill(&self, n: usize) {
+        for _ in 0..n {
+            let stack = Stack::map(self.stack_size).expect("stack mmap failed");
+            self.stripe().lock().push(stack);
+        }
+    }
+
+    /// Number of stacks currently pooled (racy snapshot).
+    pub fn pooled(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// A worker-private bounded LIFO of stacks, backed by the global pool.
+pub struct WorkerStackCache {
+    pool: Arc<StackPool>,
+    cache: Vec<Stack>,
+    capacity: usize,
+    /// Cache hits (no global pool traffic).
+    pub hits: u64,
+    /// Cache misses (had to go to the global pool).
+    pub misses: u64,
+}
+
+impl WorkerStackCache {
+    /// Creates a cache holding at most `capacity` spare stacks.
+    pub fn new(pool: Arc<StackPool>, capacity: usize) -> WorkerStackCache {
+        WorkerStackCache {
+            pool,
+            cache: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Takes a stack, preferring the private cache.
+    pub fn get(&mut self) -> Stack {
+        if let Some(stack) = self.cache.pop() {
+            self.hits += 1;
+            stack
+        } else {
+            self.misses += 1;
+            self.pool.get()
+        }
+    }
+
+    /// Returns a drained stack, spilling to the global pool when full.
+    ///
+    /// No `madvise` happens on the cache path: recycling here is the
+    /// per-spawn hot path, and the paper's practical cactus-stack solution
+    /// only advises the kernel on frame *suspension* (handled by the
+    /// runtime via [`Stack::release_below`]) and on global-pool recycling.
+    pub fn put(&mut self, stack: Stack) {
+        if self.cache.len() < self.capacity {
+            self.cache.push(stack);
+        } else {
+            self.pool.put(stack);
+        }
+    }
+
+    /// The shared pool backing this cache.
+    pub fn pool(&self) -> &Arc<StackPool> {
+        &self.pool
+    }
+}
+
+impl Drop for WorkerStackCache {
+    fn drop(&mut self) {
+        // Return cached stacks so other workers (or the next runtime
+        // instance sharing the pool) can reuse them.
+        for stack in self.cache.drain(..) {
+            self.pool.put(stack);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        let a = pool.get();
+        let a_top = a.top();
+        pool.put(a);
+        let b = pool.get();
+        assert_eq!(b.top(), a_top, "same stack came back");
+        let (gets, puts, maps) = pool.stats().snapshot();
+        assert_eq!((gets, puts, maps), (1, 1, 1));
+    }
+
+    #[test]
+    fn prefill_avoids_maps() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        pool.prefill(4);
+        assert_eq!(pool.pooled(), 4);
+        let _s1 = pool.get();
+        let _s2 = pool.get();
+        let (_, _, maps) = pool.stats().snapshot();
+        assert_eq!(maps, 0);
+    }
+
+    #[test]
+    fn worker_cache_hits_before_pool() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        let mut cache = WorkerStackCache::new(pool.clone(), 2);
+        let s = cache.get(); // miss -> pool -> map
+        cache.put(s);
+        let _s = cache.get(); // hit
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+        let (gets, _, _) = pool.stats().snapshot();
+        assert_eq!(gets, 0, "pool only saw the miss-map, not a get");
+    }
+
+    #[test]
+    fn worker_cache_spills_to_pool() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        let mut cache = WorkerStackCache::new(pool.clone(), 1);
+        let a = cache.get();
+        let b = cache.get();
+        cache.put(a); // cached
+        cache.put(b); // spills
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn cache_drop_returns_stacks() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        {
+            let mut cache = WorkerStackCache::new(pool.clone(), 4);
+            let s = cache.get();
+            cache.put(s);
+            assert_eq!(pool.pooled(), 0);
+        }
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn striped_pool_distributes() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 4);
+        pool.prefill(8);
+        assert_eq!(pool.pooled(), 8);
+        let stacks: Vec<_> = (0..8).map(|_| pool.get()).collect();
+        let (_, _, maps) = pool.stats().snapshot();
+        assert_eq!(maps, 0, "all gets served from stripes");
+        for s in stacks {
+            pool.put(s);
+        }
+        assert_eq!(pool.pooled(), 8);
+    }
+
+    #[test]
+    fn dontneed_policy_applied_on_put() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::DontNeed, 1);
+        let stack = pool.get();
+        unsafe { *stack.usable_base() = 5 };
+        pool.put(stack);
+        let stack = pool.get();
+        assert_eq!(unsafe { *stack.usable_base() }, 0, "pages were reclaimed");
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal raw Linux syscall layer.
+//!
+//! The runtime needs exactly four kernel services: anonymous memory mappings
+//! for fiber stacks (`mmap`/`munmap`/`mprotect`), the `madvise` advice the
+//! paper's §V-B investigates, and CPU affinity for worker pinning. Rather
+//! than pulling in `libc`, the calls are issued directly with the `syscall`
+//! instruction (x86_64) / `svc 0` (aarch64); the ABI surface is tiny and
+//! stable.
+
+#![allow(clippy::missing_safety_doc)]
+
+use core::ffi::c_void;
+
+// Syscall numbers.
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const MMAP: usize = 9;
+    pub const MPROTECT: usize = 10;
+    pub const MUNMAP: usize = 11;
+    pub const MADVISE: usize = 28;
+    pub const SCHED_SETAFFINITY: usize = 203;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const MMAP: usize = 222;
+    pub const MPROTECT: usize = 226;
+    pub const MUNMAP: usize = 215;
+    pub const MADVISE: usize = 233;
+    pub const SCHED_SETAFFINITY: usize = 122;
+}
+
+/// `PROT_*` constants for [`mmap`]/[`mprotect`].
+pub mod prot {
+    /// Pages may not be accessed.
+    pub const NONE: usize = 0;
+    /// Pages may be read.
+    pub const READ: usize = 1;
+    /// Pages may be written.
+    pub const WRITE: usize = 2;
+}
+
+/// `MAP_*` constants for [`mmap`].
+pub mod map {
+    /// Changes are private to the process.
+    pub const PRIVATE: usize = 0x02;
+    /// The mapping is not backed by any file.
+    pub const ANONYMOUS: usize = 0x20;
+    /// Do not reserve swap space; suitable for sparse stacks.
+    pub const NORESERVE: usize = 0x4000;
+    /// The mapping grows downward (stack semantics). Unused by default.
+    pub const STACK: usize = 0x20000;
+}
+
+/// `MADV_*` advice values for [`madvise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// `MADV_DONTNEED`: free the backing pages immediately; the next touch
+    /// refaults a zero page. The advice Yang & Mellor-Crummey's practical
+    /// cactus-stack solution uses.
+    DontNeed = 4,
+    /// `MADV_FREE`: the kernel may lazily reclaim the pages; cheaper than
+    /// `DONTNEED` but only by a small margin per the paper (§V-B).
+    Free = 8,
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline]
+unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a as isize => ret,
+        in("x1") b,
+        in("x2") c,
+        in("x3") d,
+        in("x4") e,
+        in("x5") f,
+        options(nostack),
+    );
+    ret
+}
+
+/// Error type carrying a raw negated errno.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SysError(pub i32);
+
+impl core::fmt::Display for SysError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "syscall failed with errno {}", self.0)
+    }
+}
+
+impl std::error::Error for SysError {}
+
+#[inline]
+fn check(ret: isize) -> Result<usize, SysError> {
+    if (-4095..0).contains(&ret) {
+        Err(SysError(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Maps `len` bytes of anonymous memory with the given protection.
+pub unsafe fn mmap(len: usize, protection: usize, flags: usize) -> Result<*mut c_void, SysError> {
+    let ret = syscall6(nr::MMAP, 0, len, protection, flags, usize::MAX, 0);
+    check(ret).map(|addr| addr as *mut c_void)
+}
+
+/// Unmaps a region previously returned by [`mmap`].
+pub unsafe fn munmap(addr: *mut c_void, len: usize) -> Result<(), SysError> {
+    check(syscall6(nr::MUNMAP, addr as usize, len, 0, 0, 0, 0)).map(|_| ())
+}
+
+/// Changes the protection of a mapped region (used for guard pages).
+pub unsafe fn mprotect(addr: *mut c_void, len: usize, protection: usize) -> Result<(), SysError> {
+    check(syscall6(nr::MPROTECT, addr as usize, len, protection, 0, 0, 0)).map(|_| ())
+}
+
+/// Advises the kernel about a mapped region (the §V-B experiments).
+pub unsafe fn madvise(addr: *mut c_void, len: usize, advice: Advice) -> Result<(), SysError> {
+    check(syscall6(nr::MADVISE, addr as usize, len, advice as usize, 0, 0, 0)).map(|_| ())
+}
+
+/// Pins the calling thread to the single CPU `cpu`.
+pub fn pin_current_thread_to(cpu: usize) -> Result<(), SysError> {
+    let mut mask = [0u64; 16]; // up to 1024 CPUs
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    // pid 0 = calling thread.
+    let ret = unsafe {
+        syscall6(
+            nr::SCHED_SETAFFINITY,
+            0,
+            core::mem::size_of_val(&mask),
+            mask.as_ptr() as usize,
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+/// The system page size. Linux/x86_64 and the common aarch64 configuration
+/// use 4 KiB pages, which is also what the paper's evaluation used.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Reads the current and peak resident set size (KiB) from
+/// `/proc/self/status` (`VmRSS` / `VmHWM`). Used by the Table II experiment.
+pub fn rss_kib() -> Option<(u64, u64)> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let mut rss = None;
+    let mut hwm = None;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss = rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            hwm = rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    Some((rss?, hwm?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_munmap_round_trip() {
+        unsafe {
+            let len = 4 * PAGE_SIZE;
+            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
+                .expect("mmap");
+            // Touch every page.
+            let bytes = core::slice::from_raw_parts_mut(addr as *mut u8, len);
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = i as u8;
+            }
+            assert_eq!(bytes[PAGE_SIZE + 1], (PAGE_SIZE + 1) as u8);
+            munmap(addr, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn mprotect_guard_page() {
+        unsafe {
+            let len = 2 * PAGE_SIZE;
+            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
+                .expect("mmap");
+            mprotect(addr, PAGE_SIZE, prot::NONE).expect("mprotect");
+            // The second page is still usable.
+            *(addr as *mut u8).add(PAGE_SIZE) = 7;
+            munmap(addr, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn madvise_dontneed_zeroes_pages() {
+        unsafe {
+            let len = 2 * PAGE_SIZE;
+            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
+                .expect("mmap");
+            *(addr as *mut u8) = 42;
+            madvise(addr, len, Advice::DontNeed).expect("madvise");
+            // DONTNEED on anonymous memory refaults as zero.
+            assert_eq!(*(addr as *const u8), 0);
+            munmap(addr, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn madvise_free_keeps_mapping_valid() {
+        unsafe {
+            let len = 2 * PAGE_SIZE;
+            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
+                .expect("mmap");
+            *(addr as *mut u8) = 42;
+            madvise(addr, len, Advice::Free).expect("madvise");
+            // MADV_FREE pages may retain data until reclaim; either value
+            // is acceptable, the mapping just must not fault.
+            let v = *(addr as *const u8);
+            assert!(v == 0 || v == 42);
+            munmap(addr, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn bad_munmap_reports_errno() {
+        // Unaligned address must fail with EINVAL (22).
+        let err = unsafe { munmap(core::ptr::without_provenance_mut(1), PAGE_SIZE) }.unwrap_err();
+        assert_eq!(err.0, 22);
+    }
+
+    #[test]
+    fn pin_to_cpu0_succeeds() {
+        pin_current_thread_to(0).expect("cpu 0 always exists");
+    }
+
+    #[test]
+    fn rss_is_reported() {
+        let (rss, hwm) = rss_kib().expect("proc status parse");
+        assert!(rss > 0);
+        assert!(hwm >= rss);
+    }
+}

@@ -1,0 +1,270 @@
+//! The Arora–Blumofe–Plaxton non-blocking work-stealing deque.
+//!
+//! N. S. Arora, R. D. Blumofe, C. G. Plaxton, *Thread scheduling for
+//! multiprogrammed multiprocessors*, SPAA 1998.
+//!
+//! The top end is guarded by an `age` word packing `(tag, top)`; thieves
+//! claim items with a single CAS on `age`, the owner's `pop` needs a CAS
+//! only when it races for the last item. The buffer is **not** a ring:
+//! `push` and `steal` only ever increment their indices, so space freed by
+//! steals is unusable until the owner drains the deque and resets the
+//! indices — the dynamically-shrinking effective capacity that §II-D of the
+//! Nowa paper holds against this algorithm (and that the Chase–Lev deque
+//! fixes with its 64-bit ring counters).
+
+use core::cell::Cell;
+use core::marker::PhantomData;
+use core::num::NonZeroU64;
+use core::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{Full, Steal, StealerOps, Token, WorkerOps};
+
+/// `age` layout: high 32 bits = tag (steal generation), low 32 bits = top.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Age(u64);
+
+impl Age {
+    #[inline]
+    fn new(tag: u32, top: u32) -> Age {
+        Age(((tag as u64) << 32) | top as u64)
+    }
+    #[inline]
+    fn tag(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+    #[inline]
+    fn top(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+struct Inner {
+    age: AtomicU64,
+    /// Owner's index; thieves read it to detect emptiness.
+    bot: AtomicI64,
+    slots: Box<[AtomicU64]>,
+}
+
+/// Constructor namespace for the ABP deque.
+pub struct AbpDeque<T>(PhantomData<T>);
+
+impl<T: Token> AbpDeque<T> {
+    /// Creates a bounded ABP deque holding at most `capacity` items.
+    #[allow(clippy::new_ret_no_self)] // deliberately returns the handle pair
+    pub fn new(capacity: usize) -> (AbpWorker<T>, AbpStealer<T>) {
+        let capacity = capacity.max(2);
+        assert!(capacity < u32::MAX as usize, "ABP index space is 32-bit");
+        let inner = Arc::new(Inner {
+            age: AtomicU64::new(Age::new(0, 0).0),
+            bot: AtomicI64::new(0),
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+        });
+        (
+            AbpWorker {
+                inner: inner.clone(),
+                _not_sync: PhantomData,
+                _items: PhantomData,
+            },
+            AbpStealer {
+                inner,
+                _items: PhantomData,
+            },
+        )
+    }
+}
+
+/// Owner-side handle of an [`AbpDeque`].
+pub struct AbpWorker<T> {
+    inner: Arc<Inner>,
+    _not_sync: PhantomData<Cell<()>>,
+    _items: PhantomData<T>,
+}
+
+/// Thief-side handle of an [`AbpDeque`].
+pub struct AbpStealer<T> {
+    inner: Arc<Inner>,
+    _items: PhantomData<T>,
+}
+
+impl<T> Clone for AbpStealer<T> {
+    fn clone(&self) -> Self {
+        AbpStealer {
+            inner: self.inner.clone(),
+            _items: PhantomData,
+        }
+    }
+}
+
+unsafe impl<T: Token> Send for AbpWorker<T> {}
+unsafe impl<T: Token> Send for AbpStealer<T> {}
+unsafe impl<T: Token> Sync for AbpStealer<T> {}
+
+impl<T: Token> WorkerOps<T> for AbpWorker<T> {
+    #[inline]
+    fn push(&self, item: T) -> Result<(), Full<T>> {
+        let inner = &*self.inner;
+        let b = inner.bot.load(Ordering::Relaxed);
+        if b as usize >= inner.slots.len() {
+            // The non-ring buffer ran off its end (§II-D: the effective
+            // capacity shrank because steals freed space at the front that
+            // cannot be reused).
+            return Err(Full(item));
+        }
+        inner.slots[b as usize].store(item.into_word().get(), Ordering::Relaxed);
+        inner.bot.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    #[inline]
+    fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bot.load(Ordering::Relaxed);
+        if b == 0 {
+            return None;
+        }
+        let b = b - 1;
+        inner.bot.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let word = inner.slots[b as usize].load(Ordering::Relaxed);
+        let old = Age(inner.age.load(Ordering::Relaxed));
+        if b > old.top() as i64 {
+            // No possible conflict with thieves.
+            let word = NonZeroU64::new(word).expect("ABP slot in live range holds an item");
+            return Some(T::from_word(word));
+        }
+        // Zero or one items left: reset bottom and race via `age`.
+        inner.bot.store(0, Ordering::Relaxed);
+        let fresh = Age::new(old.tag().wrapping_add(1), 0);
+        if b == old.top() as i64 {
+            // Exactly one item: claim it against concurrent thieves.
+            if inner
+                .age
+                .compare_exchange(old.0, fresh.0, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                let word = NonZeroU64::new(word).expect("claimed ABP slot holds an item");
+                return Some(T::from_word(word));
+            }
+        }
+        // Lost the race (or the deque was already empty): install the reset
+        // age so future pushes start from index 0 again.
+        inner.age.store(fresh.0, Ordering::SeqCst);
+        None
+    }
+
+    fn len(&self) -> usize {
+        let b = self.inner.bot.load(Ordering::Relaxed);
+        let t = Age(self.inner.age.load(Ordering::Relaxed)).top() as i64;
+        (b - t).max(0) as usize
+    }
+}
+
+impl<T: Token> StealerOps<T> for AbpStealer<T> {
+    #[inline]
+    fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let old = Age(inner.age.load(Ordering::Acquire));
+        let b = inner.bot.load(Ordering::Acquire);
+        if b <= old.top() as i64 {
+            return Steal::Empty;
+        }
+        let word = inner.slots[old.top() as usize].load(Ordering::Relaxed);
+        let new = Age::new(old.tag(), old.top() + 1);
+        if inner
+            .age
+            .compare_exchange(old.0, new.0, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            let word = NonZeroU64::new(word).expect("claimed ABP slot holds an item");
+            Steal::Success(T::from_word(word))
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+impl<T: Token> AbpStealer<T> {
+    /// A racy snapshot of the number of enqueued items.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bot.load(Ordering::Relaxed);
+        let t = Age(self.inner.age.load(Ordering::Relaxed)).top() as i64;
+        (b - t).max(0) as usize
+    }
+
+    /// True if the snapshot observed no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_bottom_fifo_top() {
+        let (w, s) = AbpDeque::<usize>::new(8);
+        for i in 0..4 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn effective_capacity_shrinks_until_reset() {
+        // §II-D: after steals, freed space is NOT reusable...
+        let (w, s) = AbpDeque::<usize>::new(4);
+        for i in 0..4 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(s.steal(), Steal::Success(1));
+        // Two slots are free but the deque reports Full.
+        assert_eq!(w.push(9), Err(Full(9)));
+        // ...until the owner drains it, which resets the indices.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        for i in 0..4 {
+            w.push(10 + i).unwrap();
+        }
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn single_item_owner_thief_race_is_exclusive() {
+        let (w, s) = AbpDeque::<usize>::new(4);
+        w.push(7).unwrap();
+        assert_eq!(w.pop(), Some(7));
+        assert!(s.steal().is_empty());
+        // Tag advanced: a stale-age thief CAS can no longer succeed.
+        w.push(8).unwrap();
+        assert_eq!(s.steal(), Steal::Success(8));
+    }
+
+    #[test]
+    fn pop_empty_is_none_and_cheap() {
+        let (w, _s) = AbpDeque::<usize>::new(4);
+        assert_eq!(w.pop(), None);
+        assert_eq!(w.pop(), None);
+        w.push(3).unwrap();
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn tag_wraps_without_panic() {
+        let (w, _s) = AbpDeque::<usize>::new(2);
+        // Exercise many resets; tag uses wrapping arithmetic.
+        for i in 0..100_000 {
+            w.push(i).unwrap();
+            assert_eq!(w.pop(), Some(i));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! A fully mutex-protected work-stealing deque.
+//!
+//! Every operation — including the owner's `push`/`pop` — takes the same
+//! lock. This is the degenerate baseline that lock-based runtime layers
+//! reduce to (cf. Listing 2 of the Nowa paper, where Fibril locks the
+//! victim's deque around `steal()`); it is used by the `lock-cont` runtime
+//! flavor and as a correctness oracle in the deque stress tests.
+
+use core::cell::Cell;
+use core::marker::PhantomData;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Full, Steal, StealerOps, Token, WorkerOps};
+
+struct Inner<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+/// Constructor namespace for the locked deque.
+pub struct LockedDeque<T>(PhantomData<T>);
+
+impl<T: Token> LockedDeque<T> {
+    /// Creates an unbounded locked deque (the capacity hint pre-allocates).
+    #[allow(clippy::new_ret_no_self)] // deliberately returns the handle pair
+    pub fn new(capacity: usize) -> (LockedWorker<T>, LockedStealer<T>) {
+        let inner = Arc::new(Inner {
+            items: Mutex::new(VecDeque::with_capacity(capacity)),
+        });
+        (
+            LockedWorker {
+                inner: inner.clone(),
+                _not_sync: PhantomData,
+            },
+            LockedStealer { inner },
+        )
+    }
+}
+
+/// Owner-side handle of a [`LockedDeque`].
+pub struct LockedWorker<T> {
+    inner: Arc<Inner<T>>,
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+/// Thief-side handle of a [`LockedDeque`].
+pub struct LockedStealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for LockedStealer<T> {
+    fn clone(&self) -> Self {
+        LockedStealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Token> WorkerOps<T> for LockedWorker<T> {
+    fn push(&self, item: T) -> Result<(), Full<T>> {
+        self.inner.items.lock().push_back(item);
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.inner.items.lock().pop_back()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.items.lock().len()
+    }
+}
+
+impl<T: Token> StealerOps<T> for LockedStealer<T> {
+    fn steal(&self) -> Steal<T> {
+        match self.inner.items.lock().pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T: Token> LockedStealer<T> {
+    /// The exact number of enqueued items (taken under the lock).
+    pub fn len(&self) -> usize {
+        self.inner.items.lock().len()
+    }
+
+    /// True if the queue is empty (taken under the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_bottom_fifo_top() {
+        let (w, s) = LockedDeque::<usize>::new(4);
+        for i in 0..4 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn unbounded_growth() {
+        let (w, _s) = LockedDeque::<usize>::new(2);
+        for i in 0..10_000 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(w.len(), 10_000);
+    }
+}

@@ -1,0 +1,161 @@
+//! Machine-word tokens — the native element type of the deques.
+
+use core::num::NonZeroU64;
+use core::ptr::NonNull;
+
+/// A value that fits in a non-zero machine word.
+///
+/// Work-stealing runtimes enqueue continuation pointers, so the deques in
+/// this crate move raw 64-bit words stored in atomic slots. `Token` captures
+/// the round-trip: `from_word(into_word(t)) == t`. The zero word is reserved
+/// as the "empty slot" sentinel, which is why the representation is
+/// [`NonZeroU64`].
+///
+/// # Safety
+///
+/// Implementations must guarantee that `from_word` is the exact inverse of
+/// `into_word` for every value that `into_word` can produce. For pointer
+/// types this means provenance is preserved only as far as an
+/// address-round-trip allows; the deques only ever store words produced by
+/// `into_word` and hand them back verbatim, never fabricating words.
+pub unsafe trait Token: Copy + Send + 'static {
+    /// Encodes `self` as a non-zero word.
+    fn into_word(self) -> NonZeroU64;
+    /// Decodes a word previously produced by [`into_word`](Self::into_word).
+    fn from_word(word: NonZeroU64) -> Self;
+}
+
+unsafe impl Token for NonZeroU64 {
+    #[inline]
+    fn into_word(self) -> NonZeroU64 {
+        self
+    }
+    #[inline]
+    fn from_word(word: NonZeroU64) -> Self {
+        word
+    }
+}
+
+/// `usize` tokens are stored with a +1 bias so that `0` remains encodable
+/// while the zero *word* stays reserved for empty slots.
+unsafe impl Token for usize {
+    #[inline]
+    fn into_word(self) -> NonZeroU64 {
+        NonZeroU64::new(self as u64 + 1).expect("usize token overflow")
+    }
+    #[inline]
+    fn from_word(word: NonZeroU64) -> Self {
+        (word.get() - 1) as usize
+    }
+}
+
+/// `u64` tokens are stored with a +1 bias; `u64::MAX` is therefore not
+/// encodable and panics on push.
+unsafe impl Token for u64 {
+    #[inline]
+    fn into_word(self) -> NonZeroU64 {
+        NonZeroU64::new(self.checked_add(1).expect("u64 token overflow")).unwrap()
+    }
+    #[inline]
+    fn from_word(word: NonZeroU64) -> Self {
+        word.get() - 1
+    }
+}
+
+unsafe impl Token for u32 {
+    #[inline]
+    fn into_word(self) -> NonZeroU64 {
+        NonZeroU64::new(self as u64 + 1).unwrap()
+    }
+    #[inline]
+    fn from_word(word: NonZeroU64) -> Self {
+        (word.get() - 1) as u32
+    }
+}
+
+/// A raw non-null pointer token.
+///
+/// `NonNull<T>` itself is not `Send`, but work-stealing runtimes move frame
+/// pointers between workers by design and uphold the aliasing discipline at
+/// a higher level (a continuation pointer is owned by whoever dequeued it).
+/// `Ptr` makes that transfer explicit.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct Ptr<T>(pub NonNull<T>);
+
+impl<T> Clone for Ptr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Ptr<T> {}
+
+unsafe impl<T> Send for Ptr<T> {}
+
+impl<T> Ptr<T> {
+    /// Wraps a reference.
+    pub fn from_ref(value: &T) -> Ptr<T> {
+        Ptr(NonNull::from(value))
+    }
+
+    /// The wrapped raw pointer.
+    pub fn as_ptr(self) -> *mut T {
+        self.0.as_ptr()
+    }
+}
+
+unsafe impl<T: 'static> Token for Ptr<T> {
+    #[inline]
+    fn into_word(self) -> NonZeroU64 {
+        NonZeroU64::new(self.0.as_ptr() as usize as u64).expect("NonNull is non-zero")
+    }
+    #[inline]
+    fn from_word(word: NonZeroU64) -> Self {
+        Ptr(NonNull::new(word.get() as usize as *mut T).expect("word was non-zero"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_round_trip() {
+        for v in [0usize, 1, 42, usize::MAX - 1] {
+            assert_eq!(usize::from_word(v.into_word()), v);
+        }
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        for v in [0u32, 1, u32::MAX] {
+            assert_eq!(u32::from_word(v.into_word()), v);
+        }
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 7, u64::MAX - 1] {
+            assert_eq!(u64::from_word(v.into_word()), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "u64 token overflow")]
+    fn u64_max_rejected() {
+        let _ = u64::MAX.into_word();
+    }
+
+    #[test]
+    fn ptr_round_trip() {
+        static VALUE: i32 = 5;
+        let ptr = Ptr::from_ref(&VALUE);
+        let round = Ptr::<i32>::from_word(ptr.into_word());
+        assert_eq!(round.as_ptr(), ptr.as_ptr());
+    }
+
+    #[test]
+    fn non_zero_u64_identity() {
+        let v = NonZeroU64::new(99).unwrap();
+        assert_eq!(NonZeroU64::from_word(v.into_word()), v);
+    }
+}

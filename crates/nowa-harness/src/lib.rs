@@ -1,0 +1,34 @@
+//! # nowa-harness — experiment drivers
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V).
+//! The per-experiment index lives in DESIGN.md; results are recorded in
+//! EXPERIMENTS.md. Run via the `nowa-bench` binary:
+//!
+//! ```text
+//! nowa-bench table1            # Table I   — benchmark inventory
+//! nowa-bench fig1  [--quick]   # Fig 1     — headline nqueens comparison (sim)
+//! nowa-bench fig7  [--quick] [--bench fib]   # Fig 7 — all 12 speedup curves (sim)
+//! nowa-bench fig8  [--quick]   # Fig 8     — madvise impact (sim)
+//! nowa-bench table2 [--size quick]           # Table II — peak RSS (real)
+//! nowa-bench fig9  [--quick]   # Fig 9     — CL vs THE queue (sim)
+//! nowa-bench fig10 [--quick]   # Fig 10    — Nowa vs OpenMP stand-ins (sim)
+//! nowa-bench table3 [--quick]  # Table III — 256-worker exec times (sim)
+//! nowa-bench measured [--size quick] [--workers N] [--reps R]  # real wall-clock
+//! nowa-bench overhead [--size quick]          # real 1-worker overhead
+//! nowa-bench all   [--quick]   # everything above
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod real;
+pub mod simexp;
+pub mod stats;
+
+pub use stats::Table;
+
+/// Prints a batch of tables to stdout.
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,373 @@
+//! Simulator-based experiment sweeps (the 1–256-thread figures).
+
+use nowa_sim::{bench_dags, simulate, CostModel, SimBench, SimConfig, SimFlavor};
+
+use crate::stats::{geo_mean, Table};
+
+/// A named simulator configuration: flavor + madvise knob + optional cost
+/// adjustments (used to derive the Cilk Plus stand-in from the lock-based
+/// protocol, §V-D: "Both runtimes use a similar locking approach as
+/// Fibril", with Cilk Plus's heavier frame bookkeeping).
+#[derive(Clone)]
+pub struct SimSystem {
+    /// Display label.
+    pub label: &'static str,
+    /// Replayed flavor.
+    pub flavor: SimFlavor,
+    /// madvise-on-suspension knob.
+    pub madvise: bool,
+    /// Cost model override.
+    pub costs: CostModel,
+}
+
+impl SimSystem {
+    fn plain(label: &'static str, flavor: SimFlavor) -> SimSystem {
+        SimSystem {
+            label,
+            flavor,
+            madvise: false,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Cilk Plus stand-in: Fibril's locking structure plus heavier
+    /// per-spawn frame bookkeeping (full frames, hyperobject hooks).
+    fn cilkplus() -> SimSystem {
+        let mut costs = CostModel::default();
+        costs.spawn += 18;
+        costs.pop += 8;
+        costs.steal_success += 120;
+        SimSystem {
+            label: "cilkplus",
+            flavor: SimFlavor::FibrilLock,
+            madvise: false,
+            costs,
+        }
+    }
+}
+
+/// The thread counts swept by the paper's figures.
+pub const PAPER_THREADS: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256];
+
+/// A reduced sweep for quick runs.
+pub const QUICK_THREADS: [usize; 6] = [1, 4, 16, 64, 128, 256];
+
+/// Runs `bench` at `scale` under `flavor` for each thread count and
+/// returns the speedups.
+pub fn speedup_curve(
+    bench: SimBench,
+    scale: u32,
+    flavor: SimFlavor,
+    madvise: bool,
+    threads: &[usize],
+) -> Vec<f64> {
+    let system = SimSystem {
+        label: "",
+        flavor,
+        madvise,
+        costs: CostModel::default(),
+    };
+    system_curve(bench, scale, &system, threads)
+}
+
+/// Runs `bench` at `scale` under a full [`SimSystem`] description.
+pub fn system_curve(bench: SimBench, scale: u32, system: &SimSystem, threads: &[usize]) -> Vec<f64> {
+    let dag = bench_dags::generate(bench, scale);
+    threads
+        .iter()
+        .map(|&p| {
+            let mut cfg = SimConfig::new(system.flavor, p);
+            cfg.madvise = system.madvise;
+            cfg.costs = system.costs.clone();
+            simulate(&dag, cfg).speedup()
+        })
+        .collect()
+}
+
+fn curve_table(
+    title: &str,
+    bench: SimBench,
+    scale: u32,
+    systems: &[SimSystem],
+    threads: &[usize],
+) -> Table {
+    let mut header = vec!["threads".to_string()];
+    header.extend(systems.iter().map(|s| s.label.to_string()));
+    let mut table = Table {
+        title: format!("{title} — {} (scale {scale})", bench.name()),
+        header,
+        rows: Vec::new(),
+    };
+    let curves: Vec<Vec<f64>> = systems
+        .iter()
+        .map(|s| system_curve(bench, scale, s, threads))
+        .collect();
+    for (i, &p) in threads.iter().enumerate() {
+        let mut row = vec![p.to_string()];
+        row.extend(curves.iter().map(|c| format!("{:.2}", c[i])));
+        table.row(row);
+    }
+    table
+}
+
+fn fig7_flavors() -> Vec<SimSystem> {
+    vec![
+        SimSystem::plain("nowa", SimFlavor::NowaCl),
+        SimSystem::plain("fibril", SimFlavor::FibrilLock),
+        SimSystem::cilkplus(),
+        SimSystem::plain("tbb", SimFlavor::ChildStealTbb),
+    ]
+}
+
+/// Figure 1: the headline nqueens comparison.
+pub fn fig1(quick: bool) -> Vec<Table> {
+    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let scale = if quick {
+        SimBench::Nqueens.quick_scale()
+    } else {
+        SimBench::Nqueens.default_scale()
+    };
+    vec![curve_table(
+        "Fig 1 (sim): speedup of runtime systems",
+        SimBench::Nqueens,
+        scale,
+        &fig7_flavors(),
+        threads,
+    )]
+}
+
+/// Figure 7: all twelve benchmarks over the runtime systems.
+pub fn fig7(bench_filter: Option<SimBench>, quick: bool) -> Vec<Table> {
+    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let benches: Vec<SimBench> = match bench_filter {
+        Some(b) => vec![b],
+        None => SimBench::ALL.to_vec(),
+    };
+    let mut tables: Vec<Table> = benches
+        .iter()
+        .map(|&b| {
+            let scale = if quick { b.quick_scale() } else { b.default_scale() };
+            curve_table("Fig 7 (sim): speedup 1-256 threads", b, scale, &fig7_flavors(), threads)
+        })
+        .collect();
+    // Summary: average speedup ratios at max threads (the paper's headline
+    // numbers: nowa/fibril 1.17x, nowa/tbb 3.84x w/o knapsack).
+    let p_max = *threads.last().expect("non-empty sweep");
+    let mut ratios_fibril = Vec::new();
+    let mut ratios_tbb = Vec::new();
+    let mut summary = Table::new(
+        format!("Fig 7 summary: speedup ratio vs nowa at {p_max} threads (sim)"),
+        &["benchmark", "nowa", "fibril", "tbb", "nowa/fibril", "nowa/tbb"],
+    );
+    for &b in &benches {
+        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let nowa = *speedup_curve(b, scale, SimFlavor::NowaCl, false, &[p_max])
+            .first()
+            .expect("one value");
+        let fibril = *speedup_curve(b, scale, SimFlavor::FibrilLock, false, &[p_max])
+            .first()
+            .expect("one value");
+        let tbb = *speedup_curve(b, scale, SimFlavor::ChildStealTbb, false, &[p_max])
+            .first()
+            .expect("one value");
+        if b != SimBench::Knapsack {
+            ratios_fibril.push(nowa / fibril);
+            ratios_tbb.push(nowa / tbb);
+        }
+        summary.row(vec![
+            b.name().to_string(),
+            format!("{nowa:.2}"),
+            format!("{fibril:.2}"),
+            format!("{tbb:.2}"),
+            format!("{:.2}", nowa / fibril),
+            format!("{:.2}", nowa / tbb),
+        ]);
+    }
+    summary.row(vec![
+        "geo-mean (w/o knapsack)".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", geo_mean(&ratios_fibril)),
+        format!("{:.2}", geo_mean(&ratios_tbb)),
+    ]);
+    tables.push(summary);
+    tables
+}
+
+/// Figure 8: impact of `madvise()` (the eight benchmarks the paper plots).
+pub fn fig8(quick: bool) -> Vec<Table> {
+    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let benches = [
+        SimBench::Cholesky,
+        SimBench::Lu,
+        SimBench::Heat,
+        SimBench::Fib,
+        SimBench::Matmul,
+        SimBench::Nqueens,
+        SimBench::Integrate,
+        SimBench::Rectmul,
+    ];
+    let flavors = vec![
+        SimSystem::plain("nowa-w/o-madvise", SimFlavor::NowaCl),
+        SimSystem {
+            label: "nowa-w/-madvise",
+            flavor: SimFlavor::NowaCl,
+            madvise: true,
+            costs: CostModel::default(),
+        },
+        SimSystem::cilkplus(),
+    ];
+    let mut tables: Vec<Table> = benches
+        .iter()
+        .map(|&b| {
+            let scale = if quick { b.quick_scale() } else { b.default_scale() };
+            curve_table("Fig 8 (sim): impact of madvise()", b, scale, &flavors, threads)
+        })
+        .collect();
+    // Average performance ratio with/without madvise at max threads.
+    let p_max = *threads.last().expect("non-empty sweep");
+    let mut ratios = Vec::new();
+    for &b in &benches {
+        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let without = speedup_curve(b, scale, SimFlavor::NowaCl, false, &[p_max])[0];
+        let with = speedup_curve(b, scale, SimFlavor::NowaCl, true, &[p_max])[0];
+        ratios.push(with / without);
+    }
+    let mut summary = Table::new(
+        format!("Fig 8 summary at {p_max} threads (paper: avg 0.73x)"),
+        &["metric", "value"],
+    );
+    summary.row(vec![
+        "geo-mean speedup ratio w/ madvise vs w/o".into(),
+        format!("{:.2}", geo_mean(&ratios)),
+    ]);
+    tables.push(summary);
+    tables
+}
+
+/// Figure 9: CL queue versus THE queue under the wait-free protocol.
+pub fn fig9(quick: bool) -> Vec<Table> {
+    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let benches = [
+        SimBench::Cholesky,
+        SimBench::Fib,
+        SimBench::Nqueens,
+        SimBench::Matmul,
+    ];
+    let flavors = vec![
+        SimSystem::plain("nowa-cl", SimFlavor::NowaCl),
+        SimSystem::plain("nowa-the", SimFlavor::NowaThe),
+        SimSystem::plain("fibril", SimFlavor::FibrilLock),
+    ];
+    benches
+        .iter()
+        .map(|&b| {
+            let scale = if quick { b.quick_scale() } else { b.default_scale() };
+            curve_table("Fig 9 (sim): CL vs THE queue", b, scale, &flavors, threads)
+        })
+        .collect()
+}
+
+/// Figure 10: Nowa against the OpenMP stand-ins (and TBB).
+pub fn fig10(quick: bool) -> Vec<Table> {
+    let threads: &[usize] = if quick {
+        &QUICK_THREADS
+    } else {
+        // The paper uses 1, 64, 128, 192, 256 for the OpenMP comparison.
+        &[1, 64, 128, 192, 256]
+    };
+    let flavors = vec![
+        SimSystem::plain("nowa", SimFlavor::NowaCl),
+        SimSystem::plain("tbb", SimFlavor::ChildStealTbb),
+        SimSystem::plain("libgomp", SimFlavor::GlobalQueueGomp),
+        SimSystem::plain("libomp-untied", SimFlavor::WsTasksOmp { tied: false }),
+        SimSystem::plain("libomp-tied", SimFlavor::WsTasksOmp { tied: true }),
+    ];
+    let mut tables: Vec<Table> = SimBench::ALL
+        .iter()
+        .map(|&b| {
+            let scale = if quick { b.quick_scale() } else { b.default_scale() };
+            curve_table("Fig 10 (sim): Nowa vs OpenMP", b, scale, &flavors, threads)
+        })
+        .collect();
+    // Headline averages (paper: nowa 8.68x over libomp untied, 5.47x tied,
+    // 486.93x over libgomp).
+    let p_max = *threads.last().expect("non-empty sweep");
+    let (mut r_untied, mut r_tied, mut r_gomp) = (Vec::new(), Vec::new(), Vec::new());
+    for &b in &SimBench::ALL {
+        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let nowa = speedup_curve(b, scale, SimFlavor::NowaCl, false, &[p_max])[0];
+        let untied =
+            speedup_curve(b, scale, SimFlavor::WsTasksOmp { tied: false }, false, &[p_max])[0];
+        let tied =
+            speedup_curve(b, scale, SimFlavor::WsTasksOmp { tied: true }, false, &[p_max])[0];
+        let gomp = speedup_curve(b, scale, SimFlavor::GlobalQueueGomp, false, &[p_max])[0];
+        r_untied.push(nowa / untied);
+        r_tied.push(nowa / tied);
+        r_gomp.push(nowa / gomp);
+    }
+    let mut summary = Table::new(
+        format!("Fig 10 summary: nowa speedup ratio at {p_max} threads (sim)"),
+        &["vs", "geo-mean ratio"],
+    );
+    summary.row(vec!["libomp-untied".into(), format!("{:.2}", geo_mean(&r_untied))]);
+    summary.row(vec!["libomp-tied".into(), format!("{:.2}", geo_mean(&r_tied))]);
+    summary.row(vec!["libgomp".into(), format!("{:.2}", geo_mean(&r_gomp))]);
+    tables.push(summary);
+    tables
+}
+
+/// Table III: virtual execution times at 256 workers, Nowa vs libomp.
+pub fn table3(quick: bool) -> Vec<Table> {
+    let p = 256;
+    let mut table = Table::new(
+        "Table III (sim): execution times using 256 workers [virtual ms]",
+        &["benchmark", "nowa", "libomp-untied", "libomp-tied"],
+    );
+    for &b in &SimBench::ALL {
+        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let dag = bench_dags::generate(b, scale);
+        let ms = |flavor: SimFlavor| -> f64 {
+            simulate(&dag, SimConfig::new(flavor, p)).makespan as f64 / 1e6
+        };
+        table.row(vec![
+            b.name().to_string(),
+            format!("{:.3}", ms(SimFlavor::NowaCl)),
+            format!("{:.3}", ms(SimFlavor::WsTasksOmp { tied: false })),
+            format!("{:.3}", ms(SimFlavor::WsTasksOmp { tied: true })),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_one_value_per_thread_count() {
+        let c = speedup_curve(SimBench::Fib, 14, SimFlavor::NowaCl, false, &[1, 4, 16]);
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn fig1_quick_produces_table() {
+        let tables = fig1(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), QUICK_THREADS.len());
+    }
+
+    #[test]
+    fn speedup_grows_with_threads_nowa_fib() {
+        let c = speedup_curve(
+            SimBench::Fib,
+            SimBench::Fib.quick_scale(),
+            SimFlavor::NowaCl,
+            false,
+            &[1, 16],
+        );
+        assert!(c[1] > 2.0 * c[0], "16 workers should beat 1: {c:?}");
+    }
+}

@@ -1,0 +1,719 @@
+//! Dense linear-algebra substrate shared by the matrix benchmarks
+//! (`matmul`, `rectmul`, `strassen`, `lu`, `cholesky`).
+//!
+//! A tiny row-major matrix layer with borrow-splitting views, plus the
+//! recursive divide-and-conquer building blocks (`gemm`, triangular solves,
+//! symmetric rank-k update) parallelised with [`nowa_runtime::join2`]-style
+//! combinators. Base cases are plain loops — the benchmarks measure the
+//! *runtime system*, so all flavors share identical numeric code.
+
+use core::marker::PhantomData;
+
+use nowa_runtime::{join2, join3, join4};
+
+/// An owned row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a matrix from a function of the index.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the whole matrix.
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            ptr: self.data.as_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            _m: PhantomData,
+        }
+    }
+
+    /// Mutable view of the whole matrix.
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            ptr: self.data.as_mut_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            _m: PhantomData,
+        }
+    }
+
+    /// Element access (test convenience).
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access (test convenience).
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Max absolute element difference (test convenience).
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// A simple order-sensitive checksum for result verification.
+    pub fn checksum(&self) -> f64 {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * (1.0 + (i % 7) as f64))
+            .sum()
+    }
+}
+
+/// Immutable strided view.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    ptr: *const f64,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    _m: PhantomData<&'a f64>,
+}
+
+unsafe impl Send for MatRef<'_> {}
+unsafe impl Sync for MatRef<'_> {}
+
+/// Mutable strided view. Views of disjoint submatrices may be used from
+/// different strands concurrently; the splitting methods guarantee
+/// disjointness.
+pub struct MatMut<'a> {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    _m: PhantomData<&'a mut f64>,
+}
+
+unsafe impl Send for MatMut<'_> {}
+
+impl<'a> MatRef<'a> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        unsafe { *self.ptr.add(r * self.stride + c) }
+    }
+
+    /// Subview of `rr × cc` elements starting at `(r0, c0)`.
+    pub fn sub(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'a> {
+        assert!(r0 + rr <= self.rows && c0 + cc <= self.cols);
+        MatRef {
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows: rr,
+            cols: cc,
+            stride: self.stride,
+            _m: PhantomData,
+        }
+    }
+
+    /// Splits into quadrants at `(r, c)`.
+    pub fn quad(&self, r: usize, c: usize) -> [MatRef<'a>; 4] {
+        [
+            self.sub(0, 0, r, c),
+            self.sub(0, c, r, self.cols - c),
+            self.sub(r, 0, self.rows - r, c),
+            self.sub(r, c, self.rows - r, self.cols - c),
+        ]
+    }
+}
+
+impl<'a> MatMut<'a> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        unsafe { *self.ptr.add(r * self.stride + c) }
+    }
+
+    /// Mutable element at `(r, c)`.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        unsafe { &mut *self.ptr.add(r * self.stride + c) }
+    }
+
+    /// Reborrows as immutable.
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _m: PhantomData,
+        }
+    }
+
+    /// Reborrows mutably (shortens the lifetime).
+    pub fn rb_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _m: PhantomData,
+        }
+    }
+
+    /// Consumes the view into a subview (disjointness is trivial).
+    pub fn into_sub(self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'a> {
+        assert!(r0 + rr <= self.rows && c0 + cc <= self.cols);
+        MatMut {
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows: rr,
+            cols: cc,
+            stride: self.stride,
+            _m: PhantomData,
+        }
+    }
+
+    /// Splits into two disjoint row blocks at `r`.
+    pub fn split_rows(self, r: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(r <= self.rows);
+        let top = MatMut {
+            ptr: self.ptr,
+            rows: r,
+            cols: self.cols,
+            stride: self.stride,
+            _m: PhantomData,
+        };
+        let bot = MatMut {
+            ptr: unsafe { self.ptr.add(r * self.stride) },
+            rows: self.rows - r,
+            cols: self.cols,
+            stride: self.stride,
+            _m: PhantomData,
+        };
+        (top, bot)
+    }
+
+    /// Splits into two disjoint column blocks at `c`.
+    pub fn split_cols(self, c: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(c <= self.cols);
+        let left = MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: c,
+            stride: self.stride,
+            _m: PhantomData,
+        };
+        let right = MatMut {
+            ptr: unsafe { self.ptr.add(c) },
+            rows: self.rows,
+            cols: self.cols - c,
+            stride: self.stride,
+            _m: PhantomData,
+        };
+        (left, right)
+    }
+
+    /// Splits into four disjoint quadrants at `(r, c)`.
+    pub fn split_quad(self, r: usize, c: usize) -> [MatMut<'a>; 4] {
+        let (top, bot) = self.split_rows(r);
+        let (a11, a12) = top.split_cols(c);
+        let (a21, a22) = bot.split_cols(c);
+        [a11, a12, a21, a22]
+    }
+}
+
+/// Whether an operand is used as-is or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored.
+    N,
+    /// Use the transpose.
+    T,
+}
+
+#[inline]
+fn dims(a: MatRef<'_>, op: Op) -> (usize, usize) {
+    match op {
+        Op::N => (a.rows(), a.cols()),
+        Op::T => (a.cols(), a.rows()),
+    }
+}
+
+#[inline]
+fn at_op(a: MatRef<'_>, op: Op, i: usize, j: usize) -> f64 {
+    match op {
+        Op::N => a.at(i, j),
+        Op::T => a.at(j, i),
+    }
+}
+
+/// Subview of the *operated* matrix `op(A)`.
+fn sub_op<'a>(a: MatRef<'a>, op: Op, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'a> {
+    match op {
+        Op::N => a.sub(r0, c0, rr, cc),
+        Op::T => a.sub(c0, r0, cc, rr),
+    }
+}
+
+/// Serial base-case GEMM: `C += alpha · op(A) · op(B)`.
+fn gemm_base(alpha: f64, a: MatRef<'_>, op_a: Op, b: MatRef<'_>, op_b: Op, c: &mut MatMut<'_>) {
+    let (m, k) = dims(a, op_a);
+    let (_k2, n) = dims(b, op_b);
+    debug_assert_eq!(k, _k2);
+    debug_assert_eq!((c.rows(), c.cols()), (m, n));
+    for i in 0..m {
+        for l in 0..k {
+            let ail = alpha * at_op(a, op_a, i, l);
+            for j in 0..n {
+                *c.at_mut(i, j) += ail * at_op(b, op_b, l, j);
+            }
+        }
+    }
+}
+
+/// Parallel recursive GEMM: `C += alpha · op(A) · op(B)`.
+///
+/// Divide-and-conquer in the style of the Cilk `matmul`/`rectmul`
+/// benchmarks: the largest of `m`/`n` is split into parallel halves (the C
+/// blocks are disjoint); a dominant `k` is split into two *sequential*
+/// halves (both update all of C).
+pub fn gemm(
+    alpha: f64,
+    a: MatRef<'_>,
+    op_a: Op,
+    b: MatRef<'_>,
+    op_b: Op,
+    c: MatMut<'_>,
+    base: usize,
+) {
+    let mut c = c;
+    let (m, k) = dims(a, op_a);
+    let (_, n) = dims(b, op_b);
+    if m.max(n).max(k) <= base || m == 0 || n == 0 || k == 0 {
+        gemm_base(alpha, a, op_a, b, op_b, &mut c);
+        return;
+    }
+    if m >= n && m >= k {
+        let mh = m / 2;
+        let a_lo = sub_op(a, op_a, 0, 0, mh, k);
+        let a_hi = sub_op(a, op_a, mh, 0, m - mh, k);
+        let (c_lo, c_hi) = c.split_rows(mh);
+        join2(
+            move || gemm(alpha, a_lo, op_a, b, op_b, c_lo, base),
+            move || gemm(alpha, a_hi, op_a, b, op_b, c_hi, base),
+        );
+    } else if n >= k {
+        let nh = n / 2;
+        let b_lo = sub_op(b, op_b, 0, 0, k, nh);
+        let b_hi = sub_op(b, op_b, 0, nh, k, n - nh);
+        let (c_lo, c_hi) = c.split_cols(nh);
+        join2(
+            move || gemm(alpha, a, op_a, b_lo, op_b, c_lo, base),
+            move || gemm(alpha, a, op_a, b_hi, op_b, c_hi, base),
+        );
+    } else {
+        let kh = k / 2;
+        let a_lo = sub_op(a, op_a, 0, 0, m, kh);
+        let a_hi = sub_op(a, op_a, 0, kh, m, k - kh);
+        let b_lo = sub_op(b, op_b, 0, 0, kh, n);
+        let b_hi = sub_op(b, op_b, kh, 0, k - kh, n);
+        // Sequential: both halves update the whole of C.
+        gemm(alpha, a_lo, op_a, b_lo, op_b, c.rb_mut(), base);
+        gemm(alpha, a_hi, op_a, b_hi, op_b, c, base);
+    }
+}
+
+/// Quadrant-parallel GEMM in the exact shape of the Cilk `matmul`
+/// benchmark: two phases of four concurrent quadrant products (`join4`).
+/// Requires square-ish inputs; general shapes route through [`gemm`].
+pub fn matmul_quad(a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>, base: usize) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m <= base || k <= base || n <= base {
+        gemm(1.0, a, Op::N, b, Op::N, c, base);
+        return;
+    }
+    let (mh, kh, nh) = (m / 2, k / 2, n / 2);
+    let [a11, a12, a21, a22] = a.quad(mh, kh);
+    let [b11, b12, b21, b22] = b.quad(kh, nh);
+    let [mut c11, mut c12, mut c21, mut c22] = c.split_quad(mh, nh);
+    {
+        let (c11, c12, c21, c22) = (c11.rb_mut(), c12.rb_mut(), c21.rb_mut(), c22.rb_mut());
+        join4(
+            move || matmul_quad(a11, b11, c11, base),
+            move || matmul_quad(a11, b12, c12, base),
+            move || matmul_quad(a21, b11, c21, base),
+            move || matmul_quad(a21, b12, c22, base),
+        );
+    }
+    join4(
+        move || matmul_quad(a12, b21, c11, base),
+        move || matmul_quad(a12, b22, c12, base),
+        move || matmul_quad(a22, b21, c21, base),
+        move || matmul_quad(a22, b22, c22, base),
+    );
+}
+
+/// Forward substitution on row blocks: `B := L⁻¹ B` with `l` unit or
+/// non-unit lower triangular, recursively parallel over B's columns.
+pub fn trsm_lower_left(l: MatRef<'_>, b: MatMut<'_>, unit: bool, base: usize) {
+    let mut b = b;
+    let n = l.rows();
+    debug_assert_eq!(n, b.rows());
+    if b.cols() == 0 || n == 0 {
+        return;
+    }
+    if b.cols() > base {
+        let ch = b.cols() / 2;
+        let (b_lo, b_hi) = b.split_cols(ch);
+        join2(
+            move || trsm_lower_left(l, b_lo, unit, base),
+            move || trsm_lower_left(l, b_hi, unit, base),
+        );
+        return;
+    }
+    if n <= base {
+        for j in 0..b.cols() {
+            for i in 0..n {
+                let mut x = b.at(i, j);
+                for p in 0..i {
+                    x -= l.at(i, p) * b.at(p, j);
+                }
+                if !unit {
+                    x /= l.at(i, i);
+                }
+                *b.at_mut(i, j) = x;
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let l11 = l.sub(0, 0, h, h);
+    let l21 = l.sub(h, 0, n - h, h);
+    let l22 = l.sub(h, h, n - h, n - h);
+    let (mut b1, mut b2) = b.split_rows(h);
+    trsm_lower_left(l11, b1.rb_mut(), unit, base);
+    gemm(-1.0, l21, Op::N, b1.as_ref(), Op::N, b2.rb_mut(), base);
+    trsm_lower_left(l22, b2, unit, base);
+}
+
+/// Right solve against a transposed lower factor: `B := B · L⁻ᵀ`
+/// (the Cholesky panel update `L21 = A21 L11⁻ᵀ`), recursively parallel
+/// over B's rows.
+pub fn trsm_right_lower_trans(l: MatRef<'_>, b: MatMut<'_>, base: usize) {
+    let mut b = b;
+    let n = l.rows();
+    debug_assert_eq!(n, b.cols());
+    if b.rows() == 0 || n == 0 {
+        return;
+    }
+    if b.rows() > base {
+        let rh = b.rows() / 2;
+        let (b_lo, b_hi) = b.split_rows(rh);
+        join2(
+            move || trsm_right_lower_trans(l, b_lo, base),
+            move || trsm_right_lower_trans(l, b_hi, base),
+        );
+        return;
+    }
+    if n <= base {
+        // Solve x Lᵀ = b row by row: column j of the result depends on
+        // columns < j.
+        for i in 0..b.rows() {
+            for j in 0..n {
+                let mut x = b.at(i, j);
+                for p in 0..j {
+                    x -= b.at(i, p) * l.at(j, p);
+                }
+                *b.at_mut(i, j) = x / l.at(j, j);
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let l11 = l.sub(0, 0, h, h);
+    let l21 = l.sub(h, 0, n - h, h);
+    let l22 = l.sub(h, h, n - h, n - h);
+    let (mut b1, mut b2) = b.split_cols(h);
+    trsm_right_lower_trans(l11, b1.rb_mut(), base);
+    gemm(-1.0, b1.as_ref(), Op::N, l21, Op::T, b2.rb_mut(), base);
+    trsm_right_lower_trans(l22, b2, base);
+}
+
+/// Backward-substitution right solve: `B := B · U⁻¹` with `u` upper
+/// triangular (the LU panel update `L10 = A10 U00⁻¹`).
+pub fn trsm_right_upper(u: MatRef<'_>, b: MatMut<'_>, base: usize) {
+    let mut b = b;
+    let n = u.rows();
+    debug_assert_eq!(n, b.cols());
+    if b.rows() == 0 || n == 0 {
+        return;
+    }
+    if b.rows() > base {
+        let rh = b.rows() / 2;
+        let (b_lo, b_hi) = b.split_rows(rh);
+        join2(
+            move || trsm_right_upper(u, b_lo, base),
+            move || trsm_right_upper(u, b_hi, base),
+        );
+        return;
+    }
+    if n <= base {
+        for i in 0..b.rows() {
+            for j in 0..n {
+                let mut x = b.at(i, j);
+                for p in 0..j {
+                    x -= b.at(i, p) * u.at(p, j);
+                }
+                *b.at_mut(i, j) = x / u.at(j, j);
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let u11 = u.sub(0, 0, h, h);
+    let u12 = u.sub(0, h, h, n - h);
+    let u22 = u.sub(h, h, n - h, n - h);
+    let (mut b1, mut b2) = b.split_cols(h);
+    trsm_right_upper(u11, b1.rb_mut(), base);
+    gemm(-1.0, b1.as_ref(), Op::N, u12, Op::N, b2.rb_mut(), base);
+    trsm_right_upper(u22, b2, base);
+}
+
+/// Symmetric rank-k downdate on the lower triangle: `C := C − A Aᵀ`,
+/// touching only `C[i][j]` with `i ≥ j`. Recursively parallel (`join3`
+/// over the two diagonal recursions and the off-diagonal GEMM).
+pub fn syrk_lower_sub(a: MatRef<'_>, c: MatMut<'_>, base: usize) {
+    let mut c = c;
+    let n = a.rows();
+    debug_assert_eq!((c.rows(), c.cols()), (n, n));
+    if n == 0 {
+        return;
+    }
+    if n <= base {
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a.at(i, p) * a.at(j, p);
+                }
+                *c.at_mut(i, j) -= s;
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let a1 = a.sub(0, 0, h, a.cols());
+    let a2 = a.sub(h, 0, n - h, a.cols());
+    let [c11, _c12, c21, c22] = c.split_quad(h, h);
+    join3(
+        move || syrk_lower_sub(a1, c11, base),
+        move || syrk_lower_sub(a2, c22, base),
+        move || gemm(-1.0, a2, Op::N, a1, Op::T, c21, base),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut s = seed | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 1000) as f64) / 1000.0 - 0.5
+        })
+    }
+
+    fn gemm_naive(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for l in 0..a.cols() {
+                for j in 0..b.cols() {
+                    *c.at_mut(i, j) += a.at(i, l) * b.at(l, j);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = rand_mat(13, 17, 1);
+        let b = rand_mat(17, 11, 2);
+        let expected = gemm_naive(&a, &b);
+        let mut c = Mat::zeros(13, 11);
+        gemm(1.0, a.as_ref(), Op::N, b.as_ref(), Op::N, c.as_mut(), 4);
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_transposed_operands() {
+        let a = rand_mat(9, 13, 3); // used as Aᵀ: 13×9
+        let b = rand_mat(7, 13, 4); // used as Bᵀ: 13×7... so C = Aᵀ(13×9)??
+        // C (13-row space): op(A)=T gives 13×9; need op(B)=N with 9 rows.
+        let b2 = rand_mat(9, 7, 5);
+        let mut c = Mat::zeros(13, 7);
+        gemm(1.0, a.as_ref(), Op::T, b2.as_ref(), Op::N, c.as_mut(), 3);
+        // Naive check.
+        let mut expected = Mat::zeros(13, 7);
+        for i in 0..13 {
+            for l in 0..9 {
+                for j in 0..7 {
+                    *expected.at_mut(i, j) += a.at(l, i) * b2.at(l, j);
+                }
+            }
+        }
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+        let _ = b;
+    }
+
+    #[test]
+    fn matmul_quad_matches_gemm() {
+        let a = rand_mat(32, 32, 6);
+        let b = rand_mat(32, 32, 7);
+        let expected = gemm_naive(&a, &b);
+        let mut c = Mat::zeros(32, 32);
+        matmul_quad(a.as_ref(), b.as_ref(), c.as_mut(), 8);
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_lower_left_solves() {
+        let n = 16;
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i > j {
+                0.1 * ((i + j) as f64 % 3.0)
+            } else {
+                0.0
+            }
+        });
+        let b = rand_mat(n, 8, 8);
+        let mut x = b.clone();
+        trsm_lower_left(l.as_ref(), x.as_mut(), false, 4);
+        // L x must reproduce b.
+        let lx = gemm_naive(&l, &x);
+        assert!(lx.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_lower_trans_solves() {
+        let n = 12;
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0
+            } else if i > j {
+                0.2
+            } else {
+                0.0
+            }
+        });
+        let b = rand_mat(9, n, 9);
+        let mut x = b.clone();
+        trsm_right_lower_trans(l.as_ref(), x.as_mut(), 4);
+        // x Lᵀ must reproduce b.
+        let lt = Mat::from_fn(n, n, |i, j| l.at(j, i));
+        let xlt = gemm_naive(&x, &lt);
+        assert!(xlt.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_upper_solves() {
+        let n = 12;
+        let u = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.5
+            } else if i < j {
+                0.15
+            } else {
+                0.0
+            }
+        });
+        let b = rand_mat(10, n, 10);
+        let mut x = b.clone();
+        trsm_right_upper(u.as_ref(), x.as_mut(), 4);
+        let xu = gemm_naive(&x, &u);
+        assert!(xu.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn syrk_lower_matches_naive() {
+        let a = rand_mat(14, 6, 11);
+        let c0 = rand_mat(14, 14, 12);
+        let mut c = c0.clone();
+        syrk_lower_sub(a.as_ref(), c.as_mut(), 4);
+        for i in 0..14 {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for p in 0..6 {
+                    s += a.at(i, p) * a.at(j, p);
+                }
+                assert!((c.at(i, j) - (c0.at(i, j) - s)).abs() < 1e-12);
+            }
+        }
+        // Upper triangle untouched.
+        for i in 0..14 {
+            for j in i + 1..14 {
+                assert_eq!(c.at(i, j), c0.at(i, j));
+            }
+        }
+    }
+}

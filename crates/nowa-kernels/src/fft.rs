@@ -1,0 +1,204 @@
+//! `fft` — fast Fourier transformation (Table I: input 2²⁶, 3054 SLOC in
+//! the original; this is a compact radix-2 reimplementation).
+//!
+//! Recursive decimation-in-time Cooley–Tukey with a ping-pong scratch
+//! buffer: both half-transforms run in parallel, and the butterfly combine
+//! is recursively split as well.
+
+use nowa_runtime::join2;
+
+/// A complex number (f64 re/im).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// Constructs a complex number.
+    pub fn new(re: f64, im: f64) -> Cpx {
+        Cpx { re, im }
+    }
+
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// Precomputed twiddle factors `w[k] = exp(-2πik/n)` for `k < n/2`.
+pub fn twiddles(n: usize) -> Vec<Cpx> {
+    (0..n / 2)
+        .map(|k| {
+            let angle = -2.0 * core::f64::consts::PI * k as f64 / n as f64;
+            Cpx::new(angle.cos(), angle.sin())
+        })
+        .collect()
+}
+
+/// Butterfly combine: `out_lo[k] = e[k] + w^k o[k]`, `out_hi[k] = e[k] − w^k o[k]`,
+/// recursively split so the O(n) combine is parallel too.
+#[allow(clippy::too_many_arguments)]
+fn combine(
+    out_lo: &mut [Cpx],
+    out_hi: &mut [Cpx],
+    even: &[Cpx],
+    odd: &[Cpx],
+    tw: &[Cpx],
+    stride: usize,
+    k0: usize,
+    grain: usize,
+) {
+    let n = out_lo.len();
+    if n <= grain {
+        for k in 0..n {
+            let w = tw[(k0 + k) * stride];
+            let t = w.mul(odd[k]);
+            out_lo[k] = even[k].add(t);
+            out_hi[k] = even[k].sub(t);
+        }
+        return;
+    }
+    let h = n / 2;
+    let (ol1, ol2) = out_lo.split_at_mut(h);
+    let (oh1, oh2) = out_hi.split_at_mut(h);
+    let (e1, e2) = even.split_at(h);
+    let (o1, o2) = odd.split_at(h);
+    join2(
+        move || combine(ol1, oh1, e1, o1, tw, stride, k0, grain),
+        move || combine(ol2, oh2, e2, o2, tw, stride, k0 + h, grain),
+    );
+}
+
+/// Serial O(n²) DFT used below the recursion cutoff (and as the test
+/// reference).
+pub fn dft_naive(input: &[Cpx]) -> Vec<Cpx> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cpx::default();
+            for (j, x) in input.iter().enumerate() {
+                let angle = -2.0 * core::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                acc = acc.add(x.mul(Cpx::new(angle.cos(), angle.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+fn fft_rec(buf: &mut [Cpx], scratch: &mut [Cpx], tw: &[Cpx], stride: usize, grain: usize) {
+    let n = buf.len();
+    if n == 1 {
+        return;
+    }
+    if n <= grain.max(2) && n <= 32 {
+        let out = dft_naive(buf);
+        buf.copy_from_slice(&out);
+        return;
+    }
+    let h = n / 2;
+    // Deinterleave into the scratch halves.
+    for i in 0..h {
+        scratch[i] = buf[2 * i];
+        scratch[h + i] = buf[2 * i + 1];
+    }
+    {
+        let (s_lo, s_hi) = scratch.split_at_mut(h);
+        let (b_lo, b_hi) = buf.split_at_mut(h);
+        join2(
+            move || fft_rec(s_lo, b_lo, tw, stride * 2, grain),
+            move || fft_rec(s_hi, b_hi, tw, stride * 2, grain),
+        );
+    }
+    let (even, odd) = scratch.split_at(h);
+    let (out_lo, out_hi) = buf.split_at_mut(h);
+    combine(out_lo, out_hi, even, odd, tw, stride, 0, grain.max(16));
+}
+
+/// In-place FFT of a power-of-two-length buffer.
+pub fn fft(buf: &mut [Cpx], grain: usize) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    let tw = twiddles(n);
+    let mut scratch = vec![Cpx::default(); n];
+    fft_rec(buf, &mut scratch, &tw, 1, grain);
+}
+
+/// Deterministic pseudo-random signal.
+pub fn random_signal(n: usize, seed: u64) -> Vec<Cpx> {
+    let mut x = seed | 1;
+    let mut rand = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % 2000) as f64 / 1000.0 - 1.0
+    };
+    (0..n).map(|_| Cpx::new(rand(), rand())).collect()
+}
+
+/// Energy checksum (Parseval-friendly).
+pub fn spectrum_energy(buf: &[Cpx]) -> f64 {
+    buf.iter().map(|c| c.norm_sq()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_dft() {
+        for log_n in [3usize, 5, 7] {
+            let n = 1 << log_n;
+            let signal = random_signal(n, 11);
+            let expected = dft_naive(&signal);
+            let mut buf = signal;
+            fft(&mut buf, 4);
+            for (a, b) in buf.iter().zip(&expected) {
+                assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 1 << 10;
+        let signal = random_signal(n, 5);
+        let time_energy = spectrum_energy(&signal);
+        let mut buf = signal;
+        fft(&mut buf, 64);
+        let freq_energy = spectrum_energy(&buf) / n as f64;
+        let rel = (time_energy - freq_energy).abs() / time_energy;
+        assert!(rel < 1e-10, "Parseval violated: {rel}");
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 64;
+        let mut buf = vec![Cpx::default(); n];
+        buf[0] = Cpx::new(1.0, 0.0);
+        fft(&mut buf, 8);
+        for c in &buf {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `fib` — recursive Fibonacci (Table I: input 42, 40 SLOC).
+//!
+//! The canonical runtime-system stress test: the work per task is tiny and
+//! there is no shared data, so the scheduler itself is the bottleneck
+//! (§V-A: "a useful tool for measuring the performance of the runtime
+//! system itself").
+
+use nowa_runtime::join2;
+
+/// Parallel Fibonacci with a serial cutoff below `cutoff`.
+///
+/// `cutoff = 0` spawns all the way down, the paper's configuration.
+pub fn fib(n: u64, cutoff: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        return fib_serial(n);
+    }
+    let (a, b) = join2(|| fib(n - 1, cutoff), || fib(n - 2, cutoff));
+    a + b
+}
+
+/// The serial elision.
+pub fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+/// Closed-form check value via fast doubling (exact for n < 94).
+pub fn fib_reference(n: u64) -> u64 {
+    fn doubling(n: u64) -> (u64, u64) {
+        if n == 0 {
+            return (0, 1);
+        }
+        let (a, b) = doubling(n / 2);
+        let c = a.wrapping_mul(b.wrapping_mul(2).wrapping_sub(a));
+        let d = a.wrapping_mul(a).wrapping_add(b.wrapping_mul(b));
+        if n.is_multiple_of(2) {
+            (c, d)
+        } else {
+            (d, c.wrapping_add(d))
+        }
+    }
+    doubling(n).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_matches_reference() {
+        for n in 0..25 {
+            assert_eq!(fib_serial(n), fib_reference(n));
+        }
+    }
+
+    #[test]
+    fn parallel_code_path_serial_elision() {
+        // Outside a runtime, join2 runs serially — same results.
+        assert_eq!(fib(20, 0), fib_reference(20));
+        assert_eq!(fib(20, 10), fib_reference(20));
+    }
+}

@@ -1,0 +1,143 @@
+//! `heat` — Jacobi heat diffusion (Table I: input 4096 × 1024, 149 SLOC).
+//!
+//! Five-point Jacobi iteration on a 2D grid with fixed boundaries, using
+//! two buffers swapped per timestep; each step parallelises over row blocks
+//! by recursive splitting (the Cilk `heat` shape).
+
+use nowa_runtime::join2;
+
+/// The simulation grid (row-major, `nx` rows × `ny` columns).
+pub struct Grid {
+    nx: usize,
+    ny: usize,
+    cells: Vec<f64>,
+}
+
+impl Grid {
+    /// A grid with a hot left boundary and an initial bump in the middle.
+    pub fn new(nx: usize, ny: usize) -> Grid {
+        let mut cells = vec![0.0; nx * ny];
+        for r in 0..nx {
+            cells[r * ny] = 1.0; // hot west edge
+        }
+        cells[(nx / 2) * ny + ny / 2] = 4.0;
+        Grid { nx, ny, cells }
+    }
+
+    /// Sum of all cells (conserved-ish diagnostic and result checksum).
+    pub fn checksum(&self) -> f64 {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * (1.0 + (i % 5) as f64 * 0.25))
+            .sum()
+    }
+
+    /// Cell accessor (tests).
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.cells[r * self.ny + c]
+    }
+}
+
+/// One Jacobi step over absolute rows `[r0, r1)`, recursively split over
+/// disjoint row blocks of `new` (which starts at absolute row `base`);
+/// `old` is the full previous grid, read-only.
+fn step_rows_offset(
+    new: &mut [f64],
+    old: &[f64],
+    ny: usize,
+    base: usize,
+    r0: usize,
+    r1: usize,
+    grain: usize,
+) {
+    if r1 - r0 <= grain {
+        for r in r0..r1 {
+            for c in 1..ny - 1 {
+                let src = r * ny + c;
+                let dst = (r - base) * ny + c;
+                new[dst] = 0.25 * (old[src - ny] + old[src + ny] + old[src - 1] + old[src + 1]);
+            }
+        }
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let (lo, hi) = new.split_at_mut((mid - r0) * ny);
+    join2(
+        move || step_rows_offset(lo, old, ny, base, r0, mid, grain),
+        move || step_rows_offset(hi, old, ny, mid, mid, r1, grain),
+    );
+}
+
+/// Runs `steps` Jacobi iterations; `grain` rows per leaf task.
+pub fn heat(grid: &mut Grid, steps: usize, grain: usize) {
+    let (nx, ny) = (grid.nx, grid.ny);
+    let mut other = grid.cells.clone();
+    let grain = grain.max(1);
+    for _ in 0..steps {
+        {
+            let old = &grid.cells;
+            // Interior rows only; boundaries stay fixed (they were copied
+            // into `other` once and are never overwritten).
+            step_rows_offset(&mut other[ny..(nx - 1) * ny], old, ny, 1, 1, nx - 1, grain);
+        }
+        core::mem::swap(&mut grid.cells, &mut other);
+    }
+}
+
+/// Serial reference implementation.
+pub fn heat_serial(grid: &mut Grid, steps: usize) {
+    let (nx, ny) = (grid.nx, grid.ny);
+    let mut other = grid.cells.clone();
+    for _ in 0..steps {
+        for r in 1..nx - 1 {
+            for c in 1..ny - 1 {
+                let idx = r * ny + c;
+                other[idx] = 0.25
+                    * (grid.cells[idx - ny]
+                        + grid.cells[idx + ny]
+                        + grid.cells[idx - 1]
+                        + grid.cells[idx + 1]);
+            }
+        }
+        core::mem::swap(&mut grid.cells, &mut other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut a = Grid::new(33, 17);
+        let mut b = Grid::new(33, 17);
+        heat(&mut a, 10, 2);
+        heat_serial(&mut b, 10);
+        for r in 0..33 {
+            for c in 0..17 {
+                assert!(
+                    (a.at(r, c) - b.at(r, c)).abs() < 1e-12,
+                    "cell ({r},{c}) differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_stay_fixed() {
+        let mut g = Grid::new(16, 16);
+        heat(&mut g, 5, 4);
+        for r in 0..16 {
+            assert_eq!(g.at(r, 0), 1.0, "west edge row {r}");
+        }
+    }
+
+    #[test]
+    fn diffusion_spreads() {
+        let mut g = Grid::new(32, 32);
+        let before = g.at(16, 17);
+        heat(&mut g, 20, 4);
+        assert!(g.at(16, 17) != before || g.at(16, 18) != 0.0);
+    }
+}

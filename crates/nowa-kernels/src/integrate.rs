@@ -1,0 +1,69 @@
+//! `integrate` — quadrature adaptive integration (Table I: input 10⁴ with
+//! ε = 10⁻⁹, 59 SLOC).
+//!
+//! Adaptive trapezoid integration of `f(x) = (x² + 1)·x`, recursively
+//! splitting intervals until the two-half estimate agrees with the
+//! one-interval estimate. Like `fib`, the leaf work is tiny, making the
+//! runtime the bottleneck.
+
+use nowa_runtime::join2;
+
+#[inline]
+fn f(x: f64) -> f64 {
+    (x * x + 1.0) * x
+}
+
+fn integrate_rec(x1: f64, y1: f64, x2: f64, y2: f64, area: f64, epsilon: f64, depth: u32) -> f64 {
+    let half = (x2 - x1) / 2.0;
+    let mid = x1 + half;
+    let ymid = f(mid);
+    let area_left = (y1 + ymid) * half / 2.0;
+    let area_right = (ymid + y2) * half / 2.0;
+    let refined = area_left + area_right;
+    // Depth bound: below ~2⁻⁴⁸ of the original interval, floating-point
+    // rounding noise can exceed any epsilon and refinement is meaningless.
+    if (refined - area).abs() < epsilon || depth >= 48 {
+        return refined;
+    }
+    let (l, r) = join2(
+        move || integrate_rec(x1, y1, mid, ymid, area_left, epsilon / 2.0, depth + 1),
+        move || integrate_rec(mid, ymid, x2, y2, area_right, epsilon / 2.0, depth + 1),
+    );
+    l + r
+}
+
+/// Integrates `(x² + 1)·x` over `[0, range]` with tolerance `epsilon`.
+pub fn integrate(range: f64, epsilon: f64) -> f64 {
+    let y1 = f(0.0);
+    let y2 = f(range);
+    let area = (y1 + y2) * range / 2.0;
+    integrate_rec(0.0, y1, range, y2, area, epsilon, 0)
+}
+
+/// Analytic value of the integral: `range⁴/4 + range²/2`.
+pub fn integrate_reference(range: f64) -> f64 {
+    range.powi(4) / 4.0 + range.powi(2) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_analytic_value() {
+        for range in [1.0, 10.0, 100.0] {
+            let got = integrate(range, 1e-9);
+            let want = integrate_reference(range);
+            let rel = (got - want).abs() / want.max(1.0);
+            assert!(rel < 1e-6, "range {range}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_is_closer() {
+        let want = integrate_reference(50.0);
+        let loose = (integrate(50.0, 1e-3) - want).abs();
+        let tight = (integrate(50.0, 1e-9) - want).abs();
+        assert!(tight <= loose);
+    }
+}

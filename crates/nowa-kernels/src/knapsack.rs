@@ -1,0 +1,165 @@
+//! `knapsack` — recursive 0/1 knapsack via branch-and-bound (Table I:
+//! input 32 items, 164 SLOC).
+//!
+//! Spawns one task per branch of the search tree; pruning uses the shared
+//! best-so-far bound, so the amount of work depends heavily on execution
+//! order (§V-A discusses the resulting scheduler sensitivity — it is the
+//! one benchmark where continuation-stealing order hurts with the original
+//! spawn order).
+
+use core::sync::atomic::{AtomicI64, Ordering};
+
+use nowa_runtime::join2;
+
+/// One knapsack item.
+#[derive(Debug, Clone, Copy)]
+pub struct Item {
+    /// Item value.
+    pub value: i64,
+    /// Item weight.
+    pub weight: i64,
+}
+
+/// Deterministic pseudo-random instance, sorted by value density
+/// (descending) as the classic benchmark requires for its bound.
+pub fn random_items(n: usize, seed: u64) -> (Vec<Item>, i64) {
+    let mut x = seed | 1;
+    let mut rand = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut items: Vec<Item> = (0..n)
+        .map(|_| Item {
+            value: (rand() % 90 + 10) as i64,
+            weight: (rand() % 90 + 10) as i64,
+        })
+        .collect();
+    items.sort_by(|a, b| {
+        (b.value * a.weight)
+            .cmp(&(a.value * b.weight))
+            .then(b.value.cmp(&a.value))
+    });
+    let total_weight: i64 = items.iter().map(|i| i.weight).sum();
+    // Capacity around half the total weight makes interesting instances.
+    (items, total_weight / 2)
+}
+
+/// Fractional-relaxation upper bound for the remaining items.
+#[inline]
+fn upper_bound(items: &[Item], capacity: i64, value: i64) -> i64 {
+    let mut cap = capacity;
+    let mut ub = value;
+    for item in items {
+        if item.weight <= cap {
+            cap -= item.weight;
+            ub += item.value;
+        } else {
+            // Fractional part: round up.
+            ub += item.value * cap / item.weight + 1;
+            break;
+        }
+    }
+    ub
+}
+
+fn branch(items: &[Item], capacity: i64, value: i64, best: &AtomicI64, spawn_order: SpawnOrder) -> i64 {
+    if capacity < 0 {
+        return i64::MIN;
+    }
+    if items.is_empty() || capacity == 0 {
+        best.fetch_max(value, Ordering::Relaxed);
+        return value;
+    }
+    if upper_bound(items, capacity, value) < best.load(Ordering::Relaxed) {
+        // This subtree cannot beat the incumbent.
+        return i64::MIN;
+    }
+    let item = items[0];
+    let rest = &items[1..];
+    let (with, without) = match spawn_order {
+        // The paper's original order: the "take the item" branch is the
+        // spawned child (runs first under continuation stealing).
+        SpawnOrder::TakeFirst => join2(
+            move || branch(rest, capacity - item.weight, value + item.value, best, spawn_order),
+            move || branch(rest, capacity, value, best, spawn_order),
+        ),
+        // The switched order §V-A describes, which favours
+        // continuation-stealing runtimes.
+        SpawnOrder::SkipFirst => {
+            let (without, with) = join2(
+                move || branch(rest, capacity, value, best, spawn_order),
+                move || branch(rest, capacity - item.weight, value + item.value, best, spawn_order),
+            );
+            (with, without)
+        }
+    };
+    let result = with.max(without);
+    if result > i64::MIN {
+        best.fetch_max(result, Ordering::Relaxed);
+    }
+    result
+}
+
+/// Which branch the spawn statement takes first (§V-A's ordering
+/// experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnOrder {
+    /// Original benchmark order: include-the-item branch spawned first.
+    TakeFirst,
+    /// Switched order: exclude-the-item branch spawned first.
+    SkipFirst,
+}
+
+/// Solves the 0/1 knapsack instance, returning the best value.
+pub fn knapsack(items: &[Item], capacity: i64, order: SpawnOrder) -> i64 {
+    let best = AtomicI64::new(0);
+    branch(items, capacity, 0, &best, order).max(best.load(Ordering::Relaxed))
+}
+
+/// Exact dynamic-programming reference (O(n · capacity)).
+pub fn knapsack_reference(items: &[Item], capacity: i64) -> i64 {
+    let cap = capacity.max(0) as usize;
+    let mut dp = vec![0i64; cap + 1];
+    for item in items {
+        let w = item.weight as usize;
+        if w > cap {
+            continue;
+        }
+        for c in (w..=cap).rev() {
+            dp[c] = dp[c].max(dp[c - w] + item.value);
+        }
+    }
+    dp[cap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_and_bound_matches_dp() {
+        for seed in 1..6u64 {
+            let (items, capacity) = random_items(16, seed);
+            let expected = knapsack_reference(&items, capacity);
+            assert_eq!(knapsack(&items, capacity, SpawnOrder::TakeFirst), expected);
+            assert_eq!(knapsack(&items, capacity, SpawnOrder::SkipFirst), expected);
+        }
+    }
+
+    #[test]
+    fn items_sorted_by_density() {
+        let (items, _) = random_items(20, 3);
+        for w in items.windows(2) {
+            // a.value/a.weight >= b.value/b.weight, cross-multiplied.
+            assert!(w[0].value * w[1].weight >= w[1].value * w[0].weight);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_zero() {
+        let (items, _) = random_items(8, 7);
+        assert_eq!(knapsack(&items, 0, SpawnOrder::TakeFirst), 0);
+    }
+}

@@ -1,0 +1,457 @@
+//! # nowa-kernels — the paper's benchmark suite
+//!
+//! The twelve benchmarks of Table I, adopted (as the paper did) from the
+//! Cilk/Fibril lineage, reimplemented on the `nowa-runtime` fork/join API.
+//! Every kernel is written against the parallel API only; running it
+//! outside a runtime executes the **serial elision** (the combinators
+//! degrade to sequential calls), which is exactly how the paper measures
+//! `T_s`.
+//!
+//! | benchmark | description | paper input |
+//! |---|---|---|
+//! | cholesky  | Cholesky factorization           | 4000/40000 |
+//! | fft       | fast Fourier transformation      | 2²⁶ |
+//! | fib       | recursive Fibonacci              | 42 |
+//! | heat      | Jacobi heat diffusion            | 4096 × 1024 |
+//! | integrate | quadrature adaptive integration  | 10⁴ (ε = 10⁻⁹) |
+//! | knapsack  | recursive knapsack               | 32 |
+//! | lu        | LU-decomposition                 | 4096 |
+//! | matmul    | matrix multiply                  | 2048 |
+//! | nqueens   | count ways to place N queens     | 14 |
+//! | quicksort | parallel quicksort               | 10⁸ |
+//! | rectmul   | rectangular matrix multiply      | 4096 |
+//! | strassen  | Strassen matrix multiply         | 4096 |
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod dense;
+pub mod fft;
+pub mod fib;
+pub mod heat;
+pub mod integrate;
+pub mod knapsack;
+pub mod lu;
+pub mod matmul;
+pub mod nqueens;
+pub mod quicksort;
+pub mod strassen;
+
+/// Input scale for a benchmark run.
+///
+/// `Paper` approximates the paper's Table I inputs (hours of serial work on
+/// a laptop for some kernels); the smaller scales keep the same DAG shapes
+/// at tractable sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Seconds-scale inputs (default for the harness).
+    Quick,
+    /// Tens-of-seconds inputs.
+    Medium,
+    /// Close to the paper's inputs.
+    Paper,
+    /// Milliseconds-scale inputs (tests).
+    Tiny,
+}
+
+impl Size {
+    /// Parses the size names used by the harness CLI.
+    pub fn parse(name: &str) -> Option<Size> {
+        match name {
+            "tiny" => Some(Size::Tiny),
+            "quick" => Some(Size::Quick),
+            "medium" => Some(Size::Medium),
+            "paper" => Some(Size::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Identifier of one of the twelve benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BenchId {
+    Cholesky,
+    Fft,
+    Fib,
+    Heat,
+    Integrate,
+    Knapsack,
+    Lu,
+    Matmul,
+    Nqueens,
+    Quicksort,
+    Rectmul,
+    Strassen,
+}
+
+impl BenchId {
+    /// All twelve, in Table I order.
+    pub const ALL: [BenchId; 12] = [
+        BenchId::Cholesky,
+        BenchId::Fft,
+        BenchId::Fib,
+        BenchId::Heat,
+        BenchId::Integrate,
+        BenchId::Knapsack,
+        BenchId::Lu,
+        BenchId::Matmul,
+        BenchId::Nqueens,
+        BenchId::Quicksort,
+        BenchId::Rectmul,
+        BenchId::Strassen,
+    ];
+
+    /// The benchmark's name as used in the paper's plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchId::Cholesky => "cholesky",
+            BenchId::Fft => "fft",
+            BenchId::Fib => "fib",
+            BenchId::Heat => "heat",
+            BenchId::Integrate => "integrate",
+            BenchId::Knapsack => "knapsack",
+            BenchId::Lu => "lu",
+            BenchId::Matmul => "matmul",
+            BenchId::Nqueens => "nqueens",
+            BenchId::Quicksort => "quicksort",
+            BenchId::Rectmul => "rectmul",
+            BenchId::Strassen => "strassen",
+        }
+    }
+
+    /// Table I description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            BenchId::Cholesky => "Cholesky factorization",
+            BenchId::Fft => "Fast Fourier transformation",
+            BenchId::Fib => "Recursive Fibonacci",
+            BenchId::Heat => "Jaccobi heat diffusion",
+            BenchId::Integrate => "Quadrature adaptive integration",
+            BenchId::Knapsack => "Recursive knapsack",
+            BenchId::Lu => "LU-decomposition",
+            BenchId::Matmul => "Matrix multiply",
+            BenchId::Nqueens => "Count ways to place N queens",
+            BenchId::Quicksort => "Parallel quicksort",
+            BenchId::Rectmul => "Rectangular matrix multiply",
+            BenchId::Strassen => "Strassen matrix multiply",
+        }
+    }
+
+    /// Table I input description (the paper's configuration).
+    pub fn paper_input(&self) -> &'static str {
+        match self {
+            BenchId::Cholesky => "4000/40000",
+            BenchId::Fft => "2^26",
+            BenchId::Fib => "42",
+            BenchId::Heat => "4096x1024",
+            BenchId::Integrate => "10^4 (e=10^-9)",
+            BenchId::Knapsack => "32",
+            BenchId::Lu => "4096",
+            BenchId::Matmul => "2048",
+            BenchId::Nqueens => "14",
+            BenchId::Quicksort => "10^8",
+            BenchId::Rectmul => "4096",
+            BenchId::Strassen => "4096",
+        }
+    }
+
+    /// Table I SLOC of the original benchmark source.
+    pub fn paper_sloc(&self) -> u32 {
+        match self {
+            BenchId::Cholesky => 454,
+            BenchId::Fft => 3054,
+            BenchId::Fib => 40,
+            BenchId::Heat => 149,
+            BenchId::Integrate => 59,
+            BenchId::Knapsack => 164,
+            BenchId::Lu => 269,
+            BenchId::Matmul => 114,
+            BenchId::Nqueens => 48,
+            BenchId::Quicksort => 66,
+            BenchId::Rectmul => 291,
+            BenchId::Strassen => 621,
+        }
+    }
+
+    /// Parses a benchmark name.
+    pub fn parse(name: &str) -> Option<BenchId> {
+        BenchId::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Human-readable input for a given scale.
+    pub fn input_at(&self, size: Size) -> String {
+        use Size::*;
+        match self {
+            BenchId::Cholesky => {
+                let n = match size {
+                    Tiny => 32,
+                    Quick => 192,
+                    Medium => 512,
+                    Paper => 2048,
+                };
+                format!("n={n}")
+            }
+            BenchId::Fft => {
+                let log = match size {
+                    Tiny => 8,
+                    Quick => 15,
+                    Medium => 19,
+                    Paper => 24,
+                };
+                format!("n=2^{log}")
+            }
+            BenchId::Fib => format!(
+                "n={}",
+                match size {
+                    Tiny => 16,
+                    Quick => 27,
+                    Medium => 33,
+                    Paper => 42,
+                }
+            ),
+            BenchId::Heat => match size {
+                Tiny => "32x32, 4 steps".into(),
+                Quick => "256x128, 30 steps".into(),
+                Medium => "1024x512, 60 steps".into(),
+                Paper => "4096x1024, 100 steps".into(),
+            },
+            BenchId::Integrate => match size {
+                Tiny => "range=50".into(),
+                Quick => "range=1500".into(),
+                Medium => "range=4000".into(),
+                Paper => "range=10^4".into(),
+            },
+            BenchId::Knapsack => format!(
+                "n={}",
+                match size {
+                    Tiny => 14,
+                    Quick => 23,
+                    Medium => 27,
+                    Paper => 32,
+                }
+            ),
+            BenchId::Lu => format!(
+                "n={}",
+                match size {
+                    Tiny => 32,
+                    Quick => 192,
+                    Medium => 640,
+                    Paper => 4096,
+                }
+            ),
+            BenchId::Matmul => format!(
+                "n={}",
+                match size {
+                    Tiny => 24,
+                    Quick => 160,
+                    Medium => 448,
+                    Paper => 2048,
+                }
+            ),
+            BenchId::Nqueens => format!(
+                "n={}",
+                match size {
+                    Tiny => 6,
+                    Quick => 10,
+                    Medium => 12,
+                    Paper => 14,
+                }
+            ),
+            BenchId::Quicksort => format!(
+                "n={}",
+                match size {
+                    Tiny => 1_000,
+                    Quick => 300_000,
+                    Medium => 3_000_000,
+                    Paper => 100_000_000,
+                }
+            ),
+            BenchId::Rectmul => match size {
+                Tiny => "32x16x24".into(),
+                Quick => "256x128x192".into(),
+                Medium => "640x320x480".into(),
+                Paper => "4096x2048x3072".into(),
+            },
+            BenchId::Strassen => format!(
+                "n={}",
+                match size {
+                    Tiny => 32,
+                    Quick => 128,
+                    Medium => 512,
+                    Paper => 4096,
+                }
+            ),
+        }
+    }
+
+    /// Runs the benchmark at `size` on the *current* context (parallel when
+    /// called from inside a runtime, serial elision otherwise) and returns
+    /// a result checksum usable to compare runs.
+    pub fn run(&self, size: Size) -> f64 {
+        use Size::*;
+        match self {
+            BenchId::Cholesky => {
+                let n = match size {
+                    Tiny => 32,
+                    Quick => 192,
+                    Medium => 512,
+                    Paper => 2048,
+                };
+                let mut a = cholesky::spd_matrix(n, 7);
+                cholesky::cholesky(&mut a, 32);
+                a.checksum()
+            }
+            BenchId::Fft => {
+                let log = match size {
+                    Tiny => 8,
+                    Quick => 15,
+                    Medium => 19,
+                    Paper => 24,
+                };
+                let mut buf = fft::random_signal(1 << log, 3);
+                fft::fft(&mut buf, 256);
+                fft::spectrum_energy(&buf)
+            }
+            BenchId::Fib => {
+                let n = match size {
+                    Tiny => 16,
+                    Quick => 27,
+                    Medium => 33,
+                    Paper => 42,
+                };
+                fib::fib(n, 0) as f64
+            }
+            BenchId::Heat => {
+                let (nx, ny, steps) = match size {
+                    Tiny => (32, 32, 4),
+                    Quick => (256, 128, 30),
+                    Medium => (1024, 512, 60),
+                    Paper => (4096, 1024, 100),
+                };
+                let mut grid = heat::Grid::new(nx, ny);
+                heat::heat(&mut grid, steps, 8);
+                grid.checksum()
+            }
+            BenchId::Integrate => {
+                let range = match size {
+                    Tiny => 50.0,
+                    Quick => 1500.0,
+                    Medium => 4000.0,
+                    Paper => 10_000.0,
+                };
+                integrate::integrate(range, 1e-9)
+            }
+            BenchId::Knapsack => {
+                let n = match size {
+                    Tiny => 14,
+                    Quick => 23,
+                    Medium => 27,
+                    Paper => 32,
+                };
+                let (items, capacity) = knapsack::random_items(n, 9);
+                knapsack::knapsack(&items, capacity, knapsack::SpawnOrder::TakeFirst) as f64
+            }
+            BenchId::Lu => {
+                let n = match size {
+                    Tiny => 32,
+                    Quick => 192,
+                    Medium => 640,
+                    Paper => 4096,
+                };
+                let mut a = lu::dominant_matrix(n, 5);
+                lu::lu(&mut a, 32);
+                a.checksum()
+            }
+            BenchId::Matmul => {
+                let n = match size {
+                    Tiny => 24,
+                    Quick => 160,
+                    Medium => 448,
+                    Paper => 2048,
+                };
+                let a = matmul::random_matrix(n, n, 1);
+                let b = matmul::random_matrix(n, n, 2);
+                matmul::matmul(&a, &b, 32).checksum()
+            }
+            BenchId::Nqueens => {
+                let n = match size {
+                    Tiny => 6,
+                    Quick => 10,
+                    Medium => 12,
+                    Paper => 14,
+                };
+                nqueens::nqueens(n) as f64
+            }
+            BenchId::Quicksort => {
+                let n = match size {
+                    Tiny => 1_000,
+                    Quick => 300_000,
+                    Medium => 3_000_000,
+                    Paper => 100_000_000,
+                };
+                let mut data = quicksort::random_input(n, 77);
+                quicksort::quicksort(&mut data, 2048);
+                quicksort::verify_sorted(&data).expect("sorted") as f64
+            }
+            BenchId::Rectmul => {
+                let (m, k, n) = match size {
+                    Tiny => (32, 16, 24),
+                    Quick => (256, 128, 192),
+                    Medium => (640, 320, 480),
+                    Paper => (4096, 2048, 3072),
+                };
+                let a = matmul::random_matrix(m, k, 3);
+                let b = matmul::random_matrix(k, n, 4);
+                matmul::rectmul(&a, &b, 32).checksum()
+            }
+            BenchId::Strassen => {
+                let n = match size {
+                    Tiny => 32,
+                    Quick => 128,
+                    Medium => 512,
+                    Paper => 4096,
+                };
+                let a = matmul::random_matrix(n, n, 5);
+                let b = matmul::random_matrix(n, n, 6);
+                strassen::strassen(&a, &b, 64).checksum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in BenchId::ALL {
+            assert_eq!(BenchId::parse(b.name()), Some(b));
+        }
+        assert_eq!(BenchId::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_benchmarks_run_tiny_serially() {
+        // Outside a runtime: serial elision of each kernel.
+        for b in BenchId::ALL {
+            let checksum = b.run(Size::Tiny);
+            assert!(checksum.is_finite(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_checksums() {
+        for b in BenchId::ALL {
+            assert_eq!(b.run(Size::Tiny), b.run(Size::Tiny), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn size_parse() {
+        assert_eq!(Size::parse("quick"), Some(Size::Quick));
+        assert_eq!(Size::parse("paper"), Some(Size::Paper));
+        assert_eq!(Size::parse("x"), None);
+    }
+}

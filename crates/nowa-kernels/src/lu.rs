@@ -1,0 +1,146 @@
+//! `lu` — LU decomposition without pivoting (Table I: input 4096,
+//! 269 SLOC).
+//!
+//! Recursive blocked factorisation in the Cilk `lu` shape: factor the
+//! top-left quadrant, solve the two panels **in parallel**, downdate the
+//! trailing quadrant with a parallel GEMM, recurse. The input is made
+//! diagonally dominant so pivoting is unnecessary (as in the original
+//! benchmark).
+
+use crate::dense::{gemm, trsm_lower_left, trsm_right_upper, Mat, MatMut, Op};
+use nowa_runtime::join2;
+
+/// In-place LU of the view: afterwards the strictly-lower part holds `L`
+/// (unit diagonal implied) and the upper part holds `U`.
+fn lu_rec(a: MatMut<'_>, base: usize) {
+    let mut a = a;
+    let n = a.rows();
+    debug_assert_eq!(n, a.cols());
+    if n <= base {
+        // Serial right-looking LU.
+        for k in 0..n {
+            let pivot = a.at(k, k);
+            for i in k + 1..n {
+                let lik = a.at(i, k) / pivot;
+                *a.at_mut(i, k) = lik;
+                for j in k + 1..n {
+                    let sub = lik * a.at(k, j);
+                    *a.at_mut(i, j) -= sub;
+                }
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    let [mut a11, a12, a21, a22] = a.split_quad(h, h);
+    lu_rec(a11.rb_mut(), base);
+    let a11_ref = a11.as_ref();
+    let (a12, a21) = join2(
+        move || {
+            let mut a12 = a12;
+            // A12 := L11⁻¹ A12 (unit lower triangular forward solve).
+            trsm_lower_left(a11_ref, a12.rb_mut(), true, base);
+            a12
+        },
+        move || {
+            let mut a21 = a21;
+            // A21 := A21 U11⁻¹ (upper triangular right solve).
+            trsm_right_upper(a11_ref, a21.rb_mut(), base);
+            a21
+        },
+    );
+    let mut a22 = a22;
+    gemm(-1.0, a21.as_ref(), Op::N, a12.as_ref(), Op::N, a22.rb_mut(), base);
+    lu_rec(a22, base);
+}
+
+/// Factorises `a` in place (packed `L\U` layout). `a` must be square; use
+/// [`dominant_matrix`] for a well-conditioned pivot-free input.
+pub fn lu(a: &mut Mat, base: usize) {
+    assert_eq!(a.rows(), a.cols());
+    lu_rec(a.as_mut(), base.max(4));
+}
+
+/// Serial reference factorisation.
+pub fn lu_serial(a: &mut Mat) {
+    let n = a.rows();
+    for k in 0..n {
+        let pivot = a.at(k, k);
+        for i in k + 1..n {
+            let lik = a.at(i, k) / pivot;
+            *a.at_mut(i, k) = lik;
+            for j in k + 1..n {
+                let sub = lik * a.at(k, j);
+                *a.at_mut(i, j) -= sub;
+            }
+        }
+    }
+}
+
+/// A diagonally dominant pseudo-random matrix (safe to factor unpivoted).
+pub fn dominant_matrix(n: usize, seed: u64) -> Mat {
+    let mut x = seed | 1;
+    let mut m = Mat::from_fn(n, n, |_, _| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ((x % 1000) as f64) / 1000.0 - 0.5
+    });
+    for i in 0..n {
+        *m.at_mut(i, i) += n as f64;
+    }
+    m
+}
+
+/// Reconstructs `L·U` from the packed factorisation (test helper).
+pub fn reconstruct(packed: &Mat) -> Mat {
+    let n = packed.rows();
+    let mut c = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            // L(i,k) for k<i plus unit diagonal; U(k,j) for k<=j.
+            let kmax = i.min(j + 1);
+            for k in 0..kmax {
+                s += packed.at(i, k) * packed.at(k, j);
+            }
+            if i <= j {
+                s += packed.at(i, j); // L(i,i) = 1 times U(i,j)
+            }
+            c.at_mut(i, j).clone_from(&s);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let original = dominant_matrix(48, 21);
+        let mut par = original.clone();
+        let mut ser = original.clone();
+        lu(&mut par, 8);
+        lu_serial(&mut ser);
+        assert!(par.max_abs_diff(&ser) < 1e-9);
+    }
+
+    #[test]
+    fn factorisation_reconstructs_input() {
+        let original = dominant_matrix(32, 22);
+        let mut packed = original.clone();
+        lu(&mut packed, 8);
+        let rebuilt = reconstruct(&packed);
+        assert!(rebuilt.max_abs_diff(&original) < 1e-8);
+    }
+
+    #[test]
+    fn odd_size_works() {
+        let original = dominant_matrix(29, 23);
+        let mut packed = original.clone();
+        lu(&mut packed, 4);
+        assert!(reconstruct(&packed).max_abs_diff(&original) < 1e-8);
+    }
+}

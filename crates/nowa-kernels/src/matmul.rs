@@ -1,0 +1,88 @@
+//! `matmul` and `rectmul` — square and rectangular matrix multiply
+//! (Table I: inputs 2048 and 4096; 114 and 291 SLOC).
+
+use crate::dense::{gemm, matmul_quad, Mat, Op};
+
+/// `matmul`: square `n × n` product in the two-phase quadrant shape of the
+/// Cilk benchmark.
+pub fn matmul(a: &Mat, b: &Mat, base: usize) -> Mat {
+    assert_eq!(a.cols(), b.rows());
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    matmul_quad(a.as_ref(), b.as_ref(), c.as_mut(), base.max(4));
+    c
+}
+
+/// `rectmul`: rectangular product `(m × k) · (k × n)` via the
+/// largest-dimension-split recursion.
+pub fn rectmul(a: &Mat, b: &Mat, base: usize) -> Mat {
+    assert_eq!(a.cols(), b.rows());
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    gemm(
+        1.0,
+        a.as_ref(),
+        Op::N,
+        b.as_ref(),
+        Op::N,
+        c.as_mut(),
+        base.max(4),
+    );
+    c
+}
+
+/// Serial reference product.
+pub fn matmul_serial(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.rows());
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for l in 0..a.cols() {
+            let ail = a.at(i, l);
+            for j in 0..b.cols() {
+                *c.at_mut(i, j) += ail * b.at(l, j);
+            }
+        }
+    }
+    c
+}
+
+/// Deterministic pseudo-random matrix.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut x = seed | 1;
+    Mat::from_fn(rows, cols, |_, _| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ((x % 2001) as f64) / 1000.0 - 1.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_serial() {
+        let a = random_matrix(48, 48, 1);
+        let b = random_matrix(48, 48, 2);
+        let expected = matmul_serial(&a, &b);
+        let got = matmul(&a, &b, 8);
+        assert!(got.max_abs_diff(&expected) < 1e-10);
+    }
+
+    #[test]
+    fn rectmul_matches_serial() {
+        let a = random_matrix(40, 96, 3);
+        let b = random_matrix(96, 24, 4);
+        let expected = matmul_serial(&a, &b);
+        let got = rectmul(&a, &b, 8);
+        assert!(got.max_abs_diff(&expected) < 1e-10);
+    }
+
+    #[test]
+    fn odd_sizes_work() {
+        let a = random_matrix(17, 23, 5);
+        let b = random_matrix(23, 9, 6);
+        let expected = matmul_serial(&a, &b);
+        assert!(matmul(&a, &b, 4).max_abs_diff(&expected) < 1e-10);
+        assert!(rectmul(&a, &b, 4).max_abs_diff(&expected) < 1e-10);
+    }
+}

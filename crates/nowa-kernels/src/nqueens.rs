@@ -1,0 +1,106 @@
+//! `nqueens` — count the ways to place N queens (Table I: input 14,
+//! 48 SLOC).
+//!
+//! The faithful Cilk shape: at every row, one spawn per valid column with a
+//! single sync at the end — the linear loop-of-spawns anatomy of the
+//! paper's `foo()` (Fig. 4), expressed through the raw [`Region`] API. Each
+//! child writes its count into its own slot; the parent sums after the
+//! sync.
+
+use nowa_runtime::Region;
+
+const MAX_N: usize = 20;
+
+/// Is placing a queen at `(row, col)` compatible with `board[..row]`?
+#[inline]
+fn ok(board: &[u8], row: usize, col: usize) -> bool {
+    for (r, &c) in board[..row].iter().enumerate() {
+        let c = c as usize;
+        if c == col || c + row == col + r || c + r == col + row {
+            return false;
+        }
+    }
+    true
+}
+
+fn nqueens_rec(board: &mut [u8; MAX_N], row: usize, n: usize) -> u64 {
+    if row == n {
+        return 1;
+    }
+    let mut counts = [0u64; MAX_N];
+    {
+        let region = Region::new();
+        let board_ro: &[u8; MAX_N] = board;
+        let counts_base = counts.as_mut_ptr() as usize;
+        for col in 0..n {
+            if !ok(board_ro, row, col) {
+                continue;
+            }
+            // SAFETY (Region contract): everything live across the spawns —
+            // the shared read-only board, the counts array, `region` — is
+            // Send; each child writes a distinct `counts[col]` slot, and
+            // the sync below completes before any of them is read or
+            // dropped.
+            unsafe {
+                region.spawn(move || {
+                    let mut child_board = *board_ro;
+                    child_board[row] = col as u8;
+                    let count = nqueens_rec(&mut child_board, row + 1, n);
+                    *(counts_base as *mut u64).add(col) = count;
+                });
+            }
+        }
+        region.sync();
+    }
+    counts.iter().sum()
+}
+
+/// Counts the solutions of the N-queens problem in parallel.
+pub fn nqueens(n: usize) -> u64 {
+    assert!(n <= MAX_N, "nqueens supports n <= {MAX_N}");
+    let mut board = [0u8; MAX_N];
+    nqueens_rec(&mut board, 0, n)
+}
+
+/// Plain serial backtracking counter (the elision/reference).
+pub fn nqueens_serial(n: usize) -> u64 {
+    fn rec(board: &mut [u8; MAX_N], row: usize, n: usize) -> u64 {
+        if row == n {
+            return 1;
+        }
+        let mut total = 0;
+        for col in 0..n {
+            if ok(board, row, col) {
+                board[row] = col as u8;
+                total += rec(board, row + 1, n);
+            }
+        }
+        total
+    }
+    let mut board = [0u8; MAX_N];
+    rec(&mut board, 0, n)
+}
+
+/// Known solution counts for n = 0..=14.
+pub const KNOWN_COUNTS: [u64; 15] = [
+    1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200, 73712, 365_596,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_matches_known_counts() {
+        for (n, &expected) in KNOWN_COUNTS.iter().enumerate().take(11) {
+            assert_eq!(nqueens_serial(n), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_elision() {
+        for n in 4..=9 {
+            assert_eq!(nqueens(n), nqueens_serial(n), "n = {n}");
+        }
+    }
+}

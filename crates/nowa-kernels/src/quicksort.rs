@@ -1,0 +1,120 @@
+//! `quicksort` — parallel quicksort (Table I: input 10⁸ elements, 66 SLOC).
+//!
+//! Median-of-three partition, the two sides sorted in parallel (`join2`),
+//! serial cutoff below `grain` elements.
+
+use nowa_runtime::join2;
+
+/// Hoare-style partition with median-of-three pivot; returns the split
+/// index such that `data[..idx] <= pivot <= data[idx..]` element-wise.
+fn partition(data: &mut [u64]) -> usize {
+    let n = data.len();
+    let mid = n / 2;
+    // Median of three to the middle.
+    if data[0] > data[mid] {
+        data.swap(0, mid);
+    }
+    if data[mid] > data[n - 1] {
+        data.swap(mid, n - 1);
+        if data[0] > data[mid] {
+            data.swap(0, mid);
+        }
+    }
+    let pivot = data[mid];
+    let (mut i, mut j) = (0usize, n - 1);
+    loop {
+        while data[i] < pivot {
+            i += 1;
+        }
+        while data[j] > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            return j + 1;
+        }
+        data.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+}
+
+/// Sorts `data` in parallel; slices shorter than `grain` use the standard
+/// library's serial unstable sort.
+pub fn quicksort(data: &mut [u64], grain: usize) {
+    let grain = grain.max(8);
+    if data.len() <= grain {
+        data.sort_unstable();
+        return;
+    }
+    let split = partition(data);
+    // Degenerate splits (many equal keys) fall back to serial.
+    if split == 0 || split >= data.len() {
+        data.sort_unstable();
+        return;
+    }
+    let (lo, hi) = data.split_at_mut(split);
+    join2(|| quicksort(lo, grain), || quicksort(hi, grain));
+}
+
+/// Deterministic pseudo-random input (xorshift64*).
+pub fn random_input(n: usize, seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        })
+        .collect()
+}
+
+/// Checks sortedness and returns an order-sensitive checksum.
+pub fn verify_sorted(data: &[u64]) -> Option<u64> {
+    if data.windows(2).any(|w| w[0] > w[1]) {
+        return None;
+    }
+    Some(
+        data.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, v)| acc ^ v.rotate_left((i % 63) as u32)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_random_input() {
+        let mut data = random_input(10_000, 42);
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        quicksort(&mut data, 64);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        for input in [
+            vec![],
+            vec![1],
+            vec![2, 1],
+            vec![5; 1000],                           // all equal
+            (0..1000).rev().collect::<Vec<u64>>(),   // reverse sorted
+            (0..1000).collect::<Vec<u64>>(),         // already sorted
+        ] {
+            let mut data = input.clone();
+            let mut expected = input;
+            expected.sort_unstable();
+            quicksort(&mut data, 16);
+            assert_eq!(data, expected);
+        }
+    }
+
+    #[test]
+    fn verify_detects_unsorted() {
+        assert!(verify_sorted(&[1, 2, 3]).is_some());
+        assert!(verify_sorted(&[2, 1]).is_none());
+    }
+}

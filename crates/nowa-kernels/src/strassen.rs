@@ -1,0 +1,134 @@
+//! `strassen` — Strassen matrix multiply (Table I: input 4096, 621 SLOC).
+//!
+//! Classic seven-product recursion on power-of-two matrices; the seven
+//! products run in parallel (a `join4`+`join3` tree), each on its own
+//! preallocated temporaries. Below the cutoff the quadrant matmul takes
+//! over.
+
+use crate::dense::{matmul_quad, Mat, MatMut, MatRef};
+use nowa_runtime::{join3, join4};
+
+fn add_into(c: &mut Mat, a: MatRef<'_>, b: MatRef<'_>) {
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            *c.at_mut(i, j) = a.at(i, j) + b.at(i, j);
+        }
+    }
+}
+
+fn sub_into(c: &mut Mat, a: MatRef<'_>, b: MatRef<'_>) {
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            *c.at_mut(i, j) = a.at(i, j) - b.at(i, j);
+        }
+    }
+}
+
+/// `c := a · b` for square power-of-two operands.
+fn strassen_rec(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>, base: usize) {
+    let n = a.rows();
+    if n <= base {
+        // Overwrite semantics: zero then accumulate via the quadrant code.
+        for i in 0..n {
+            for j in 0..n {
+                *c.at_mut(i, j) = 0.0;
+            }
+        }
+        matmul_quad(a, b, c, base);
+        return;
+    }
+    let h = n / 2;
+    let [a11, a12, a21, a22] = a.quad(h, h);
+    let [b11, b12, b21, b22] = b.quad(h, h);
+
+    // Seven products, each with its own temporaries.
+    let mut m = [(); 7].map(|_| Mat::zeros(h, h));
+    fn prod(
+        h: usize,
+        left_fill: &(dyn Fn(&mut Mat) + Sync),
+        right_fill: &(dyn Fn(&mut Mat) + Sync),
+        out: &mut Mat,
+        base: usize,
+    ) {
+        let mut l = Mat::zeros(h, h);
+        let mut r = Mat::zeros(h, h);
+        left_fill(&mut l);
+        right_fill(&mut r);
+        strassen_rec(l.as_ref(), r.as_ref(), out.as_mut(), base);
+    }
+    {
+        let [m1, m2, m3, m4, m5, m6, m7] = &mut m;
+        join4(
+            move || prod(h, &|t| add_into(t, a11, a22), &|t| add_into(t, b11, b22), m1, base),
+            move || prod(h, &|t| add_into(t, a21, a22), &|t| copy_into(t, b11), m2, base),
+            move || prod(h, &|t| copy_into(t, a11), &|t| sub_into(t, b12, b22), m3, base),
+            move || prod(h, &|t| copy_into(t, a22), &|t| sub_into(t, b21, b11), m4, base),
+        );
+        join3(
+            move || prod(h, &|t| add_into(t, a11, a12), &|t| copy_into(t, b22), m5, base),
+            move || prod(h, &|t| sub_into(t, a21, a11), &|t| add_into(t, b11, b12), m6, base),
+            move || prod(h, &|t| sub_into(t, a12, a22), &|t| add_into(t, b21, b22), m7, base),
+        );
+    }
+    let [m1, m2, m3, m4, m5, m6, m7] = &m;
+
+    let [mut c11, mut c12, mut c21, mut c22] = c.split_quad(h, h);
+    for i in 0..h {
+        for j in 0..h {
+            *c11.at_mut(i, j) = m1.at(i, j) + m4.at(i, j) - m5.at(i, j) + m7.at(i, j);
+            *c12.at_mut(i, j) = m3.at(i, j) + m5.at(i, j);
+            *c21.at_mut(i, j) = m2.at(i, j) + m4.at(i, j);
+            *c22.at_mut(i, j) = m1.at(i, j) - m2.at(i, j) + m3.at(i, j) + m6.at(i, j);
+        }
+    }
+}
+
+fn copy_into(c: &mut Mat, a: MatRef<'_>) {
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            *c.at_mut(i, j) = a.at(i, j);
+        }
+    }
+}
+
+/// Strassen product of two square power-of-two matrices.
+pub fn strassen(a: &Mat, b: &Mat, base: usize) -> Mat {
+    let n = a.rows();
+    assert!(n.is_power_of_two(), "strassen needs power-of-two sizes");
+    assert_eq!((a.rows(), a.cols(), b.rows(), b.cols()), (n, n, n, n));
+    let mut c = Mat::zeros(n, n);
+    strassen_rec(a.as_ref(), b.as_ref(), c.as_mut(), base.max(8));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{matmul_serial, random_matrix};
+
+    #[test]
+    fn strassen_matches_serial() {
+        let a = random_matrix(64, 64, 9);
+        let b = random_matrix(64, 64, 10);
+        let expected = matmul_serial(&a, &b);
+        let got = strassen(&a, &b, 16);
+        assert!(got.max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn strassen_small_base_recursion_deep() {
+        let a = random_matrix(32, 32, 11);
+        let b = random_matrix(32, 32, 12);
+        let expected = matmul_serial(&a, &b);
+        let got = strassen(&a, &b, 8);
+        assert!(got.max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let a = random_matrix(24, 24, 13);
+        let b = random_matrix(24, 24, 14);
+        let _ = strassen(&a, &b, 8);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the benchmark kernels: parallel numeric code
+//! against naive references on arbitrary shapes and inputs.
+
+use nowa_kernels::dense::{gemm, Mat, Op};
+use nowa_kernels::{cholesky, fft, knapsack, lu, matmul, quicksort};
+use proptest::prelude::*;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut x = seed | 1;
+    Mat::from_fn(rows, cols, |_, _| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ((x % 1000) as f64) / 1000.0 - 0.5
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GEMM with arbitrary (small) shapes, transposes and grains matches
+    /// the naive triple loop.
+    #[test]
+    fn gemm_arbitrary_shapes(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        base in 1usize..8,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let a = if ta { rand_mat(k, m, seed) } else { rand_mat(m, k, seed) };
+        let b = if tb { rand_mat(n, k, seed ^ 7) } else { rand_mat(k, n, seed ^ 7) };
+        let (op_a, op_b) = (
+            if ta { Op::T } else { Op::N },
+            if tb { Op::T } else { Op::N },
+        );
+        let mut c = Mat::zeros(m, n);
+        gemm(1.0, a.as_ref(), op_a, b.as_ref(), op_b, c.as_mut(), base);
+        // Naive reference.
+        let at = |i: usize, l: usize| if ta { a.at(l, i) } else { a.at(i, l) };
+        let bt = |l: usize, j: usize| if tb { b.at(j, l) } else { b.at(l, j) };
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += at(i, l) * bt(l, j);
+                }
+                prop_assert!((c.at(i, j) - s).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    /// LU reconstructs its input for arbitrary sizes and grains.
+    #[test]
+    fn lu_reconstructs(n in 1usize..40, base in 1usize..12, seed in any::<u64>()) {
+        let original = lu::dominant_matrix(n, seed | 1);
+        let mut packed = original.clone();
+        lu::lu(&mut packed, base);
+        let rebuilt = lu::reconstruct(&packed);
+        prop_assert!(rebuilt.max_abs_diff(&original) < 1e-7);
+    }
+
+    /// Cholesky residual is tiny for arbitrary SPD inputs.
+    #[test]
+    fn cholesky_residual(n in 1usize..32, base in 1usize..10, seed in any::<u64>()) {
+        let original = cholesky::spd_matrix(n, seed | 1);
+        let mut packed = original.clone();
+        cholesky::cholesky(&mut packed, base);
+        prop_assert!(cholesky::residual(&packed, &original) < 1e-7);
+    }
+
+    /// Quicksort sorts arbitrary inputs with arbitrary grains.
+    #[test]
+    fn quicksort_sorts(mut data in prop::collection::vec(any::<u64>(), 0..500), grain in 1usize..64) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        quicksort::quicksort(&mut data, grain);
+        prop_assert_eq!(data, expected);
+    }
+
+    /// Branch-and-bound knapsack equals dynamic programming, both orders.
+    #[test]
+    fn knapsack_matches_dp(n in 1usize..14, seed in any::<u64>()) {
+        let (items, capacity) = knapsack::random_items(n, seed | 1);
+        let expected = knapsack::knapsack_reference(&items, capacity);
+        prop_assert_eq!(
+            knapsack::knapsack(&items, capacity, knapsack::SpawnOrder::TakeFirst),
+            expected
+        );
+        prop_assert_eq!(
+            knapsack::knapsack(&items, capacity, knapsack::SpawnOrder::SkipFirst),
+            expected
+        );
+    }
+
+    /// FFT of arbitrary power-of-two signals matches the naive DFT.
+    #[test]
+    fn fft_matches_dft(log_n in 1u32..8, grain in 1usize..64, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let signal = fft::random_signal(n, seed | 1);
+        let expected = fft::dft_naive(&signal);
+        let mut buf = signal;
+        fft::fft(&mut buf, grain);
+        for (a, b) in buf.iter().zip(&expected) {
+            prop_assert!((a.re - b.re).abs() < 1e-7 && (a.im - b.im).abs() < 1e-7);
+        }
+    }
+
+    /// matmul_quad (the Cilk two-phase shape) equals gemm for arbitrary
+    /// square sizes.
+    #[test]
+    fn matmul_quad_equals_gemm(n in 1usize..32, base in 1usize..10, seed in any::<u64>()) {
+        let a = rand_mat(n, n, seed | 1);
+        let b = rand_mat(n, n, seed.wrapping_add(3) | 1);
+        let quad = matmul::matmul(&a, &b, base);
+        let reference = matmul::matmul_serial(&a, &b);
+        prop_assert!(quad.max_abs_diff(&reference) < 1e-10);
+    }
+}

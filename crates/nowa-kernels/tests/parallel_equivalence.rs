@@ -1,0 +1,62 @@
+//! Every kernel must produce the identical checksum when run under a
+//! parallel runtime (any flavor, any worker count) as under the serial
+//! elision — parallelism must never change results.
+
+use nowa_kernels::{BenchId, Size};
+use nowa_runtime::{Config, Flavor, Runtime};
+
+fn serial_checksum(bench: BenchId) -> f64 {
+    assert!(!nowa_runtime::in_task());
+    bench.run(Size::Tiny)
+}
+
+#[test]
+fn all_kernels_parallel_match_serial_nowa() {
+    let rt = Runtime::new(Config::with_workers(4)).unwrap();
+    for bench in BenchId::ALL {
+        let expected = serial_checksum(bench);
+        let got = rt.run(|| bench.run(Size::Tiny));
+        assert_eq!(got, expected, "{} differs under nowa", bench.name());
+    }
+}
+
+#[test]
+fn all_kernels_parallel_match_serial_fibril() {
+    let rt = Runtime::new(Config::with_workers(4).flavor(Flavor::FIBRIL)).unwrap();
+    for bench in BenchId::ALL {
+        let expected = serial_checksum(bench);
+        let got = rt.run(|| bench.run(Size::Tiny));
+        assert_eq!(got, expected, "{} differs under fibril", bench.name());
+    }
+}
+
+#[test]
+fn all_kernels_parallel_match_serial_nowa_the() {
+    let rt = Runtime::new(Config::with_workers(4).flavor(Flavor::NOWA_THE)).unwrap();
+    for bench in BenchId::ALL {
+        let expected = serial_checksum(bench);
+        let got = rt.run(|| bench.run(Size::Tiny));
+        assert_eq!(got, expected, "{} differs under nowa-the", bench.name());
+    }
+}
+
+#[test]
+fn quick_size_spot_checks_under_runtime() {
+    let rt = Runtime::new(Config::with_workers(4)).unwrap();
+    // A couple of kernels at Quick size for deeper DAGs.
+    for bench in [BenchId::Fib, BenchId::Nqueens, BenchId::Quicksort] {
+        let expected = bench.run(Size::Quick);
+        let got = rt.run(|| bench.run(Size::Quick));
+        assert_eq!(got, expected, "{}", bench.name());
+    }
+}
+
+#[test]
+fn single_worker_runtime_matches() {
+    let rt = Runtime::with_workers(1).unwrap();
+    for bench in BenchId::ALL {
+        let expected = serial_checksum(bench);
+        let got = rt.run(|| bench.run(Size::Tiny));
+        assert_eq!(got, expected, "{}", bench.name());
+    }
+}

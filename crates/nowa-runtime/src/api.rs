@@ -1,0 +1,488 @@
+//! The safe fork/join surface.
+//!
+//! Continuation stealing means the code *after* a spawn may execute on a
+//! different OS thread than the code before it. Rust's type system cannot
+//! see the locals of an arbitrary spawning function, so the safe API is
+//! built from combinators whose continuations are entirely made of
+//! checkable closures:
+//!
+//! * [`join2`]/[`join3`]/[`join4`] — heterogeneous fork/join; the
+//!   continuation after each spawned child is the next closure plus the
+//!   join epilogue, all bounded `Send`.
+//! * [`par_for`], [`map_reduce`], [`par_map`] — divide-and-conquer loops
+//!   (the moral equivalent of `cilk_for`).
+//!
+//! Every combinator degrades to serial execution when called outside a
+//! runtime worker — the *serial elision* of §V, for free.
+//!
+//! The linear loop-of-spawns shape of the paper's `foo()` (Fig. 4) and of
+//! benchmarks like `nqueens` is available through the `unsafe`
+//! [`Region`] API, which exposes the raw spawn/sync pair under a documented
+//! contract.
+
+use std::ops::Range;
+use std::panic::resume_unwind;
+
+use crate::foreign::{foreign_executor, foreign_join2};
+use crate::record::Frame;
+use crate::scheduler::{spawn_execute, sync_execute};
+use crate::worker::current_worker;
+
+/// True when the calling thread is a runtime worker executing a task.
+pub fn in_task() -> bool {
+    !current_worker().is_null()
+}
+
+/// A raw pointer wrapper that asserts cross-thread transferability of the
+/// pointee access it stands for.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+/// Syncs the frame when dropped — both on the normal path and when the
+/// continuation unwinds, so no child strand can outlive the region's
+/// borrows (fully-strict even under panics).
+struct SyncOnDrop<'f> {
+    frame: &'f Frame,
+}
+
+impl Drop for SyncOnDrop<'_> {
+    fn drop(&mut self) {
+        // SAFETY: we are the main-path control flow of this frame's region,
+        // on a worker thread (the guard is only armed on the worker path).
+        unsafe { sync_execute(self.frame) };
+    }
+}
+
+/// Re-throws a panic captured from a child strand.
+fn propagate(frame: &Frame) {
+    if let Some(payload) = frame.core.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Forks `a` and runs `b`; returns both results once both finished.
+///
+/// `a` is spawned (it runs immediately on this worker; the *continuation* —
+/// running `b` and joining — is what thieves may steal, §II-B), then `b`
+/// runs, then the region syncs. Panics from either closure propagate.
+///
+/// Outside a runtime this degenerates to `(a(), b())` — the serial elision.
+///
+/// ```
+/// # let rt = nowa_runtime::Runtime::with_workers(2).unwrap();
+/// # rt.run(|| {
+/// fn fib(n: u64) -> u64 {
+///     if n < 2 {
+///         return n;
+///     }
+///     let (a, b) = nowa_runtime::api::join2(|| fib(n - 1), || fib(n - 2));
+///     a + b
+/// }
+/// assert_eq!(fib(20), 6765);
+/// # });
+/// ```
+pub fn join2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !in_task() {
+        if let Some(fx) = foreign_executor() {
+            return foreign_join2(fx, a, b);
+        }
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let frame = Frame::new();
+    let mut slot_a: Option<RA> = None;
+    let ptr_a = SendPtr(&mut slot_a as *mut Option<RA>);
+    let rb;
+    {
+        let guard = SyncOnDrop { frame: &frame };
+        // SAFETY: the guard guarantees a completed sync before `frame`,
+        // `slot_a` or anything borrowed by `a`/`b` dies, even when `b`
+        // unwinds. Everything live across the spawn is `Send`-bounded by
+        // this function's signature.
+        unsafe {
+            spawn_execute(&frame, move || {
+                let ptr_a = ptr_a; // capture the Send wrapper, not its field
+                let result = a();
+                *ptr_a.0 = Some(result);
+            });
+        }
+        rb = b();
+        drop(guard); // the explicit sync point
+    }
+    propagate(&frame);
+    let ra = slot_a.take().expect("child strand completed before sync");
+    (ra, rb)
+}
+
+/// Forks `a` and `b`, runs `c`; returns all three results.
+pub fn join3<A, B, C, RA, RB, RC>(a: A, b: B, c: C) -> (RA, RB, RC)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+{
+    if !in_task() {
+        if foreign_executor().is_some() {
+            let (ra, (rb, rc)) = join2(a, move || join2(b, c));
+            return (ra, rb, rc);
+        }
+        let ra = a();
+        let rb = b();
+        let rc = c();
+        return (ra, rb, rc);
+    }
+    let frame = Frame::new();
+    let mut slot_a: Option<RA> = None;
+    let mut slot_b: Option<RB> = None;
+    let ptr_a = SendPtr(&mut slot_a as *mut Option<RA>);
+    let ptr_b = SendPtr(&mut slot_b as *mut Option<RB>);
+    let rc;
+    {
+        let guard = SyncOnDrop { frame: &frame };
+        // SAFETY: as in `join2`.
+        unsafe {
+            spawn_execute(&frame, move || {
+                let ptr_a = ptr_a; // capture the Send wrapper, not its field
+                let result = a();
+                *ptr_a.0 = Some(result);
+            });
+            spawn_execute(&frame, move || {
+                let ptr_b = ptr_b; // capture the Send wrapper, not its field
+                let result = b();
+                *ptr_b.0 = Some(result);
+            });
+        }
+        rc = c();
+        drop(guard);
+    }
+    propagate(&frame);
+    (
+        slot_a.take().expect("child a completed"),
+        slot_b.take().expect("child b completed"),
+        rc,
+    )
+}
+
+/// Forks `a`, `b` and `c`, runs `d`; returns all four results.
+pub fn join4<A, B, C, D, RA, RB, RC, RD>(a: A, b: B, c: C, d: D) -> (RA, RB, RC, RD)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+    D: FnOnce() -> RD + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+    RD: Send,
+{
+    if !in_task() {
+        if foreign_executor().is_some() {
+            let ((ra, rb), (rc, rd)) = join2(move || join2(a, b), move || join2(c, d));
+            return (ra, rb, rc, rd);
+        }
+        let ra = a();
+        let rb = b();
+        let rc = c();
+        let rd = d();
+        return (ra, rb, rc, rd);
+    }
+    let frame = Frame::new();
+    let mut slot_a: Option<RA> = None;
+    let mut slot_b: Option<RB> = None;
+    let mut slot_c: Option<RC> = None;
+    let ptr_a = SendPtr(&mut slot_a as *mut Option<RA>);
+    let ptr_b = SendPtr(&mut slot_b as *mut Option<RB>);
+    let ptr_c = SendPtr(&mut slot_c as *mut Option<RC>);
+    let rd;
+    {
+        let guard = SyncOnDrop { frame: &frame };
+        // SAFETY: as in `join2`.
+        unsafe {
+            spawn_execute(&frame, move || {
+                let ptr_a = ptr_a; // capture the Send wrapper, not its field
+                let result = a();
+                *ptr_a.0 = Some(result);
+            });
+            spawn_execute(&frame, move || {
+                let ptr_b = ptr_b; // capture the Send wrapper, not its field
+                let result = b();
+                *ptr_b.0 = Some(result);
+            });
+            spawn_execute(&frame, move || {
+                let ptr_c = ptr_c; // capture the Send wrapper, not its field
+                let result = c();
+                *ptr_c.0 = Some(result);
+            });
+        }
+        rd = d();
+        drop(guard);
+    }
+    propagate(&frame);
+    (
+        slot_a.take().expect("child a completed"),
+        slot_b.take().expect("child b completed"),
+        slot_c.take().expect("child c completed"),
+        rd,
+    )
+}
+
+/// Runs `body(i)` for every `i` in `range` with divide-and-conquer
+/// parallelism; ranges of at most `grain` indices run serially.
+pub fn par_for<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let grain = grain.max(1);
+    let len = range.end.saturating_sub(range.start);
+    if len <= grain {
+        for i in range {
+            body(i);
+        }
+        return;
+    }
+    let mid = range.start + len / 2;
+    join2(
+        || par_for(range.start..mid, grain, body),
+        || par_for(mid..range.end, grain, body),
+    );
+}
+
+/// Maps `map(i)` over `range` and folds the results with `reduce`, in
+/// divide-and-conquer fashion. Returns `None` for an empty range.
+///
+/// `reduce` must be associative for the result to be deterministic; the
+/// fold order is a balanced binary tree over the index space.
+pub fn map_reduce<T, M, R>(range: Range<usize>, grain: usize, map: &M, reduce: &R) -> Option<T>
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let grain = grain.max(1);
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return None;
+    }
+    if len <= grain {
+        let mut acc = map(range.start);
+        for i in range.start + 1..range.end {
+            acc = reduce(acc, map(i));
+        }
+        return Some(acc);
+    }
+    let mid = range.start + len / 2;
+    let (left, right) = join2(
+        || map_reduce(range.start..mid, grain, map, reduce),
+        || map_reduce(mid..range.end, grain, map, reduce),
+    );
+    match (left, right) {
+        (Some(l), Some(r)) => Some(reduce(l, r)),
+        (l, r) => l.or(r),
+    }
+}
+
+/// Writes `f(&input[i])` into `output[i]` for all `i`, in parallel.
+///
+/// Panics if the slices have different lengths.
+pub fn par_map<T, U, F>(input: &[T], output: &mut [U], grain: usize, f: &F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert_eq!(input.len(), output.len(), "par_map slice length mismatch");
+    let grain = grain.max(1);
+    if input.len() <= grain {
+        for (o, i) in output.iter_mut().zip(input) {
+            *o = f(i);
+        }
+        return;
+    }
+    let mid = input.len() / 2;
+    let (in_lo, in_hi) = input.split_at(mid);
+    let (out_lo, out_hi) = output.split_at_mut(mid);
+    join2(
+        || par_map(in_lo, out_lo, grain, f),
+        || par_map(in_hi, out_hi, grain, f),
+    );
+}
+
+/// Spawns `f(item)` for every item of `iter` on one frame (the linear
+/// loop-of-spawns anatomy of the paper's `foo()`, Fig. 4), syncing once at
+/// the end.
+///
+/// Unlike [`Region::spawn`] this is *safe*: the continuation between the
+/// spawns is this function's own loop, and everything live across the
+/// spawn points is bounded by the signature — the iterator (`I: Send`, it
+/// migrates with the continuation), the body (`&F` with `F: Sync`) and the
+/// items (`T: Send`).
+///
+/// ```
+/// # let rt = nowa_runtime::Runtime::with_workers(2).unwrap();
+/// # rt.run(|| {
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// let sum = AtomicU64::new(0);
+/// nowa_runtime::api::for_each(0..100u64, &|i| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 4950);
+/// # });
+/// ```
+pub fn for_each<I, T, F>(iter: I, f: &F)
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if !in_task() {
+        for item in iter {
+            f(item);
+        }
+        return;
+    }
+    let frame = Frame::new();
+    {
+        let guard = SyncOnDrop { frame: &frame };
+        for item in iter {
+            // SAFETY: values live across the spawn are `iter` (Send),
+            // `f` (&F, F: Sync ⇒ &F: Send), `frame`/`guard` (runtime
+            // state); the guard syncs before any of them dies, even when
+            // unwinding.
+            unsafe {
+                spawn_execute(&frame, move || f(item));
+            }
+        }
+        drop(guard);
+    }
+    propagate(&frame);
+}
+
+/// A raw spawn region: the linear loop-of-spawns shape of the paper's
+/// `foo()` (Fig. 4) and of benchmarks like `nqueens`, where one frame hosts
+/// many spawns joined by a single sync.
+///
+/// The region syncs on drop, so child strands never outlive it, but the
+/// *spawn* operation itself is `unsafe` — see [`Region::spawn`].
+pub struct Region {
+    frame: Frame,
+    /// Children deferred under a foreign (child-stealing) executor; run as
+    /// a balanced join tree at the sync. Deferral *is* child-stealing
+    /// semantics — the continuation proceeds, children run later.
+    deferred: core::cell::RefCell<Vec<Box<dyn FnOnce() + Send + 'static>>>,
+    // Spawning from several threads would violate the protocol's
+    // Invariant II (single main path); keep the type !Sync and !Send.
+    _not_sync: core::marker::PhantomData<*mut ()>,
+}
+
+/// Runs a slice of deferred children as a balanced parallel join tree.
+fn run_deferred(tasks: &mut [Option<Box<dyn FnOnce() + Send + 'static>>]) {
+    match tasks.len() {
+        0 => {}
+        1 => (tasks[0].take().expect("deferred child present"))(),
+        n => {
+            let (lo, hi) = tasks.split_at_mut(n / 2);
+            join2(move || run_deferred(lo), move || run_deferred(hi));
+        }
+    }
+}
+
+impl Region {
+    /// A fresh region.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Region {
+        Region {
+            frame: Frame::new(),
+            deferred: core::cell::RefCell::new(Vec::new()),
+            _not_sync: core::marker::PhantomData,
+        }
+    }
+
+    /// Spawns `f` as a child strand of this region: `f` runs now; the
+    /// continuation (the caller's code after this call, up to
+    /// [`sync`](Region::sync)) is offered to thieves and may therefore
+    /// resume on a different OS thread.
+    ///
+    /// Outside a runtime worker, runs `f` inline.
+    ///
+    /// # Safety
+    ///
+    /// Between the first `spawn` and the completion of the matching
+    /// [`sync`](Region::sync) (or the region's drop):
+    ///
+    /// * the region must not be moved;
+    /// * every value the caller keeps live across this call must be `Send`
+    ///   (it may be touched from another OS thread after a steal) — this is
+    ///   the obligation the compiler cannot check for you;
+    /// * thread-identity-dependent state (thread-locals, lock guards held
+    ///   across the call) must not be relied upon afterwards.
+    pub unsafe fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send,
+    {
+        if in_task() {
+            unsafe { spawn_execute(&self.frame, f) };
+            return;
+        }
+        if foreign_executor().is_some() {
+            // Child-stealing semantics: defer the child, continue the
+            // caller; the deferred batch runs at the sync.
+            let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(f);
+            // SAFETY: lifetime erasure; the Region contract requires the
+            // sync (or drop) to complete before anything `f` borrows dies.
+            let boxed: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { core::mem::transmute(boxed) };
+            self.deferred.borrow_mut().push(boxed);
+            return;
+        }
+        f();
+    }
+
+    /// The explicit sync point: returns once every spawned strand joined.
+    /// Propagates the first child panic. May return on a different OS
+    /// thread than it was called on.
+    pub fn sync(&self) {
+        if in_task() {
+            // SAFETY: we are the region's main path on a worker thread.
+            unsafe { sync_execute(&self.frame) };
+        } else {
+            let mut deferred: Vec<_> =
+                self.deferred.borrow_mut().drain(..).map(Some).collect();
+            run_deferred(&mut deferred);
+        }
+        propagate(&self.frame);
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        if in_task() {
+            // SAFETY: main path; ensures full strictness even on unwind.
+            unsafe { sync_execute(&self.frame) };
+        } else if !self.deferred.borrow().is_empty() {
+            // Deferred children hold erased borrows; they must run before
+            // the region (and those borrows) die.
+            let mut deferred: Vec<_> =
+                self.deferred.borrow_mut().drain(..).map(Some).collect();
+            run_deferred(&mut deferred);
+        }
+        // Panics captured from children are intentionally dropped here if
+        // the region is dropped during an unwind; `sync()` on the normal
+        // path propagates them.
+    }
+}

@@ -1,0 +1,104 @@
+//! Runtime configuration.
+
+use nowa_context::MadvisePolicy;
+
+use crate::flavor::Flavor;
+
+/// Configuration of a [`Runtime`](crate::runtime::Runtime).
+///
+/// Defaults mirror the paper's evaluation setup where applicable: 1 MiB
+/// stacks, 4 KiB pages, no `madvise` on suspension (the Fig. 7
+/// configuration), Nowa flavor (wait-free + CL queue).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Usable fiber-stack size in bytes (paper: 1 MiB).
+    pub stack_size: usize,
+    /// What to do with unused stack space on frame suspension (§V-B).
+    pub madvise: MadvisePolicy,
+    /// Runtime flavor: join protocol × deque algorithm.
+    pub flavor: Flavor,
+    /// Per-worker deque capacity (bounded algorithms; CL grows beyond it).
+    pub deque_capacity: usize,
+    /// Per-worker stack-cache capacity (paper: "small per worker buffers").
+    pub stack_cache: usize,
+    /// Stripes of the global stack pool (1 = the paper's single pool).
+    pub pool_stripes: usize,
+    /// Stacks pre-mapped into the global pool at startup.
+    pub pool_prefill: usize,
+    /// Pin worker `i` to CPU `i`.
+    pub pin_workers: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            stack_size: 1 << 20,
+            madvise: MadvisePolicy::Keep,
+            flavor: Flavor::NOWA,
+            deque_capacity: 8192,
+            stack_cache: 8,
+            pool_stripes: 1,
+            pool_prefill: 0,
+            pin_workers: false,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> Config {
+        Config {
+            workers,
+            ..Config::default()
+        }
+    }
+
+    /// Sets the flavor (builder style).
+    pub fn flavor(mut self, flavor: Flavor) -> Config {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Sets the madvise policy (builder style).
+    pub fn madvise(mut self, policy: MadvisePolicy) -> Config {
+        self.madvise = policy;
+        self
+    }
+
+    /// Sets the usable stack size (builder style).
+    pub fn stack_size(mut self, bytes: usize) -> Config {
+        self.stack_size = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = Config::default();
+        assert_eq!(c.stack_size, 1 << 20);
+        assert_eq!(c.madvise, MadvisePolicy::Keep);
+        assert_eq!(c.flavor, Flavor::NOWA);
+        assert!(c.workers >= 1);
+    }
+
+    #[test]
+    fn builder_style() {
+        let c = Config::with_workers(3)
+            .flavor(Flavor::FIBRIL)
+            .madvise(MadvisePolicy::Free)
+            .stack_size(64 * 1024);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.flavor, Flavor::FIBRIL);
+        assert_eq!(c.madvise, MadvisePolicy::Free);
+        assert_eq!(c.stack_size, 64 * 1024);
+    }
+}

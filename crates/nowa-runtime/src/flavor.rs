@@ -1,0 +1,555 @@
+//! Runtime flavors: join protocol × work-stealing queue.
+//!
+//! The paper's evaluation compares runtime systems that differ in exactly
+//! two dimensions:
+//!
+//! * the **strand-coordination protocol** of the outer runtime layer —
+//!   Nowa's wait-free counter protocol (§IV) versus the lock-based scheme
+//!   of Fibril/Cilk Plus (Listing 2, Fig. 6);
+//! * the **work-stealing queue** at the core — the lock-free Chase–Lev
+//!   queue versus the partially-locked THE queue (§V-C, Fig. 9).
+//!
+//! [`Flavor`] picks one point in that matrix. The scheduler dispatches on it
+//! with plain `match`es, so every flavor pays the same (negligible, uniform)
+//! dispatch cost — important for a fair comparison.
+
+use nowa_deque::{
+    AbpDeque, AbpStealer, AbpWorker, ClDeque, ClStealer, ClWorker, LockedDeque, LockedStealer,
+    LockedWorker, Ptr, Steal, StealerOps, TheDeque, TheStealer, TheWorker, WorkerOps,
+};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::record::{AfterChild, Frame, SpawnRecord, I_MAX};
+
+/// A continuation token as stored in the deques.
+pub type Rec = Ptr<SpawnRecord>;
+
+/// Which work-stealing queue runs at the core of the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeKind {
+    /// Chase–Lev (lock-free, ring-buffer) — the Nowa default.
+    Cl,
+    /// Cilk-5 THE (owner elides a lock; thieves serialize on it).
+    The,
+    /// Arora–Blumofe–Plaxton (CAS on a tagged age word).
+    Abp,
+    /// Fully mutex-protected deque.
+    Locked,
+}
+
+/// Which strand-coordination protocol the outer layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The wait-free Nowa protocol: counter armed at `I_max`, joiners
+    /// `fetch_sub`, the explicit sync restores `N_r` (§IV-B).
+    NowaWaitFree,
+    /// The Fibril-style protocol: a per-frame lock around the strand count,
+    /// fused with the (necessarily fully locked) deque as in Listing 2.
+    FibrilLocked,
+}
+
+/// A complete runtime flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flavor {
+    /// Coordination protocol of the outer layer.
+    pub protocol: ProtocolKind,
+    /// Queue algorithm at the core.
+    pub deque: DequeKind,
+}
+
+impl Flavor {
+    /// Nowa as published: wait-free protocol + CL queue (§IV-C synergy).
+    pub const NOWA: Flavor = Flavor {
+        protocol: ProtocolKind::NowaWaitFree,
+        deque: DequeKind::Cl,
+    };
+    /// The Fig. 9 ablation: wait-free protocol, but the THE queue.
+    pub const NOWA_THE: Flavor = Flavor {
+        protocol: ProtocolKind::NowaWaitFree,
+        deque: DequeKind::The,
+    };
+    /// Wait-free protocol over the ABP queue (additional ablation).
+    pub const NOWA_ABP: Flavor = Flavor {
+        protocol: ProtocolKind::NowaWaitFree,
+        deque: DequeKind::Abp,
+    };
+    /// Wait-free protocol over a fully locked queue (additional ablation).
+    pub const NOWA_LOCKED_DEQUE: Flavor = Flavor {
+        protocol: ProtocolKind::NowaWaitFree,
+        deque: DequeKind::Locked,
+    };
+    /// The lock-based baseline (Fibril stand-in). The protocol requires the
+    /// fused locked deque; the `deque` field is ignored.
+    pub const FIBRIL: Flavor = Flavor {
+        protocol: ProtocolKind::FibrilLocked,
+        deque: DequeKind::Locked,
+    };
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match (self.protocol, self.deque) {
+            (ProtocolKind::FibrilLocked, _) => "fibril-lock",
+            (ProtocolKind::NowaWaitFree, DequeKind::Cl) => "nowa-cl",
+            (ProtocolKind::NowaWaitFree, DequeKind::The) => "nowa-the",
+            (ProtocolKind::NowaWaitFree, DequeKind::Abp) => "nowa-abp",
+            (ProtocolKind::NowaWaitFree, DequeKind::Locked) => "nowa-lockq",
+        }
+    }
+
+    /// Parses the names produced by [`Flavor::name`].
+    pub fn parse(name: &str) -> Option<Flavor> {
+        match name {
+            "nowa" | "nowa-cl" => Some(Flavor::NOWA),
+            "nowa-the" => Some(Flavor::NOWA_THE),
+            "nowa-abp" => Some(Flavor::NOWA_ABP),
+            "nowa-lockq" => Some(Flavor::NOWA_LOCKED_DEQUE),
+            "fibril" | "fibril-lock" => Some(Flavor::FIBRIL),
+            _ => None,
+        }
+    }
+}
+
+/// The deque used by the Fibril-style protocol: a single mutex protects the
+/// queue, and the protocol briefly holds it together with the frame lock
+/// (Listing 2 line 10) to fuse the pop/steal with the count update.
+pub struct FusedDeque {
+    q: Mutex<VecDeque<Rec>>,
+}
+
+impl FusedDeque {
+    fn new(capacity: usize) -> Arc<FusedDeque> {
+        Arc::new(FusedDeque {
+            q: Mutex::new(VecDeque::with_capacity(capacity)),
+        })
+    }
+}
+
+/// Owner side of a flavor's deque.
+pub enum OwnerDeque {
+    /// Chase–Lev owner handle.
+    Cl(ClWorker<Rec>),
+    /// THE owner handle.
+    The(TheWorker<Rec>),
+    /// ABP owner handle.
+    Abp(AbpWorker<Rec>),
+    /// Locked-deque owner handle.
+    Locked(LockedWorker<Rec>),
+    /// Fibril fused deque (owner and thieves share it).
+    Fused(Arc<FusedDeque>),
+}
+
+/// Thief side of a flavor's deque.
+#[derive(Clone)]
+pub enum SharedStealer {
+    /// Chase–Lev stealer handle.
+    Cl(ClStealer<Rec>),
+    /// THE stealer handle.
+    The(TheStealer<Rec>),
+    /// ABP stealer handle.
+    Abp(AbpStealer<Rec>),
+    /// Locked-deque stealer handle.
+    Locked(LockedStealer<Rec>),
+    /// Fibril fused deque.
+    Fused(Arc<FusedDeque>),
+}
+
+/// Creates the deque pair for `flavor` with the given capacity.
+pub fn new_deque(flavor: Flavor, capacity: usize) -> (OwnerDeque, SharedStealer) {
+    match (flavor.protocol, flavor.deque) {
+        (ProtocolKind::FibrilLocked, _) => {
+            let fused = FusedDeque::new(capacity);
+            (OwnerDeque::Fused(fused.clone()), SharedStealer::Fused(fused))
+        }
+        (_, DequeKind::Cl) => {
+            let (w, s) = ClDeque::new(capacity);
+            (OwnerDeque::Cl(w), SharedStealer::Cl(s))
+        }
+        (_, DequeKind::The) => {
+            let (w, s) = TheDeque::new(capacity);
+            (OwnerDeque::The(w), SharedStealer::The(s))
+        }
+        (_, DequeKind::Abp) => {
+            let (w, s) = AbpDeque::new(capacity);
+            (OwnerDeque::Abp(w), SharedStealer::Abp(s))
+        }
+        (_, DequeKind::Locked) => {
+            let (w, s) = LockedDeque::new(capacity);
+            (OwnerDeque::Locked(w), SharedStealer::Locked(s))
+        }
+    }
+}
+
+/// Offers a continuation to thieves (Fig. 5 line 2). Returns `false` when a
+/// bounded queue refuses — the caller then simply runs the child without
+/// offering the continuation (less parallelism, same semantics).
+#[inline]
+pub fn push(dq: &OwnerDeque, rec: Rec) -> bool {
+    match dq {
+        OwnerDeque::Cl(w) => w.push(rec).is_ok(),
+        OwnerDeque::The(w) => w.push(rec).is_ok(),
+        OwnerDeque::Abp(w) => w.push(rec).is_ok(),
+        OwnerDeque::Locked(w) => w.push(rec).is_ok(),
+        OwnerDeque::Fused(f) => {
+            f.q.lock().push_back(rec);
+            true
+        }
+    }
+}
+
+/// After the child returned: reclaim our continuation or perform the child
+/// join (Fig. 5 lines 4–5 plus the implicit-sync bookkeeping).
+///
+/// For the wait-free protocol this is where the benign race lives: the pop
+/// and the counter decrement are *not* atomic together, which is safe
+/// because the counter still holds `N_r' = I_max − ω` until the explicit
+/// sync restores it (§IV-B). For the locked protocol the deque lock is held
+/// until the frame lock is acquired, exactly as in Listing 2.
+#[inline]
+pub fn pop_or_join(protocol: ProtocolKind, dq: &OwnerDeque, frame: &Frame) -> AfterChild {
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            let popped = match dq {
+                OwnerDeque::Cl(w) => w.pop(),
+                OwnerDeque::The(w) => w.pop(),
+                OwnerDeque::Abp(w) => w.pop(),
+                OwnerDeque::Locked(w) => w.pop(),
+                OwnerDeque::Fused(_) => unreachable!("fused deque implies locked protocol"),
+            };
+            match popped {
+                Some(rec) => {
+                    debug_assert_eq!(
+                        unsafe { (*rec.as_ptr()).frame },
+                        frame as *const Frame,
+                        "LIFO invariant: popped record belongs to our frame"
+                    );
+                    AfterChild::Continue
+                }
+                None => {
+                    // Wait-free child join: one atomic RMW, no lock.
+                    let post = frame.join.counter.fetch_sub(1, Ordering::AcqRel) - 1;
+                    if post == 0 {
+                        AfterChild::ResumeSync
+                    } else {
+                        AfterChild::OutOfWork
+                    }
+                }
+            }
+        }
+        ProtocolKind::FibrilLocked => {
+            let OwnerDeque::Fused(f) = dq else {
+                unreachable!("locked protocol requires the fused deque");
+            };
+            let mut q = f.q.lock();
+            if let Some(rec) = q.pop_back() {
+                debug_assert_eq!(unsafe { (*rec.as_ptr()).frame }, frame as *const Frame);
+                return AfterChild::Continue;
+            }
+            // Listing 2 discipline: acquire the frame lock before releasing
+            // the deque lock, fusing pop-failure and count update.
+            let mut j = frame.join.locked.lock();
+            drop(q);
+            j.count -= 1;
+            debug_assert!(j.count >= 0, "locked join count underflow");
+            if j.suspended && j.count == 0 {
+                j.suspended = false;
+                AfterChild::ResumeSync
+            } else {
+                AfterChild::OutOfWork
+            }
+        }
+    }
+}
+
+/// Fork bookkeeping performed by whoever takes a continuation as new work —
+/// a thief after a successful steal, or the owner popping its own deque in
+/// the work-finding loop. For Nowa this is the `α` increment `run()`
+/// performs before calling `resume()` (§III-B); it needs no synchronisation
+/// because the taker *becomes* the main path (Invariant II).
+#[inline]
+fn fork_bookkeeping(protocol: ProtocolKind, rec: Rec) {
+    let frame = unsafe { &*(*rec.as_ptr()).frame };
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            frame.join.alpha.fetch_add(1, Ordering::Relaxed);
+        }
+        ProtocolKind::FibrilLocked => {
+            // Count update happens under the frame lock, which the fused
+            // call sites acquire; see `steal_from` / `take_own`.
+            unreachable!("fibril fork bookkeeping is fused with the deque op")
+        }
+    }
+}
+
+/// Takes the bottom-most record of the worker's *own* deque as new work
+/// (the work-finding loop prefers local work before stealing). Includes
+/// fork bookkeeping.
+#[inline]
+pub fn take_own(protocol: ProtocolKind, dq: &OwnerDeque) -> Option<Rec> {
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            let rec = match dq {
+                OwnerDeque::Cl(w) => w.pop(),
+                OwnerDeque::The(w) => w.pop(),
+                OwnerDeque::Abp(w) => w.pop(),
+                OwnerDeque::Locked(w) => w.pop(),
+                OwnerDeque::Fused(_) => unreachable!(),
+            }?;
+            fork_bookkeeping(protocol, rec);
+            Some(rec)
+        }
+        ProtocolKind::FibrilLocked => {
+            let OwnerDeque::Fused(f) = dq else {
+                unreachable!();
+            };
+            let mut q = f.q.lock();
+            let rec = q.pop_back()?;
+            let frame = unsafe { &*(*rec.as_ptr()).frame };
+            let mut j = frame.join.locked.lock();
+            drop(q);
+            j.count += 1;
+            drop(j);
+            Some(rec)
+        }
+    }
+}
+
+/// Steals from a victim's top end, with fork bookkeeping (Fig. 5's
+/// `popTop()` + the `N` increment in `run()`; Listing 2 for the locked
+/// protocol).
+#[inline]
+pub fn steal_from(protocol: ProtocolKind, st: &SharedStealer) -> Steal<Rec> {
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            let outcome = match st {
+                SharedStealer::Cl(s) => s.steal(),
+                SharedStealer::The(s) => s.steal(),
+                SharedStealer::Abp(s) => s.steal(),
+                SharedStealer::Locked(s) => s.steal(),
+                SharedStealer::Fused(_) => unreachable!(),
+            };
+            if let Steal::Success(rec) = outcome {
+                fork_bookkeeping(protocol, rec);
+            }
+            outcome
+        }
+        ProtocolKind::FibrilLocked => {
+            let SharedStealer::Fused(f) = st else {
+                unreachable!();
+            };
+            let mut q = f.q.lock();
+            let Some(rec) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let frame = unsafe { &*(*rec.as_ptr()).frame };
+            // Listing 2 lines 10–15: frame lock acquired while still
+            // holding the victim's deque lock.
+            let mut j = frame.join.locked.lock();
+            drop(q);
+            j.count += 1;
+            drop(j);
+            Steal::Success(rec)
+        }
+    }
+}
+
+/// At the explicit sync point: true if the sync condition already holds and
+/// the main path can proceed without suspending.
+#[inline]
+pub fn sync_precheck(protocol: ProtocolKind, frame: &Frame) -> bool {
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            let alpha = frame.join.alpha.load(Ordering::Relaxed) as i64;
+            // All α forked strands joined ⇔ counter == I_max − α. The
+            // Acquire pairs with the joiners' AcqRel decrements so child
+            // results are visible.
+            frame.join.counter.load(Ordering::Acquire) == I_MAX - alpha
+        }
+        ProtocolKind::FibrilLocked => frame.join.locked.lock().count == 0,
+    }
+}
+
+/// On the fresh stack, after the sync continuation has been captured:
+/// publish the suspension and restore the counter. Returns `true` if the
+/// sync condition holds *now* (all children joined in the meantime) — the
+/// caller then resumes the sync continuation immediately instead of
+/// stealing.
+///
+/// For Nowa this is Eq. 5: `N_r = N_r' − (I_max − α)`, one `fetch_sub`.
+#[inline]
+pub fn sync_restore(protocol: ProtocolKind, frame: &Frame) -> bool {
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            let alpha = frame.join.alpha.load(Ordering::Relaxed) as i64;
+            let delta = I_MAX - alpha;
+            let post = frame.join.counter.fetch_sub(delta, Ordering::AcqRel) - delta;
+            debug_assert!(post >= 0, "sync counter restored below zero");
+            post == 0
+        }
+        ProtocolKind::FibrilLocked => {
+            let mut j = frame.join.locked.lock();
+            if j.count == 0 {
+                true
+            } else {
+                j.suspended = true;
+                false
+            }
+        }
+    }
+}
+
+/// Re-arms a frame after a completed sync so the same frame can host the
+/// next spawn region (Listing 3 allows several spawn…sync regions per
+/// spawning function).
+#[inline]
+pub fn rearm(protocol: ProtocolKind, frame: &Frame) {
+    match protocol {
+        ProtocolKind::NowaWaitFree => {
+            frame.join.counter.store(I_MAX, Ordering::Relaxed);
+            frame.join.alpha.store(0, Ordering::Relaxed);
+        }
+        ProtocolKind::FibrilLocked => {
+            let mut j = frame.join.locked.lock();
+            debug_assert_eq!(j.count, 0);
+            j.count = 0;
+            j.suspended = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flavor_names_round_trip() {
+        for f in [
+            Flavor::NOWA,
+            Flavor::NOWA_THE,
+            Flavor::NOWA_ABP,
+            Flavor::NOWA_LOCKED_DEQUE,
+            Flavor::FIBRIL,
+        ] {
+            assert_eq!(Flavor::parse(f.name()), Some(f));
+        }
+        assert_eq!(Flavor::parse("nope"), None);
+    }
+
+    /// Single-threaded protocol walk-through: spawn twice, steal one,
+    /// join it, sync. Exercises the counter algebra of §IV-B.
+    #[test]
+    fn nowa_counter_algebra() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let rec1 = SpawnRecord::new(&frame);
+        let rec2 = SpawnRecord::new(&frame);
+
+        // spawn #1: push, child runs, not stolen: pop succeeds.
+        assert!(push(&dq, Ptr::from_ref(&rec1)));
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::Continue);
+
+        // spawn #2: push, continuation stolen while child runs.
+        assert!(push(&dq, Ptr::from_ref(&rec2)));
+        let stolen = steal_from(p, &st).success().unwrap();
+        assert_eq!(stolen.as_ptr() as *const SpawnRecord, &rec2 as *const SpawnRecord);
+        assert_eq!(frame.join.alpha.load(Ordering::Relaxed), 1);
+
+        // child of spawn #2 returns, finds the deque empty, joins; the
+        // parent has not reached the sync, so the counter stays huge and
+        // the child is simply out of work (benign race!).
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::OutOfWork);
+        assert_eq!(frame.join.counter.load(Ordering::Relaxed), I_MAX - 1);
+
+        // main path reaches the explicit sync: everything already joined.
+        assert!(sync_precheck(p, &frame));
+        rearm(p, &frame);
+        assert_eq!(frame.join.counter.load(Ordering::Relaxed), I_MAX);
+        assert_eq!(frame.join.alpha.load(Ordering::Relaxed), 0);
+    }
+
+    /// The suspension ordering: sync before the join → restore leaves the
+    /// counter positive; the late joiner then reports `ResumeSync`.
+    #[test]
+    fn nowa_late_joiner_resumes() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let rec = SpawnRecord::new(&frame);
+
+        assert!(push(&dq, Ptr::from_ref(&rec)));
+        let _stolen = steal_from(p, &st).success().unwrap();
+
+        // Main path reaches sync while the child still runs.
+        assert!(!sync_precheck(p, &frame));
+        assert!(!sync_restore(p, &frame), "one child outstanding");
+        assert_eq!(frame.join.counter.load(Ordering::Relaxed), 1);
+
+        // Child joins: it is the last one and must resume the sync ctx.
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::ResumeSync);
+    }
+
+    #[test]
+    fn fibril_locked_walkthrough() {
+        let p = ProtocolKind::FibrilLocked;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::FIBRIL, 8);
+        let rec = SpawnRecord::new(&frame);
+
+        assert!(push(&dq, Ptr::from_ref(&rec)));
+        let _stolen = steal_from(p, &st).success().unwrap();
+        assert_eq!(frame.join.locked.lock().count, 1);
+
+        assert!(!sync_precheck(p, &frame));
+        assert!(!sync_restore(p, &frame));
+        assert!(frame.join.locked.lock().suspended);
+
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::ResumeSync);
+        assert!(!frame.join.locked.lock().suspended);
+        assert_eq!(frame.join.locked.lock().count, 0);
+        rearm(p, &frame);
+    }
+
+    #[test]
+    fn take_own_does_fork_bookkeeping() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, _st) = new_deque(Flavor::NOWA, 8);
+        let rec = SpawnRecord::new(&frame);
+        assert!(push(&dq, Ptr::from_ref(&rec)));
+        let taken = take_own(p, &dq).unwrap();
+        assert_eq!(taken.as_ptr() as *const SpawnRecord, &rec as *const SpawnRecord);
+        assert_eq!(frame.join.alpha.load(Ordering::Relaxed), 1);
+        assert!(take_own(p, &dq).is_none());
+    }
+
+    #[test]
+    fn fibril_take_own_counts() {
+        let p = ProtocolKind::FibrilLocked;
+        let frame = Frame::new();
+        let (dq, _st) = new_deque(Flavor::FIBRIL, 8);
+        let rec = SpawnRecord::new(&frame);
+        assert!(push(&dq, Ptr::from_ref(&rec)));
+        let _ = take_own(p, &dq).unwrap();
+        assert_eq!(frame.join.locked.lock().count, 1);
+    }
+
+    /// Two spawn…sync regions on one frame after `rearm`.
+    #[test]
+    fn frame_reuse_across_regions() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::NOWA, 8);
+
+        for _region in 0..3 {
+            let rec = SpawnRecord::new(&frame);
+            assert!(push(&dq, Ptr::from_ref(&rec)));
+            let _ = steal_from(p, &st).success().unwrap();
+            assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::OutOfWork);
+            assert!(sync_precheck(p, &frame));
+            rearm(p, &frame);
+        }
+    }
+}

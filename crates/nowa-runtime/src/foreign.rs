@@ -1,0 +1,115 @@
+//! Foreign-executor hook: lets other runtime systems execute the same
+//! fork/join kernel code.
+//!
+//! The paper's evaluation runs one benchmark suite over many runtime
+//! systems (Nowa, Fibril, Cilk Plus, TBB, libgomp, libomp). Our kernels are
+//! written against [`crate::api`]; baseline runtimes (the `nowa-baselines`
+//! crate) install a [`ForeignForkJoin`] implementation in their workers'
+//! thread-local state, and the combinators dispatch to it when the calling
+//! thread is not a Nowa worker. Priority: Nowa worker → foreign executor →
+//! serial elision.
+
+use core::cell::Cell;
+
+/// A fork/join executor other than the Nowa runtime (child-stealing pools,
+/// central-queue task systems, …).
+///
+/// # Contract
+/// `join2_dyn(a, b)` must invoke each closure exactly once and return only
+/// after **both** have completed (fully-strict). The closures may run on
+/// any thread (they are `Send`).
+pub trait ForeignForkJoin: Sync {
+    /// Runs `a` and `b`, potentially in parallel; returns when both are
+    /// done.
+    fn join2_dyn(&self, a: &mut (dyn FnMut() + Send), b: &mut (dyn FnMut() + Send));
+}
+
+std::thread_local! {
+    static FOREIGN: Cell<Option<*const (dyn ForeignForkJoin + 'static)>> =
+        const { Cell::new(None) };
+}
+
+/// Installs `executor` as the calling thread's foreign executor.
+///
+/// # Safety
+/// `executor` must outlive every API call made from this thread until
+/// [`clear_foreign_executor`] is called (baseline pools install it for the
+/// lifetime of their worker threads).
+pub unsafe fn set_foreign_executor(executor: *const (dyn ForeignForkJoin + 'static)) {
+    FOREIGN.with(|c| c.set(Some(executor)));
+}
+
+/// Removes the calling thread's foreign executor.
+pub fn clear_foreign_executor() {
+    FOREIGN.with(|c| c.set(None));
+}
+
+/// The calling thread's foreign executor, if any.
+///
+/// Deliberately `#[inline(never)]` — same TLS-caching rationale as
+/// [`crate::worker::current_worker`].
+#[inline(never)]
+pub fn foreign_executor() -> Option<*const (dyn ForeignForkJoin + 'static)> {
+    FOREIGN.with(|c| c.get())
+}
+
+/// Runs `a` and `b` through the foreign executor, collecting results.
+pub(crate) fn foreign_join2<A, B, RA, RB>(
+    fx: *const (dyn ForeignForkJoin + 'static),
+    a: A,
+    b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut fa = Some(a);
+    let mut fb = Some(b);
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let mut ca = || ra = Some((fa.take().expect("called once"))());
+        let mut cb = || rb = Some((fb.take().expect("called once"))());
+        // SAFETY: the installer promised the executor outlives this call.
+        unsafe { (*fx).join2_dyn(&mut ca, &mut cb) };
+    }
+    (
+        ra.expect("foreign executor ran a"),
+        rb.expect("foreign executor ran b"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial foreign executor that runs everything inline.
+    struct Inline;
+
+    impl ForeignForkJoin for Inline {
+        fn join2_dyn(&self, a: &mut (dyn FnMut() + Send), b: &mut (dyn FnMut() + Send)) {
+            a();
+            b();
+        }
+    }
+
+    #[test]
+    fn dispatches_through_foreign_executor() {
+        static INLINE: Inline = Inline;
+        unsafe { set_foreign_executor(&INLINE) };
+        assert!(foreign_executor().is_some());
+        let (x, y) = crate::api::join2(|| 2 + 2, || "ok");
+        assert_eq!((x, y), (4, "ok"));
+        clear_foreign_executor();
+        assert!(foreign_executor().is_none());
+    }
+
+    #[test]
+    fn foreign_join2_collects_results() {
+        static INLINE: Inline = Inline;
+        let (a, b) = foreign_join2(&INLINE as *const Inline as *const _, || 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

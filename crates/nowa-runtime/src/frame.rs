@@ -1,0 +1,98 @@
+//! Spawning-frame state: the paper's per-frame "stack object" (§IV-B).
+//!
+//! Every *spawning function* instance owns one [`Frame`](crate::record::Frame). It carries the
+//! protocol-specific join state (`P::JoinState` — the wait-free counter pair
+//! for Nowa, a mutex-guarded count for the Fibril-style baseline) plus the
+//! protocol-independent suspension state shared by all flavors:
+//!
+//! * the captured *sync continuation*, resumed by the last joining child,
+//! * the handle of the stack the suspended frame lives on (the cactus-stack
+//!   node, cf. Listing 2's `f->stack = victim->stack`),
+//! * a slot for a panic payload propagated out of a child strand.
+
+use core::cell::UnsafeCell;
+use std::any::Any;
+
+use nowa_context::{RawContext, Stack};
+use parking_lot::Mutex;
+
+/// Panic payload captured from a child strand.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Protocol-independent frame state.
+///
+/// # Synchronization
+///
+/// The `UnsafeCell` fields are written by the main-path control flow while
+/// no joiner can observe the sync condition (phase 1 of the protocol, or
+/// under the frame lock in the locked protocol) and read by the single
+/// control flow that wins the sync — ordering is established by the join
+/// counter's `AcqRel` RMWs (or the frame mutex).
+pub struct FrameCore {
+    /// Continuation saved at a suspending explicit sync.
+    pub sync_ctx: UnsafeCell<RawContext>,
+    /// The stack holding the suspended frame; the resuming control flow
+    /// takes it over as its current stack.
+    pub suspended_stack: UnsafeCell<Option<Stack>>,
+    /// First panic observed in any child strand of this frame. Multiple
+    /// children may panic concurrently, hence the mutex (cold path).
+    pub panic: Mutex<Option<PanicPayload>>,
+}
+
+impl FrameCore {
+    /// A fresh, non-suspended frame core.
+    pub fn new() -> FrameCore {
+        FrameCore {
+            sync_ctx: UnsafeCell::new(RawContext::null()),
+            suspended_stack: UnsafeCell::new(None),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Records a child panic (first one wins).
+    pub fn set_panic(&self, payload: PanicPayload) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Takes a recorded panic, if any. Called by the main-path control flow
+    /// after a completed sync.
+    pub fn take_panic(&self) -> Option<PanicPayload> {
+        self.panic.lock().take()
+    }
+}
+
+impl Default for FrameCore {
+    fn default() -> Self {
+        FrameCore::new()
+    }
+}
+
+// The frame is shared between workers by design; the runtime upholds the
+// access discipline documented above.
+unsafe impl Send for FrameCore {}
+unsafe impl Sync for FrameCore {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_slot_first_wins() {
+        let core = FrameCore::new();
+        core.set_panic(Box::new("first"));
+        core.set_panic(Box::new("second"));
+        let payload = core.take_panic().unwrap();
+        assert_eq!(*payload.downcast::<&str>().unwrap(), "first");
+        assert!(core.take_panic().is_none());
+    }
+
+    #[test]
+    fn fresh_core_is_empty() {
+        let core = FrameCore::new();
+        assert!(unsafe { &*core.sync_ctx.get() }.is_null());
+        assert!(unsafe { &*core.suspended_stack.get() }.is_none());
+    }
+}

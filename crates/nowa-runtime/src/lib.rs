@@ -1,0 +1,68 @@
+//! # nowa-runtime — a wait-free continuation-stealing concurrency platform
+//!
+//! Reproduction of *“Nowa: A Wait-Free Continuation-Stealing Concurrency
+//! Platform”* (Schmaus et al., IPDPS 2021): a fully-strict fork/join
+//! runtime with randomised work-stealing, genuine continuation stealing on
+//! fiber stacks, a practical cactus-stack implementation, and — the paper's
+//! contribution — **wait-free strand coordination**: the hazardous race
+//! between a worker's `popBottom()` and the sync-condition counter (Fig. 6)
+//! is turned benign by arming the counter with `I_max` and restoring
+//! `N_r = N_r' − (I_max − α)` at the explicit sync point (§IV-B), so no
+//! locks are needed in the runtime's outer layer. Combined with the
+//! lock-free Chase–Lev deque this yields the paper's synergy (§IV-C).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nowa_runtime::{api, Config, Runtime};
+//!
+//! fn fib(n: u64) -> u64 {
+//!     if n < 2 {
+//!         return n;
+//!     }
+//!     let (a, b) = api::join2(|| fib(n - 1), || fib(n - 2));
+//!     a + b
+//! }
+//!
+//! let rt = Runtime::new(Config::with_workers(2)).unwrap();
+//! assert_eq!(rt.run(|| fib(16)), 987);
+//! // Serial elision: outside the runtime the same code runs serially.
+//! assert_eq!(fib(10), 55);
+//! ```
+//!
+//! ## Flavors
+//!
+//! The evaluation compares runtime systems; [`Flavor`] reproduces the axis:
+//! wait-free Nowa protocol vs. Fibril-style locking, over CL / THE / ABP /
+//! locked deques. See [`flavor`].
+//!
+//! ## Caveats (inherent to continuation stealing)
+//!
+//! Code between a spawn and its sync may migrate between OS threads. The
+//! safe combinators ([`api`]) bound everything that crosses by `Send`;
+//! the raw [`api::Region`] API documents the obligations it cannot check.
+//! Thread-locals must not be relied upon across spawn/sync points.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod config;
+pub mod flavor;
+pub mod foreign;
+pub mod frame;
+pub mod record;
+pub mod runtime;
+pub mod scheduler;
+pub mod slice;
+pub mod snzi;
+pub mod stats;
+pub mod worker;
+
+pub use api::{for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, Region};
+pub use config::Config;
+pub use foreign::ForeignForkJoin;
+pub use flavor::{DequeKind, Flavor, ProtocolKind};
+pub use nowa_context::MadvisePolicy;
+pub use runtime::{Runtime, RuntimeError};
+pub use snzi::Snzi;
+pub use stats::StatsSnapshot;

@@ -1,0 +1,153 @@
+//! Spawn records and join state — the objects that flow through the deques.
+
+use core::sync::atomic::{AtomicI64, AtomicU32};
+
+use nowa_context::{RawContext, Stack};
+use parking_lot::Mutex;
+
+use crate::frame::FrameCore;
+
+/// The arbitrarily large initial value of the sync-condition counter
+/// (the paper's `I_max`, §IV-B). Phase 1 keeps the counter at
+/// `N_r' = I_max − ω`; the explicit sync restores `N_r = N_r' − (I_max − α)`.
+pub const I_MAX: i64 = i64::MAX;
+
+/// Join state for the Fibril-style lock-based protocol (Listing 2).
+#[derive(Debug, Default)]
+pub struct LockedJoin {
+    /// Number of active parallel strands (`N_r = α − ω`).
+    pub count: i64,
+    /// True once the main path suspended at the explicit sync point.
+    pub suspended: bool,
+}
+
+/// Per-frame join state, holding the fields for both protocols.
+///
+/// A frame lives for the duration of one spawning-function instance; keeping
+/// both protocols' fields (24 bytes of atomics + a word-sized mutex) costs
+/// nothing measurable and lets every runtime flavor share one frame layout,
+/// so records, deques and the scheduler need no per-protocol
+/// monomorphisation.
+pub struct JoinState {
+    /// Nowa's sync-condition counter. `N_r'` in phase 1; `N_r` after the
+    /// restore at the explicit sync point.
+    pub counter: AtomicI64,
+    /// Nowa's forked-task count `α`. Only the main-path control flow
+    /// increments it (Invariant II), so `Relaxed` suffices; atomicity is
+    /// only needed because the main path migrates between OS threads.
+    pub alpha: AtomicU32,
+    /// The lock-based protocol's guarded count.
+    pub locked: Mutex<LockedJoin>,
+}
+
+impl JoinState {
+    /// Fresh join state: counter armed at `I_max`, nothing forked.
+    pub fn new() -> JoinState {
+        JoinState {
+            counter: AtomicI64::new(I_MAX),
+            alpha: AtomicU32::new(0),
+            locked: Mutex::new(LockedJoin::default()),
+        }
+    }
+}
+
+impl Default for JoinState {
+    fn default() -> Self {
+        JoinState::new()
+    }
+}
+
+/// The per-spawning-function frame: protocol state + suspension state.
+///
+/// Created by the spawning function (e.g. inside [`join2`](crate::api::join2))
+/// in its own stack frame and **never moved** while spawns of the region are
+/// outstanding — records hold raw pointers to it.
+pub struct Frame {
+    /// Protocol-independent suspension/panic state.
+    pub core: FrameCore,
+    /// Join-counter state.
+    pub join: JoinState,
+}
+
+impl Frame {
+    /// A fresh frame, ready for its first spawn region.
+    pub fn new() -> Frame {
+        Frame {
+            core: FrameCore::new(),
+            join: JoinState::new(),
+        }
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::new()
+    }
+}
+
+/// A continuation offered to thieves (the item type of all deques).
+///
+/// Lives in the spawn wrapper's stack frame on the *parent's* stack; the
+/// record is owned by exactly one party at a time:
+///
+/// 1. the spawning control flow, from construction until `push`;
+/// 2. the deque, until `pop` (fast path) or a successful `steal`;
+/// 3. the consumer, which resumes `ctx` and thereby hands the record back
+///    to the spawn wrapper's post-capture code.
+pub struct SpawnRecord {
+    /// The captured parent continuation (filled by `capture_and_run_on`).
+    pub ctx: RawContext,
+    /// The frame whose spawn produced this continuation.
+    pub frame: *const Frame,
+    /// The stack the parent frame lives on. Travels with the continuation:
+    /// whoever resumes `ctx` executes on this stack (cf. Listing 2's
+    /// `f->stack = victim->stack`).
+    pub stack: Option<Stack>,
+}
+
+impl SpawnRecord {
+    /// A record for `frame`, not yet captured.
+    pub fn new(frame: *const Frame) -> SpawnRecord {
+        SpawnRecord {
+            ctx: RawContext::null(),
+            frame,
+            stack: None,
+        }
+    }
+}
+
+/// Outcome of the post-child `pop_or_join` step (Fig. 5 lines 4–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AfterChild {
+    /// `popBottom()` returned our continuation: proceed (fast path).
+    Continue,
+    /// Continuation stolen; we joined as the **last** child of a frame
+    /// suspended at its explicit sync: resume the sync continuation.
+    ResumeSync,
+    /// Continuation stolen; siblings outstanding: the worker is out of work.
+    OutOfWork,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::Ordering;
+
+    #[test]
+    fn join_state_starts_at_imax() {
+        let j = JoinState::new();
+        assert_eq!(j.counter.load(Ordering::Relaxed), I_MAX);
+        assert_eq!(j.alpha.load(Ordering::Relaxed), 0);
+        assert_eq!(j.locked.lock().count, 0);
+        assert!(!j.locked.lock().suspended);
+    }
+
+    #[test]
+    fn record_starts_uncaptured() {
+        let frame = Frame::new();
+        let rec = SpawnRecord::new(&frame);
+        assert!(rec.ctx.is_null());
+        assert!(rec.stack.is_none());
+        assert_eq!(rec.frame, &frame as *const Frame);
+    }
+}

@@ -1,0 +1,199 @@
+//! The runtime instance: worker threads, submission, shutdown.
+
+use core::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nowa_context::{RawContext, StackPool, WorkerStackCache};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::Config;
+use crate::flavor::{self, Flavor};
+use crate::stats::StatsSnapshot;
+use crate::worker::{current_worker, worker_main, RootTask, Shared, Worker};
+
+/// A running Nowa runtime instance.
+///
+/// Spawns `config.workers` worker threads on creation; [`Runtime::run`]
+/// submits a root task and blocks until it completes. Dropping the runtime
+/// shuts the workers down.
+///
+/// ```
+/// use nowa_runtime::{Config, Runtime};
+///
+/// let rt = Runtime::new(Config::with_workers(2)).unwrap();
+/// let sum = rt.run(|| {
+///     let (a, b) = nowa_runtime::api::join2(|| 1 + 2, || 3 + 4);
+///     a + b
+/// });
+/// assert_eq!(sum, 10);
+/// ```
+pub struct Runtime {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Error constructing a runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// `workers` was zero.
+    NoWorkers,
+}
+
+impl core::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::NoWorkers => write!(f, "runtime needs at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct Completion<R> {
+    result: Mutex<Option<std::thread::Result<R>>>,
+    cv: Condvar,
+}
+
+impl Runtime {
+    /// Builds a runtime and starts its workers.
+    pub fn new(config: Config) -> Result<Runtime, RuntimeError> {
+        if config.workers == 0 {
+            return Err(RuntimeError::NoWorkers);
+        }
+        let pool = StackPool::new(config.stack_size, config.madvise, config.pool_stripes);
+        pool.prefill(config.pool_prefill);
+
+        let mut owners = Vec::with_capacity(config.workers);
+        let mut stealers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (w, s) = flavor::new_deque(config.flavor, config.deque_capacity);
+            owners.push(w);
+            stealers.push(s);
+        }
+        let stats = (0..config.workers).map(|_| Default::default()).collect();
+
+        let shared = Arc::new(Shared {
+            flavor: config.flavor,
+            stealers: stealers.into_boxed_slice(),
+            stats,
+            injector: Mutex::new(VecDeque::new()),
+            idle_cv: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            pool: pool.clone(),
+            config: config.clone(),
+        });
+
+        let threads = owners
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let worker = Box::new(Worker {
+                    index,
+                    deque,
+                    shared: shared.clone(),
+                    cache: WorkerStackCache::new(pool.clone(), config.stack_cache),
+                    current_stack: None,
+                    incoming_stack: None,
+                    pending_recycle: None,
+                    exit_ctx: RawContext::null(),
+                    rng: 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1,
+                });
+                std::thread::Builder::new()
+                    .name(format!("nowa-worker-{index}"))
+                    // Workers barely use their OS stack (all task execution
+                    // happens on fiber stacks), but unwinding diagnostics do.
+                    .stack_size(256 * 1024)
+                    .spawn(move || worker_main(worker))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+
+        Ok(Runtime { shared, threads })
+    }
+
+    /// Convenience: default configuration with `workers` threads.
+    pub fn with_workers(workers: usize) -> Result<Runtime, RuntimeError> {
+        Runtime::new(Config::with_workers(workers))
+    }
+
+    /// The flavor this runtime was built with.
+    pub fn flavor(&self) -> Flavor {
+        self.shared.flavor
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Aggregated scheduler statistics since startup.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats_snapshot()
+    }
+
+    /// Stack-pool statistics `(global gets, global puts, mmaps)`.
+    pub fn pool_stats(&self) -> (u64, u64, u64) {
+        self.shared.pool.stats().snapshot()
+    }
+
+    /// Runs `f` as a root task on the runtime and blocks until it finishes,
+    /// returning its result. Panics in `f` (or any strand it spawns) are
+    /// propagated to the caller.
+    ///
+    /// Must not be called from inside a task running on a runtime (no
+    /// nested blocking — it would deadlock a worker); task code composes
+    /// with [`crate::api::join2`] and friends instead.
+    pub fn run<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        assert!(
+            current_worker().is_null(),
+            "Runtime::run must not be called from inside a task; use api::join2 / api::scope"
+        );
+        let completion = Arc::new(Completion {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+
+        {
+            let completion = completion.clone();
+            let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                *completion.result.lock() = Some(result);
+                completion.cv.notify_all();
+            });
+            // SAFETY: lifetime erasure of `f`'s borrows (and `R`). Sound
+            // because this function blocks until the task has completed and
+            // the completion slot has been consumed — the same argument as
+            // `std::thread::scope`.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { core::mem::transmute(task) };
+            self.shared.injector.lock().push_back(RootTask { run: task });
+            self.shared.idle_cv.notify_all();
+        }
+
+        let mut guard = completion.result.lock();
+        while guard.is_none() {
+            completion.cv.wait(&mut guard);
+        }
+        match guard.take().expect("completion filled") {
+            Ok(result) => result,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.idle_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Parallel slice operations — a small data-parallel layer over the
+//! fork/join combinators, in the spirit of Rayon's parallel iterators but
+//! built directly on continuation-stealing `join2` trees.
+//!
+//! All functions degrade to serial loops outside a runtime (serial
+//! elision) and are deterministic: reductions fold in a fixed balanced
+//! tree over the index space, so floating-point results are reproducible
+//! across worker counts.
+
+use crate::api::join2;
+
+/// Default grain when the caller passes 0: targets a few thousand leaf
+/// tasks, enough parallel slack for hundreds of workers.
+fn grain_for(len: usize, grain: usize) -> usize {
+    if grain > 0 {
+        return grain;
+    }
+    (len / 4096).max(1)
+}
+
+/// Applies `f` to every element in parallel.
+pub fn for_each_mut<T, F>(data: &mut [T], grain: usize, f: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let grain = grain_for(data.len(), grain);
+    if data.len() <= grain {
+        for item in data {
+            f(item);
+        }
+        return;
+    }
+    let mid = data.len() / 2;
+    let (lo, hi) = data.split_at_mut(mid);
+    join2(|| for_each_mut(lo, grain, f), || for_each_mut(hi, grain, f));
+}
+
+/// Folds `map(element)` with the associative `reduce`; `None` when empty.
+pub fn map_fold<T, U, M, R>(data: &[T], grain: usize, map: &M, reduce: &R) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&T) -> U + Sync,
+    R: Fn(U, U) -> U + Sync,
+{
+    let grain = grain_for(data.len(), grain);
+    match data.len() {
+        0 => None,
+        n if n <= grain => {
+            let mut iter = data.iter();
+            let first = map(iter.next().expect("non-empty"));
+            Some(iter.fold(first, |acc, x| reduce(acc, map(x))))
+        }
+        n => {
+            let (lo, hi) = data.split_at(n / 2);
+            let (a, b) = join2(
+                || map_fold(lo, grain, map, reduce),
+                || map_fold(hi, grain, map, reduce),
+            );
+            match (a, b) {
+                (Some(a), Some(b)) => Some(reduce(a, b)),
+                (a, b) => a.or(b),
+            }
+        }
+    }
+}
+
+/// Parallel sum of `map(element)`.
+pub fn sum_by<T, M>(data: &[T], grain: usize, map: &M) -> f64
+where
+    T: Sync,
+    M: Fn(&T) -> f64 + Sync,
+{
+    map_fold(data, grain, map, &|a, b| a + b).unwrap_or(0.0)
+}
+
+/// Parallel maximum by a key function; `None` when empty.
+pub fn max_by_key<'a, T, K, F>(data: &'a [T], grain: usize, key: &F) -> Option<&'a T>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    // Fold over indices (usize is Send) and index back at the end, which
+    // sidesteps returning borrows out of the closures.
+    let best = crate::api::map_reduce(0..data.len(), grain_for(data.len(), grain), &|i| i, &|a, b| {
+        if key(&data[a]) >= key(&data[b]) {
+            a
+        } else {
+            b
+        }
+    })?;
+    Some(&data[best])
+}
+
+/// Counts elements satisfying `pred`, in parallel.
+pub fn count_if<T, F>(data: &[T], grain: usize, pred: &F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    map_fold(data, grain, &|item| pred(item) as usize, &|a, b| a + b).unwrap_or(0)
+}
+
+/// True if any element satisfies `pred`.
+///
+/// Note: fully-strict fork/join has no cancellation, so this does not
+/// short-circuit across task boundaries (it does within each leaf).
+pub fn any<T, F>(data: &[T], grain: usize, pred: &F) -> bool
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let grain = grain_for(data.len(), grain);
+    if data.len() <= grain {
+        return data.iter().any(pred);
+    }
+    let (lo, hi) = data.split_at(data.len() / 2);
+    let (a, b) = join2(|| any(lo, grain, pred), || any(hi, grain, pred));
+    a || b
+}
+
+/// Parallel prefix sums (inclusive scan) with the two-pass work-efficient
+/// scheme: reduce per block, scan block sums serially, then offset each
+/// block in parallel.
+pub fn prefix_sum(data: &mut [u64], grain: usize) {
+    let grain = grain_for(data.len(), grain).max(2);
+    let n = data.len();
+    if n <= grain {
+        for i in 1..n {
+            data[i] += data[i - 1];
+        }
+        return;
+    }
+    let blocks = n.div_ceil(grain);
+    // Pass 1: scan each block independently, collecting block totals.
+    let mut totals = vec![0u64; blocks];
+    {
+        let totals_chunks: Vec<(&mut [u64], &mut u64)> = {
+            // Pair each data block with its total slot.
+            let mut pairs = Vec::with_capacity(blocks);
+            let mut rest: &mut [u64] = data;
+            let mut tslots: &mut [u64] = &mut totals;
+            while !rest.is_empty() {
+                let take = rest.len().min(grain);
+                let (block, r) = rest.split_at_mut(take);
+                let (t, ts) = tslots.split_at_mut(1);
+                pairs.push((block, &mut t[0]));
+                rest = r;
+                tslots = ts;
+            }
+            pairs
+        };
+        fn scan_blocks(pairs: &mut [(&mut [u64], &mut u64)]) {
+            match pairs.len() {
+                0 => {}
+                1 => {
+                    let (block, total) = &mut pairs[0];
+                    for i in 1..block.len() {
+                        block[i] += block[i - 1];
+                    }
+                    **total = *block.last().expect("non-empty block");
+                }
+                n => {
+                    let (lo, hi) = pairs.split_at_mut(n / 2);
+                    join2(|| scan_blocks(lo), || scan_blocks(hi));
+                }
+            }
+        }
+        let mut pairs = totals_chunks;
+        scan_blocks(&mut pairs);
+    }
+    // Pass 2: exclusive scan of block totals (serial, blocks ≪ n).
+    let mut acc = 0u64;
+    for t in &mut totals {
+        let next = acc + *t;
+        *t = acc;
+        acc = next;
+    }
+    // Pass 3: add each block's offset in parallel.
+    fn offset_blocks(pairs: &mut [(&mut [u64], u64)]) {
+        match pairs.len() {
+            0 => {}
+            1 => {
+                let (block, offset) = &mut pairs[0];
+                for v in block.iter_mut() {
+                    *v += *offset;
+                }
+            }
+            n => {
+                let (lo, hi) = pairs.split_at_mut(n / 2);
+                join2(|| offset_blocks(lo), || offset_blocks(hi));
+            }
+        }
+    }
+    let mut pairs: Vec<(&mut [u64], u64)> = {
+        let mut pairs = Vec::with_capacity(blocks);
+        let mut rest: &mut [u64] = data;
+        let mut bi = 0;
+        while !rest.is_empty() {
+            let take = rest.len().min(grain);
+            let (block, r) = rest.split_at_mut(take);
+            pairs.push((block, totals[bi]));
+            rest = r;
+            bi += 1;
+        }
+        pairs
+    };
+    offset_blocks(&mut pairs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_mut_serial_elision() {
+        let mut data: Vec<u32> = (0..100).collect();
+        for_each_mut(&mut data, 8, &|x| *x *= 3);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i as u32) * 3);
+        }
+    }
+
+    #[test]
+    fn map_fold_matches_serial() {
+        let data: Vec<u64> = (1..=1000).collect();
+        let sum = map_fold(&data, 16, &|&x| x, &|a, b| a + b);
+        assert_eq!(sum, Some(500500));
+        let empty: Vec<u64> = vec![];
+        assert_eq!(map_fold(&empty, 16, &|&x| x, &|a, b| a + b), None);
+    }
+
+    #[test]
+    fn sum_by_and_count_if() {
+        let data: Vec<i32> = (-50..50).collect();
+        assert_eq!(sum_by(&data, 8, &|&x| x as f64), -50.0);
+        assert_eq!(count_if(&data, 8, &|&x| x >= 0), 50);
+    }
+
+    #[test]
+    fn max_by_key_finds_maximum() {
+        let data = vec![3.0f64, -9.5, 12.25, 7.0];
+        let max = max_by_key(&data, 2, &|&x: &f64| x).copied();
+        assert_eq!(max, Some(12.25));
+        let empty: Vec<f64> = vec![];
+        assert!(max_by_key(&empty, 2, &|&x: &f64| x).is_none());
+    }
+
+    #[test]
+    fn any_detects() {
+        let data: Vec<u32> = (0..64).collect();
+        assert!(any(&data, 4, &|&x| x == 63));
+        assert!(!any(&data, 4, &|&x| x > 100));
+    }
+
+    #[test]
+    fn prefix_sum_matches_serial() {
+        for n in [0usize, 1, 2, 7, 64, 1000, 4097] {
+            let mut data: Vec<u64> = (0..n as u64).map(|i| i % 13 + 1).collect();
+            let mut expected = data.clone();
+            for i in 1..expected.len() {
+                expected[i] += expected[i - 1];
+            }
+            prefix_sum(&mut data, 32);
+            assert_eq!(data, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn default_grain_is_sane() {
+        assert_eq!(grain_for(100, 0), 1);
+        assert_eq!(grain_for(100, 7), 7);
+        assert_eq!(grain_for(1 << 20, 0), 256);
+    }
+}

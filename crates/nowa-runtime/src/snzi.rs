@@ -1,0 +1,364 @@
+//! SNZI — a Scalable Non-Zero Indicator.
+//!
+//! F. Ellen, Y. Lev, V. Luchangco, M. Moir, *SNZI: Scalable NonZero
+//! Indicators*, PODC 2007. The Nowa paper's related work (§II-D) discusses
+//! Acar et al.'s dynamic SNZI for coordinating nested parallelism as the
+//! other lock-free road to strand coordination — with the caveat that it
+//! "depends on dynamic memory allocation", whereas Nowa's flat counter
+//! lives inline in the frame.
+//!
+//! This is a fixed-topology SNZI tree: `arrive`/`depart` enter at a leaf
+//! chosen by the caller (typically per-worker), and only 0↔nonzero
+//! transitions propagate towards the root, so under heavy same-leaf traffic
+//! the hot cache line is the *leaf*, not a single shared counter. The
+//! indicator query reads one word at the root.
+//!
+//! Used here as an **ablation substrate**: the `join-mech` experiment and
+//! the `snzi_vs_counter` benchmark compare a frame's flat `fetch_sub`
+//! counter (Nowa, §IV-B) against SNZI arrive/depart for join traffic.
+//!
+//! # Algorithm notes
+//!
+//! Each node packs `(c·2, version)` into one `AtomicU64`; the intermediate
+//! value ½ (stored as 1) marks an in-flight first arrival, exactly as in
+//! the PODC paper. A leaf→root `arrive` that loses the ½→1 race departs
+//! the parent again (the `undoArr` loop). The root uses a plain counter —
+//! its 0↔nonzero transitions *are* the indicator.
+
+use core::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Packed node word: low 32 bits = 2·c (so ½ is representable), high 32
+/// bits = version (ABA protection for the ½ handshake).
+#[inline]
+fn pack(c2: u32, v: u32) -> u64 {
+    ((v as u64) << 32) | c2 as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+struct Node {
+    word: AtomicU64,
+    /// Parent index in the arena; `usize::MAX` for children of the root.
+    parent: usize,
+}
+
+/// A fixed-shape SNZI tree.
+pub struct Snzi {
+    /// Internal nodes, heap-ordered (node i's parent is (i-1)/2 except
+    /// the first level, which parents to the root).
+    nodes: Box<[Node]>,
+    /// First leaf index into `nodes`.
+    first_leaf: usize,
+    /// The root surplus counter; nonzero ⇔ indicator set.
+    root: AtomicI64,
+}
+
+impl Snzi {
+    /// Builds a SNZI tree with at least `leaves` leaf entry points
+    /// (rounded up to a power of two). `leaves = 0` degenerates to just
+    /// the root counter.
+    pub fn new(leaves: usize) -> Snzi {
+        let leaves = leaves.next_power_of_two().max(1);
+        // A complete binary tree with `leaves` leaves has 2·leaves − 1
+        // nodes; the root is kept separate.
+        let count = 2 * leaves - 1;
+        let nodes = (0..count)
+            .map(|i| Node {
+                word: AtomicU64::new(pack(0, 0)),
+                parent: if i == 0 { usize::MAX } else { (i - 1) / 2 },
+            })
+            .collect();
+        Snzi {
+            nodes,
+            first_leaf: count - leaves,
+            root: AtomicI64::new(0),
+        }
+    }
+
+    /// Number of leaf entry points.
+    pub fn leaves(&self) -> usize {
+        self.nodes.len() - self.first_leaf
+    }
+
+    /// True iff the surplus (arrivals minus departures) is non-zero.
+    ///
+    /// This is the Invariant-IV query: joining strands only need an
+    /// is-positive indication, never the exact count.
+    pub fn query(&self) -> bool {
+        self.root.load(Ordering::Acquire) != 0
+    }
+
+    /// Registers one arrival through leaf `leaf % leaves()`.
+    pub fn arrive(&self, leaf: usize) {
+        let leaf = self.first_leaf + (leaf % self.leaves());
+        self.arrive_at(leaf);
+    }
+
+    /// Registers one departure through leaf `leaf % leaves()`.
+    ///
+    /// Every departure must match an earlier arrival **through the same
+    /// leaf** (the standard SNZI contract).
+    pub fn depart(&self, leaf: usize) {
+        let leaf = self.first_leaf + (leaf % self.leaves());
+        self.depart_at(leaf);
+    }
+
+    fn arrive_root(&self) {
+        self.root.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn depart_root(&self) {
+        let prev = self.root.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev >= 1, "SNZI root departure without arrival");
+    }
+
+    fn arrive_at(&self, node: usize) {
+        // Ellen et al., Fig. 1, with c scaled by 2 (HALF == 1). Every
+        // control flow that participates in completing a ½ state performs
+        // its own parent arrival first and *undoes* it afterwards if its
+        // promotion CAS lost — so a promoted node always holds exactly one
+        // parent arrival.
+        let mut succ = false;
+        let mut undo = 0u32;
+        while !succ {
+            let word = self.nodes[node].word.load(Ordering::Acquire);
+            let (c2, v) = unpack(word);
+            if c2 >= 2 {
+                // Plain surplus increment.
+                if self
+                    .nodes[node]
+                    .word
+                    .compare_exchange_weak(
+                        word,
+                        pack(c2 + 2, v),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    succ = true;
+                }
+            } else if c2 == 0 {
+                // First arrival: claim the ½ state; our own +1 is the one
+                // the promotion below turns into surplus 1.
+                if self
+                    .nodes[node]
+                    .word
+                    .compare_exchange_weak(word, pack(1, v + 1), Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    succ = true;
+                    let v1 = v + 1;
+                    self.parent_arrive(node);
+                    if self
+                        .nodes[node]
+                        .word
+                        .compare_exchange(pack(1, v1), pack(2, v1), Ordering::AcqRel, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        undo += 1;
+                    }
+                }
+            } else {
+                // c2 == 1 (½): help complete the in-flight first arrival —
+                // arrive at the parent ourselves, then race to promote.
+                // Our own +1 is NOT registered by this branch (succ stays
+                // false); the next loop iteration adds it via c2 >= 2.
+                self.parent_arrive(node);
+                if self
+                    .nodes[node]
+                    .word
+                    .compare_exchange(word, pack(2, v), Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+                {
+                    undo += 1;
+                }
+            }
+        }
+        for _ in 0..undo {
+            self.parent_depart(node);
+        }
+    }
+
+    fn depart_at(&self, node: usize) {
+        loop {
+            let word = self.nodes[node].word.load(Ordering::Acquire);
+            let (c2, v) = unpack(word);
+            debug_assert!(c2 >= 2, "SNZI departure without surplus (c2 = {c2})");
+            if c2 < 2 {
+                // Contract violation (or an in-flight ½ under a buggy
+                // caller): never underflow; wait it out.
+                core::hint::spin_loop();
+                continue;
+            }
+            if self
+                .nodes[node]
+                .word
+                .compare_exchange_weak(word, pack(c2 - 2, v), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                if c2 == 2 {
+                    // Node went 1 → 0: propagate the departure.
+                    self.parent_depart(node);
+                }
+                return;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    fn parent_arrive(&self, node: usize) {
+        let p = self.nodes[node].parent;
+        if p == usize::MAX {
+            self.arrive_root();
+        } else {
+            self.arrive_at(p);
+        }
+    }
+
+    fn parent_depart(&self, node: usize) {
+        let p = self.nodes[node].parent;
+        if p == usize::MAX {
+            self.depart_root();
+        } else {
+            self.depart_at(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_tree_indicates_zero() {
+        let s = Snzi::new(4);
+        assert!(!s.query());
+        assert_eq!(s.leaves(), 4);
+    }
+
+    #[test]
+    fn single_arrive_depart() {
+        let s = Snzi::new(4);
+        s.arrive(0);
+        assert!(s.query());
+        s.depart(0);
+        assert!(!s.query());
+    }
+
+    #[test]
+    fn surplus_through_one_leaf() {
+        let s = Snzi::new(2);
+        for _ in 0..100 {
+            s.arrive(1);
+        }
+        assert!(s.query());
+        for _ in 0..99 {
+            s.depart(1);
+        }
+        assert!(s.query(), "one arrival still outstanding");
+        s.depart(1);
+        assert!(!s.query());
+    }
+
+    #[test]
+    fn distinct_leaves_share_the_indicator() {
+        let s = Snzi::new(8);
+        s.arrive(0);
+        s.arrive(7);
+        s.depart(0);
+        assert!(s.query(), "leaf 7's arrival keeps it nonzero");
+        s.depart(7);
+        assert!(!s.query());
+    }
+
+    #[test]
+    fn degenerate_single_leaf() {
+        let s = Snzi::new(0);
+        assert_eq!(s.leaves(), 1);
+        s.arrive(42); // any leaf index maps in range
+        assert!(s.query());
+        s.depart(42);
+        assert!(!s.query());
+    }
+
+    #[test]
+    fn concurrent_arrive_depart_storm() {
+        let s = Arc::new(Snzi::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|leaf| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        s.arrive(leaf);
+                        s.depart(leaf);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(!s.query(), "balanced traffic must end at zero");
+    }
+
+    #[test]
+    fn indicator_never_drops_while_surplus_held() {
+        // One thread holds a long-lived arrival while others churn;
+        // the indicator must stay set throughout.
+        let s = Arc::new(Snzi::new(4));
+        s.arrive(3);
+        let churners: Vec<_> = (0..4)
+            .map(|leaf| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.arrive(leaf);
+                        assert!(s.query(), "surplus is definitely nonzero here");
+                        s.depart(leaf);
+                    }
+                })
+            })
+            .collect();
+        for t in churners {
+            t.join().unwrap();
+        }
+        assert!(s.query(), "the long-lived arrival is still out");
+        s.depart(3);
+        assert!(!s.query());
+    }
+
+    #[test]
+    fn interleaved_cross_thread_handoff() {
+        // Arrivals on one thread, departures (of those arrivals) on
+        // another, synchronised by a channel — order is preserved by the
+        // same-leaf contract.
+        let s = Arc::new(Snzi::new(2));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let producer = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    s.arrive(0);
+                    tx.send(()).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    rx.recv().unwrap();
+                    s.depart(0);
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert!(!s.query());
+    }
+}

@@ -1,0 +1,116 @@
+//! Scheduler statistics, kept per worker to avoid false sharing.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker event counters. Each instance is cache-line padded; all
+/// increments are `Relaxed` (statistics only, never synchronisation).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Continuations offered to thieves (spawns).
+    pub spawns: AtomicU64,
+    /// Spawns whose continuation could not be offered (bounded deque full).
+    pub unoffered: AtomicU64,
+    /// Fast-path pops: the continuation was not stolen.
+    pub fast_pops: AtomicU64,
+    /// Successful steals from other workers.
+    pub steals: AtomicU64,
+    /// Steal attempts (including empty and retry outcomes).
+    pub steal_attempts: AtomicU64,
+    /// Local continuations taken by the work-finding loop.
+    pub own_takes: AtomicU64,
+    /// Child joins (continuation found stolen after child returned).
+    pub joins: AtomicU64,
+    /// Explicit syncs satisfied inline (no suspension).
+    pub syncs_inline: AtomicU64,
+    /// Explicit syncs that suspended the frame.
+    pub suspensions: AtomicU64,
+    /// Suspended sync continuations resumed by a last joiner.
+    pub sync_resumes: AtomicU64,
+    /// Root tasks executed.
+    pub roots: AtomicU64,
+}
+
+impl WorkerStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An aggregated snapshot over all workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Continuations offered to thieves (spawns).
+    pub spawns: u64,
+    /// Spawns that could not be offered (bounded deque full).
+    pub unoffered: u64,
+    /// Fast-path pops.
+    pub fast_pops: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts.
+    pub steal_attempts: u64,
+    /// Local takes by the work-finding loop.
+    pub own_takes: u64,
+    /// Child joins.
+    pub joins: u64,
+    /// Inline syncs.
+    pub syncs_inline: u64,
+    /// Suspending syncs.
+    pub suspensions: u64,
+    /// Sync resumptions by last joiners.
+    pub sync_resumes: u64,
+    /// Root tasks executed.
+    pub roots: u64,
+}
+
+impl StatsSnapshot {
+    /// Aggregates per-worker counters.
+    pub fn aggregate(stats: &[WorkerStats]) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for w in stats {
+            s.spawns += w.spawns.load(Ordering::Relaxed);
+            s.unoffered += w.unoffered.load(Ordering::Relaxed);
+            s.fast_pops += w.fast_pops.load(Ordering::Relaxed);
+            s.steals += w.steals.load(Ordering::Relaxed);
+            s.steal_attempts += w.steal_attempts.load(Ordering::Relaxed);
+            s.own_takes += w.own_takes.load(Ordering::Relaxed);
+            s.joins += w.joins.load(Ordering::Relaxed);
+            s.syncs_inline += w.syncs_inline.load(Ordering::Relaxed);
+            s.suspensions += w.suspensions.load(Ordering::Relaxed);
+            s.sync_resumes += w.sync_resumes.load(Ordering::Relaxed);
+            s.roots += w.roots.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Conservation invariant: every consumed continuation was either
+    /// popped back by its pusher, stolen, or taken locally.
+    pub fn continuations_consumed(&self) -> u64 {
+        self.fast_pops + self.steals + self.own_takes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_workers() {
+        let a = WorkerStats::default();
+        let b = WorkerStats::default();
+        a.spawns.store(3, Ordering::Relaxed);
+        b.spawns.store(4, Ordering::Relaxed);
+        a.steals.store(1, Ordering::Relaxed);
+        let stats = [a, b];
+        let s = StatsSnapshot::aggregate(&stats);
+        assert_eq!(s.spawns, 7);
+        assert_eq!(s.steals, 1);
+    }
+
+    #[test]
+    fn padding_prevents_false_sharing() {
+        assert!(core::mem::align_of::<WorkerStats>() >= 128);
+    }
+}

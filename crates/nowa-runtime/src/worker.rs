@@ -1,0 +1,316 @@
+//! Workers, the shared runtime state, and the work-finding loop.
+//!
+//! A worker is one OS thread (§II: user-space platforms implement workers as
+//! kernel-level threads) owning a work-stealing deque and a private stack
+//! cache. The work-finding loop implements the scheduling discipline of
+//! §III-B: prefer local work (bottom of the own deque), then randomised
+//! stealing; every continuation taken is a fork (the `α`/count bookkeeping
+//! happens in [`crate::flavor`]).
+//!
+//! # The `current_stack` invariant
+//!
+//! At any instant, a worker's `current_stack` field holds the handle of the
+//! very stack its control flow is executing on. Every context transfer
+//! hands stacks over through `SpawnRecord::stack`, `FrameCore::
+//! suspended_stack` and `pending_recycle` such that the invariant is
+//! restored at the resume site — including when a control flow *returns*
+//! from a call on a different OS thread than it entered (which happens
+//! whenever a nested sync suspended and was resumed elsewhere).
+
+use core::cell::Cell;
+use core::ffi::c_void;
+use core::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use nowa_context::{capture_and_run_on, resume, RawContext, Stack, StackPool, WorkerStackCache};
+use nowa_deque::Steal;
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::Config;
+use crate::flavor::{self, Flavor, OwnerDeque, Rec, SharedStealer};
+use crate::stats::{StatsSnapshot, WorkerStats};
+
+/// A submitted root task (type-erased; completion signalling is baked into
+/// the closure by [`crate::runtime::Runtime::run`]).
+pub struct RootTask {
+    /// Runs the task; must not unwind.
+    pub run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// State shared by all workers of one runtime instance.
+pub struct Shared {
+    /// The runtime flavor (protocol × deque).
+    pub flavor: Flavor,
+    /// Thief-side handles, indexed by worker.
+    pub stealers: Box<[SharedStealer]>,
+    /// Per-worker statistics.
+    pub stats: Box<[WorkerStats]>,
+    /// Root-task submission queue.
+    pub injector: Mutex<VecDeque<RootTask>>,
+    /// Signals idle workers about new root tasks / shutdown.
+    pub idle_cv: Condvar,
+    /// Lock paired with `idle_cv`.
+    pub idle_lock: Mutex<()>,
+    /// Set once at shutdown.
+    pub shutdown: AtomicBool,
+    /// The global stack pool.
+    pub pool: Arc<StackPool>,
+    /// The configuration the runtime was built with.
+    pub config: Config,
+}
+
+impl Shared {
+    /// Aggregated scheduler statistics.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::aggregate(&self.stats)
+    }
+}
+
+/// One worker: an OS thread plus its scheduling state.
+pub struct Worker {
+    /// Index into `Shared::stealers` / `Shared::stats`.
+    pub index: usize,
+    /// Owner side of this worker's deque.
+    pub deque: OwnerDeque,
+    /// Shared runtime state.
+    pub shared: Arc<Shared>,
+    /// Private stack cache over the global pool.
+    pub cache: WorkerStackCache,
+    /// Handle of the stack the worker is currently executing on.
+    pub current_stack: Option<Stack>,
+    /// Staging slot: a freshly acquired stack about to be switched onto.
+    pub incoming_stack: Option<Stack>,
+    /// Staging slot: an abandoned stack, recycled at the next resume site.
+    pub pending_recycle: Option<Stack>,
+    /// Continuation of `worker_main` on the OS thread stack (exit path).
+    pub exit_ctx: RawContext,
+    /// xorshift64* state for victim selection.
+    pub rng: u64,
+}
+
+// SAFETY: a Worker is moved to its OS thread once at startup and from then
+// on only accessed by whichever single thread currently executes with it as
+// `current_worker` (the raw context/stack fields are what inhibit the auto
+// impl).
+unsafe impl Send for Worker {}
+
+impl Worker {
+    /// This worker's stat block.
+    #[inline]
+    pub fn stats(&self) -> &WorkerStats {
+        &self.shared.stats[self.index]
+    }
+
+    /// Next pseudo-random number (xorshift64*).
+    #[inline]
+    pub fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+std::thread_local! {
+    static CURRENT_WORKER: Cell<*mut Worker> = const { Cell::new(core::ptr::null_mut()) };
+}
+
+/// The worker the calling OS thread belongs to, or null when the thread is
+/// not a runtime worker (e.g. user threads calling the API — they fall back
+/// to serial execution).
+///
+/// Deliberately `#[inline(never)]`: a continuation may migrate between OS
+/// threads at every capture point, so thread-local addresses must never be
+/// cached across one; an uninlinable function re-derives the TLS slot on
+/// every call.
+#[inline(never)]
+pub fn current_worker() -> *mut Worker {
+    CURRENT_WORKER.with(|c| c.get())
+}
+
+/// Installs the worker for the calling OS thread. `#[inline(never)]` for
+/// the same reason as [`current_worker`].
+#[inline(never)]
+pub fn set_current_worker(worker: *mut Worker) {
+    CURRENT_WORKER.with(|c| c.set(worker));
+}
+
+/// Aborts the process if dropped by unwinding — runtime-internal code must
+/// never unwind through a fiber base frame (undefined behaviour).
+pub struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        eprintln!("nowa-runtime: internal panic unwound to a fiber base; aborting");
+        std::process::abort();
+    }
+}
+
+/// Resumes a taken continuation, handing over the current stack for
+/// recycling. Diverges into the resumed control flow.
+///
+/// # Safety
+/// `rec` must be a continuation record exclusively owned by this control
+/// flow (freshly popped/stolen), with a captured `ctx`.
+pub unsafe fn resume_record(worker: *mut Worker, rec: Rec) -> ! {
+    unsafe {
+        debug_assert!((*worker).pending_recycle.is_none());
+        (*worker).pending_recycle = (*worker).current_stack.take();
+        let ctx = (*rec.as_ptr()).ctx;
+        debug_assert!(!ctx.is_null());
+        resume(ctx, worker as *mut c_void)
+    }
+}
+
+/// Resumes the suspended sync continuation of `frame`. Diverges.
+///
+/// # Safety
+/// The caller must have won the sync (its join observed the restored
+/// counter hit zero), which makes it the unique owner of the suspension
+/// state.
+pub unsafe fn resume_sync(worker: *mut Worker, frame: *const crate::record::Frame) -> ! {
+    unsafe {
+        WorkerStats::bump(&(*worker).stats().sync_resumes);
+        debug_assert!((*worker).pending_recycle.is_none());
+        (*worker).pending_recycle = (*worker).current_stack.take();
+        let ctx = *(*frame).core.sync_ctx.get();
+        debug_assert!(!ctx.is_null());
+        resume(ctx, worker as *mut c_void)
+    }
+}
+
+/// The work-finding loop (never returns; diverges into resumed work or the
+/// worker's exit continuation).
+///
+/// Order per iteration: shutdown check → own deque bottom → root injector →
+/// random steal sweep → backoff.
+///
+/// # Safety
+/// Must run on a worker thread whose `current_stack` invariant holds.
+pub unsafe fn find_work() -> ! {
+    let mut failed_sweeps: u32 = 0;
+    loop {
+        // Re-derive the worker every iteration: running a root task may
+        // return on a different OS thread (see module docs).
+        let worker = current_worker();
+        debug_assert!(!worker.is_null());
+        let shared: &Shared = unsafe { &*Arc::as_ptr(&(*worker).shared) };
+        let protocol = shared.flavor.protocol;
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            unsafe {
+                (*worker).pending_recycle = (*worker).current_stack.take();
+                let ctx = (*worker).exit_ctx;
+                resume(ctx, worker as *mut c_void)
+            }
+        }
+
+        // Local work first: the bottom of our own deque holds the deepest
+        // ancestor continuation (cheapest to resume, busy-leaves style).
+        if let Some(rec) = flavor::take_own(protocol, unsafe { &(*worker).deque }) {
+            unsafe {
+                WorkerStats::bump(&(*worker).stats().own_takes);
+                resume_record(worker, rec)
+            }
+        }
+
+        // Root tasks.
+        let task = shared.injector.lock().pop_front();
+        if let Some(task) = task {
+            unsafe { WorkerStats::bump(&(*worker).stats().roots) };
+            // The task's control flow may suspend internally and complete
+            // on another worker; everything below re-derives state.
+            (task.run)();
+            failed_sweeps = 0;
+            continue;
+        }
+
+        // Random steal sweep.
+        let n = shared.stealers.len();
+        let mut found = false;
+        if n > 1 {
+            let start = (unsafe { (*worker).next_rand() } as usize) % n;
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if victim == unsafe { (*worker).index } {
+                    continue;
+                }
+                unsafe { WorkerStats::bump(&(*worker).stats().steal_attempts) };
+                match flavor::steal_from(protocol, &shared.stealers[victim]) {
+                    Steal::Success(rec) => {
+                        unsafe {
+                            WorkerStats::bump(&(*worker).stats().steals);
+                            resume_record(worker, rec)
+                        }
+                    }
+                    Steal::Retry => {
+                        // Contended: try again within the sweep.
+                        found = true;
+                        core::hint::spin_loop();
+                    }
+                    Steal::Empty => {}
+                }
+            }
+        }
+
+        if found {
+            failed_sweeps = 0;
+            continue;
+        }
+        failed_sweeps = failed_sweeps.saturating_add(1);
+        if failed_sweeps < 16 {
+            std::thread::yield_now();
+        } else {
+            // Deep idle: sleep briefly; woken by root submission/shutdown,
+            // and self-waking to re-scan the deques (spawns do not signal —
+            // that would put a syscall on the hot path).
+            let mut guard = shared.idle_lock.lock();
+            shared
+                .idle_cv
+                .wait_for(&mut guard, std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+unsafe extern "C" fn worker_body(arg: *mut c_void) -> ! {
+    // Armed for the whole body: an unwinding panic would otherwise reach
+    // the fiber base frame (undefined behaviour).
+    let _guard = AbortOnUnwind;
+    unsafe {
+        let worker = arg as *mut Worker;
+        (*worker).current_stack = (*worker).incoming_stack.take();
+        find_work()
+    }
+}
+
+/// OS-thread entry of a worker. Returns when the runtime shuts down.
+#[allow(clippy::boxed_local)] // the Box pins the Worker's address for TLS/raw pointers
+pub fn worker_main(mut worker: Box<Worker>) {
+    if worker.shared.config.pin_workers {
+        let _ = nowa_context::sys::pin_current_thread_to(worker.index);
+    }
+    let wptr: *mut Worker = &mut *worker;
+    set_current_worker(wptr);
+    unsafe {
+        let first = (*wptr).cache.get();
+        let top = first.top();
+        (*wptr).incoming_stack = Some(first);
+        let payload = capture_and_run_on(
+            &mut (*wptr).exit_ctx,
+            top,
+            worker_body,
+            wptr as *mut c_void,
+        );
+        // ---- shutdown: back on the OS thread stack ----
+        let worker_now = payload as *mut Worker;
+        debug_assert_eq!(worker_now, wptr, "exit context resumed by its owner");
+        if let Some(stack) = (*worker_now).pending_recycle.take() {
+            (*worker_now).cache.put(stack);
+        }
+    }
+    set_current_worker(core::ptr::null_mut());
+    // `worker` drops here; its cache drains into the shared pool.
+}

@@ -1,0 +1,180 @@
+//! Bounded-exhaustive model checking of the wait-free join protocol
+//! (§IV-B), in the spirit of the CDSChecker-style validation the paper
+//! cites for the CL deque (§II-D).
+//!
+//! The abstract model: a frame with `alpha` stolen continuations. Events:
+//!
+//! * `A_i` — the main path's i-th fork bookkeeping (`α += 1`, performed by
+//!   the thief that became the main path; main-path-sequenced).
+//! * `J_i` — child i's join (`counter.fetch_sub(1)`), which may happen any
+//!   time after `A_i`.
+//! * `R` — the main path's restore at the explicit sync
+//!   (`counter.fetch_sub(I_max − α)`), after all `A_i`.
+//!
+//! We exhaustively enumerate every linearization consistent with the
+//! program order (`A_1 < … < A_k < R`, `A_i < J_i`) and assert, for each:
+//!
+//! 1. **No erroneous sync** (the Fig. 6 hazard): no `J_i` *before* `R`
+//!    observes a non-positive counter (phase 1 is benign).
+//! 2. **Exactly one winner**: precisely one event observes the counter at
+//!    zero — either `R` (main proceeds inline) or the last join (which
+//!    resumes the suspended sync continuation).
+//! 3. The winner is the globally last event (fully-strict: nothing
+//!    proceeds past the sync before every child joined).
+
+const I_MAX: i64 = i64::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Fork(usize),
+    Join(usize),
+    Restore,
+}
+
+/// Replays one linearization and checks the §IV-B invariants.
+fn check_schedule(events: &[Event], k: usize) {
+    let mut counter: i64 = I_MAX;
+    let mut alpha: i64 = 0;
+    let mut winners = 0usize;
+    let mut restore_seen = false;
+    for (idx, &e) in events.iter().enumerate() {
+        let last = idx == events.len() - 1;
+        match e {
+            Event::Fork(_) => {
+                alpha += 1; // unsynchronised main-path increment
+            }
+            Event::Join(i) => {
+                counter -= 1; // fetch_sub(1)
+                let post = counter;
+                if !restore_seen {
+                    // Invariant I/IV: joiners in phase 1 must never
+                    // observe the sync condition.
+                    assert!(
+                        post > 0,
+                        "erroneous sync: join {i} observed {post} before restore ({events:?})"
+                    );
+                } else if post == 0 {
+                    winners += 1;
+                    assert!(last, "join {i} won the sync before all events done");
+                }
+            }
+            Event::Restore => {
+                restore_seen = true;
+                assert_eq!(alpha, k as i64, "restore before all forks");
+                counter -= I_MAX - alpha; // fetch_sub(I_max − α), Eq. 5
+                let post = counter;
+                assert!(post >= 0, "restored counter went negative");
+                if post == 0 {
+                    winners += 1;
+                    assert!(last, "main proceeded inline before all joins");
+                }
+            }
+        }
+    }
+    assert_eq!(counter, 0, "all strands accounted for");
+    assert_eq!(winners, 1, "exactly one control flow wins the sync");
+}
+
+/// Enumerates every linearization of the k-child protocol respecting
+/// program order, calling `check` on each. Returns the schedule count.
+fn explore(k: usize) -> u64 {
+    // State: next fork to issue, set of issued-but-unjoined children,
+    // whether restore has been issued; recursion over ready events.
+    fn rec(
+        schedule: &mut Vec<Event>,
+        next_fork: usize,
+        pending_joins: &mut Vec<usize>,
+        restore_done: bool,
+        k: usize,
+        count: &mut u64,
+    ) {
+        let total_len = 2 * k + 1;
+        if schedule.len() == total_len {
+            check_schedule(schedule, k);
+            *count += 1;
+            return;
+        }
+        // Ready: the next fork (if any left).
+        if next_fork < k {
+            schedule.push(Event::Fork(next_fork));
+            pending_joins.push(next_fork);
+            rec(schedule, next_fork + 1, pending_joins, restore_done, k, count);
+            pending_joins.pop();
+            schedule.pop();
+        }
+        // Ready: restore (once all forks issued).
+        if next_fork == k && !restore_done {
+            schedule.push(Event::Restore);
+            rec(schedule, next_fork, pending_joins, true, k, count);
+            schedule.pop();
+        }
+        // Ready: any pending join.
+        for pos in 0..pending_joins.len() {
+            let child = pending_joins.remove(pos);
+            schedule.push(Event::Join(child));
+            rec(schedule, next_fork, pending_joins, restore_done, k, count);
+            schedule.pop();
+            pending_joins.insert(pos, child);
+        }
+    }
+    let mut count = 0;
+    rec(&mut Vec::new(), 0, &mut Vec::new(), false, k, &mut count);
+    count
+}
+
+#[test]
+fn exhaustive_interleavings_k1() {
+    // A1 J1 R orderings with A1 < J1, A1 < R: R J1 / J1 R → plus A first.
+    let n = explore(1);
+    assert_eq!(n, 2, "k=1 has exactly 2 linearizations");
+}
+
+#[test]
+fn exhaustive_interleavings_k2() {
+    let n = explore(2);
+    assert!(n > 2);
+}
+
+#[test]
+fn exhaustive_interleavings_k3() {
+    let n = explore(3);
+    assert!(n > 10);
+}
+
+#[test]
+fn exhaustive_interleavings_k4() {
+    let n = explore(4);
+    assert!(n > 100);
+}
+
+#[test]
+fn exhaustive_interleavings_k5() {
+    // Tens of thousands of schedules; still instant.
+    let n = explore(5);
+    assert!(n > 1000);
+}
+
+/// The same exploration for the *broken* protocol (counter armed with the
+/// true `N_r` instead of `I_max`, no restore) must produce the Fig. 6
+/// hazard — this validates that the checker can actually detect it.
+#[test]
+fn checker_detects_the_hazard_in_the_naive_protocol() {
+    // Naive protocol: counter starts at 0; forks increment it (by the
+    // thief, unsynchronised with joins); joins decrement and treat 0 as
+    // the sync condition. Schedule: A1 J1 A2 J2 — J1 observes 0 while
+    // child 2 is about to be forked: erroneous sync.
+    let mut counter = 0i64;
+    let mut erroneous = false;
+    // A1
+    counter += 1;
+    // J1
+    counter -= 1;
+    if counter == 0 {
+        // The worker would proceed past the sync here...
+        erroneous = true;
+    }
+    // A2 ... the second steal had not been counted yet.
+    counter += 1;
+    assert!(erroneous, "the naive protocol must exhibit the hazard");
+    assert_ne!(counter, 0, "...while a strand is still active");
+}

@@ -1,0 +1,334 @@
+//! End-to-end runtime tests across all flavors.
+
+use nowa_runtime::{api, Config, Flavor, Runtime};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = api::join2(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+const ALL_FLAVORS: [Flavor; 5] = [
+    Flavor::NOWA,
+    Flavor::NOWA_THE,
+    Flavor::NOWA_ABP,
+    Flavor::NOWA_LOCKED_DEQUE,
+    Flavor::FIBRIL,
+];
+
+#[test]
+fn fib_single_worker() {
+    let rt = Runtime::with_workers(1).unwrap();
+    assert_eq!(rt.run(|| fib(20)), fib_serial(20));
+}
+
+#[test]
+fn fib_four_workers_all_flavors() {
+    for flavor in ALL_FLAVORS {
+        let rt = Runtime::new(Config::with_workers(4).flavor(flavor)).unwrap();
+        assert_eq!(rt.run(|| fib(22)), fib_serial(22), "flavor {}", flavor.name());
+    }
+}
+
+#[test]
+fn serial_elision_outside_runtime() {
+    // No runtime: the API runs serially on this plain thread.
+    assert!(!api::in_task());
+    assert_eq!(fib(15), fib_serial(15));
+}
+
+#[test]
+fn steals_actually_happen() {
+    let rt = Runtime::new(Config::with_workers(4)).unwrap();
+    let expected = fib_serial(24);
+    assert_eq!(rt.run(|| fib(24)), expected);
+    let stats = rt.stats();
+    assert!(stats.spawns > 1000, "spawns: {stats:?}");
+    assert!(
+        stats.steals + stats.own_takes > 0,
+        "some continuation must have been taken: {stats:?}"
+    );
+    // Conservation: every offered continuation is consumed exactly once.
+    assert_eq!(
+        stats.spawns,
+        stats.continuations_consumed(),
+        "continuation conservation: {stats:?}"
+    );
+    // Every steal/self-take forks a strand that later joins.
+    assert_eq!(stats.steals + stats.own_takes, stats.joins, "{stats:?}");
+}
+
+#[test]
+fn join3_and_join4() {
+    let rt = Runtime::with_workers(3).unwrap();
+    let (a, b, c) = rt.run(|| api::join3(|| 1, || 2.5f64, || "three"));
+    assert_eq!((a, b, c), (1, 2.5, "three"));
+    let (a, b, c, d) = rt.run(|| api::join4(|| 1u8, || 2u16, || 3u32, || 4u64));
+    assert_eq!((a, b, c, d), (1, 2, 3, 4));
+}
+
+#[test]
+fn par_for_covers_every_index() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let rt = Runtime::with_workers(4).unwrap();
+    let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+    rt.run(|| {
+        api::par_for(0..1000, 16, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+    }
+}
+
+#[test]
+fn map_reduce_sums() {
+    let rt = Runtime::with_workers(4).unwrap();
+    let total = rt.run(|| api::map_reduce(0..10_000, 64, &|i| i as u64, &|a, b| a + b));
+    assert_eq!(total, Some(9999 * 10_000 / 2));
+    let empty = rt.run(|| api::map_reduce(5..5, 64, &|i| i as u64, &|a, b| a + b));
+    assert_eq!(empty, None);
+}
+
+#[test]
+fn par_map_writes_all_outputs() {
+    let rt = Runtime::with_workers(4).unwrap();
+    let input: Vec<u32> = (0..512).collect();
+    let mut output = vec![0u32; 512];
+    rt.run(|| api::par_map(&input, &mut output, 8, &|x| x * 2));
+    for (i, o) in output.iter().enumerate() {
+        assert_eq!(*o, (i as u32) * 2);
+    }
+}
+
+#[test]
+fn region_linear_spawns() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let rt = Runtime::with_workers(4).unwrap();
+    let sum = AtomicU64::new(0);
+    rt.run(|| {
+        let region = api::Region::new();
+        for i in 0..100u64 {
+            // SAFETY: everything live across the spawns (the region, the
+            // atomic) is Send+Sync; the region is synced before drop.
+            unsafe {
+                region.spawn(|| {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                })
+            };
+        }
+        region.sync();
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    });
+}
+
+#[test]
+fn region_serial_fallback() {
+    let region = api::Region::new();
+    let mut x = 0;
+    unsafe { region.spawn(|| x += 1) };
+    region.sync();
+    assert_eq!(x, 1);
+}
+
+#[test]
+fn child_panic_propagates() {
+    let rt = Runtime::with_workers(2).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(|| {
+            let (_, _) = api::join2(|| panic!("child boom"), || 42);
+        })
+    }));
+    let err = result.unwrap_err();
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "child boom");
+    // The runtime survives the panic.
+    assert_eq!(rt.run(|| fib(10)), 55);
+}
+
+#[test]
+fn continuation_panic_still_syncs() {
+    let rt = Runtime::with_workers(2).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(|| {
+            let (_, _) = api::join2(|| fib(12), || -> u64 { panic!("continuation boom") });
+        })
+    }));
+    assert!(result.is_err());
+    assert_eq!(rt.run(|| fib(10)), 55);
+}
+
+#[test]
+fn root_panic_propagates() {
+    let rt = Runtime::with_workers(2).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(|| panic!("root boom"))
+    }));
+    assert!(result.is_err());
+    assert_eq!(rt.run(|| 7), 7);
+}
+
+#[test]
+fn multiple_sequential_runs() {
+    let rt = Runtime::with_workers(3).unwrap();
+    for i in 0..50u64 {
+        assert_eq!(rt.run(|| fib(10) + i), 55 + i);
+    }
+}
+
+#[test]
+fn borrows_across_run() {
+    // Runtime::run supports borrowed closures (scoped semantics).
+    let data: Vec<u64> = (0..100).collect();
+    let rt = Runtime::with_workers(2).unwrap();
+    let sum = rt.run(|| {
+        api::map_reduce(0..data.len(), 8, &|i| data[i], &|a, b| a + b).unwrap_or(0)
+    });
+    assert_eq!(sum, 99 * 100 / 2);
+}
+
+#[test]
+fn nested_joins_deep() {
+    // Deep nesting: every level spawns, exercising suspension chains.
+    fn depth_sum(d: u32) -> u64 {
+        if d == 0 {
+            return 1;
+        }
+        let (a, b) = api::join2(|| depth_sum(d - 1), || depth_sum(d - 1));
+        a + b
+    }
+    let rt = Runtime::with_workers(4).unwrap();
+    assert_eq!(rt.run(|| depth_sum(12)), 1 << 12);
+}
+
+#[test]
+fn tiny_deque_degrades_gracefully() {
+    // Capacity 2 forces unoffered continuations (bounded THE deque).
+    let mut config = Config::with_workers(4).flavor(Flavor::NOWA_THE);
+    config.deque_capacity = 2;
+    let rt = Runtime::new(config).unwrap();
+    assert_eq!(rt.run(|| fib(18)), fib_serial(18));
+    let stats = rt.stats();
+    assert!(stats.unoffered > 0, "tiny deque must refuse some: {stats:?}");
+}
+
+#[test]
+fn small_stacks_work() {
+    let mut config = Config::with_workers(2);
+    config.stack_size = 64 * 1024;
+    let rt = Runtime::new(config).unwrap();
+    assert_eq!(rt.run(|| fib(16)), 987);
+}
+
+#[test]
+fn madvise_policies_run() {
+    for policy in [
+        nowa_runtime::MadvisePolicy::Keep,
+        nowa_runtime::MadvisePolicy::Free,
+        nowa_runtime::MadvisePolicy::DontNeed,
+    ] {
+        let rt = Runtime::new(Config::with_workers(3).madvise(policy)).unwrap();
+        assert_eq!(rt.run(|| fib(18)), fib_serial(18), "policy {policy:?}");
+    }
+}
+
+#[test]
+fn zero_workers_rejected() {
+    assert!(Runtime::with_workers(0).is_err());
+}
+
+#[test]
+fn heavy_mixed_load_all_flavors() {
+    for flavor in ALL_FLAVORS {
+        let rt = Runtime::new(Config::with_workers(4).flavor(flavor)).unwrap();
+        let total = rt.run(|| {
+            api::map_reduce(
+                0..200,
+                1,
+                &|i| {
+                    // Mixed recursion depth keeps the DAG irregular.
+                    fib(8 + (i % 6) as u64)
+                },
+                &|a, b| a + b,
+            )
+            .unwrap()
+        });
+        let expected: u64 = (0..200).map(|i| fib_serial(8 + (i % 6) as u64)).sum();
+        assert_eq!(total, expected, "flavor {}", flavor.name());
+    }
+}
+
+#[test]
+fn for_each_visits_every_item_once() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let rt = Runtime::with_workers(4).unwrap();
+    let hits: Vec<AtomicU32> = (0..500).map(|_| AtomicU32::new(0)).collect();
+    rt.run(|| {
+        api::for_each(0..hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
+    }
+}
+
+#[test]
+fn for_each_serial_fallback() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let sum = AtomicU64::new(0);
+    assert!(!api::in_task());
+    api::for_each(1..=10u64, &|v| {
+        sum.fetch_add(v, Ordering::Relaxed);
+    });
+    assert_eq!(sum.into_inner(), 55);
+}
+
+#[test]
+fn for_each_propagates_child_panic() {
+    let rt = Runtime::with_workers(2).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(|| {
+            api::for_each(0..10, &|i| {
+                if i == 7 {
+                    panic!("item 7 exploded");
+                }
+            });
+        })
+    }));
+    assert!(result.is_err());
+    assert_eq!(rt.run(|| 1 + 1), 2);
+}
+
+#[test]
+fn for_each_nested_inside_join2() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let rt = Runtime::with_workers(4).unwrap();
+    let total = AtomicU64::new(0);
+    rt.run(|| {
+        let ((), ()) = api::join2(
+            || {
+                api::for_each(0..100u64, &|v| {
+                    total.fetch_add(v, Ordering::Relaxed);
+                })
+            },
+            || {
+                api::for_each(100..200u64, &|v| {
+                    total.fetch_add(v, Ordering::Relaxed);
+                })
+            },
+        );
+    });
+    assert_eq!(total.into_inner(), 199 * 200 / 2);
+}

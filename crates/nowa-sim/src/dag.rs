@@ -1,0 +1,318 @@
+//! The fork/join DAG the simulator executes (§III-A's model).
+//!
+//! A [`SimDag`] is a tree of *tasks* (spawning-function instances). Each
+//! task is a program: a sequence of [`Item`]s — serial strands, spawn
+//! points (each referencing a statically known child task) and sync
+//! points. This is exactly the fully-strict shape of Listing 3: any number
+//! of `spawn … sync` regions per task, children joining at the next sync.
+//!
+//! Benchmark generators (see [`crate::bench_dags`]) expand the real
+//! kernels' recursion to a bounded number of tasks and aggregate the
+//! remainder into leaf strand work, keeping total work exact while
+//! bounding simulation cost.
+
+/// One step in a task's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Item {
+    /// A serial strand of the given virtual-ns work.
+    Work(u64),
+    /// A spawn point: the child is the task with this index.
+    Spawn(usize),
+    /// A *sequential* call of a nested spawning function: the callee has
+    /// its own frame (own sync counters) but is not stealable — the caller
+    /// resumes when it returns. This is what `join2`'s second closure or a
+    /// plain recursive call of a spawning function compiles to.
+    Call(usize),
+    /// An explicit sync point ending the current region.
+    Sync,
+}
+
+/// One spawning-function instance.
+#[derive(Debug, Clone, Default)]
+pub struct TaskProg {
+    /// The task's program.
+    pub items: Vec<Item>,
+}
+
+/// A complete benchmark DAG.
+#[derive(Debug, Clone)]
+pub struct SimDag {
+    /// All tasks; index 0 is the root.
+    pub tasks: Vec<TaskProg>,
+}
+
+impl SimDag {
+    /// Creates a DAG with an empty root; build with [`DagBuilder`] instead
+    /// for anything non-trivial.
+    pub fn single(work: u64) -> SimDag {
+        SimDag {
+            tasks: vec![TaskProg {
+                items: vec![Item::Work(work)],
+            }],
+        }
+    }
+
+    /// Total serial work (the `T_s` of the simulated program).
+    pub fn total_work(&self) -> u64 {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.items)
+            .map(|i| match i {
+                Item::Work(w) => *w,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of spawn edges.
+    pub fn spawn_count(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.items)
+            .filter(|i| matches!(i, Item::Spawn(_)))
+            .count()
+    }
+
+    /// The critical path (span) in virtual ns, ignoring runtime overheads.
+    /// Computed by the standard work/span recurrence over the task tree.
+    pub fn span(&self) -> u64 {
+        self.span_of(0)
+    }
+
+    fn span_of(&self, task: usize) -> u64 {
+        let mut total = 0u64; // sequential accumulation across regions
+        let mut region_max_child: u64 = 0; // longest child span in region
+        let mut region_offset = 0u64; // strand time within the region
+        for item in &self.tasks[task].items {
+            match item {
+                Item::Work(w) => region_offset += w,
+                Item::Spawn(child) => {
+                    // Child starts at the current offset within the region.
+                    let child_end = region_offset + self.span_of(*child);
+                    region_max_child = region_max_child.max(child_end);
+                }
+                Item::Call(child) => {
+                    // Sequential composition.
+                    region_offset += self.span_of(*child);
+                }
+                Item::Sync => {
+                    region_offset = region_offset.max(region_max_child);
+                    total += region_offset;
+                    region_offset = 0;
+                    region_max_child = 0;
+                }
+            }
+        }
+        total + region_offset.max(region_max_child)
+    }
+
+    /// Structural validation: spawn indices in range, acyclic (tree-shaped:
+    /// every non-root task spawned exactly once), regions well-formed.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut spawned = vec![0u32; self.tasks.len()];
+        for (ti, task) in self.tasks.iter().enumerate() {
+            let mut open_spawns = 0usize;
+            for item in &task.items {
+                match item {
+                    Item::Spawn(c) | Item::Call(c) => {
+                        if *c >= self.tasks.len() {
+                            return Err(format!("task {ti}: reference to unknown task {c}"));
+                        }
+                        if *c <= ti {
+                            return Err(format!("task {ti}: reference to non-descendant {c}"));
+                        }
+                        spawned[*c] += 1;
+                        if matches!(item, Item::Spawn(_)) {
+                            open_spawns += 1;
+                        }
+                    }
+                    Item::Sync => open_spawns = 0,
+                    Item::Work(_) => {}
+                }
+            }
+            // Trailing spawns without an explicit sync are a builder error;
+            // the engine relies on explicit syncs.
+            if open_spawns > 0 {
+                return Err(format!("task {ti}: spawns after the last sync"));
+            }
+        }
+        for (ti, &count) in spawned.iter().enumerate().skip(1) {
+            if count != 1 {
+                return Err(format!("task {ti} spawned {count} times (expected 1)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental DAG builder.
+pub struct DagBuilder {
+    tasks: Vec<TaskProg>,
+}
+
+impl DagBuilder {
+    /// Starts a DAG whose root is task 0.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> DagBuilder {
+        DagBuilder {
+            tasks: vec![TaskProg::default()],
+        }
+    }
+
+    /// Number of tasks allocated so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Allocates a new empty task and returns its id.
+    pub fn new_task(&mut self) -> usize {
+        self.tasks.push(TaskProg::default());
+        self.tasks.len() - 1
+    }
+
+    /// Appends a work strand to `task` (coalescing adjacent strands).
+    pub fn work(&mut self, task: usize, w: u64) {
+        if w == 0 {
+            return;
+        }
+        if let Some(Item::Work(prev)) = self.tasks[task].items.last_mut() {
+            *prev += w;
+            return;
+        }
+        self.tasks[task].items.push(Item::Work(w));
+    }
+
+    /// Appends a spawn of a fresh child to `task`; returns the child id.
+    pub fn spawn(&mut self, task: usize) -> usize {
+        let child = self.new_task();
+        self.tasks[task].items.push(Item::Spawn(child));
+        child
+    }
+
+    /// Appends a sequential call of a fresh callee; returns the callee id.
+    pub fn call(&mut self, task: usize) -> usize {
+        let child = self.new_task();
+        self.tasks[task].items.push(Item::Call(child));
+        child
+    }
+
+    /// Appends a sync point to `task`.
+    pub fn sync(&mut self, task: usize) {
+        self.tasks[task].items.push(Item::Sync);
+    }
+
+    /// Finishes the DAG (appending a final sync to any task with trailing
+    /// spawns, which mirrors the implicit sync at function return).
+    pub fn build(mut self) -> SimDag {
+        for task in &mut self.tasks {
+            let mut open = false;
+            for item in &task.items {
+                match item {
+                    Item::Spawn(_) => open = true,
+                    Item::Sync => open = false,
+                    Item::Work(_) | Item::Call(_) => {}
+                }
+            }
+            if open {
+                task.items.push(Item::Sync);
+            }
+        }
+        let dag = SimDag { tasks: self.tasks };
+        debug_assert_eq!(dag.validate(), Ok(()));
+        dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// fib-like binary tree of depth `d`.
+    fn binary(depth: u32, leaf: u64, node: u64) -> SimDag {
+        fn rec(b: &mut DagBuilder, task: usize, depth: u32, leaf: u64, node: u64) {
+            if depth == 0 {
+                b.work(task, leaf);
+                return;
+            }
+            b.work(task, node);
+            let c1 = b.spawn(task);
+            rec(b, c1, depth - 1, leaf, node);
+            // Continuation runs the second child inline (join2 shape).
+            let c2 = b.spawn(task);
+            rec(b, c2, depth - 1, leaf, node);
+            b.sync(task);
+        }
+        let mut b = DagBuilder::new();
+        rec(&mut b, 0, depth, leaf, node);
+        b.build()
+    }
+
+    #[test]
+    fn total_work_counts_all_strands() {
+        let dag = binary(3, 100, 10);
+        // 8 leaves * 100 + 7 internal * 10.
+        assert_eq!(dag.total_work(), 8 * 100 + 7 * 10);
+        assert_eq!(dag.spawn_count(), 14);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn span_of_balanced_tree() {
+        let dag = binary(3, 100, 0);
+        // With zero node work, the span equals one root-to-leaf path: 100.
+        assert_eq!(dag.span(), 100);
+        let dag = binary(3, 100, 10);
+        // Each level adds its node work once along the path.
+        assert_eq!(dag.span(), 100 + 3 * 10);
+    }
+
+    #[test]
+    fn span_of_sequential_regions() {
+        let mut b = DagBuilder::new();
+        b.work(0, 50);
+        let c1 = b.spawn(0);
+        b.work(c1, 200);
+        b.sync(0);
+        b.work(0, 50);
+        let c2 = b.spawn(0);
+        b.work(c2, 300);
+        b.sync(0);
+        let dag = b.build();
+        // Regions serialize: 50→(child 200)→50→(child 300).
+        assert_eq!(dag.span(), 50 + 200 + 50 + 300);
+        assert_eq!(dag.total_work(), 600);
+    }
+
+    #[test]
+    fn builder_closes_trailing_region() {
+        let mut b = DagBuilder::new();
+        let c = b.spawn(0);
+        b.work(c, 10);
+        let dag = b.build();
+        assert_eq!(dag.tasks[0].items.last(), Some(&Item::Sync));
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_spawn() {
+        let dag = SimDag {
+            tasks: vec![
+                TaskProg {
+                    items: vec![Item::Spawn(1), Item::Spawn(1), Item::Sync],
+                },
+                TaskProg {
+                    items: vec![Item::Work(1)],
+                },
+            ],
+        };
+        assert!(dag.validate().is_err());
+    }
+
+    #[test]
+    fn single_task_dag() {
+        let dag = SimDag::single(500);
+        assert_eq!(dag.total_work(), 500);
+        assert_eq!(dag.span(), 500);
+        assert_eq!(dag.spawn_count(), 0);
+    }
+}

@@ -1,0 +1,941 @@
+//! The discrete-event engine: replays a scheduling protocol over a
+//! [`SimDag`] with `P` virtual workers.
+//!
+//! Workers advance in global virtual-time order (always stepping the
+//! worker with the smallest clock), so shared state — deques, join
+//! counters, lock resources — is observed in a causally consistent order.
+//! Contended operations go through [`Resource`]s, which serialize
+//! overlapping holders; this is where lock-based designs lose scalability
+//! and the wait-free design does not (§IV of the paper).
+//!
+//! Two execution disciplines are implemented:
+//!
+//! * **continuation stealing** (Nowa, Nowa-THE, Fibril): spawn runs the
+//!   child immediately and offers the continuation; the post-child
+//!   `pop-or-join` and the two-phase sync counter follow §III-B/§IV-B,
+//!   including Fibril's fused deque+frame locking (Listing 2).
+//! * **child stealing / task queuing** (TBB-, libomp-, libgomp-like):
+//!   spawn defers a heap-allocated child and the parent continues; a sync
+//!   blocks the worker, which *helps* according to the runtime's
+//!   discipline (own deque only for tied tasks, anywhere for untied,
+//!   the central queue for the libgomp stand-in).
+
+use std::collections::VecDeque;
+
+use crate::cost::{CostModel, Resource};
+use crate::dag::{Item, SimDag};
+
+/// Which runtime system the engine replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimFlavor {
+    /// Nowa: wait-free join protocol + Chase–Lev deque.
+    NowaCl,
+    /// Nowa's protocol over the THE deque (Fig. 9 ablation).
+    NowaThe,
+    /// Fibril: lock-based joins, fully locked deque (Listing 2).
+    FibrilLock,
+    /// TBB stand-in: child stealing, per-worker deques.
+    ChildStealTbb,
+    /// libgomp stand-in: one central locked queue.
+    GlobalQueueGomp,
+    /// libomp stand-in: child-stealing tasking, tied or untied.
+    WsTasksOmp {
+        /// Tied tasks: blocked workers only run their own tasks.
+        tied: bool,
+    },
+}
+
+impl SimFlavor {
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimFlavor::NowaCl => "nowa",
+            SimFlavor::NowaThe => "nowa-the",
+            SimFlavor::FibrilLock => "fibril",
+            SimFlavor::ChildStealTbb => "tbb",
+            SimFlavor::GlobalQueueGomp => "libgomp",
+            SimFlavor::WsTasksOmp { tied: false } => "libomp-untied",
+            SimFlavor::WsTasksOmp { tied: true } => "libomp-tied",
+        }
+    }
+
+    /// Parses the names produced by [`SimFlavor::name`].
+    pub fn parse(name: &str) -> Option<SimFlavor> {
+        match name {
+            "nowa" => Some(SimFlavor::NowaCl),
+            "nowa-the" => Some(SimFlavor::NowaThe),
+            "fibril" => Some(SimFlavor::FibrilLock),
+            "tbb" => Some(SimFlavor::ChildStealTbb),
+            "libgomp" => Some(SimFlavor::GlobalQueueGomp),
+            "libomp-untied" => Some(SimFlavor::WsTasksOmp { tied: false }),
+            "libomp-tied" => Some(SimFlavor::WsTasksOmp { tied: true }),
+            _ => None,
+        }
+    }
+
+    /// All flavors.
+    pub const ALL: [SimFlavor; 7] = [
+        SimFlavor::NowaCl,
+        SimFlavor::NowaThe,
+        SimFlavor::FibrilLock,
+        SimFlavor::ChildStealTbb,
+        SimFlavor::GlobalQueueGomp,
+        SimFlavor::WsTasksOmp { tied: false },
+        SimFlavor::WsTasksOmp { tied: true },
+    ];
+
+    fn is_continuation_stealing(&self) -> bool {
+        matches!(
+            self,
+            SimFlavor::NowaCl | SimFlavor::NowaThe | SimFlavor::FibrilLock
+        )
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Runtime flavor to replay.
+    pub flavor: SimFlavor,
+    /// Number of virtual workers (the paper sweeps 1–256).
+    pub workers: usize,
+    /// RNG seed (victim selection).
+    pub seed: u64,
+    /// Apply the madvise-on-suspension policy (§V-B; continuation flavors).
+    pub madvise: bool,
+    /// Physical cores of the modelled machine (the paper's testbed has
+    /// 128 cores × 2-way SMT = 256 hardware threads).
+    pub cores: usize,
+    /// Throughput a second SMT sibling adds to a busy core (0.45 ≈ typical
+    /// for integer-heavy code on Zen 2).
+    pub smt_efficiency: f64,
+    /// Cost model.
+    pub costs: CostModel,
+}
+
+impl SimConfig {
+    /// Default configuration for `flavor` with `workers` workers.
+    pub fn new(flavor: SimFlavor, workers: usize) -> SimConfig {
+        SimConfig {
+            flavor,
+            workers,
+            seed: 0x5EED,
+            madvise: false,
+            cores: 128,
+            smt_efficiency: 0.45,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Virtual completion time of the root task.
+    pub makespan: u64,
+    /// Total strand work in the DAG (`T_s` of the simulated program).
+    pub total_work: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal sweeps.
+    pub failed_sweeps: u64,
+    /// Joins (continuation mode) / completed deferred children (child mode).
+    pub joins: u64,
+    /// Sync suspensions (continuation mode) / blocked joins (child mode).
+    pub suspensions: u64,
+    /// Engine events processed.
+    pub events: u64,
+}
+
+impl SimResult {
+    /// Speedup relative to the overhead-free serial execution.
+    pub fn speedup(&self) -> f64 {
+        self.total_work as f64 / self.makespan.max(1) as f64
+    }
+}
+
+#[derive(Clone, Default)]
+struct TState {
+    pc: usize,
+    parent: usize,
+    ret_pc: usize,
+    /// Entered via `Item::Call` (sequential): completion returns to the
+    /// caller directly, with no deque pop and no join.
+    called: bool,
+    /// Continuation mode: forks (α) and joins (ω) of the current region.
+    alpha: u32,
+    omega: u32,
+    suspended: bool,
+    /// Child mode: deferred children outstanding in the current region.
+    outstanding: u32,
+    /// Pending madvise refault cost to pay on resume.
+    refault: bool,
+    /// Fibril per-frame lock.
+    frame_lock: Resource,
+    /// Nowa sync-counter cache line.
+    counter_line: Resource,
+}
+
+enum WMode {
+    /// Executing a task (continuation + child modes).
+    Exec(usize),
+    /// Looking for work.
+    Idle,
+}
+
+struct Engine<'d> {
+    dag: &'d SimDag,
+    cfg: SimConfig,
+    clock: Vec<u64>,
+    mode: Vec<WMode>,
+    /// Child mode: per-worker stack of tasks blocked at their sync.
+    blocked: Vec<Vec<usize>>,
+    /// Continuation records `(task, resume pc)` or deferred child ids
+    /// (child mode, stored as `(task, 0)`).
+    deques: Vec<VecDeque<(usize, usize)>>,
+    central: VecDeque<(usize, usize)>,
+    tasks: Vec<TState>,
+    /// Per-deque thief-side resource (THE lock / fused lock / CL top line).
+    deque_res: Vec<Resource>,
+    central_res: Resource,
+    rng: u64,
+    backoff: Vec<u64>,
+    /// Per-unit work multiplier (×1024 fixed point) modelling SMT sharing:
+    /// beyond `cores` workers, siblings share pipelines.
+    work_mult: u64,
+    result: SimResult,
+    finished: bool,
+}
+
+impl<'d> Engine<'d> {
+    fn new(dag: &'d SimDag, cfg: SimConfig) -> Engine<'d> {
+        let p = cfg.workers.max(1);
+        let mut tasks = vec![TState::default(); dag.tasks.len()];
+        // Precompute parent/return-pc links (each task is spawned once).
+        for (ti, prog) in dag.tasks.iter().enumerate() {
+            for (pc, item) in prog.items.iter().enumerate() {
+                match item {
+                    Item::Spawn(c) => {
+                        tasks[*c].parent = ti;
+                        tasks[*c].ret_pc = pc + 1;
+                    }
+                    Item::Call(c) => {
+                        tasks[*c].parent = ti;
+                        tasks[*c].ret_pc = pc + 1;
+                        tasks[*c].called = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let total_work = dag.total_work();
+        // SMT model: P workers supply min(P, cores + (P-cores)·eff)
+        // core-equivalents; each worker's strands slow down accordingly.
+        let work_mult = if p <= cfg.cores {
+            1024
+        } else {
+            let equiv = cfg.cores as f64 + (p - cfg.cores) as f64 * cfg.smt_efficiency;
+            ((p as f64 / equiv) * 1024.0) as u64
+        };
+        Engine {
+            dag,
+            clock: vec![0; p],
+            mode: (0..p)
+                .map(|w| if w == 0 { WMode::Exec(0) } else { WMode::Idle })
+                .collect(),
+            blocked: vec![Vec::new(); p],
+            deques: vec![VecDeque::new(); p],
+            central: VecDeque::new(),
+            tasks,
+            deque_res: vec![Resource::default(); p],
+            central_res: Resource::default(),
+            rng: cfg.seed | 1,
+            backoff: vec![cfg.costs.idle_backoff; p],
+            work_mult,
+            result: SimResult {
+                makespan: 0,
+                total_work,
+                steals: 0,
+                failed_sweeps: 0,
+                joins: 0,
+                suspensions: 0,
+                events: 0,
+            },
+            finished: false,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The owner-side deque-op cost: only Fibril's fully locked deque makes
+    /// the owner synchronise on (and serialize with thieves over) its own
+    /// queue; the lock-free/elided owners pay nothing here.
+    #[inline]
+    fn owner_deque_op(&mut self, w: usize, t: u64) -> u64 {
+        match self.cfg.flavor {
+            SimFlavor::FibrilLock => {
+                let c = &self.cfg.costs;
+                self.deque_res[w].acquire(t, w as u32, c.lock_local, c.fused_lock_hold)
+            }
+            _ => t,
+        }
+    }
+
+    /// Thief-side claim on `victim`'s deque.
+    #[inline]
+    fn thief_deque_claim(&mut self, thief: usize, victim: usize, t: u64) -> u64 {
+        let c = &self.cfg.costs;
+        let id = thief as u32;
+        match self.cfg.flavor {
+            SimFlavor::NowaCl => {
+                // One claiming CAS on the top counter's cache line.
+                self.deque_res[victim].acquire(t, id, c.lock_local, c.cl_top_hold)
+            }
+            SimFlavor::NowaThe => {
+                self.deque_res[victim].acquire(t, id, c.lock_local, c.the_lock_hold)
+            }
+            SimFlavor::FibrilLock => {
+                self.deque_res[victim].acquire(t, id, c.lock_local, c.fused_lock_hold)
+            }
+            // Child-stealing deques are mutex-protected per worker.
+            SimFlavor::ChildStealTbb | SimFlavor::WsTasksOmp { .. } => {
+                self.deque_res[victim].acquire(t, id, c.lock_local, c.the_lock_hold)
+            }
+            SimFlavor::GlobalQueueGomp => unreachable!("gomp steals from the central queue"),
+        }
+    }
+
+    /// Fork bookkeeping when a continuation is taken as new work.
+    #[inline]
+    fn fork_bookkeeping(&mut self, w: usize, frame: usize, t: u64) -> u64 {
+        match self.cfg.flavor {
+            SimFlavor::FibrilLock => {
+                let local = self.cfg.costs.lock_local;
+                let hold = self.cfg.costs.frame_lock_hold;
+                self.tasks[frame].alpha += 1;
+                let mut lock = self.tasks[frame].frame_lock;
+                let t = lock.acquire(t, w as u32, local, hold);
+                self.tasks[frame].frame_lock = lock;
+                t
+            }
+            _ => {
+                // Nowa: α is unsynchronised (Invariant II).
+                self.tasks[frame].alpha += 1;
+                t
+            }
+        }
+    }
+
+    /// Child-join bookkeeping (ω increment + condition check).
+    /// Returns `(time, condition_holds)`.
+    #[inline]
+    fn join_bookkeeping(&mut self, w: usize, frame: usize, t: u64) -> (u64, bool) {
+        let c = self.cfg.costs.clone();
+        let t = t + c.join_local;
+        let id = w as u32;
+        let t = match self.cfg.flavor {
+            SimFlavor::FibrilLock => {
+                let mut lock = self.tasks[frame].frame_lock;
+                let t = lock.acquire(t, id, c.lock_local, c.frame_lock_hold);
+                self.tasks[frame].frame_lock = lock;
+                t
+            }
+            _ => {
+                let mut line = self.tasks[frame].counter_line;
+                let t = line.acquire(t, id, c.lock_local, c.counter_hold);
+                self.tasks[frame].counter_line = line;
+                t
+            }
+        };
+        self.tasks[frame].omega += 1;
+        let task = &self.tasks[frame];
+        (t, task.suspended && task.alpha == task.omega)
+    }
+
+    /// One engine step for the globally earliest worker. Returns false
+    /// once the root task completed.
+    fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        self.result.events += 1;
+        // Earliest worker goes next.
+        let w = (0..self.clock.len())
+            .min_by_key(|&w| self.clock[w])
+            .expect("at least one worker");
+        if self.cfg.flavor.is_continuation_stealing() {
+            self.step_cont(w);
+        } else {
+            self.step_child(w);
+        }
+        !self.finished
+    }
+
+    // ----- continuation-stealing discipline -------------------------------
+
+    fn step_cont(&mut self, w: usize) {
+        let t = self.clock[w];
+        match self.mode[w] {
+            WMode::Exec(task) => self.step_cont_exec(w, task, t),
+            WMode::Idle => self.step_cont_idle(w, t),
+        }
+    }
+
+    fn step_cont_exec(&mut self, w: usize, task: usize, t: u64) {
+        let c = self.cfg.costs.clone();
+        let pc = self.tasks[task].pc;
+        match self.dag.tasks[task].items.get(pc).copied() {
+            Some(Item::Work(work)) => {
+                self.clock[w] = t + (work * self.work_mult) / 1024;
+                self.tasks[task].pc += 1;
+            }
+            Some(Item::Spawn(child)) => {
+                let t = t + c.spawn;
+                let t = self.owner_deque_op(w, t);
+                self.tasks[task].pc = pc + 1;
+                self.deques[w].push_back((task, pc + 1));
+                // Child-first: descend immediately (no stack switch cost on
+                // the fast path beyond what `spawn` already charged).
+                self.tasks[child].pc = 0;
+                self.mode[w] = WMode::Exec(child);
+                self.clock[w] = t;
+            }
+            Some(Item::Call(child)) => {
+                // Sequential call: descend; the return is direct.
+                self.tasks[task].pc = pc + 1;
+                self.tasks[child].pc = 0;
+                self.mode[w] = WMode::Exec(child);
+                self.clock[w] = t + 2; // call overhead
+            }
+            Some(Item::Sync) => {
+                let task_state = &self.tasks[task];
+                if task_state.alpha == task_state.omega {
+                    // Condition holds: inline sync.
+                    let t = t + c.sync_fast;
+                    let t = if self.cfg.flavor == SimFlavor::FibrilLock {
+                        let mut lock = self.tasks[task].frame_lock;
+                        let t = lock.acquire(t, w as u32, c.lock_local, c.frame_lock_hold);
+                        self.tasks[task].frame_lock = lock;
+                        t
+                    } else {
+                        t
+                    };
+                    self.tasks[task].alpha = 0;
+                    self.tasks[task].omega = 0;
+                    self.tasks[task].pc = pc + 1;
+                    self.clock[w] = t;
+                } else {
+                    // Suspend: capture + restore (Eq. 5 for Nowa, frame
+                    // lock for Fibril), stack handoff, optional madvise.
+                    let mut t = t + c.suspend;
+                    t = match self.cfg.flavor {
+                        SimFlavor::FibrilLock => {
+                            let mut lock = self.tasks[task].frame_lock;
+                            let t2 = lock.acquire(t, w as u32, c.lock_local, c.frame_lock_hold);
+                            self.tasks[task].frame_lock = lock;
+                            t2
+                        }
+                        _ => {
+                            let mut line = self.tasks[task].counter_line;
+                            let t2 = line.acquire(t, w as u32, c.lock_local, c.counter_hold);
+                            self.tasks[task].counter_line = line;
+                            t2
+                        }
+                    };
+                    if self.cfg.madvise {
+                        t += c.madvise_syscall;
+                        self.tasks[task].refault = true;
+                    }
+                    self.tasks[task].suspended = true;
+                    self.result.suspensions += 1;
+                    self.mode[w] = WMode::Idle;
+                    self.clock[w] = t;
+                }
+            }
+            None => {
+                // Task complete.
+                if task == 0 {
+                    self.finished = true;
+                    self.result.makespan = t;
+                    return;
+                }
+                let parent = self.tasks[task].parent;
+                let ret_pc = self.tasks[task].ret_pc;
+                if self.tasks[task].called {
+                    // Sequential return: no deque traffic, no join.
+                    debug_assert_eq!(self.tasks[parent].pc, ret_pc);
+                    self.mode[w] = WMode::Exec(parent);
+                    self.clock[w] = t + 2;
+                    return;
+                }
+                let t = t + c.pop;
+                let t = self.owner_deque_op(w, t);
+                if let Some((pt, rpc)) = self.deques[w].pop_back() {
+                    debug_assert_eq!((pt, rpc), (parent, ret_pc), "LIFO invariant");
+                    // Fast path: continue the parent directly.
+                    self.mode[w] = WMode::Exec(parent);
+                    self.clock[w] = t;
+                } else {
+                    // Continuation stolen: child join.
+                    self.result.joins += 1;
+                    let (mut t, condition) = self.join_bookkeeping(w, parent, t);
+                    if condition {
+                        // Last joiner resumes the suspended sync.
+                        self.tasks[parent].suspended = false;
+                        self.tasks[parent].alpha = 0;
+                        self.tasks[parent].omega = 0;
+                        self.tasks[parent].pc += 1; // past the Sync item
+                        t += c.resume_sync;
+                        if self.tasks[parent].refault {
+                            t += c.madvise_refault;
+                            self.tasks[parent].refault = false;
+                        }
+                        self.mode[w] = WMode::Exec(parent);
+                    } else {
+                        self.mode[w] = WMode::Idle;
+                    }
+                    self.clock[w] = t;
+                }
+            }
+        }
+    }
+
+    fn step_cont_idle(&mut self, w: usize, t: u64) {
+        let c = self.cfg.costs.clone();
+        // Local work first (the self-pop is a fork, §III-B).
+        if !self.deques[w].is_empty() {
+            let t = t + c.pop;
+            let t = self.owner_deque_op(w, t);
+            let (pt, rpc) = self.deques[w].pop_back().expect("checked non-empty");
+            let t = self.fork_bookkeeping(w, pt, t);
+            self.tasks[pt].pc = rpc;
+            self.mode[w] = WMode::Exec(pt);
+            self.clock[w] = t;
+            self.backoff[w] = c.idle_backoff;
+            return;
+        }
+        // Random steal attempts: like Listing 2's loop, pick a random
+        // victim per attempt; a handful of attempts per engine step keeps
+        // the probe pressure realistic (thieves back off between sweeps).
+        let p = self.clock.len();
+        let mut t = t;
+        if p > 1 {
+            for _ in 0..4.min(p - 1) {
+                let victim = (self.rand() as usize) % p;
+                if victim == w {
+                    continue;
+                }
+                t += c.steal_attempt;
+                if self.deques[victim].is_empty() {
+                    // Listing 2 (Fibril) and the Cilk-5 THE protocol lock
+                    // the victim's deque even to find it empty — thieves
+                    // interfere with the victim's own hot path. The CL
+                    // thief only performs loads on an empty deque.
+                    match self.cfg.flavor {
+                        SimFlavor::FibrilLock => {
+                            t = self.deque_res[victim].acquire(
+                                t,
+                                w as u32,
+                                c.lock_local,
+                                c.fused_lock_hold,
+                            );
+                        }
+                        SimFlavor::NowaThe => {
+                            t = self.deque_res[victim].acquire(
+                                t,
+                                w as u32,
+                                c.lock_local,
+                                c.the_lock_hold,
+                            );
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+                t = self.thief_deque_claim(w, victim, t);
+                // The probe/claim races are already folded into the
+                // resource wait; take the oldest continuation.
+                let Some((pt, rpc)) = self.deques[victim].pop_front() else {
+                    continue;
+                };
+                t = self.fork_bookkeeping(w, pt, t);
+                t += c.steal_success;
+                let mut t = t;
+                if self.tasks[pt].refault {
+                    t += c.madvise_refault;
+                    self.tasks[pt].refault = false;
+                }
+                self.result.steals += 1;
+                self.tasks[pt].pc = rpc;
+                self.mode[w] = WMode::Exec(pt);
+                self.clock[w] = t;
+                self.backoff[w] = c.idle_backoff;
+                return;
+            }
+        }
+        // Nothing found: back off.
+        self.result.failed_sweeps += 1;
+        self.clock[w] = t + self.backoff[w];
+        self.backoff[w] = (self.backoff[w] * 2).min(5_000);
+    }
+
+    // ----- child-stealing / task-queue discipline --------------------------
+
+    fn push_task(&mut self, w: usize, child: usize, t: u64) -> u64 {
+        let c = &self.cfg.costs;
+        match self.cfg.flavor {
+            SimFlavor::GlobalQueueGomp => {
+                let t = self.central_res.acquire(t, w as u32, c.lock_local * 2, c.central_lock_hold);
+                self.central.push_back((child, 0));
+                t
+            }
+            _ => {
+                // Per-worker locked deque (owner side).
+                let t = self.deque_res[w].acquire(t, w as u32, c.lock_local, c.the_lock_hold);
+                self.deques[w].push_back((child, 0));
+                t
+            }
+        }
+    }
+
+    /// Takes a deferred child under the given help discipline.
+    fn take_task(&mut self, w: usize, own_only: bool, t: u64) -> (u64, Option<usize>) {
+        let c = self.cfg.costs.clone();
+        match self.cfg.flavor {
+            SimFlavor::GlobalQueueGomp => {
+                let t2 = self.central_res.acquire(t, w as u32, c.lock_local * 2, c.central_lock_hold);
+                match self.central.pop_front() {
+                    Some((child, _)) => (t2, Some(child)),
+                    None => (t2, None),
+                }
+            }
+            _ => {
+                // Own deque (LIFO — children run in reverse order, §V-A).
+                if !self.deques[w].is_empty() {
+                    let t2 = self.deque_res[w].acquire(t, w as u32, c.lock_local, c.the_lock_hold);
+                    let (child, _) = self.deques[w].pop_back().expect("non-empty");
+                    return (t2, Some(child));
+                }
+                if own_only {
+                    return (t, None);
+                }
+                let p = self.clock.len();
+                let mut t = t;
+                if p > 1 {
+                    for _ in 0..4.min(p - 1) {
+                        let victim = (self.rand() as usize) % p;
+                        if victim == w {
+                            continue;
+                        }
+                        t += c.steal_attempt;
+                        if self.deques[victim].is_empty() {
+                            continue;
+                        }
+                        let t2 = self.thief_deque_claim(w, victim, t);
+                        let Some((child, _)) = self.deques[victim].pop_front() else {
+                            continue;
+                        };
+                        self.result.steals += 1;
+                        return (t2, Some(child));
+                    }
+                }
+                (t, None)
+            }
+        }
+    }
+
+    fn step_child(&mut self, w: usize) {
+        let t = self.clock[w];
+        let c = self.cfg.costs.clone();
+        match self.mode[w] {
+            WMode::Exec(task) => {
+                let pc = self.tasks[task].pc;
+                match self.dag.tasks[task].items.get(pc).copied() {
+                    Some(Item::Work(work)) => {
+                        self.clock[w] = t + (work * self.work_mult) / 1024;
+                        self.tasks[task].pc += 1;
+                    }
+                    Some(Item::Spawn(child)) => {
+                        // Defer the child; the parent continues (§II-B).
+                        let mut t = t + c.child_alloc;
+                        if matches!(self.cfg.flavor, SimFlavor::WsTasksOmp { .. }) {
+                            t += c.omp_task_overhead;
+                        }
+                        let t = self.push_task(w, child, t);
+                        self.tasks[task].outstanding += 1;
+                        self.tasks[task].pc = pc + 1;
+                        self.clock[w] = t;
+                    }
+                    Some(Item::Call(child)) => {
+                        self.tasks[task].pc = pc + 1;
+                        self.tasks[child].pc = 0;
+                        self.mode[w] = WMode::Exec(child);
+                        self.clock[w] = t + 2;
+                    }
+                    Some(Item::Sync) => {
+                        if self.tasks[task].outstanding == 0 {
+                            self.tasks[task].pc = pc + 1;
+                            self.clock[w] = t + c.sync_fast;
+                        } else {
+                            // Block this worker on the join; help below.
+                            self.result.suspensions += 1;
+                            self.blocked[w].push(task);
+                            self.mode[w] = WMode::Idle;
+                            self.clock[w] = t + c.sync_fast;
+                        }
+                    }
+                    None => {
+                        if task == 0 {
+                            self.finished = true;
+                            self.result.makespan = t;
+                            return;
+                        }
+                        let parent = self.tasks[task].parent;
+                        if self.tasks[task].called {
+                            debug_assert_eq!(self.tasks[parent].pc, self.tasks[task].ret_pc);
+                            self.mode[w] = WMode::Exec(parent);
+                            self.clock[w] = t + 2;
+                            return;
+                        }
+                        // Completion: notify the parent.
+                        self.result.joins += 1;
+                        let mut t = t;
+                        if matches!(self.cfg.flavor, SimFlavor::WsTasksOmp { .. }) {
+                            t += c.omp_task_overhead; // completion signalling
+                        }
+                        self.tasks[parent].outstanding -= 1;
+                        self.mode[w] = WMode::Idle;
+                        self.clock[w] = t;
+                    }
+                }
+            }
+            WMode::Idle => {
+                // A blocked join to poll?
+                if let Some(&task) = self.blocked[w].last() {
+                    if self.tasks[task].outstanding == 0 {
+                        self.blocked[w].pop();
+                        self.tasks[task].pc += 1; // past the Sync
+                        self.tasks[task].alpha = 0;
+                        self.tasks[task].omega = 0;
+                        self.mode[w] = WMode::Exec(task);
+                        self.clock[w] = t + c.sync_fast;
+                        return;
+                    }
+                    let own_only = matches!(self.cfg.flavor, SimFlavor::WsTasksOmp { tied: true });
+                    let (t2, found) = self.take_task(w, own_only, t);
+                    match found {
+                        Some(child) => {
+                            self.tasks[child].pc = 0;
+                            self.mode[w] = WMode::Exec(child);
+                            self.clock[w] = t2 + c.child_exec;
+                        }
+                        None => {
+                            self.clock[w] = t2 + c.join_poll;
+                        }
+                    }
+                    return;
+                }
+                // Truly idle.
+                let (t2, found) = self.take_task(w, false, t);
+                match found {
+                    Some(child) => {
+                        self.tasks[child].pc = 0;
+                        self.mode[w] = WMode::Exec(child);
+                        self.clock[w] = t2 + c.child_exec;
+                        self.backoff[w] = c.idle_backoff;
+                    }
+                    None => {
+                        self.result.failed_sweeps += 1;
+                        self.clock[w] = t2 + self.backoff[w];
+                        self.backoff[w] = (self.backoff[w] * 2).min(5_000);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs `dag` under `cfg` and returns the result.
+pub fn simulate(dag: &SimDag, cfg: SimConfig) -> SimResult {
+    debug_assert_eq!(dag.validate(), Ok(()));
+    let mut engine = Engine::new(dag, cfg);
+    // Safety valve against engine bugs: no run should need more events
+    // than a generous multiple of the DAG size.
+    let limit: u64 = 200 * dag.tasks.len() as u64
+        + 4_000_000
+        + 50_000 * engine.clock.len() as u64;
+    let mut steps: u64 = 0;
+    while engine.step() {
+        steps += 1;
+        assert!(steps < limit, "simulation exceeded event budget (engine bug?)");
+    }
+    engine.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DagBuilder;
+
+    fn binary_dag(depth: u32, leaf: u64, node: u64) -> SimDag {
+        fn rec(b: &mut DagBuilder, task: usize, depth: u32, leaf: u64, node: u64) {
+            if depth == 0 {
+                b.work(task, leaf);
+                return;
+            }
+            b.work(task, node);
+            let c1 = b.spawn(task);
+            rec(b, c1, depth - 1, leaf, node);
+            let c2 = b.spawn(task);
+            rec(b, c2, depth - 1, leaf, node);
+            b.sync(task);
+        }
+        let mut b = DagBuilder::new();
+        rec(&mut b, 0, depth, leaf, node);
+        b.build()
+    }
+
+    #[test]
+    fn single_worker_executes_all_work() {
+        let dag = binary_dag(6, 1000, 50);
+        for flavor in SimFlavor::ALL {
+            let result = simulate(&dag, SimConfig::new(flavor, 1));
+            assert!(
+                result.makespan >= dag.total_work(),
+                "{}: makespan below total work",
+                flavor.name()
+            );
+            // Overheads are bounded: within 4x of pure work for this DAG.
+            assert!(
+                result.makespan < 4 * dag.total_work(),
+                "{}: unreasonable overhead {} vs {}",
+                flavor.name(),
+                result.makespan,
+                dag.total_work()
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_reduces_makespan() {
+        let dag = binary_dag(10, 5_000, 100);
+        for flavor in [SimFlavor::NowaCl, SimFlavor::FibrilLock, SimFlavor::ChildStealTbb] {
+            let t1 = simulate(&dag, SimConfig::new(flavor, 1)).makespan;
+            let t8 = simulate(&dag, SimConfig::new(flavor, 8)).makespan;
+            assert!(
+                (t8 as f64) < 0.40 * t1 as f64,
+                "{}: t1={t1} t8={t8}",
+                flavor.name()
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_worker_count() {
+        let dag = binary_dag(10, 2_000, 50);
+        for flavor in SimFlavor::ALL {
+            for p in [1, 2, 4, 16] {
+                let s = simulate(&dag, SimConfig::new(flavor, p)).speedup();
+                assert!(
+                    s <= p as f64 + 1e-9,
+                    "{} at P={p}: impossible speedup {s}",
+                    flavor.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steals_happen_with_multiple_workers() {
+        let dag = binary_dag(10, 1_000, 20);
+        let r = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 4));
+        assert!(r.steals > 0);
+    }
+
+    #[test]
+    fn nowa_beats_fibril_on_fine_grained_dag_at_high_p() {
+        // fib-like: tiny strands, spawn-dominated — the paper's runtime
+        // stress case (§V-A: fib, integrate, nqueens gain up to 1.6x).
+        let dag = binary_dag(14, 60, 15);
+        let p = 256;
+        let nowa = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, p));
+        let fibril = simulate(&dag, SimConfig::new(SimFlavor::FibrilLock, p));
+        assert!(
+            nowa.speedup() > fibril.speedup(),
+            "nowa {} vs fibril {}",
+            nowa.speedup(),
+            fibril.speedup()
+        );
+    }
+
+    #[test]
+    fn gomp_collapses_on_fine_grained_tasks() {
+        let dag = binary_dag(12, 100, 20);
+        let gomp64 = simulate(&dag, SimConfig::new(SimFlavor::GlobalQueueGomp, 64));
+        let nowa64 = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 64));
+        assert!(
+            nowa64.speedup() > 3.0 * gomp64.speedup(),
+            "nowa {} vs gomp {}",
+            nowa64.speedup(),
+            gomp64.speedup()
+        );
+    }
+
+    #[test]
+    fn madvise_costs_show_up_under_steals() {
+        let dag = binary_dag(12, 400, 40);
+        let plain = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 32));
+        let mut cfg = SimConfig::new(SimFlavor::NowaCl, 32);
+        cfg.madvise = true;
+        let madv = simulate(&dag, cfg);
+        assert!(
+            madv.makespan >= plain.makespan,
+            "madvise should not speed things up: {} vs {}",
+            madv.makespan,
+            plain.makespan
+        );
+    }
+
+    #[test]
+    fn multi_region_dag_executes() {
+        // heat-like: sequential regions on the root.
+        let mut b = DagBuilder::new();
+        for _ in 0..5 {
+            for _ in 0..4 {
+                let c = b.spawn(0);
+                b.work(c, 500);
+            }
+            b.sync(0);
+            b.work(0, 50);
+        }
+        let dag = b.build();
+        for flavor in SimFlavor::ALL {
+            let r = simulate(&dag, SimConfig::new(flavor, 4));
+            assert!(r.makespan >= dag.span(), "{}", flavor.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dag = binary_dag(8, 500, 20);
+        let a = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 8));
+        let b = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flavor_names_round_trip() {
+        for f in SimFlavor::ALL {
+            assert_eq!(SimFlavor::parse(f.name()), Some(f));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Behavioural tests of the simulator: the qualitative phenomena the
+//! paper's evaluation reports must emerge from the protocol replay.
+
+use nowa_sim::{bench_dags, simulate, DagBuilder, SimBench, SimConfig, SimDag, SimFlavor};
+
+/// A fib-like fine-grained binary DAG.
+fn fine_grained(depth: u32) -> SimDag {
+    fn rec(b: &mut DagBuilder, task: usize, depth: u32) {
+        if depth == 0 {
+            b.work(task, 8);
+            return;
+        }
+        b.work(task, 10);
+        let c1 = b.spawn(task);
+        rec(b, c1, depth - 1);
+        let c2 = b.call(task);
+        rec(b, c2, depth - 1);
+        b.sync(task);
+    }
+    let mut b = DagBuilder::new();
+    rec(&mut b, 0, depth);
+    b.build()
+}
+
+/// A coarse-grained DAG: large leaves, plenty of them.
+fn coarse_grained() -> SimDag {
+    let mut b = DagBuilder::new();
+    for _ in 0..512 {
+        let c = b.spawn(0);
+        b.work(c, 50_000);
+    }
+    b.sync(0);
+    b.build()
+}
+
+#[test]
+fn lock_gap_grows_with_thread_count() {
+    // §V-A: Nowa ≈ Fibril at low thread counts; the gap opens as
+    // contention rises.
+    let dag = fine_grained(16);
+    let ratio = |p: usize| {
+        let nowa = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, p)).speedup();
+        let fibril = simulate(&dag, SimConfig::new(SimFlavor::FibrilLock, p)).speedup();
+        nowa / fibril
+    };
+    let low = ratio(2);
+    let high = ratio(256);
+    assert!(high > low, "gap must grow: {low:.2} -> {high:.2}");
+}
+
+#[test]
+fn coarse_grain_hides_runtime_differences() {
+    // quicksort-like behaviour (Fig. 7): with big leaves all runtimes tie.
+    let dag = coarse_grained();
+    let nowa = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 32)).speedup();
+    let fibril = simulate(&dag, SimConfig::new(SimFlavor::FibrilLock, 32)).speedup();
+    let rel = (nowa - fibril).abs() / nowa;
+    assert!(rel < 0.10, "coarse grains should tie: {nowa:.2} vs {fibril:.2}");
+}
+
+#[test]
+fn smt_bends_speedup_beyond_core_count() {
+    // Beyond 128 cores the per-worker rate drops (2-way SMT): doubling
+    // workers from 128 to 256 must yield clearly sublinear gains.
+    let dag = coarse_grained();
+    let s128 = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 64)).speedup();
+    let mut big = SimConfig::new(SimFlavor::NowaCl, 256);
+    big.cores = 64;
+    let s256 = simulate(&dag, big).speedup();
+    assert!(
+        s256 < 2.0 * s128 * 0.9,
+        "SMT must bend the curve: {s128:.2} -> {s256:.2}"
+    );
+}
+
+#[test]
+fn madvise_hurts_most_where_suspensions_are_frequent() {
+    // §V-B: the madvise penalty scales with suspension traffic.
+    let dag = fine_grained(14);
+    let p = 64;
+    let plain = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, p));
+    let mut cfg = SimConfig::new(SimFlavor::NowaCl, p);
+    cfg.madvise = true;
+    let madv = simulate(&dag, cfg);
+    assert!(plain.suspensions > 0);
+    assert!(
+        madv.makespan > plain.makespan,
+        "madvise adds syscall+refault cost under steals"
+    );
+}
+
+#[test]
+fn tied_tasks_restrict_helping() {
+    // A DAG with one deep spawner and idle siblings: tied waiting workers
+    // can run only their own tasks, so tied ≥ untied in makespan here.
+    let mut b = DagBuilder::new();
+    for _ in 0..4 {
+        let c = b.spawn(0);
+        for _ in 0..64 {
+            let gc = b.spawn(c);
+            b.work(gc, 3_000);
+        }
+        b.sync(c);
+    }
+    b.sync(0);
+    let dag = b.build();
+    let untied = simulate(&dag, SimConfig::new(SimFlavor::WsTasksOmp { tied: false }, 16));
+    let tied = simulate(&dag, SimConfig::new(SimFlavor::WsTasksOmp { tied: true }, 16));
+    assert!(
+        tied.makespan >= untied.makespan,
+        "tied {} vs untied {}",
+        tied.makespan,
+        untied.makespan
+    );
+}
+
+#[test]
+fn central_queue_scales_into_a_wall() {
+    // libgomp-like: speedup must *decrease* from 16 to 256 workers on a
+    // fine-grained DAG (every task operation serializes on one lock).
+    let dag = fine_grained(15);
+    let s16 = simulate(&dag, SimConfig::new(SimFlavor::GlobalQueueGomp, 16)).speedup();
+    let s256 = simulate(&dag, SimConfig::new(SimFlavor::GlobalQueueGomp, 256)).speedup();
+    assert!(
+        s256 < s16,
+        "central queue must collapse: {s16:.2} -> {s256:.2}"
+    );
+}
+
+#[test]
+fn steal_counts_rise_with_workers() {
+    let dag = bench_dags::generate(SimBench::Fib, 18);
+    let s4 = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 4));
+    let s64 = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 64));
+    assert!(s64.steals > s4.steals);
+}
+
+#[test]
+fn seeds_change_schedules_not_results() {
+    let dag = bench_dags::generate(SimBench::Quicksort, 14);
+    let mut a = SimConfig::new(SimFlavor::NowaCl, 8);
+    a.seed = 1;
+    let mut b = SimConfig::new(SimFlavor::NowaCl, 8);
+    b.seed = 99;
+    let ra = simulate(&dag, a);
+    let rb = simulate(&dag, b);
+    // Same total work either way; makespans may differ but only modestly.
+    assert_eq!(ra.total_work, rb.total_work);
+    let rel = (ra.makespan as f64 - rb.makespan as f64).abs() / ra.makespan as f64;
+    assert!(rel < 0.5, "schedules differ wildly across seeds: {rel}");
+}
+
+#[test]
+fn all_benchmark_dags_scale_beyond_one() {
+    for bench in SimBench::ALL {
+        let dag = bench_dags::generate(bench, bench.quick_scale());
+        let s1 = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 1)).speedup();
+        let s8 = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 8)).speedup();
+        assert!(
+            s8 > 1.5 * s1,
+            "{}: no parallel speedup ({s1:.2} -> {s8:.2})",
+            bench.name()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Direct-summation N-body timestepping with `par_map`-style row
+//! parallelism: every step computes all pairwise gravitational
+//! accelerations in parallel, then integrates.
+//!
+//! ```text
+//! cargo run --release --example nbody
+//! ```
+
+use nowa::{par_for, Config, Runtime};
+
+#[derive(Clone, Copy, Default)]
+struct Body {
+    pos: [f64; 3],
+    vel: [f64; 3],
+    mass: f64,
+}
+
+fn make_bodies(n: usize) -> Vec<Body> {
+    let mut seed = 42u64;
+    let mut rand = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % 2000) as f64 / 1000.0 - 1.0
+    };
+    (0..n)
+        .map(|_| Body {
+            pos: [rand(), rand(), rand()],
+            vel: [rand() * 0.1, rand() * 0.1, rand() * 0.1],
+            mass: 1.0 + rand().abs(),
+        })
+        .collect()
+}
+
+fn energy(bodies: &[Body]) -> f64 {
+    let mut e = 0.0;
+    for (i, a) in bodies.iter().enumerate() {
+        e += 0.5 * a.mass * a.vel.iter().map(|v| v * v).sum::<f64>();
+        for b in &bodies[i + 1..] {
+            let d2: f64 = a
+                .pos
+                .iter()
+                .zip(&b.pos)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                + 1e-6;
+            e -= a.mass * b.mass / d2.sqrt();
+        }
+    }
+    e
+}
+
+fn step(bodies: &mut [Body], accel: &mut [[f64; 3]], dt: f64) {
+    let snapshot: Vec<Body> = bodies.to_vec();
+    // Parallel force computation: each index writes only its own slot.
+    {
+        let accel_ptr = accel.as_mut_ptr() as usize;
+        par_for(0..snapshot.len(), 16, &|i| {
+            let mut acc = [0.0f64; 3];
+            let me = snapshot[i];
+            for (j, other) in snapshot.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut d = [0.0; 3];
+                let mut d2 = 1e-6;
+                for (dk, (p, q)) in d.iter_mut().zip(other.pos.iter().zip(&me.pos)) {
+                    *dk = p - q;
+                    d2 += *dk * *dk;
+                }
+                let f = other.mass / (d2 * d2.sqrt());
+                for (ak, dk) in acc.iter_mut().zip(&d) {
+                    *ak += f * dk;
+                }
+            }
+            // SAFETY: index-exclusive write into the accel buffer.
+            unsafe { *(accel_ptr as *mut [f64; 3]).add(i) = acc };
+        });
+    }
+    // Serial integration (O(n), not worth forking).
+    for (b, a) in bodies.iter_mut().zip(accel.iter()) {
+        for (vk, (pk, ak)) in b.vel.iter_mut().zip(b.pos.iter_mut().zip(a)) {
+            *vk += ak * dt;
+            *pk += *vk * dt;
+        }
+    }
+}
+
+fn main() {
+    let n = 800;
+    let steps = 20;
+    let mut bodies = make_bodies(n);
+    let mut accel = vec![[0.0f64; 3]; n];
+
+    let rt = Runtime::new(Config::default()).expect("runtime");
+    let e0 = energy(&bodies);
+    let start = std::time::Instant::now();
+    rt.run(|| {
+        for _ in 0..steps {
+            step(&mut bodies, &mut accel, 1e-4);
+        }
+    });
+    let dt = start.elapsed();
+    let e1 = energy(&bodies);
+
+    println!("{n} bodies, {steps} steps in {dt:?}");
+    println!("energy drift: {:+.3e} (relative)", (e1 - e0) / e0.abs());
+    let stats = rt.stats();
+    println!("spawns: {}, steals: {}", stats.spawns, stats.steals);
+}

@@ -1,0 +1,91 @@
+//! A three-stage parallel pipeline built from nested fork/join: chunks of
+//! a data stream are (1) parsed, (2) transformed and (3) aggregated, with
+//! stages expressed as `join2` trees rather than channels — the
+//! fully-strict style the platform is built for. Also demonstrates the
+//! `Region` API's linear-spawn shape and panic propagation.
+//!
+//! ```text
+//! cargo run --release --example pipeline
+//! ```
+
+use nowa::{join2, map_reduce, Config, Region, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stage 1: "parse" a chunk of the raw stream into numbers.
+fn parse(chunk: &[u8]) -> Vec<u32> {
+    chunk.iter().map(|&b| b as u32 * 131).collect()
+}
+
+/// Stage 2: transform (here: a toy hash round).
+fn transform(mut values: Vec<u32>) -> Vec<u32> {
+    for v in &mut values {
+        *v ^= *v >> 7;
+        *v = v.wrapping_mul(0x9E37_79B9);
+        *v ^= *v >> 13;
+    }
+    values
+}
+
+/// Stage 3: aggregate.
+fn aggregate(values: &[u32]) -> u64 {
+    values.iter().map(|&v| v as u64).sum()
+}
+
+fn main() {
+    // A deterministic "stream" of bytes, chunked.
+    let stream: Vec<u8> = (0..1_000_000u32).map(|i| (i * 31 % 251) as u8).collect();
+    let chunks: Vec<&[u8]> = stream.chunks(4096).collect();
+
+    let rt = Runtime::new(Config::default()).expect("runtime");
+
+    // The whole pipeline as one map_reduce: each chunk flows through the
+    // three stages; chunk processing fans out as a balanced join tree.
+    let total = rt
+        .run(|| {
+            map_reduce(
+                0..chunks.len(),
+                4,
+                &|i| {
+                    // Stages 1+2 of one chunk can themselves overlap with
+                    // the neighbour chunk via the enclosing join tree; the
+                    // inner join2 splits parse from a checksum side-task.
+                    let (parsed, check) = join2(
+                        || transform(parse(chunks[i])),
+                        || chunks[i].iter().map(|&b| b as u64).sum::<u64>(),
+                    );
+                    aggregate(&parsed) ^ check
+                },
+                &|a, b| a.wrapping_add(b),
+            )
+            .unwrap_or(0)
+        });
+    println!("pipeline digest: {total:#x} over {} chunks", chunks.len());
+
+    // The same computation through the Region API (linear spawns, one
+    // frame — the paper's Fig. 4 anatomy).
+    let digest = AtomicU64::new(0);
+    rt.run(|| {
+        let region = Region::new();
+        for chunk in &chunks {
+            // SAFETY: everything live across the spawns (the region, the
+            // chunk slices, the atomic) is Send/Sync, and the region syncs
+            // before any of it dies.
+            unsafe {
+                region.spawn(|| {
+                    let out = aggregate(&transform(parse(chunk)));
+                    digest.fetch_xor(out, Ordering::Relaxed);
+                });
+            }
+        }
+        region.sync();
+    });
+    println!("region digest:   {:#x}", digest.into_inner());
+
+    // Panic propagation: a failing stage surfaces at the caller.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(|| {
+            let (_, _) = join2(|| panic!("stage exploded"), || 1 + 1);
+        })
+    }));
+    println!("failing stage propagated: {}", result.is_err());
+}

@@ -1,0 +1,54 @@
+//! Quickstart: spawn/sync with `join2`, parallel loops, runtime stats.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nowa::{join2, par_for, Config, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // `fib(n-1)` is spawned: it runs right away on this worker while the
+    // *continuation* (running fib(n-2) and adding) may be stolen.
+    let (a, b) = join2(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let rt = Runtime::new(Config::with_workers(workers)).expect("runtime");
+    println!("runtime: {} workers, flavor {}", rt.workers(), rt.flavor().name());
+
+    // Recursive fork/join.
+    let n = 30;
+    let result = rt.run(|| fib(n));
+    println!("fib({n}) = {result}");
+
+    // Serial elision: the same function outside the runtime runs serially.
+    assert_eq!(fib(20), 6765);
+    println!("serial elision works: fib(20) = 6765");
+
+    // Parallel loop with an atomic reduction.
+    let hits = AtomicU64::new(0);
+    rt.run(|| {
+        par_for(0..1_000_000, 4096, &|i| {
+            // Count numbers whose bit-parity is even.
+            if (i as u64).count_ones().is_multiple_of(2) {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    });
+    println!("even-parity numbers below 1e6: {}", hits.into_inner());
+
+    // Scheduler statistics: spawns, steals, fast-path pops...
+    let stats = rt.stats();
+    println!(
+        "stats: {} spawns, {} fast pops, {} steals, {} joins, {} suspensions",
+        stats.spawns, stats.fast_pops, stats.steals, stats.joins, stats.suspensions
+    );
+}

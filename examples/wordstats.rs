@@ -1,0 +1,103 @@
+//! Text analytics with divide-and-conquer `map_reduce`: word count, longest
+//! word and a letter histogram over a generated corpus, computed in one
+//! parallel pass with an associative merge.
+//!
+//! ```text
+//! cargo run --release --example wordstats
+//! ```
+
+use nowa::{map_reduce, Config, Runtime};
+
+#[derive(Clone, Debug, Default)]
+struct Stats {
+    words: u64,
+    longest: usize,
+    letters: [u64; 26],
+}
+
+impl Stats {
+    fn of_chunk(text: &str) -> Stats {
+        let mut s = Stats::default();
+        for word in text.split_whitespace() {
+            s.words += 1;
+            s.longest = s.longest.max(word.len());
+            for b in word.bytes() {
+                if b.is_ascii_lowercase() {
+                    s.letters[(b - b'a') as usize] += 1;
+                }
+            }
+        }
+        s
+    }
+
+    fn merge(mut self, other: Stats) -> Stats {
+        self.words += other.words;
+        self.longest = self.longest.max(other.longest);
+        for (a, b) in self.letters.iter_mut().zip(other.letters) {
+            *a += b;
+        }
+        self
+    }
+}
+
+/// Deterministic lorem-ipsum-ish corpus generator.
+fn corpus(paragraphs: usize) -> Vec<String> {
+    const WORDS: [&str; 12] = [
+        "concurrency", "platform", "worker", "steal", "continuation", "sync",
+        "spawn", "strand", "queue", "stack", "cactus", "waitfree",
+    ];
+    let mut seed = 0x5EEDu64;
+    (0..paragraphs)
+        .map(|_| {
+            let mut p = String::new();
+            for _ in 0..200 {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                p.push_str(WORDS[(seed % WORDS.len() as u64) as usize]);
+                p.push(' ');
+            }
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    let paragraphs = corpus(2_000);
+    let rt = Runtime::new(Config::default()).expect("runtime");
+
+    let stats = rt
+        .run(|| {
+            map_reduce(
+                0..paragraphs.len(),
+                16,
+                &|i| Stats::of_chunk(&paragraphs[i]),
+                &Stats::merge,
+            )
+        })
+        .unwrap_or_default();
+
+    println!("paragraphs: {}", paragraphs.len());
+    println!("words:      {}", stats.words);
+    println!("longest:    {} chars", stats.longest);
+    let (top_idx, top_count) = stats
+        .letters
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .unwrap();
+    println!(
+        "most common letter: '{}' ({} occurrences)",
+        (b'a' + top_idx as u8) as char,
+        top_count
+    );
+
+    // Sanity: the parallel answer matches a serial fold.
+    let serial = paragraphs
+        .iter()
+        .map(|p| Stats::of_chunk(p))
+        .fold(Stats::default(), Stats::merge);
+    assert_eq!(serial.words, stats.words);
+    assert_eq!(serial.letters, stats.letters);
+    println!("verified against serial fold");
+}

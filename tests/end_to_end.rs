@@ -1,0 +1,105 @@
+//! Workspace-level integration: the facade crate, all runtime flavors,
+//! all baseline pools and the simulator, exercised together.
+
+use nowa::baselines::{BaselineKind, BaselinePool};
+use nowa::kernels::{BenchId, Size};
+use nowa::sim::{bench_dags, simulate, SimBench, SimConfig, SimFlavor};
+use nowa::{join2, Config, Flavor, Runtime};
+
+#[test]
+fn facade_quickstart_compiles_and_runs() {
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join2(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    assert_eq!(rt.run(|| fib(20)), 6765);
+}
+
+#[test]
+fn kernels_agree_across_all_real_runtimes() {
+    // Serial elision is the oracle.
+    let expected: Vec<(BenchId, f64)> = BenchId::ALL
+        .iter()
+        .map(|&b| (b, b.run(Size::Tiny)))
+        .collect();
+
+    for flavor in [Flavor::NOWA, Flavor::NOWA_THE, Flavor::FIBRIL] {
+        let rt = Runtime::new(Config::with_workers(3).flavor(flavor)).unwrap();
+        for (bench, want) in &expected {
+            let got = rt.run(|| bench.run(Size::Tiny));
+            assert_eq!(got, *want, "{} under {}", bench.name(), flavor.name());
+        }
+    }
+    for kind in BaselineKind::ALL {
+        let pool = BaselinePool::new(kind, 3);
+        for (bench, want) in &expected {
+            let got = pool.run(|| bench.run(Size::Tiny));
+            assert_eq!(got, *want, "{} under {}", bench.name(), kind.name());
+        }
+    }
+}
+
+#[test]
+fn simulator_reproduces_headline_orderings() {
+    // Fine-grained DAG at 256 workers with the figure-scale input:
+    // wait-free beats locks beats the child-stealing and central-queue
+    // baselines (Fig. 1 / Fig. 10 order at 256 threads).
+    let dag = bench_dags::generate(SimBench::Fib, SimBench::Fib.default_scale());
+    let speedup = |flavor: SimFlavor| simulate(&dag, SimConfig::new(flavor, 256)).speedup();
+    let nowa = speedup(SimFlavor::NowaCl);
+    let fibril = speedup(SimFlavor::FibrilLock);
+    let tbb = speedup(SimFlavor::ChildStealTbb);
+    let gomp = speedup(SimFlavor::GlobalQueueGomp);
+    assert!(nowa > 1.3 * fibril, "nowa {nowa} vs fibril {fibril}");
+    assert!(fibril > tbb, "fibril {fibril} vs tbb {tbb}");
+    assert!(tbb > 3.0 * gomp, "tbb {tbb} vs gomp {gomp}");
+}
+
+#[test]
+fn fig9_ordering_cl_at_least_the() {
+    // §V-C: the CL queue unlocks performance the THE queue cannot.
+    let dag = bench_dags::generate(SimBench::Fib, SimBench::Fib.quick_scale());
+    let cl = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 256)).speedup();
+    let the = simulate(&dag, SimConfig::new(SimFlavor::NowaThe, 256)).speedup();
+    assert!(cl >= the, "cl {cl} vs the {the}");
+}
+
+#[test]
+fn runtime_and_baseline_coexist() {
+    // A Nowa runtime and a baseline pool in the same process, used from
+    // the same (external) thread, must not interfere.
+    let rt = Runtime::with_workers(2).unwrap();
+    let pool = BaselinePool::new(BaselineKind::ChildStealTbb, 2);
+    for _ in 0..10 {
+        let a = rt.run(|| BenchId::Fib.run(Size::Tiny));
+        let b = pool.run(|| BenchId::Fib.run(Size::Tiny));
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn many_runtime_lifecycles_do_not_leak_stacks() {
+    // Create/destroy runtimes repeatedly; each must shut down cleanly.
+    for round in 0..15 {
+        let rt = Runtime::new(Config::with_workers(3)).unwrap();
+        let v = rt.run(|| {
+            nowa::map_reduce(0..100, 4, &|i| i as u64, &|a, b| a + b).unwrap_or(0)
+        });
+        assert_eq!(v, 4950, "round {round}");
+        drop(rt);
+    }
+}
+
+#[test]
+fn pool_stats_reflect_recirculation() {
+    let rt = Runtime::new(Config::with_workers(4)).unwrap();
+    let _ = rt.run(|| BenchId::Nqueens.run(Size::Tiny));
+    let (gets, puts, maps) = rt.pool_stats();
+    // Stacks must be recycled: far fewer maps than gets+hits overall.
+    assert!(maps > 0, "at least the initial stacks are mapped");
+    let _ = (gets, puts);
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the whole platform: random fork/join trees
+//! executed in parallel must agree with their serial elision, on every
+//! runtime flavor; the simulator must conserve work; the §IV-B counter
+//! algebra must hold for arbitrary fork/join sequences.
+
+use nowa::sim::{simulate, DagBuilder, SimConfig, SimDag, SimFlavor};
+use nowa::{Config, Flavor, Runtime};
+use proptest::prelude::*;
+
+/// A random fully-strict computation: a tree where each node either is a
+/// leaf with a value or forks into 2–3 children combined with wrapping
+/// arithmetic.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(u64),
+    Fork(Vec<Tree>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = any::<u64>().prop_map(Tree::Leaf);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop::collection::vec(inner, 2..=3).prop_map(Tree::Fork)
+    })
+}
+
+fn eval(t: &Tree) -> u64 {
+    match t {
+        Tree::Leaf(v) => v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7),
+        Tree::Fork(children) => {
+            let results: Vec<u64> = match children.len() {
+                2 => {
+                    let (a, b) = nowa::join2(|| eval(&children[0]), || eval(&children[1]));
+                    vec![a, b]
+                }
+                3 => {
+                    let (a, b, c) = nowa::join3(
+                        || eval(&children[0]),
+                        || eval(&children[1]),
+                        || eval(&children[2]),
+                    );
+                    vec![a, b, c]
+                }
+                _ => unreachable!("strategy yields 2..=3 children"),
+            };
+            results
+                .into_iter()
+                .fold(0u64, |acc, r| acc.rotate_left(11).wrapping_add(r))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel evaluation equals the serial elision on every flavor.
+    #[test]
+    fn random_trees_parallel_equals_serial(tree in tree_strategy()) {
+        let expected = eval(&tree); // serial elision (no runtime)
+        for flavor in [Flavor::NOWA, Flavor::FIBRIL] {
+            let rt = Runtime::new(Config::with_workers(3).flavor(flavor)).unwrap();
+            let got = rt.run(|| eval(&tree));
+            prop_assert_eq!(got, expected, "flavor {}", flavor.name());
+        }
+    }
+}
+
+/// Random well-formed SimDags.
+fn sim_dag_strategy() -> impl Strategy<Value = SimDag> {
+    // A recipe: sequence of (work, fan_out) region descriptors per level.
+    prop::collection::vec(
+        (1u64..500, 0usize..4, prop::bool::ANY),
+        1..12,
+    )
+    .prop_map(|recipe| {
+        let mut b = DagBuilder::new();
+        let mut frontier = vec![0usize];
+        for (work, fan, use_call) in recipe {
+            let mut next = Vec::new();
+            for &task in &frontier {
+                b.work(task, work);
+                for i in 0..fan {
+                    let child = if use_call && i == fan - 1 {
+                        b.call(task)
+                    } else {
+                        b.spawn(task)
+                    };
+                    b.work(child, work / 2 + 1);
+                    next.push(child);
+                }
+                if fan > 0 {
+                    b.sync(task);
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine executes every strand exactly once: makespan is bounded
+    /// below by span (and by work/P) and above by a generous overhead
+    /// multiple, for every flavor.
+    #[test]
+    fn sim_work_conservation(dag in sim_dag_strategy(), p in 1usize..9) {
+        prop_assert_eq!(dag.validate(), Ok(()));
+        let work = dag.total_work();
+        let span = dag.span();
+        for flavor in [SimFlavor::NowaCl, SimFlavor::FibrilLock, SimFlavor::ChildStealTbb, SimFlavor::GlobalQueueGomp] {
+            let r = simulate(&dag, SimConfig::new(flavor, p));
+            prop_assert!(r.makespan >= span, "{}: makespan {} < span {}", flavor.name(), r.makespan, span);
+            prop_assert!(r.makespan >= work / p as u64, "{}: beats work/P", flavor.name());
+            // Every strand ran: speedup cannot exceed P.
+            prop_assert!(r.speedup() <= p as f64 + 1e-9, "{}", flavor.name());
+        }
+    }
+
+    /// Nowa's counter algebra (Eq. 1–5): for arbitrary interleavings of
+    /// forks and joins, the restored counter equals alpha - omega.
+    #[test]
+    fn counter_restoration_algebra(events in prop::collection::vec(prop::bool::ANY, 0..64)) {
+        const I_MAX: i64 = i64::MAX;
+        let mut counter: i64 = I_MAX; // N_r' = I_max - omega
+        let mut alpha: i64 = 0;
+        let mut omega_shadow: i64 = 0;
+        for fork in events {
+            if fork {
+                alpha += 1; // unsynchronised main-path increment
+            } else if omega_shadow < alpha {
+                counter -= 1; // joining strand: fetch_sub(1)
+                omega_shadow += 1;
+                // Invariant I/IV: joiners never observe <= 0 in phase 1.
+                prop_assert!(counter > 0);
+            }
+        }
+        // Explicit sync point: restore N_r = N_r' - (I_max - alpha), Eq. 5.
+        let restored = counter - (I_MAX - alpha);
+        prop_assert_eq!(restored, alpha - omega_shadow, "N_r == alpha - omega");
+        prop_assert!(restored >= 0);
+    }
+}

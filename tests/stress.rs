@@ -1,0 +1,161 @@
+//! Failure injection and stress: tiny stacks, tiny deques, steal storms,
+//! deep suspension chains, concurrent external submitters.
+
+use nowa::kernels::{BenchId, Size};
+use nowa::{join2, Config, Flavor, MadvisePolicy, Runtime};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join2(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+#[test]
+fn steal_storm_many_workers_tiny_grain() {
+    // Far more workers than cores: heavy oversubscription forces constant
+    // preemption mid-protocol, a good way to shake out ordering bugs.
+    let rt = Runtime::new(Config::with_workers(8)).unwrap();
+    for _ in 0..5 {
+        assert_eq!(rt.run(|| fib(18)), 2584);
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.spawns, stats.continuations_consumed());
+}
+
+#[test]
+fn tiny_stacks_with_madvise() {
+    let mut config = Config::with_workers(4).madvise(MadvisePolicy::DontNeed);
+    config.stack_size = 32 * 1024;
+    let rt = Runtime::new(config).unwrap();
+    assert_eq!(rt.run(|| fib(15)), 610);
+}
+
+#[test]
+fn tiny_deque_capacity_all_flavors() {
+    for flavor in [Flavor::NOWA, Flavor::NOWA_THE, Flavor::NOWA_ABP, Flavor::FIBRIL] {
+        let mut config = Config::with_workers(4).flavor(flavor);
+        config.deque_capacity = 2;
+        let rt = Runtime::new(config).unwrap();
+        assert_eq!(rt.run(|| fib(16)), 987, "flavor {}", flavor.name());
+    }
+}
+
+#[test]
+fn tiny_stack_cache_forces_pool_traffic() {
+    let mut config = Config::with_workers(4);
+    config.stack_cache = 0; // every spawn goes to the global pool
+    config.pool_stripes = 1;
+    let rt = Runtime::new(config).unwrap();
+    assert_eq!(rt.run(|| fib(14)), 377);
+    let (gets, puts, _maps) = rt.pool_stats();
+    assert!(gets > 0 && puts > 0, "global pool must recirculate");
+}
+
+#[test]
+fn striped_pool_ablation() {
+    // The paper suggests pool improvements; the striped pool is ours.
+    let mut config = Config::with_workers(4);
+    config.stack_cache = 0;
+    config.pool_stripes = 8;
+    let rt = Runtime::new(config).unwrap();
+    assert_eq!(rt.run(|| BenchId::Cholesky.run(Size::Tiny)), {
+        BenchId::Cholesky.run(Size::Tiny)
+    });
+}
+
+#[test]
+fn deep_suspension_chain() {
+    // A right-leaning spawn chain where every sync suspends: child n
+    // sleeps until its sibling chain finished.
+    fn chain(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join2(
+            || {
+                // Make the spawned child slow so the continuation reaches
+                // the sync first and must suspend.
+                std::thread::yield_now();
+                chain(depth - 1)
+            },
+            || 0u64,
+        );
+        a + b
+    }
+    let rt = Runtime::new(Config::with_workers(4)).unwrap();
+    assert_eq!(rt.run(|| chain(64)), 1);
+    // With 4 workers and yields, at least some syncs must have suspended.
+    let stats = rt.stats();
+    assert_eq!(stats.suspensions, stats.sync_resumes, "every suspension resumed");
+}
+
+#[test]
+fn concurrent_external_submitters() {
+    // Multiple external threads submit root tasks to one runtime.
+    let rt = std::sync::Arc::new(Runtime::with_workers(4).unwrap());
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let rt = rt.clone();
+            std::thread::spawn(move || rt.run(move || fib(12) + i))
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), 144 + i as u64);
+    }
+}
+
+#[test]
+fn repeated_panics_do_not_poison_runtime() {
+    let rt = Runtime::with_workers(3).unwrap();
+    for i in 0..10 {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|| {
+                if i % 2 == 0 {
+                    let (_, _) = join2(|| panic!("even round"), || 1);
+                    unreachable!()
+                } else {
+                    fib(10)
+                }
+            })
+        }));
+        if i % 2 == 0 {
+            assert!(result.is_err());
+        } else {
+            assert_eq!(result.unwrap(), 55);
+        }
+    }
+}
+
+#[test]
+fn region_stress_many_linear_spawns() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let rt = Runtime::with_workers(4).unwrap();
+    let total = AtomicU64::new(0);
+    rt.run(|| {
+        let region = nowa::Region::new();
+        for i in 0..5_000u64 {
+            // SAFETY: the atomic and loop index are Send; region syncs
+            // before drop.
+            unsafe {
+                region.spawn(|| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                })
+            };
+        }
+        region.sync();
+    });
+    assert_eq!(total.into_inner(), 4999 * 5000 / 2);
+}
+
+#[test]
+fn mixed_kernels_back_to_back() {
+    let rt = Runtime::with_workers(4).unwrap();
+    for _round in 0..3 {
+        for bench in BenchId::ALL {
+            let expected = bench.run(Size::Tiny);
+            assert_eq!(rt.run(|| bench.run(Size::Tiny)), expected, "{}", bench.name());
+        }
+    }
+}
