@@ -18,9 +18,7 @@ fn benches(c: &mut Criterion) {
     });
     let nq = bench_dags::generate(SimBench::Nqueens, 9);
     c.bench_function("sim/nqueens9/gomp/p64", |b| {
-        b.iter(|| {
-            black_box(simulate(&nq, SimConfig::new(SimFlavor::GlobalQueueGomp, 64)).makespan)
-        })
+        b.iter(|| black_box(simulate(&nq, SimConfig::new(SimFlavor::GlobalQueueGomp, 64)).makespan))
     });
     c.bench_function("sim/dag_generation/fib20", |b| {
         b.iter(|| black_box(bench_dags::generate(SimBench::Fib, 20).tasks.len()))

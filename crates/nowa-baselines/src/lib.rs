@@ -427,9 +427,8 @@ mod tests {
     #[test]
     fn panics_propagate() {
         let pool = BaselinePool::new(BaselineKind::ChildStealTbb, 2);
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.run(|| panic!("baseline boom"))
-        }));
+        let result =
+            std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(|| panic!("baseline boom"))));
         assert!(result.is_err());
         assert_eq!(pool.run(|| 5), 5);
     }

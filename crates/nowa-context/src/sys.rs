@@ -136,12 +136,30 @@ pub unsafe fn munmap(addr: *mut c_void, len: usize) -> Result<(), SysError> {
 
 /// Changes the protection of a mapped region (used for guard pages).
 pub unsafe fn mprotect(addr: *mut c_void, len: usize, protection: usize) -> Result<(), SysError> {
-    check(syscall6(nr::MPROTECT, addr as usize, len, protection, 0, 0, 0)).map(|_| ())
+    check(syscall6(
+        nr::MPROTECT,
+        addr as usize,
+        len,
+        protection,
+        0,
+        0,
+        0,
+    ))
+    .map(|_| ())
 }
 
 /// Advises the kernel about a mapped region (the §V-B experiments).
 pub unsafe fn madvise(addr: *mut c_void, len: usize, advice: Advice) -> Result<(), SysError> {
-    check(syscall6(nr::MADVISE, addr as usize, len, advice as usize, 0, 0, 0)).map(|_| ())
+    check(syscall6(
+        nr::MADVISE,
+        addr as usize,
+        len,
+        advice as usize,
+        0,
+        0,
+        0,
+    ))
+    .map(|_| ())
 }
 
 /// Pins the calling thread to the single CPU `cpu`.
@@ -191,8 +209,8 @@ mod tests {
     fn mmap_munmap_round_trip() {
         unsafe {
             let len = 4 * PAGE_SIZE;
-            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
-                .expect("mmap");
+            let addr =
+                mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS).expect("mmap");
             // Touch every page.
             let bytes = core::slice::from_raw_parts_mut(addr as *mut u8, len);
             for (i, b) in bytes.iter_mut().enumerate() {
@@ -207,8 +225,8 @@ mod tests {
     fn mprotect_guard_page() {
         unsafe {
             let len = 2 * PAGE_SIZE;
-            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
-                .expect("mmap");
+            let addr =
+                mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS).expect("mmap");
             mprotect(addr, PAGE_SIZE, prot::NONE).expect("mprotect");
             // The second page is still usable.
             *(addr as *mut u8).add(PAGE_SIZE) = 7;
@@ -220,8 +238,8 @@ mod tests {
     fn madvise_dontneed_zeroes_pages() {
         unsafe {
             let len = 2 * PAGE_SIZE;
-            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
-                .expect("mmap");
+            let addr =
+                mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS).expect("mmap");
             *(addr as *mut u8) = 42;
             madvise(addr, len, Advice::DontNeed).expect("madvise");
             // DONTNEED on anonymous memory refaults as zero.
@@ -234,8 +252,8 @@ mod tests {
     fn madvise_free_keeps_mapping_valid() {
         unsafe {
             let len = 2 * PAGE_SIZE;
-            let addr = mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS)
-                .expect("mmap");
+            let addr =
+                mmap(len, prot::READ | prot::WRITE, map::PRIVATE | map::ANONYMOUS).expect("mmap");
             *(addr as *mut u8) = 42;
             madvise(addr, len, Advice::Free).expect("madvise");
             // MADV_FREE pages may retain data until reclaim; either value

@@ -167,7 +167,8 @@ impl<T: Token> WorkerOps<T> for ClWorker<T> {
         if b - t >= ring.capacity() as i64 {
             ring = unsafe { &*self.grow(ring, t, b) };
         }
-        ring.slot(b).store(item.into_word().get(), Ordering::Relaxed);
+        ring.slot(b)
+            .store(item.into_word().get(), Ordering::Relaxed);
         fence(Ordering::Release);
         inner.bottom.store(b + 1, Ordering::Relaxed);
         Ok(())

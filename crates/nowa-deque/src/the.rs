@@ -130,7 +130,9 @@ impl<T: Token> WorkerOps<T> for TheWorker<T> {
             drop(_guard);
             return self.push(item);
         }
-        inner.slot(t).store(item.into_word().get(), Ordering::Relaxed);
+        inner
+            .slot(t)
+            .store(item.into_word().get(), Ordering::Relaxed);
         inner.tail.store(t + 1, Ordering::Release);
         Ok(())
     }

@@ -13,16 +13,23 @@
 //! nowa-bench fig9  [--quick]   # Fig 9     — CL vs THE queue (sim)
 //! nowa-bench fig10 [--quick]   # Fig 10    — Nowa vs OpenMP stand-ins (sim)
 //! nowa-bench table3 [--quick]  # Table III — 256-worker exec times (sim)
-//! nowa-bench measured [--size quick] [--workers N] [--reps R]  # real wall-clock
-//! nowa-bench overhead [--size quick]          # real 1-worker overhead
+//! nowa-bench measured [--size quick] [--workers N] [--reps R] [--stats]  # real wall-clock
+//! nowa-bench overhead [--size quick] [--stats]   # real 1-worker overhead
+//! nowa-bench trace measured [--size tiny] [--trace-out t.json]  # traced re-run
 //! nowa-bench all   [--quick]   # everything above
 //! ```
+//!
+//! `--stats` appends aggregated scheduler counters ([`nowa_runtime::StatsSnapshot`])
+//! to the `measured` and `overhead` reports. `trace` re-runs a real experiment
+//! with per-worker event rings and latency histograms enabled ([`traceexp`]);
+//! `--trace-out FILE` exports a Chrome `trace_event` JSON for Perfetto.
 
 #![warn(missing_docs)]
 
 pub mod real;
 pub mod simexp;
 pub mod stats;
+pub mod traceexp;
 
 pub use stats::Table;
 

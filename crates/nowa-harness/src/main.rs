@@ -1,6 +1,6 @@
 //! `nowa-bench` — CLI entry of the experiment harness.
 
-use nowa_harness::{print_tables, real, simexp};
+use nowa_harness::{print_tables, real, simexp, traceexp};
 use nowa_kernels::{BenchId, Size};
 use nowa_runtime::MadvisePolicy;
 use nowa_sim::SimBench;
@@ -18,10 +18,14 @@ experiments:
   fig9   [--quick]               Fig 9     CL vs THE work-stealing queue (sim)
   fig10  [--quick]               Fig 10    Nowa vs OpenMP stand-ins (sim)
   table3 [--quick]               Table III 256-worker execution times (sim)
-  measured [--size S] [--workers N] [--reps R]  real wall-clock comparison
-  overhead [--size S] [--reps R] real 1-worker overhead vs serial elision
+  measured [--size S] [--workers N] [--reps R] [--stats]  real wall-clock comparison
+  overhead [--size S] [--reps R] [--stats]  real 1-worker overhead vs serial elision
   ablation-pool [--size S] [--workers N] [--reps R]  stack-pool ablation (real)
   knapsack-order [--workers N] [--reps R]  spawn-order experiment (real)
+  trace <experiment> [--size S] [--workers N] [--reps R] [--trace-out FILE]
+                                 traced re-run of measured | ablation-pool |
+                                 knapsack-order | fig9 with scheduler event
+                                 rings + latency histograms enabled
   all    [--quick]               everything
 
 flags:
@@ -29,7 +33,10 @@ flags:
   --bench B      one of the 12 benchmark names
   --size S       tiny|quick|medium|paper (default quick)
   --workers N    worker threads for real runs (default 4)
-  --reps R       repetitions for real runs (default 5)"
+  --reps R       repetitions for real runs (default 5)
+  --stats        also print aggregated scheduler statistics (measured, overhead)
+  --trace-out F  write a Chrome trace_event JSON (one track per worker) to F;
+                 open in Perfetto or chrome://tracing (trace mode only)"
     );
     std::process::exit(2);
 }
@@ -40,6 +47,8 @@ struct Args {
     size: Size,
     workers: usize,
     reps: usize,
+    stats: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -49,6 +58,8 @@ fn parse_flags(rest: &[String]) -> Args {
         size: Size::Quick,
         workers: 4,
         reps: 5,
+        stats: false,
+        trace_out: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -67,11 +78,22 @@ fn parse_flags(rest: &[String]) -> Args {
             }
             "--workers" => {
                 i += 1;
-                args.workers = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                args.workers = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--reps" => {
                 i += 1;
-                args.reps = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                args.reps = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--stats" => args.stats = true,
+            "--trace-out" => {
+                i += 1;
+                args.trace_out = Some(rest.get(i).cloned().unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }
@@ -104,6 +126,20 @@ fn main() {
         return;
     }
 
+    // `trace` takes a sub-experiment name before the flags.
+    if cmd == "trace" {
+        let Some(sub) = rest.first() else { usage() };
+        let args = parse_flags(&rest[1..]);
+        print_tables(&traceexp::trace_experiment(
+            sub,
+            args.size,
+            args.workers,
+            args.reps,
+            args.trace_out.as_deref(),
+        ));
+        return;
+    }
+
     let args = parse_flags(rest);
     let sim_bench = args.bench.as_deref().map(|name| {
         SimBench::parse(name).unwrap_or_else(|| {
@@ -121,8 +157,13 @@ fn main() {
         "fig9" => print_tables(&simexp::fig9(args.quick)),
         "fig10" => print_tables(&simexp::fig10(args.quick)),
         "table3" => print_tables(&simexp::table3(args.quick)),
-        "measured" => print_tables(&real::measured_comparison(args.size, args.workers, args.reps)),
-        "overhead" => print_tables(&real::overhead_table(args.size, args.reps)),
+        "measured" => print_tables(&real::measured_comparison(
+            args.size,
+            args.workers,
+            args.reps,
+            args.stats,
+        )),
+        "overhead" => print_tables(&real::overhead_table(args.size, args.reps, args.stats)),
         "ablation-pool" => print_tables(&real::pool_ablation(args.size, args.workers, args.reps)),
         "knapsack-order" => print_tables(&real::knapsack_order(args.workers, args.reps)),
         "all" => {
@@ -134,9 +175,22 @@ fn main() {
             print_tables(&simexp::fig9(args.quick));
             print_tables(&simexp::fig10(args.quick));
             print_tables(&simexp::table3(args.quick));
-            print_tables(&real::overhead_table(args.size, args.reps.min(3)));
-            print_tables(&real::measured_comparison(args.size, args.workers, args.reps.min(3)));
-            print_tables(&real::pool_ablation(args.size, args.workers, args.reps.min(3)));
+            print_tables(&real::overhead_table(
+                args.size,
+                args.reps.min(3),
+                args.stats,
+            ));
+            print_tables(&real::measured_comparison(
+                args.size,
+                args.workers,
+                args.reps.min(3),
+                args.stats,
+            ));
+            print_tables(&real::pool_ablation(
+                args.size,
+                args.workers,
+                args.reps.min(3),
+            ));
             print_tables(&real::knapsack_order(args.workers, args.reps.min(3)));
         }
         _ => usage(),

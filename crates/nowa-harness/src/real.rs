@@ -12,7 +12,7 @@ use std::time::Instant;
 use nowa_baselines::{BaselineKind, BaselinePool};
 use nowa_context::sys::rss_kib;
 use nowa_kernels::{BenchId, Size};
-use nowa_runtime::{Config, Flavor, MadvisePolicy, Runtime};
+use nowa_runtime::{Config, Flavor, MadvisePolicy, Runtime, StatsSnapshot};
 
 use crate::stats::{mean, std_dev, Table};
 
@@ -39,6 +39,16 @@ impl RealRuntime {
     }
 }
 
+/// One measurement run: per-rep wall-clock seconds, plus the scheduler
+/// counters of the runtime that executed them (`None` for serial and
+/// baseline systems, which have no Nowa scheduler).
+pub struct Measurement {
+    /// Per-rep wall-clock seconds (warm-up excluded).
+    pub times: Vec<f64>,
+    /// Aggregated scheduler counters over warm-up + all reps.
+    pub stats: Option<StatsSnapshot>,
+}
+
 /// Measures `bench` at `size` on `runtime` with `workers` workers,
 /// `reps` repetitions after one warm-up (the paper's methodology, §V,
 /// scaled down from 50+1). Returns per-rep seconds.
@@ -49,7 +59,20 @@ pub fn measure(
     workers: usize,
     reps: usize,
 ) -> Vec<f64> {
+    measure_detailed(runtime, bench, size, workers, reps).times
+}
+
+/// [`measure`], but also returning the runtime's [`StatsSnapshot`] when
+/// the system under test is a Nowa flavor.
+pub fn measure_detailed(
+    runtime: RealRuntime,
+    bench: BenchId,
+    size: Size,
+    workers: usize,
+    reps: usize,
+) -> Measurement {
     let mut times = Vec::with_capacity(reps);
+    let mut stats = None;
     let mut run_reps = |run: &mut dyn FnMut() -> f64| {
         let _warmup = run();
         for _ in 0..reps {
@@ -76,6 +99,7 @@ pub fn measure(
                 assert!(checksum.is_finite());
                 dt
             });
+            stats = Some(rt.stats());
         }
         RealRuntime::Baseline(kind) => {
             let pool = BaselinePool::new(kind, workers);
@@ -88,11 +112,48 @@ pub fn measure(
             });
         }
     }
-    times
+    Measurement { times, stats }
 }
 
-/// Wall-clock comparison of the real runtime systems on this host.
-pub fn measured_comparison(size: Size, workers: usize, reps: usize) -> Vec<Table> {
+/// Renders aggregated scheduler counters, one row per Nowa system.
+fn scheduler_stats_table(title: String, rows: &[(String, StatsSnapshot)]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "system",
+            "spawns",
+            "consumed",
+            "fast-path",
+            "steals",
+            "attempts",
+            "steal-success",
+            "suspensions",
+        ],
+    );
+    for (name, s) in rows {
+        table.row(vec![
+            name.clone(),
+            s.spawns.to_string(),
+            s.continuations_consumed().to_string(),
+            format!("{:.3}", s.fast_path_ratio()),
+            s.steals.to_string(),
+            s.steal_attempts().to_string(),
+            format!("{:.3}", s.steal_success_ratio()),
+            s.suspensions.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Wall-clock comparison of the real runtime systems on this host. With
+/// `show_stats`, a second table aggregates each Nowa system's scheduler
+/// counters over all benchmarks (serial and baselines have none).
+pub fn measured_comparison(
+    size: Size,
+    workers: usize,
+    reps: usize,
+    show_stats: bool,
+) -> Vec<Table> {
     let systems = [
         RealRuntime::Serial,
         RealRuntime::Nowa(Flavor::NOWA, MadvisePolicy::Keep),
@@ -112,45 +173,76 @@ pub fn measured_comparison(size: Size, workers: usize, reps: usize) -> Vec<Table
         header,
         rows: Vec::new(),
     };
+    let mut totals: Vec<StatsSnapshot> = vec![StatsSnapshot::default(); systems.len()];
     for bench in BenchId::ALL {
         let mut row = vec![bench.name().to_string()];
-        for system in systems {
-            let times = measure(system, bench, size, workers, reps);
-            row.push(format!("{:.4}±{:.4}", mean(&times), std_dev(&times)));
+        for (i, system) in systems.into_iter().enumerate() {
+            let m = measure_detailed(system, bench, size, workers, reps);
+            row.push(format!("{:.4}±{:.4}", mean(&m.times), std_dev(&m.times)));
+            if let Some(s) = m.stats {
+                totals[i].merge(&s);
+            }
         }
         table.row(row);
     }
-    vec![table]
+    let mut tables = vec![table];
+    if show_stats {
+        let rows: Vec<(String, StatsSnapshot)> = systems
+            .iter()
+            .zip(&totals)
+            .filter(|(s, _)| matches!(s, RealRuntime::Nowa(..)))
+            .map(|(s, t)| (s.name(), *t))
+            .collect();
+        tables.push(scheduler_stats_table(
+            format!("Scheduler statistics, aggregated over all benchmarks ({workers} workers)"),
+            &rows,
+        ));
+    }
+    tables
 }
 
 /// Single-worker overhead of each Nowa flavor relative to the serial
-/// elision — the price of the runtime mechanisms themselves.
-pub fn overhead_table(size: Size, reps: usize) -> Vec<Table> {
+/// elision — the price of the runtime mechanisms themselves. With
+/// `show_stats`, a second table aggregates each flavor's scheduler
+/// counters over all benchmarks.
+pub fn overhead_table(size: Size, reps: usize, show_stats: bool) -> Vec<Table> {
+    let flavors = [Flavor::NOWA, Flavor::NOWA_THE, Flavor::FIBRIL];
     let mut table = Table::new(
         format!("Runtime overhead: T_1 / T_serial at size {size:?} (1 worker)"),
         &["benchmark", "serial [s]", "nowa", "nowa-the", "fibril"],
     );
+    let mut totals: Vec<StatsSnapshot> = vec![StatsSnapshot::default(); flavors.len()];
     for bench in BenchId::ALL {
         let serial = mean(&measure(RealRuntime::Serial, bench, size, 1, reps));
-        let ratio = |flavor: Flavor| -> f64 {
-            let t = mean(&measure(
+        let mut row = vec![bench.name().to_string(), format!("{serial:.4}")];
+        for (i, flavor) in flavors.into_iter().enumerate() {
+            let m = measure_detailed(
                 RealRuntime::Nowa(flavor, MadvisePolicy::Keep),
                 bench,
                 size,
                 1,
                 reps,
-            ));
-            t / serial
-        };
-        table.row(vec![
-            bench.name().to_string(),
-            format!("{serial:.4}"),
-            format!("{:.2}", ratio(Flavor::NOWA)),
-            format!("{:.2}", ratio(Flavor::NOWA_THE)),
-            format!("{:.2}", ratio(Flavor::FIBRIL)),
-        ]);
+            );
+            row.push(format!("{:.2}", mean(&m.times) / serial));
+            if let Some(s) = m.stats {
+                totals[i].merge(&s);
+            }
+        }
+        table.row(row);
     }
-    vec![table]
+    let mut tables = vec![table];
+    if show_stats {
+        let rows: Vec<(String, StatsSnapshot)> = flavors
+            .iter()
+            .zip(&totals)
+            .map(|(f, t)| (f.name().to_string(), *t))
+            .collect();
+        tables.push(scheduler_stats_table(
+            "Scheduler statistics, aggregated over all benchmarks (1 worker)".to_string(),
+            &rows,
+        ));
+    }
+    tables
 }
 
 /// Child-process probe for Table II: runs one benchmark under one madvise
@@ -202,7 +294,12 @@ pub fn table2(size: Size, workers: usize) -> Vec<Table> {
                 ]);
             }
             _ => {
-                table.row(vec![bench.name().to_string(), "?".into(), "?".into(), "?".into()]);
+                table.row(vec![
+                    bench.name().to_string(),
+                    "?".into(),
+                    "?".into(),
+                    "?".into(),
+                ]);
             }
         }
     }
@@ -215,7 +312,9 @@ pub fn table2(size: Size, workers: usize) -> Vec<Table> {
 /// bottleneck the paper describes.
 pub fn pool_ablation(size: Size, workers: usize, reps: usize) -> Vec<Table> {
     let mut table = Table::new(
-        format!("Ablation: stack-pool configuration on cholesky (size {size:?}, {workers} workers)"),
+        format!(
+            "Ablation: stack-pool configuration on cholesky (size {size:?}, {workers} workers)"
+        ),
         &[
             "configuration",
             "time [s]",
@@ -263,7 +362,11 @@ pub fn knapsack_order(workers: usize, reps: usize) -> Vec<Table> {
     let expected = nowa_kernels::knapsack::knapsack_reference(&items, capacity);
     let mut table = Table::new(
         "Knapsack spawn order (§V-A): time [s] per runtime and order",
-        &["runtime", "take-first (paper's default)", "skip-first (switched)"],
+        &[
+            "runtime",
+            "take-first (paper's default)",
+            "skip-first (switched)",
+        ],
     );
     let bench = |run: &mut dyn FnMut(SpawnOrder) -> i64| -> (String, String) {
         let mut cell = |order: SpawnOrder| -> String {
@@ -342,6 +445,22 @@ mod tests {
             2,
         );
         assert_eq!(times.len(), 2);
+    }
+
+    #[test]
+    fn detailed_measurement_reports_stats_for_nowa_only() {
+        let m = measure_detailed(
+            RealRuntime::Nowa(Flavor::NOWA, MadvisePolicy::Keep),
+            BenchId::Fib,
+            Size::Tiny,
+            2,
+            1,
+        );
+        let stats = m.stats.expect("nowa runs report scheduler stats");
+        assert!(stats.spawns > 0);
+        assert_eq!(stats.spawns, stats.continuations_consumed());
+        let serial = measure_detailed(RealRuntime::Serial, BenchId::Fib, Size::Tiny, 1, 1);
+        assert!(serial.stats.is_none());
     }
 
     #[test]

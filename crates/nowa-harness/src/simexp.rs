@@ -71,7 +71,12 @@ pub fn speedup_curve(
 }
 
 /// Runs `bench` at `scale` under a full [`SimSystem`] description.
-pub fn system_curve(bench: SimBench, scale: u32, system: &SimSystem, threads: &[usize]) -> Vec<f64> {
+pub fn system_curve(
+    bench: SimBench,
+    scale: u32,
+    system: &SimSystem,
+    threads: &[usize],
+) -> Vec<f64> {
     let dag = bench_dags::generate(bench, scale);
     threads
         .iter()
@@ -121,7 +126,11 @@ fn fig7_flavors() -> Vec<SimSystem> {
 
 /// Figure 1: the headline nqueens comparison.
 pub fn fig1(quick: bool) -> Vec<Table> {
-    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let threads: &[usize] = if quick {
+        &QUICK_THREADS
+    } else {
+        &PAPER_THREADS
+    };
     let scale = if quick {
         SimBench::Nqueens.quick_scale()
     } else {
@@ -138,7 +147,11 @@ pub fn fig1(quick: bool) -> Vec<Table> {
 
 /// Figure 7: all twelve benchmarks over the runtime systems.
 pub fn fig7(bench_filter: Option<SimBench>, quick: bool) -> Vec<Table> {
-    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let threads: &[usize] = if quick {
+        &QUICK_THREADS
+    } else {
+        &PAPER_THREADS
+    };
     let benches: Vec<SimBench> = match bench_filter {
         Some(b) => vec![b],
         None => SimBench::ALL.to_vec(),
@@ -146,8 +159,18 @@ pub fn fig7(bench_filter: Option<SimBench>, quick: bool) -> Vec<Table> {
     let mut tables: Vec<Table> = benches
         .iter()
         .map(|&b| {
-            let scale = if quick { b.quick_scale() } else { b.default_scale() };
-            curve_table("Fig 7 (sim): speedup 1-256 threads", b, scale, &fig7_flavors(), threads)
+            let scale = if quick {
+                b.quick_scale()
+            } else {
+                b.default_scale()
+            };
+            curve_table(
+                "Fig 7 (sim): speedup 1-256 threads",
+                b,
+                scale,
+                &fig7_flavors(),
+                threads,
+            )
         })
         .collect();
     // Summary: average speedup ratios at max threads (the paper's headline
@@ -157,10 +180,21 @@ pub fn fig7(bench_filter: Option<SimBench>, quick: bool) -> Vec<Table> {
     let mut ratios_tbb = Vec::new();
     let mut summary = Table::new(
         format!("Fig 7 summary: speedup ratio vs nowa at {p_max} threads (sim)"),
-        &["benchmark", "nowa", "fibril", "tbb", "nowa/fibril", "nowa/tbb"],
+        &[
+            "benchmark",
+            "nowa",
+            "fibril",
+            "tbb",
+            "nowa/fibril",
+            "nowa/tbb",
+        ],
     );
     for &b in &benches {
-        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let scale = if quick {
+            b.quick_scale()
+        } else {
+            b.default_scale()
+        };
         let nowa = *speedup_curve(b, scale, SimFlavor::NowaCl, false, &[p_max])
             .first()
             .expect("one value");
@@ -197,7 +231,11 @@ pub fn fig7(bench_filter: Option<SimBench>, quick: bool) -> Vec<Table> {
 
 /// Figure 8: impact of `madvise()` (the eight benchmarks the paper plots).
 pub fn fig8(quick: bool) -> Vec<Table> {
-    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let threads: &[usize] = if quick {
+        &QUICK_THREADS
+    } else {
+        &PAPER_THREADS
+    };
     let benches = [
         SimBench::Cholesky,
         SimBench::Lu,
@@ -221,15 +259,29 @@ pub fn fig8(quick: bool) -> Vec<Table> {
     let mut tables: Vec<Table> = benches
         .iter()
         .map(|&b| {
-            let scale = if quick { b.quick_scale() } else { b.default_scale() };
-            curve_table("Fig 8 (sim): impact of madvise()", b, scale, &flavors, threads)
+            let scale = if quick {
+                b.quick_scale()
+            } else {
+                b.default_scale()
+            };
+            curve_table(
+                "Fig 8 (sim): impact of madvise()",
+                b,
+                scale,
+                &flavors,
+                threads,
+            )
         })
         .collect();
     // Average performance ratio with/without madvise at max threads.
     let p_max = *threads.last().expect("non-empty sweep");
     let mut ratios = Vec::new();
     for &b in &benches {
-        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let scale = if quick {
+            b.quick_scale()
+        } else {
+            b.default_scale()
+        };
         let without = speedup_curve(b, scale, SimFlavor::NowaCl, false, &[p_max])[0];
         let with = speedup_curve(b, scale, SimFlavor::NowaCl, true, &[p_max])[0];
         ratios.push(with / without);
@@ -248,7 +300,11 @@ pub fn fig8(quick: bool) -> Vec<Table> {
 
 /// Figure 9: CL queue versus THE queue under the wait-free protocol.
 pub fn fig9(quick: bool) -> Vec<Table> {
-    let threads: &[usize] = if quick { &QUICK_THREADS } else { &PAPER_THREADS };
+    let threads: &[usize] = if quick {
+        &QUICK_THREADS
+    } else {
+        &PAPER_THREADS
+    };
     let benches = [
         SimBench::Cholesky,
         SimBench::Fib,
@@ -263,7 +319,11 @@ pub fn fig9(quick: bool) -> Vec<Table> {
     benches
         .iter()
         .map(|&b| {
-            let scale = if quick { b.quick_scale() } else { b.default_scale() };
+            let scale = if quick {
+                b.quick_scale()
+            } else {
+                b.default_scale()
+            };
             curve_table("Fig 9 (sim): CL vs THE queue", b, scale, &flavors, threads)
         })
         .collect()
@@ -287,7 +347,11 @@ pub fn fig10(quick: bool) -> Vec<Table> {
     let mut tables: Vec<Table> = SimBench::ALL
         .iter()
         .map(|&b| {
-            let scale = if quick { b.quick_scale() } else { b.default_scale() };
+            let scale = if quick {
+                b.quick_scale()
+            } else {
+                b.default_scale()
+            };
             curve_table("Fig 10 (sim): Nowa vs OpenMP", b, scale, &flavors, threads)
         })
         .collect();
@@ -296,12 +360,26 @@ pub fn fig10(quick: bool) -> Vec<Table> {
     let p_max = *threads.last().expect("non-empty sweep");
     let (mut r_untied, mut r_tied, mut r_gomp) = (Vec::new(), Vec::new(), Vec::new());
     for &b in &SimBench::ALL {
-        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let scale = if quick {
+            b.quick_scale()
+        } else {
+            b.default_scale()
+        };
         let nowa = speedup_curve(b, scale, SimFlavor::NowaCl, false, &[p_max])[0];
-        let untied =
-            speedup_curve(b, scale, SimFlavor::WsTasksOmp { tied: false }, false, &[p_max])[0];
-        let tied =
-            speedup_curve(b, scale, SimFlavor::WsTasksOmp { tied: true }, false, &[p_max])[0];
+        let untied = speedup_curve(
+            b,
+            scale,
+            SimFlavor::WsTasksOmp { tied: false },
+            false,
+            &[p_max],
+        )[0];
+        let tied = speedup_curve(
+            b,
+            scale,
+            SimFlavor::WsTasksOmp { tied: true },
+            false,
+            &[p_max],
+        )[0];
         let gomp = speedup_curve(b, scale, SimFlavor::GlobalQueueGomp, false, &[p_max])[0];
         r_untied.push(nowa / untied);
         r_tied.push(nowa / tied);
@@ -311,8 +389,14 @@ pub fn fig10(quick: bool) -> Vec<Table> {
         format!("Fig 10 summary: nowa speedup ratio at {p_max} threads (sim)"),
         &["vs", "geo-mean ratio"],
     );
-    summary.row(vec!["libomp-untied".into(), format!("{:.2}", geo_mean(&r_untied))]);
-    summary.row(vec!["libomp-tied".into(), format!("{:.2}", geo_mean(&r_tied))]);
+    summary.row(vec![
+        "libomp-untied".into(),
+        format!("{:.2}", geo_mean(&r_untied)),
+    ]);
+    summary.row(vec![
+        "libomp-tied".into(),
+        format!("{:.2}", geo_mean(&r_tied)),
+    ]);
     summary.row(vec!["libgomp".into(), format!("{:.2}", geo_mean(&r_gomp))]);
     tables.push(summary);
     tables
@@ -326,7 +410,11 @@ pub fn table3(quick: bool) -> Vec<Table> {
         &["benchmark", "nowa", "libomp-untied", "libomp-tied"],
     );
     for &b in &SimBench::ALL {
-        let scale = if quick { b.quick_scale() } else { b.default_scale() };
+        let scale = if quick {
+            b.quick_scale()
+        } else {
+            b.default_scale()
+        };
         let dag = bench_dags::generate(b, scale);
         let ms = |flavor: SimFlavor| -> f64 {
             simulate(&dag, SimConfig::new(flavor, p)).makespan as f64 / 1e6

@@ -607,7 +607,7 @@ mod tests {
     fn gemm_transposed_operands() {
         let a = rand_mat(9, 13, 3); // used as Aᵀ: 13×9
         let b = rand_mat(7, 13, 4); // used as Bᵀ: 13×7... so C = Aᵀ(13×9)??
-        // C (13-row space): op(A)=T gives 13×9; need op(B)=N with 9 rows.
+                                    // C (13-row space): op(A)=T gives 13×9; need op(B)=N with 9 rows.
         let b2 = rand_mat(9, 7, 5);
         let mut c = Mat::zeros(13, 7);
         gemm(1.0, a.as_ref(), Op::T, b2.as_ref(), Op::N, c.as_mut(), 3);

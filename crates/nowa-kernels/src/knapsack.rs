@@ -64,7 +64,13 @@ fn upper_bound(items: &[Item], capacity: i64, value: i64) -> i64 {
     ub
 }
 
-fn branch(items: &[Item], capacity: i64, value: i64, best: &AtomicI64, spawn_order: SpawnOrder) -> i64 {
+fn branch(
+    items: &[Item],
+    capacity: i64,
+    value: i64,
+    best: &AtomicI64,
+    spawn_order: SpawnOrder,
+) -> i64 {
     if capacity < 0 {
         return i64::MIN;
     }
@@ -82,7 +88,15 @@ fn branch(items: &[Item], capacity: i64, value: i64, best: &AtomicI64, spawn_ord
         // The paper's original order: the "take the item" branch is the
         // spawned child (runs first under continuation stealing).
         SpawnOrder::TakeFirst => join2(
-            move || branch(rest, capacity - item.weight, value + item.value, best, spawn_order),
+            move || {
+                branch(
+                    rest,
+                    capacity - item.weight,
+                    value + item.value,
+                    best,
+                    spawn_order,
+                )
+            },
             move || branch(rest, capacity, value, best, spawn_order),
         ),
         // The switched order §V-A describes, which favours
@@ -90,7 +104,15 @@ fn branch(items: &[Item], capacity: i64, value: i64, best: &AtomicI64, spawn_ord
         SpawnOrder::SkipFirst => {
             let (without, with) = join2(
                 move || branch(rest, capacity, value, best, spawn_order),
-                move || branch(rest, capacity - item.weight, value + item.value, best, spawn_order),
+                move || {
+                    branch(
+                        rest,
+                        capacity - item.weight,
+                        value + item.value,
+                        best,
+                        spawn_order,
+                    )
+                },
             );
             (with, without)
         }

@@ -50,7 +50,15 @@ fn lu_rec(a: MatMut<'_>, base: usize) {
         },
     );
     let mut a22 = a22;
-    gemm(-1.0, a21.as_ref(), Op::N, a12.as_ref(), Op::N, a22.rb_mut(), base);
+    gemm(
+        -1.0,
+        a21.as_ref(),
+        Op::N,
+        a12.as_ref(),
+        Op::N,
+        a22.rb_mut(),
+        base,
+    );
     lu_rec(a22, base);
 }
 

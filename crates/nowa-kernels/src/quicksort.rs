@@ -100,9 +100,9 @@ mod tests {
             vec![],
             vec![1],
             vec![2, 1],
-            vec![5; 1000],                           // all equal
-            (0..1000).rev().collect::<Vec<u64>>(),   // reverse sorted
-            (0..1000).collect::<Vec<u64>>(),         // already sorted
+            vec![5; 1000],                         // all equal
+            (0..1000).rev().collect::<Vec<u64>>(), // reverse sorted
+            (0..1000).collect::<Vec<u64>>(),       // already sorted
         ] {
             let mut data = input.clone();
             let mut expected = input;

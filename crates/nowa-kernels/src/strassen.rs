@@ -59,15 +59,71 @@ fn strassen_rec(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>, base: usize) {
     {
         let [m1, m2, m3, m4, m5, m6, m7] = &mut m;
         join4(
-            move || prod(h, &|t| add_into(t, a11, a22), &|t| add_into(t, b11, b22), m1, base),
-            move || prod(h, &|t| add_into(t, a21, a22), &|t| copy_into(t, b11), m2, base),
-            move || prod(h, &|t| copy_into(t, a11), &|t| sub_into(t, b12, b22), m3, base),
-            move || prod(h, &|t| copy_into(t, a22), &|t| sub_into(t, b21, b11), m4, base),
+            move || {
+                prod(
+                    h,
+                    &|t| add_into(t, a11, a22),
+                    &|t| add_into(t, b11, b22),
+                    m1,
+                    base,
+                )
+            },
+            move || {
+                prod(
+                    h,
+                    &|t| add_into(t, a21, a22),
+                    &|t| copy_into(t, b11),
+                    m2,
+                    base,
+                )
+            },
+            move || {
+                prod(
+                    h,
+                    &|t| copy_into(t, a11),
+                    &|t| sub_into(t, b12, b22),
+                    m3,
+                    base,
+                )
+            },
+            move || {
+                prod(
+                    h,
+                    &|t| copy_into(t, a22),
+                    &|t| sub_into(t, b21, b11),
+                    m4,
+                    base,
+                )
+            },
         );
         join3(
-            move || prod(h, &|t| add_into(t, a11, a12), &|t| copy_into(t, b22), m5, base),
-            move || prod(h, &|t| sub_into(t, a21, a11), &|t| add_into(t, b11, b12), m6, base),
-            move || prod(h, &|t| sub_into(t, a12, a22), &|t| add_into(t, b21, b22), m7, base),
+            move || {
+                prod(
+                    h,
+                    &|t| add_into(t, a11, a12),
+                    &|t| copy_into(t, b22),
+                    m5,
+                    base,
+                )
+            },
+            move || {
+                prod(
+                    h,
+                    &|t| sub_into(t, a21, a11),
+                    &|t| add_into(t, b11, b12),
+                    m6,
+                    base,
+                )
+            },
+            move || {
+                prod(
+                    h,
+                    &|t| sub_into(t, a12, a22),
+                    &|t| add_into(t, b21, b22),
+                    m7,
+                    base,
+                )
+            },
         );
     }
     let [m1, m2, m3, m4, m5, m6, m7] = &m;

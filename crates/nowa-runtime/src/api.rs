@@ -33,6 +33,24 @@ pub fn in_task() -> bool {
     !current_worker().is_null()
 }
 
+/// The index of the worker executing the calling task, or `None` when the
+/// calling thread is not a runtime worker.
+///
+/// The value identifies the worker of the *current* strand segment only:
+/// code between a spawn and its sync may migrate between workers, so the
+/// index may differ across those boundaries (re-query, never cache across
+/// a join). Matches the `tid` tracks of the Chrome trace export.
+pub fn worker_index() -> Option<usize> {
+    let worker = current_worker();
+    if worker.is_null() {
+        None
+    } else {
+        // SAFETY: non-null means the pointer is the calling thread's live
+        // worker; `index` is immutable after construction.
+        Some(unsafe { (*worker).index })
+    }
+}
+
 /// A raw pointer wrapper that asserts cross-thread transferability of the
 /// pointee access it stands for.
 struct SendPtr<T>(*mut T);
@@ -445,8 +463,7 @@ impl Region {
             let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(f);
             // SAFETY: lifetime erasure; the Region contract requires the
             // sync (or drop) to complete before anything `f` borrows dies.
-            let boxed: Box<dyn FnOnce() + Send + 'static> =
-                unsafe { core::mem::transmute(boxed) };
+            let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { core::mem::transmute(boxed) };
             self.deferred.borrow_mut().push(boxed);
             return;
         }
@@ -461,8 +478,7 @@ impl Region {
             // SAFETY: we are the region's main path on a worker thread.
             unsafe { sync_execute(&self.frame) };
         } else {
-            let mut deferred: Vec<_> =
-                self.deferred.borrow_mut().drain(..).map(Some).collect();
+            let mut deferred: Vec<_> = self.deferred.borrow_mut().drain(..).map(Some).collect();
             run_deferred(&mut deferred);
         }
         propagate(&self.frame);
@@ -477,8 +493,7 @@ impl Drop for Region {
         } else if !self.deferred.borrow().is_empty() {
             // Deferred children hold erased borrows; they must run before
             // the region (and those borrows) die.
-            let mut deferred: Vec<_> =
-                self.deferred.borrow_mut().drain(..).map(Some).collect();
+            let mut deferred: Vec<_> = self.deferred.borrow_mut().drain(..).map(Some).collect();
             run_deferred(&mut deferred);
         }
         // Panics captured from children are intentionally dropped here if

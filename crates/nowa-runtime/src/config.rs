@@ -29,6 +29,11 @@ pub struct Config {
     pub pool_prefill: usize,
     /// Pin worker `i` to CPU `i`.
     pub pin_workers: bool,
+    /// Record scheduler traces (per-worker event rings + latency
+    /// histograms). Takes effect only when the runtime is built with the
+    /// `trace` cargo feature; without the feature the flag is accepted but
+    /// inert, so callers don't need their own `cfg` gymnastics.
+    pub tracing: bool,
 }
 
 impl Default for Config {
@@ -45,6 +50,7 @@ impl Default for Config {
             pool_stripes: 1,
             pool_prefill: 0,
             pin_workers: false,
+            tracing: false,
         }
     }
 }
@@ -75,6 +81,13 @@ impl Config {
         self.stack_size = bytes;
         self
     }
+
+    /// Enables or disables scheduler tracing (builder style). See the
+    /// field docs: requires the `trace` cargo feature to have any effect.
+    pub fn tracing(mut self, enabled: bool) -> Config {
+        self.tracing = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,10 +108,12 @@ mod tests {
         let c = Config::with_workers(3)
             .flavor(Flavor::FIBRIL)
             .madvise(MadvisePolicy::Free)
-            .stack_size(64 * 1024);
+            .stack_size(64 * 1024)
+            .tracing(true);
         assert_eq!(c.workers, 3);
         assert_eq!(c.flavor, Flavor::FIBRIL);
         assert_eq!(c.madvise, MadvisePolicy::Free);
         assert_eq!(c.stack_size, 64 * 1024);
+        assert!(c.tracing);
     }
 }

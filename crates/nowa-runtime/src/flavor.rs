@@ -161,7 +161,10 @@ pub fn new_deque(flavor: Flavor, capacity: usize) -> (OwnerDeque, SharedStealer)
     match (flavor.protocol, flavor.deque) {
         (ProtocolKind::FibrilLocked, _) => {
             let fused = FusedDeque::new(capacity);
-            (OwnerDeque::Fused(fused.clone()), SharedStealer::Fused(fused))
+            (
+                OwnerDeque::Fused(fused.clone()),
+                SharedStealer::Fused(fused),
+            )
         }
         (_, DequeKind::Cl) => {
             let (w, s) = ClDeque::new(capacity);
@@ -179,6 +182,18 @@ pub fn new_deque(flavor: Flavor, capacity: usize) -> (OwnerDeque, SharedStealer)
             let (w, s) = LockedDeque::new(capacity);
             (OwnerDeque::Locked(w), SharedStealer::Locked(s))
         }
+    }
+}
+
+/// Current occupancy of the owner side of a deque (observability only —
+/// the value is a racy snapshot for all lock-free algorithms).
+pub fn occupancy(dq: &OwnerDeque) -> usize {
+    match dq {
+        OwnerDeque::Cl(w) => w.len(),
+        OwnerDeque::The(w) => w.len(),
+        OwnerDeque::Abp(w) => w.len(),
+        OwnerDeque::Locked(w) => w.len(),
+        OwnerDeque::Fused(f) => f.q.lock().len(),
     }
 }
 
@@ -454,7 +469,10 @@ mod tests {
         // spawn #2: push, continuation stolen while child runs.
         assert!(push(&dq, Ptr::from_ref(&rec2)));
         let stolen = steal_from(p, &st).success().unwrap();
-        assert_eq!(stolen.as_ptr() as *const SpawnRecord, &rec2 as *const SpawnRecord);
+        assert_eq!(
+            stolen.as_ptr() as *const SpawnRecord,
+            &rec2 as *const SpawnRecord
+        );
         assert_eq!(frame.join.alpha.load(Ordering::Relaxed), 1);
 
         // child of spawn #2 returns, finds the deque empty, joins; the
@@ -520,7 +538,10 @@ mod tests {
         let rec = SpawnRecord::new(&frame);
         assert!(push(&dq, Ptr::from_ref(&rec)));
         let taken = take_own(p, &dq).unwrap();
-        assert_eq!(taken.as_ptr() as *const SpawnRecord, &rec as *const SpawnRecord);
+        assert_eq!(
+            taken.as_ptr() as *const SpawnRecord,
+            &rec as *const SpawnRecord
+        );
         assert_eq!(frame.join.alpha.load(Ordering::Relaxed), 1);
         assert!(take_own(p, &dq).is_none());
     }

@@ -50,6 +50,7 @@ pub mod config;
 pub mod flavor;
 pub mod foreign;
 pub mod frame;
+mod obs;
 pub mod record;
 pub mod runtime;
 pub mod scheduler;
@@ -58,10 +59,12 @@ pub mod snzi;
 pub mod stats;
 pub mod worker;
 
-pub use api::{for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, Region};
+pub use api::{
+    for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, worker_index, Region,
+};
 pub use config::Config;
-pub use foreign::ForeignForkJoin;
 pub use flavor::{DequeKind, Flavor, ProtocolKind};
+pub use foreign::ForeignForkJoin;
 pub use nowa_context::MadvisePolicy;
 pub use runtime::{Runtime, RuntimeError};
 pub use snzi::Snzi;

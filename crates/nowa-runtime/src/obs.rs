@@ -1,0 +1,211 @@
+//! Trace hooks: the runtime's only coupling to `nowa-trace`.
+//!
+//! Every instrumentation point in the scheduler calls one function from
+//! this module. With the `trace` cargo feature **off**, the module is the
+//! empty twin below — every hook is an `#[inline(always)]` no-op, so
+//! nothing observes the hot path and the scheduler compiles exactly as
+//! before. With the feature **on**, hooks are still no-ops unless the
+//! runtime was built with [`crate::Config`]`::tracing(true)` (the buffers
+//! are simply absent otherwise).
+//!
+//! Hooks never block and never allocate: rings are wait-free SPSC with a
+//! drop-newest overflow policy, and histograms are relaxed `fetch_add`s.
+
+#[cfg(feature = "trace")]
+mod imp {
+    use nowa_trace::{frame_id, EventKind, TraceBuffer};
+
+    use crate::flavor;
+    use crate::record::Frame;
+    use crate::worker::Worker;
+
+    /// The calling worker's trace buffer, when tracing is enabled.
+    ///
+    /// # Safety
+    /// `worker` must be a live worker pointer owned by the calling thread.
+    #[inline]
+    unsafe fn buf<'a>(worker: *mut Worker) -> Option<&'a TraceBuffer> {
+        unsafe {
+            let w = &*worker;
+            w.shared.trace.as_deref().map(|t| &t[w.index])
+        }
+    }
+
+    /// A continuation was offered (or failed to be offered) to thieves.
+    /// Samples deque occupancy periodically.
+    #[inline]
+    pub(crate) unsafe fn on_spawn(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.spawn(|| flavor::occupancy(&(*worker).deque) as u64);
+            }
+        }
+    }
+
+    /// A steal attempt found `victim`'s deque empty. Suppressed while the
+    /// worker is deep-idle: an idle worker re-sweeps every victim many
+    /// thousand times a second and would evict everything else from the
+    /// ring; the [`EventKind::Idle`] span summarises the period instead
+    /// (the `steal_empty` *counter* in [`crate::stats`] still counts all).
+    #[inline]
+    pub(crate) unsafe fn on_steal_empty(worker: *mut Worker, victim: usize) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                if !b.is_idle() {
+                    b.event(EventKind::StealEmpty, victim as u64);
+                }
+            }
+        }
+    }
+
+    /// A steal attempt lost a race and will retry.
+    #[inline]
+    pub(crate) unsafe fn on_steal_retry(worker: *mut Worker, victim: usize) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::StealRetry, victim as u64);
+            }
+        }
+    }
+
+    /// A steal succeeded; starts the steal-to-first-poll clock.
+    #[inline]
+    pub(crate) unsafe fn on_steal_success(worker: *mut Worker, victim: usize) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.idle_exit();
+                b.steal_success(victim);
+            }
+        }
+    }
+
+    /// A resumed continuation re-established its stack invariant; stops
+    /// the steal-to-first-poll clock if one is running.
+    #[inline]
+    pub(crate) unsafe fn on_resume_finished(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.resume_finished();
+            }
+        }
+    }
+
+    /// Fast-path pop: the spawner reclaimed its own continuation.
+    #[inline]
+    pub(crate) unsafe fn on_fast_pop(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::FastPop, 0);
+            }
+        }
+    }
+
+    /// The work-finding loop took from its own deque.
+    #[inline]
+    pub(crate) unsafe fn on_own_take(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.idle_exit();
+                b.event(EventKind::OwnTake, 0);
+            }
+        }
+    }
+
+    /// A root task was taken from the injector.
+    #[inline]
+    pub(crate) unsafe fn on_root(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.idle_exit();
+                b.event(EventKind::Root, 0);
+            }
+        }
+    }
+
+    /// A child joined (its continuation was consumed elsewhere).
+    #[inline]
+    pub(crate) unsafe fn on_join(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::Join, 0);
+            }
+        }
+    }
+
+    /// An explicit sync was satisfied without suspending.
+    #[inline]
+    pub(crate) unsafe fn on_sync_inline(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::SyncInline, 0);
+            }
+        }
+    }
+
+    /// An explicit sync suspended `frame`.
+    #[inline]
+    pub(crate) unsafe fn on_sync_suspend(worker: *mut Worker, frame: *const Frame) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::SyncSuspend, frame_id(frame as *const ()));
+            }
+        }
+    }
+
+    /// A suspended sync continuation of `frame` is being resumed.
+    #[inline]
+    pub(crate) unsafe fn on_sync_resume(worker: *mut Worker, frame: *const Frame) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.idle_exit();
+                b.event(EventKind::SyncResume, frame_id(frame as *const ()));
+            }
+        }
+    }
+
+    /// A steal sweep found nothing (the worker is going idle). Idempotent.
+    #[inline]
+    pub(crate) unsafe fn on_idle(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.idle_enter();
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+#[allow(clippy::missing_safety_doc)]
+mod imp {
+    use crate::record::Frame;
+    use crate::worker::Worker;
+
+    #[inline(always)]
+    pub(crate) unsafe fn on_spawn(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_steal_empty(_: *mut Worker, _: usize) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_steal_retry(_: *mut Worker, _: usize) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_steal_success(_: *mut Worker, _: usize) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_resume_finished(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_fast_pop(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_own_take(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_root(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_join(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_sync_inline(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_sync_suspend(_: *mut Worker, _: *const Frame) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_sync_resume(_: *mut Worker, _: *const Frame) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_idle(_: *mut Worker) {}
+}
+
+pub(crate) use imp::*;

@@ -84,6 +84,12 @@ impl Runtime {
             idle_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
             pool: pool.clone(),
+            #[cfg(feature = "trace")]
+            trace: config.tracing.then(|| {
+                (0..config.workers)
+                    .map(|_| nowa_trace::TraceBuffer::new(nowa_trace::DEFAULT_RING_CAPACITY))
+                    .collect()
+            }),
             config: config.clone(),
         });
 
@@ -140,6 +146,22 @@ impl Runtime {
         self.shared.pool.stats().snapshot()
     }
 
+    /// Drains the per-worker trace rings and merges everything recorded so
+    /// far into a [`nowa_trace::TraceReport`]. `None` unless the runtime
+    /// was configured with [`Config::tracing`]`(true)`.
+    ///
+    /// Draining consumes the buffered events (a second call reports only
+    /// events recorded in between) but histograms are cumulative. Safe to
+    /// call between [`Runtime::run`]s; calling it *during* a run yields a
+    /// consistent prefix of each worker's stream.
+    #[cfg(feature = "trace")]
+    pub fn trace_report(&self) -> Option<nowa_trace::TraceReport> {
+        self.shared
+            .trace
+            .as_deref()
+            .map(nowa_trace::TraceReport::collect)
+    }
+
     /// Runs `f` as a root task on the runtime and blocks until it finishes,
     /// returning its result. Panics in `f` (or any strand it spawns) are
     /// propagated to the caller.
@@ -173,7 +195,10 @@ impl Runtime {
             // the completion slot has been consumed — the same argument as
             // `std::thread::scope`.
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { core::mem::transmute(task) };
-            self.shared.injector.lock().push_back(RootTask { run: task });
+            self.shared
+                .injector
+                .lock()
+                .push_back(RootTask { run: task });
             self.shared.idle_cv.notify_all();
         }
 

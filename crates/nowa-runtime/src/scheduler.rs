@@ -33,11 +33,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use nowa_context::capture_and_run_on;
 
 use crate::flavor;
+use crate::obs;
 use crate::record::{Frame, SpawnRecord};
 use crate::stats::WorkerStats;
-use crate::worker::{
-    current_worker, find_work, resume_record, resume_sync, AbortOnUnwind, Worker,
-};
+use crate::worker::{current_worker, find_work, resume_record, resume_sync, AbortOnUnwind, Worker};
 
 /// Arguments shipped from `spawn_execute` to `spawn_body` (read and moved
 /// out *before* the continuation is published).
@@ -110,6 +109,9 @@ unsafe fn finish_resume(payload: *mut c_void, record: &mut SpawnRecord) {
         if let Some(stack) = (*worker).pending_recycle.take() {
             (*worker).cache.put(stack);
         }
+        // Steal-to-first-poll: if this resume consumed a steal, the stolen
+        // continuation is now runnable — stop the clock.
+        obs::on_resume_finished(worker);
     }
 }
 
@@ -125,7 +127,10 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         let frame: *const Frame = (*record).frame;
         // Move the closure out of the parent frame *before* publishing the
         // continuation — afterwards the parent frame may be running again.
-        let f = args.closure.take().expect("closure staged by spawn_execute");
+        let f = args
+            .closure
+            .take()
+            .expect("closure staged by spawn_execute");
         (*worker).current_stack = (*worker).incoming_stack.take();
 
         let protocol = {
@@ -140,6 +145,7 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         } else {
             WorkerStats::bump(&(*worker).stats().unoffered);
         }
+        obs::on_spawn(worker);
 
         // The child, called directly (no further runtime involvement).
         match catch_unwind(AssertUnwindSafe(f)) {
@@ -159,14 +165,17 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         match flavor::pop_or_join(protocol, &(*worker).deque, &*frame) {
             crate::record::AfterChild::Continue => {
                 WorkerStats::bump(&(*worker).stats().fast_pops);
+                obs::on_fast_pop(worker);
                 resume_record(worker, nowa_deque::Ptr::from_ref(&*record))
             }
             crate::record::AfterChild::ResumeSync => {
                 WorkerStats::bump(&(*worker).stats().joins);
+                obs::on_join(worker);
                 resume_sync(worker, frame)
             }
             crate::record::AfterChild::OutOfWork => {
                 WorkerStats::bump(&(*worker).stats().joins);
+                obs::on_join(worker);
                 find_work()
             }
         }
@@ -204,6 +213,7 @@ pub unsafe fn sync_execute(frame: &Frame) {
             // All children joined: proceed without suspending (Invariant
             // III makes α stable here, so the check is exact).
             WorkerStats::bump(&(*worker).stats().syncs_inline);
+            obs::on_sync_inline(worker);
             flavor::rearm(protocol, frame);
             return;
         }
@@ -241,6 +251,7 @@ unsafe extern "C" fn sync_body(arg: *mut c_void) -> ! {
         let worker = args.worker;
         let frame = args.frame;
         WorkerStats::bump(&(*worker).stats().suspensions);
+        obs::on_sync_suspend(worker, frame);
 
         // The frame's stack is now blocked by the suspended frame: move it
         // into the frame and release the unused space below the suspended

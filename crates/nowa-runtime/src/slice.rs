@@ -84,13 +84,18 @@ where
 {
     // Fold over indices (usize is Send) and index back at the end, which
     // sidesteps returning borrows out of the closures.
-    let best = crate::api::map_reduce(0..data.len(), grain_for(data.len(), grain), &|i| i, &|a, b| {
-        if key(&data[a]) >= key(&data[b]) {
-            a
-        } else {
-            b
-        }
-    })?;
+    let best = crate::api::map_reduce(
+        0..data.len(),
+        grain_for(data.len(), grain),
+        &|i| i,
+        &|a, b| {
+            if key(&data[a]) >= key(&data[b]) {
+                a
+            } else {
+                b
+            }
+        },
+    )?;
     Some(&data[best])
 }
 

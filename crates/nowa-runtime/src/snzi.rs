@@ -128,8 +128,7 @@ impl Snzi {
             let (c2, v) = unpack(word);
             if c2 >= 2 {
                 // Plain surplus increment.
-                if self
-                    .nodes[node]
+                if self.nodes[node]
                     .word
                     .compare_exchange_weak(
                         word,
@@ -144,19 +143,27 @@ impl Snzi {
             } else if c2 == 0 {
                 // First arrival: claim the ½ state; our own +1 is the one
                 // the promotion below turns into surplus 1.
-                if self
-                    .nodes[node]
+                if self.nodes[node]
                     .word
-                    .compare_exchange_weak(word, pack(1, v + 1), Ordering::AcqRel, Ordering::Relaxed)
+                    .compare_exchange_weak(
+                        word,
+                        pack(1, v + 1),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
                     .is_ok()
                 {
                     succ = true;
                     let v1 = v + 1;
                     self.parent_arrive(node);
-                    if self
-                        .nodes[node]
+                    if self.nodes[node]
                         .word
-                        .compare_exchange(pack(1, v1), pack(2, v1), Ordering::AcqRel, Ordering::Relaxed)
+                        .compare_exchange(
+                            pack(1, v1),
+                            pack(2, v1),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
                         .is_err()
                     {
                         undo += 1;
@@ -168,8 +175,7 @@ impl Snzi {
                 // Our own +1 is NOT registered by this branch (succ stays
                 // false); the next loop iteration adds it via c2 >= 2.
                 self.parent_arrive(node);
-                if self
-                    .nodes[node]
+                if self.nodes[node]
                     .word
                     .compare_exchange(word, pack(2, v), Ordering::AcqRel, Ordering::Relaxed)
                     .is_err()
@@ -194,8 +200,7 @@ impl Snzi {
                 core::hint::spin_loop();
                 continue;
             }
-            if self
-                .nodes[node]
+            if self.nodes[node]
                 .word
                 .compare_exchange_weak(word, pack(c2 - 2, v), Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()

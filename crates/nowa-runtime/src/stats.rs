@@ -15,8 +15,10 @@ pub struct WorkerStats {
     pub fast_pops: AtomicU64,
     /// Successful steals from other workers.
     pub steals: AtomicU64,
-    /// Steal attempts (including empty and retry outcomes).
-    pub steal_attempts: AtomicU64,
+    /// Steal attempts that found the victim's deque empty.
+    pub steal_empty: AtomicU64,
+    /// Steal attempts that lost a race and had to retry.
+    pub steal_retry: AtomicU64,
     /// Local continuations taken by the work-finding loop.
     pub own_takes: AtomicU64,
     /// Child joins (continuation found stolen after child returned).
@@ -49,8 +51,10 @@ pub struct StatsSnapshot {
     pub fast_pops: u64,
     /// Successful steals.
     pub steals: u64,
-    /// Steal attempts.
-    pub steal_attempts: u64,
+    /// Steal attempts that found an empty deque.
+    pub steal_empty: u64,
+    /// Steal attempts that lost a race and retried.
+    pub steal_retry: u64,
     /// Local takes by the work-finding loop.
     pub own_takes: u64,
     /// Child joins.
@@ -74,7 +78,8 @@ impl StatsSnapshot {
             s.unoffered += w.unoffered.load(Ordering::Relaxed);
             s.fast_pops += w.fast_pops.load(Ordering::Relaxed);
             s.steals += w.steals.load(Ordering::Relaxed);
-            s.steal_attempts += w.steal_attempts.load(Ordering::Relaxed);
+            s.steal_empty += w.steal_empty.load(Ordering::Relaxed);
+            s.steal_retry += w.steal_retry.load(Ordering::Relaxed);
             s.own_takes += w.own_takes.load(Ordering::Relaxed);
             s.joins += w.joins.load(Ordering::Relaxed);
             s.syncs_inline += w.syncs_inline.load(Ordering::Relaxed);
@@ -85,10 +90,55 @@ impl StatsSnapshot {
         s
     }
 
+    /// Adds another snapshot's counters into this one (e.g. to aggregate
+    /// over several runtimes or benchmark runs).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.spawns += other.spawns;
+        self.unoffered += other.unoffered;
+        self.fast_pops += other.fast_pops;
+        self.steals += other.steals;
+        self.steal_empty += other.steal_empty;
+        self.steal_retry += other.steal_retry;
+        self.own_takes += other.own_takes;
+        self.joins += other.joins;
+        self.syncs_inline += other.syncs_inline;
+        self.suspensions += other.suspensions;
+        self.sync_resumes += other.sync_resumes;
+        self.roots += other.roots;
+    }
+
+    /// Total steal attempts, successful or not.
+    pub fn steal_attempts(&self) -> u64 {
+        self.steals + self.steal_empty + self.steal_retry
+    }
+
     /// Conservation invariant: every consumed continuation was either
     /// popped back by its pusher, stolen, or taken locally.
     pub fn continuations_consumed(&self) -> u64 {
         self.fast_pops + self.steals + self.own_takes
+    }
+
+    /// Fraction of steal attempts that succeeded (0 when none were made).
+    pub fn steal_success_ratio(&self) -> f64 {
+        let attempts = self.steal_attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.steals as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of consumed continuations reclaimed on the fast path —
+    /// popped back by their own spawner without any scheduling (0 when
+    /// nothing was consumed). High values mean the paper's "work-first"
+    /// discipline is holding: stealing stays the exception.
+    pub fn fast_path_ratio(&self) -> f64 {
+        let consumed = self.continuations_consumed();
+        if consumed == 0 {
+            0.0
+        } else {
+            self.fast_pops as f64 / consumed as f64
+        }
     }
 }
 
@@ -103,14 +153,52 @@ mod tests {
         a.spawns.store(3, Ordering::Relaxed);
         b.spawns.store(4, Ordering::Relaxed);
         a.steals.store(1, Ordering::Relaxed);
+        a.steal_empty.store(5, Ordering::Relaxed);
+        b.steal_retry.store(2, Ordering::Relaxed);
         let stats = [a, b];
         let s = StatsSnapshot::aggregate(&stats);
         assert_eq!(s.spawns, 7);
         assert_eq!(s.steals, 1);
+        assert_eq!(s.steal_empty, 5);
+        assert_eq!(s.steal_retry, 2);
+        assert_eq!(s.steal_attempts(), 8);
     }
 
     #[test]
     fn padding_prevents_false_sharing() {
         assert!(core::mem::align_of::<WorkerStats>() >= 128);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = StatsSnapshot {
+            spawns: 3,
+            steals: 1,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            spawns: 4,
+            steal_empty: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.spawns, 7);
+        assert_eq!(a.steals, 1);
+        assert_eq!(a.steal_empty, 2);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = StatsSnapshot::default();
+        assert_eq!(s.steal_success_ratio(), 0.0);
+        assert_eq!(s.fast_path_ratio(), 0.0);
+        s.steals = 1;
+        s.steal_empty = 2;
+        s.steal_retry = 1;
+        s.fast_pops = 6;
+        s.own_takes = 1;
+        assert!((s.steal_success_ratio() - 0.25).abs() < 1e-12);
+        // consumed = 6 + 1 + 1 = 8; fast-path share 6/8.
+        assert!((s.fast_path_ratio() - 0.75).abs() < 1e-12);
     }
 }

@@ -29,6 +29,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::config::Config;
 use crate::flavor::{self, Flavor, OwnerDeque, Rec, SharedStealer};
+use crate::obs;
 use crate::stats::{StatsSnapshot, WorkerStats};
 
 /// A submitted root task (type-erased; completion signalling is baked into
@@ -58,6 +59,10 @@ pub struct Shared {
     pub pool: Arc<StackPool>,
     /// The configuration the runtime was built with.
     pub config: Config,
+    /// Per-worker trace buffers; `Some` iff the runtime was configured
+    /// with `Config::tracing(true)`.
+    #[cfg(feature = "trace")]
+    pub trace: Option<Box<[nowa_trace::TraceBuffer]>>,
 }
 
 impl Shared {
@@ -174,6 +179,7 @@ pub unsafe fn resume_record(worker: *mut Worker, rec: Rec) -> ! {
 pub unsafe fn resume_sync(worker: *mut Worker, frame: *const crate::record::Frame) -> ! {
     unsafe {
         WorkerStats::bump(&(*worker).stats().sync_resumes);
+        obs::on_sync_resume(worker, frame);
         debug_assert!((*worker).pending_recycle.is_none());
         (*worker).pending_recycle = (*worker).current_stack.take();
         let ctx = *(*frame).core.sync_ctx.get();
@@ -213,6 +219,7 @@ pub unsafe fn find_work() -> ! {
         if let Some(rec) = flavor::take_own(protocol, unsafe { &(*worker).deque }) {
             unsafe {
                 WorkerStats::bump(&(*worker).stats().own_takes);
+                obs::on_own_take(worker);
                 resume_record(worker, rec)
             }
         }
@@ -220,7 +227,10 @@ pub unsafe fn find_work() -> ! {
         // Root tasks.
         let task = shared.injector.lock().pop_front();
         if let Some(task) = task {
-            unsafe { WorkerStats::bump(&(*worker).stats().roots) };
+            unsafe {
+                WorkerStats::bump(&(*worker).stats().roots);
+                obs::on_root(worker);
+            }
             // The task's control flow may suspend internally and complete
             // on another worker; everything below re-derives state.
             (task.run)();
@@ -238,20 +248,25 @@ pub unsafe fn find_work() -> ! {
                 if victim == unsafe { (*worker).index } {
                     continue;
                 }
-                unsafe { WorkerStats::bump(&(*worker).stats().steal_attempts) };
                 match flavor::steal_from(protocol, &shared.stealers[victim]) {
-                    Steal::Success(rec) => {
-                        unsafe {
-                            WorkerStats::bump(&(*worker).stats().steals);
-                            resume_record(worker, rec)
-                        }
-                    }
+                    Steal::Success(rec) => unsafe {
+                        WorkerStats::bump(&(*worker).stats().steals);
+                        obs::on_steal_success(worker, victim);
+                        resume_record(worker, rec)
+                    },
                     Steal::Retry => {
+                        unsafe {
+                            WorkerStats::bump(&(*worker).stats().steal_retry);
+                            obs::on_steal_retry(worker, victim);
+                        }
                         // Contended: try again within the sweep.
                         found = true;
                         core::hint::spin_loop();
                     }
-                    Steal::Empty => {}
+                    Steal::Empty => unsafe {
+                        WorkerStats::bump(&(*worker).stats().steal_empty);
+                        obs::on_steal_empty(worker, victim);
+                    },
                 }
             }
         }
@@ -261,6 +276,7 @@ pub unsafe fn find_work() -> ! {
             continue;
         }
         failed_sweeps = failed_sweeps.saturating_add(1);
+        unsafe { obs::on_idle(worker) };
         if failed_sweeps < 16 {
             std::thread::yield_now();
         } else {
@@ -298,12 +314,8 @@ pub fn worker_main(mut worker: Box<Worker>) {
         let first = (*wptr).cache.get();
         let top = first.top();
         (*wptr).incoming_stack = Some(first);
-        let payload = capture_and_run_on(
-            &mut (*wptr).exit_ctx,
-            top,
-            worker_body,
-            wptr as *mut c_void,
-        );
+        let payload =
+            capture_and_run_on(&mut (*wptr).exit_ctx, top, worker_body, wptr as *mut c_void);
         // ---- shutdown: back on the OS thread stack ----
         let worker_now = payload as *mut Worker;
         debug_assert_eq!(worker_now, wptr, "exit context resumed by its owner");

@@ -98,7 +98,14 @@ fn explore(k: usize) -> u64 {
         if next_fork < k {
             schedule.push(Event::Fork(next_fork));
             pending_joins.push(next_fork);
-            rec(schedule, next_fork + 1, pending_joins, restore_done, k, count);
+            rec(
+                schedule,
+                next_fork + 1,
+                pending_joins,
+                restore_done,
+                k,
+                count,
+            );
             pending_joins.pop();
             schedule.pop();
         }

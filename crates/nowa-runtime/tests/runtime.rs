@@ -36,7 +36,12 @@ fn fib_single_worker() {
 fn fib_four_workers_all_flavors() {
     for flavor in ALL_FLAVORS {
         let rt = Runtime::new(Config::with_workers(4).flavor(flavor)).unwrap();
-        assert_eq!(rt.run(|| fib(22)), fib_serial(22), "flavor {}", flavor.name());
+        assert_eq!(
+            rt.run(|| fib(22)),
+            fib_serial(22),
+            "flavor {}",
+            flavor.name()
+        );
     }
 }
 
@@ -192,9 +197,8 @@ fn borrows_across_run() {
     // Runtime::run supports borrowed closures (scoped semantics).
     let data: Vec<u64> = (0..100).collect();
     let rt = Runtime::with_workers(2).unwrap();
-    let sum = rt.run(|| {
-        api::map_reduce(0..data.len(), 8, &|i| data[i], &|a, b| a + b).unwrap_or(0)
-    });
+    let sum =
+        rt.run(|| api::map_reduce(0..data.len(), 8, &|i| data[i], &|a, b| a + b).unwrap_or(0));
     assert_eq!(sum, 99 * 100 / 2);
 }
 
@@ -220,7 +224,10 @@ fn tiny_deque_degrades_gracefully() {
     let rt = Runtime::new(config).unwrap();
     assert_eq!(rt.run(|| fib(18)), fib_serial(18));
     let stats = rt.stats();
-    assert!(stats.unoffered > 0, "tiny deque must refuse some: {stats:?}");
+    assert!(
+        stats.unoffered > 0,
+        "tiny deque must refuse some: {stats:?}"
+    );
 }
 
 #[test]

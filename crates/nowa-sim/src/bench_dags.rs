@@ -78,9 +78,9 @@ impl SimBench {
     pub fn default_scale(&self) -> u32 {
         match self {
             SimBench::Cholesky => 1024,
-            SimBench::Fft => 17,     // 2^17 points
+            SimBench::Fft => 17, // 2^17 points
             SimBench::Fib => 26,
-            SimBench::Heat => 512,   // 512 x 256, 32 steps
+            SimBench::Heat => 512,     // 512 x 256, 32 steps
             SimBench::Integrate => 16, // tree depth
             SimBench::Knapsack => 26,
             SimBench::Lu => 512,
@@ -327,7 +327,7 @@ fn quicksort_task(g: &mut Gen, task: usize, len: u64) {
         return;
     }
     g.b.work(task, len * 3 / 2); // partition
-    // Median-of-three keeps splits near the middle but not exact.
+                                 // Median-of-three keeps splits near the middle but not exact.
     let frac = 35 + (g.rand() % 31); // 35..65 %
     let lo = (len * frac / 100).max(1).min(len - 1);
     let c1 = g.b.spawn(task);
@@ -457,7 +457,7 @@ fn strassen(g: &mut Gen, task: usize, n: u64) {
     }
     let h = n / 2;
     let add = h * h * 2; // one temporary add/sub
-    // join4(m1..m4): each product task pays its operand adds first.
+                         // join4(m1..m4): each product task pays its operand adds first.
     for _ in 0..3 {
         let c = g.b.spawn(task);
         g.b.work(c, add * 2);

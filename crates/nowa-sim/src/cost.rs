@@ -182,6 +182,9 @@ mod tests {
         assert!(c.counter_hold < c.frame_lock_hold);
         assert!(c.cl_top_hold < c.the_lock_hold);
         assert!(c.the_lock_hold <= c.fused_lock_hold);
-        assert!(c.spawn < c.child_alloc, "continuation stealing avoids the allocator");
+        assert!(
+            c.spawn < c.child_alloc,
+            "continuation stealing avoids the allocator"
+        );
     }
 }

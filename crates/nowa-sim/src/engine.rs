@@ -594,7 +594,9 @@ impl<'d> Engine<'d> {
         let c = &self.cfg.costs;
         match self.cfg.flavor {
             SimFlavor::GlobalQueueGomp => {
-                let t = self.central_res.acquire(t, w as u32, c.lock_local * 2, c.central_lock_hold);
+                let t =
+                    self.central_res
+                        .acquire(t, w as u32, c.lock_local * 2, c.central_lock_hold);
                 self.central.push_back((child, 0));
                 t
             }
@@ -612,7 +614,9 @@ impl<'d> Engine<'d> {
         let c = self.cfg.costs.clone();
         match self.cfg.flavor {
             SimFlavor::GlobalQueueGomp => {
-                let t2 = self.central_res.acquire(t, w as u32, c.lock_local * 2, c.central_lock_hold);
+                let t2 =
+                    self.central_res
+                        .acquire(t, w as u32, c.lock_local * 2, c.central_lock_hold);
                 match self.central.pop_front() {
                     Some((child, _)) => (t2, Some(child)),
                     None => (t2, None),
@@ -770,13 +774,14 @@ pub fn simulate(dag: &SimDag, cfg: SimConfig) -> SimResult {
     let mut engine = Engine::new(dag, cfg);
     // Safety valve against engine bugs: no run should need more events
     // than a generous multiple of the DAG size.
-    let limit: u64 = 200 * dag.tasks.len() as u64
-        + 4_000_000
-        + 50_000 * engine.clock.len() as u64;
+    let limit: u64 = 200 * dag.tasks.len() as u64 + 4_000_000 + 50_000 * engine.clock.len() as u64;
     let mut steps: u64 = 0;
     while engine.step() {
         steps += 1;
-        assert!(steps < limit, "simulation exceeded event budget (engine bug?)");
+        assert!(
+            steps < limit,
+            "simulation exceeded event budget (engine bug?)"
+        );
     }
     engine.result
 }
@@ -828,7 +833,11 @@ mod tests {
     #[test]
     fn parallelism_reduces_makespan() {
         let dag = binary_dag(10, 5_000, 100);
-        for flavor in [SimFlavor::NowaCl, SimFlavor::FibrilLock, SimFlavor::ChildStealTbb] {
+        for flavor in [
+            SimFlavor::NowaCl,
+            SimFlavor::FibrilLock,
+            SimFlavor::ChildStealTbb,
+        ] {
             let t1 = simulate(&dag, SimConfig::new(flavor, 1)).makespan;
             let t8 = simulate(&dag, SimConfig::new(flavor, 8)).makespan;
             assert!(

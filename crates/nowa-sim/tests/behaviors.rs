@@ -55,7 +55,10 @@ fn coarse_grain_hides_runtime_differences() {
     let nowa = simulate(&dag, SimConfig::new(SimFlavor::NowaCl, 32)).speedup();
     let fibril = simulate(&dag, SimConfig::new(SimFlavor::FibrilLock, 32)).speedup();
     let rel = (nowa - fibril).abs() / nowa;
-    assert!(rel < 0.10, "coarse grains should tie: {nowa:.2} vs {fibril:.2}");
+    assert!(
+        rel < 0.10,
+        "coarse grains should tie: {nowa:.2} vs {fibril:.2}"
+    );
 }
 
 #[test]
@@ -104,8 +107,14 @@ fn tied_tasks_restrict_helping() {
     }
     b.sync(0);
     let dag = b.build();
-    let untied = simulate(&dag, SimConfig::new(SimFlavor::WsTasksOmp { tied: false }, 16));
-    let tied = simulate(&dag, SimConfig::new(SimFlavor::WsTasksOmp { tied: true }, 16));
+    let untied = simulate(
+        &dag,
+        SimConfig::new(SimFlavor::WsTasksOmp { tied: false }, 16),
+    );
+    let tied = simulate(
+        &dag,
+        SimConfig::new(SimFlavor::WsTasksOmp { tied: true }, 16),
+    );
     assert!(
         tied.makespan >= untied.makespan,
         "tied {} vs untied {}",

@@ -1,0 +1,193 @@
+//! The per-worker trace state.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::clock::now_ns;
+use crate::event::{Event, EventKind};
+use crate::hist::Hist64;
+use crate::ring::EventRing;
+
+/// How often deque occupancy is sampled: every `2^OCCUPANCY_SHIFT`-th spawn.
+pub const OCCUPANCY_SHIFT: u32 = 6;
+
+/// Everything one worker records: its event ring, its latency histograms,
+/// and the scratch cells for in-flight measurements. Cache-line padded so
+/// two workers' buffers never share a line.
+///
+/// All methods are wait-free. Only the owning worker calls the recording
+/// methods; the report collector reads concurrently via [`EventRing`]'s
+/// consumer side and [`Hist64::snapshot`]. The scratch cells are atomics
+/// only so the type stays `Sync` — they are worker-private.
+#[repr(align(128))]
+pub struct TraceBuffer {
+    /// The event ring.
+    pub ring: EventRing,
+    /// Steal-to-first-poll latency: from a successful steal in the
+    /// work-finding loop to the stolen continuation re-establishing its
+    /// stack invariant.
+    pub steal_latency: Hist64,
+    /// Idle-spin duration: from the first failed steal sweep to the next
+    /// piece of work.
+    pub idle_spin: Hist64,
+    /// Owner-deque occupancy, sampled every
+    /// `2^`[`OCCUPANCY_SHIFT`]`-th` spawn.
+    pub occupancy: Hist64,
+    /// Timestamp of the pending successful steal (0 = none).
+    pending_steal_ns: AtomicU64,
+    /// Timestamp idleness began (0 = currently busy).
+    idle_since_ns: AtomicU64,
+    /// Spawns seen, for occupancy sampling.
+    spawn_tick: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// A buffer whose ring holds `ring_capacity` events.
+    pub fn new(ring_capacity: usize) -> TraceBuffer {
+        // Pin the trace epoch no later than buffer construction so the
+        // first event's timestamp is relative to runtime startup.
+        let _ = now_ns();
+        TraceBuffer {
+            ring: EventRing::new(ring_capacity),
+            steal_latency: Hist64::default(),
+            idle_spin: Hist64::default(),
+            occupancy: Hist64::default(),
+            pending_steal_ns: AtomicU64::new(0),
+            idle_since_ns: AtomicU64::new(0),
+            spawn_tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a plain event stamped now.
+    #[inline]
+    pub fn event(&self, kind: EventKind, arg: u64) {
+        self.ring.push(Event::new(now_ns(), kind, arg));
+    }
+
+    /// Records a spawn; every `2^`[`OCCUPANCY_SHIFT`]`-th` call also
+    /// samples `deque_len` into the occupancy histogram (and an
+    /// [`EventKind::Occupancy`] event), where `deque_len` is provided
+    /// lazily so the common case never touches the deque.
+    #[inline]
+    pub fn spawn(&self, deque_len: impl FnOnce() -> u64) {
+        let tick = self.spawn_tick.load(Ordering::Relaxed);
+        self.spawn_tick.store(tick + 1, Ordering::Relaxed);
+        if tick & ((1 << OCCUPANCY_SHIFT) - 1) == 0 {
+            let len = deque_len();
+            self.occupancy.record(len);
+            let ts = now_ns();
+            self.ring.push(Event::new(ts, EventKind::Spawn, 0));
+            self.ring.push(Event::new(ts, EventKind::Occupancy, len));
+        } else {
+            self.event(EventKind::Spawn, 0);
+        }
+    }
+
+    /// Records a successful steal from `victim` and starts the
+    /// steal-to-first-poll clock.
+    #[inline]
+    pub fn steal_success(&self, victim: usize) {
+        let ts = now_ns();
+        self.ring
+            .push(Event::new(ts, EventKind::Steal, victim as u64));
+        self.pending_steal_ns.store(ts, Ordering::Relaxed);
+    }
+
+    /// Stops the steal-to-first-poll clock (called when a resumed
+    /// continuation is back on its feet). No-op without a pending steal —
+    /// fast-path resumes also pass through the resume site.
+    #[inline]
+    pub fn resume_finished(&self) {
+        let started = self.pending_steal_ns.load(Ordering::Relaxed);
+        if started != 0 {
+            self.pending_steal_ns.store(0, Ordering::Relaxed);
+            self.steal_latency.record(now_ns().saturating_sub(started));
+        }
+    }
+
+    /// True while inside an idle period (between [`TraceBuffer::
+    /// idle_enter`] and [`TraceBuffer::idle_exit`]).
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.idle_since_ns.load(Ordering::Relaxed) != 0
+    }
+
+    /// Marks the beginning of an idle period (first failed steal sweep).
+    /// Idempotent while already idle.
+    #[inline]
+    pub fn idle_enter(&self) {
+        if self.idle_since_ns.load(Ordering::Relaxed) == 0 {
+            self.idle_since_ns.store(now_ns().max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Marks the end of an idle period: records the spin duration and an
+    /// [`EventKind::Idle`] event spanning it. No-op when not idle.
+    #[inline]
+    pub fn idle_exit(&self) {
+        let since = self.idle_since_ns.load(Ordering::Relaxed);
+        if since != 0 {
+            self.idle_since_ns.store(0, Ordering::Relaxed);
+            let dur = now_ns().saturating_sub(since);
+            self.idle_spin.record(dur);
+            self.ring.push(Event::new(since, EventKind::Idle, dur));
+        }
+    }
+}
+
+/// A compact id for a sync frame, derived from its address. Collisions
+/// merely mis-pair a suspend/resume in the report; soundness is unaffected.
+#[inline]
+pub fn frame_id(ptr: *const ()) -> u64 {
+    // Frames are ≥ 16-byte aligned; drop the dead bits.
+    (ptr as usize as u64) >> 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_samples_occupancy_periodically() {
+        let buf = TraceBuffer::new(1 << 10);
+        let mut probes = 0u32;
+        for _ in 0..(2 << OCCUPANCY_SHIFT) {
+            buf.spawn(|| {
+                probes += 1;
+                3
+            });
+        }
+        assert_eq!(probes, 2, "one probe per 2^{OCCUPANCY_SHIFT} spawns");
+        let occ = buf.occupancy.snapshot();
+        assert_eq!(occ.count, 2);
+        assert_eq!(occ.max, 3);
+    }
+
+    #[test]
+    fn steal_latency_requires_pending_steal() {
+        let buf = TraceBuffer::new(64);
+        buf.resume_finished(); // fast-path resume: no pending steal
+        assert_eq!(buf.steal_latency.snapshot().count, 0);
+        buf.steal_success(2);
+        buf.resume_finished();
+        buf.resume_finished(); // second resume must not double-record
+        assert_eq!(buf.steal_latency.snapshot().count, 1);
+    }
+
+    #[test]
+    fn idle_period_recorded_once() {
+        let buf = TraceBuffer::new(64);
+        buf.idle_exit(); // busy → no-op
+        buf.idle_enter();
+        buf.idle_enter(); // idempotent
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        buf.idle_exit();
+        let s = buf.idle_spin.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 1_000_000, "slept ≥ 1ms, recorded {}", s.max);
+        let mut events = Vec::new();
+        buf.ring.drain_into(&mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Idle);
+        assert_eq!(events[0].arg, s.max);
+    }
+}

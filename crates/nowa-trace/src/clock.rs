@@ -1,0 +1,32 @@
+//! The trace clock: nanoseconds since a process-wide epoch.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the first call in this process.
+///
+/// After the first call this is one atomic load plus a monotonic clock
+/// read; all workers share the epoch, so timestamps are comparable across
+/// threads.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_shared() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        let c = std::thread::spawn(now_ns).join().unwrap();
+        // The other thread's reading uses the same epoch: it must be close
+        // to (and at least) this thread's earlier reading.
+        assert!(c >= a);
+    }
+}

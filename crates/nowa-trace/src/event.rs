@@ -1,0 +1,162 @@
+//! Fixed-size trace events.
+//!
+//! An event is two `u64` words: a timestamp (ns since the trace epoch) and
+//! a packed word holding the kind (high 8 bits) plus a 56-bit argument.
+//! Two words keep ring slots small and make the producer path two relaxed
+//! atomic stores.
+
+/// Mask for the 56-bit event argument.
+pub const ARG_MASK: u64 = (1 << 56) - 1;
+
+/// What happened. The argument's meaning depends on the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A continuation was offered to thieves. arg: deque occupancy after
+    /// the push when sampled, else 0.
+    Spawn = 0,
+    /// A steal attempt found the victim's deque empty. arg: victim index.
+    StealEmpty = 1,
+    /// A steal attempt lost a race and will retry. arg: victim index.
+    StealRetry = 2,
+    /// A steal succeeded. arg: victim index.
+    Steal = 3,
+    /// Fast-path pop: the continuation was not stolen. arg: 0.
+    FastPop = 4,
+    /// The work-finding loop took a continuation from its own deque.
+    /// arg: 0.
+    OwnTake = 5,
+    /// A child joined (its continuation had been consumed elsewhere).
+    /// arg: 0.
+    Join = 6,
+    /// An explicit sync was satisfied inline. arg: 0.
+    SyncInline = 7,
+    /// An explicit sync suspended its frame. arg: frame id.
+    SyncSuspend = 8,
+    /// A suspended sync continuation was resumed. arg: frame id.
+    SyncResume = 9,
+    /// An idle period ended. The timestamp is the *start* of the period;
+    /// arg: its duration in ns.
+    Idle = 10,
+    /// A root task was taken from the injector. arg: 0.
+    Root = 11,
+    /// Deque occupancy sample. arg: the owner deque's length.
+    Occupancy = 12,
+}
+
+/// Number of distinct [`EventKind`]s.
+pub const NUM_KINDS: usize = 13;
+
+impl EventKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; NUM_KINDS] = [
+        EventKind::Spawn,
+        EventKind::StealEmpty,
+        EventKind::StealRetry,
+        EventKind::Steal,
+        EventKind::FastPop,
+        EventKind::OwnTake,
+        EventKind::Join,
+        EventKind::SyncInline,
+        EventKind::SyncSuspend,
+        EventKind::SyncResume,
+        EventKind::Idle,
+        EventKind::Root,
+        EventKind::Occupancy,
+    ];
+
+    /// Kind from its discriminant.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// Stable display name (also used as the Chrome event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Spawn => "spawn",
+            EventKind::StealEmpty => "steal_empty",
+            EventKind::StealRetry => "steal_retry",
+            EventKind::Steal => "steal",
+            EventKind::FastPop => "fast_pop",
+            EventKind::OwnTake => "own_take",
+            EventKind::Join => "join",
+            EventKind::SyncInline => "sync_inline",
+            EventKind::SyncSuspend => "sync_suspend",
+            EventKind::SyncResume => "sync_resume",
+            EventKind::Idle => "idle",
+            EventKind::Root => "root",
+            EventKind::Occupancy => "occupancy",
+        }
+    }
+}
+
+/// One timestamped scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the trace epoch ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific argument (56 bits).
+    pub arg: u64,
+}
+
+impl Event {
+    /// A new event; the argument is truncated to 56 bits.
+    #[inline]
+    pub fn new(ts_ns: u64, kind: EventKind, arg: u64) -> Event {
+        Event {
+            ts_ns,
+            kind,
+            arg: arg & ARG_MASK,
+        }
+    }
+
+    /// Packs kind + argument into the second slot word.
+    #[inline]
+    pub fn pack_word(&self) -> u64 {
+        ((self.kind as u64) << 56) | (self.arg & ARG_MASK)
+    }
+
+    /// Rebuilds an event from its two slot words. Returns `None` for an
+    /// unknown kind (possible only with corrupted input).
+    #[inline]
+    pub fn from_words(ts_ns: u64, packed: u64) -> Option<Event> {
+        let kind = EventKind::from_u8((packed >> 56) as u8)?;
+        Some(Event {
+            ts_ns,
+            kind,
+            arg: packed & ARG_MASK,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip_all_kinds() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, i, "discriminants are dense");
+            let ev = Event::new(123_456_789, *kind, 0xABCD_EF01_2345);
+            let back = Event::from_words(ev.ts_ns, ev.pack_word()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn arg_truncates_to_56_bits() {
+        let ev = Event::new(1, EventKind::Idle, u64::MAX);
+        assert_eq!(ev.arg, ARG_MASK);
+        assert_eq!(
+            Event::from_words(1, ev.pack_word()).unwrap().kind,
+            EventKind::Idle
+        );
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert!(Event::from_words(0, (NUM_KINDS as u64) << 56).is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! 64 buckets cover the full `u64` range: bucket 0 holds the value 0 and
+//! bucket `i > 0` holds values in `[2^(i-1), 2^i)`. Recording is a single
+//! relaxed `fetch_add`, so histograms can sit on the runtime's paths
+//! without synchronisation cost; precision (one bit of magnitude) is
+//! plenty for latency distributions.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: 0 for 0, else `min(63, 64 - leading_zeros)`.
+///
+/// Equivalently: the number of bits needed to represent the value, so
+/// bucket `i > 0` covers `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive-exclusive value range `[lo, hi)` covered by a bucket; bucket
+/// 63 absorbs everything from `2^62` up (its `hi` saturates to `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS);
+    if i == 0 {
+        (0, 1)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        };
+        (lo, hi)
+    }
+}
+
+/// A concurrently recordable log2 histogram.
+#[repr(align(128))]
+#[derive(Debug)]
+pub struct Hist64 {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Hist64 {
+        Hist64 {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Hist64 {
+    /// Records one value (relaxed; never blocks).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut s = HistSnapshot::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        s.count = self.count.load(Ordering::Relaxed);
+        s.sum = self.sum.load(Ordering::Relaxed);
+        s.max = self.max.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// A merged, plain-data histogram (what reports carry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Records into a snapshot directly (for merge-time derived metrics).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Accumulates another snapshot.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`); 0 when empty. Log2 resolution: the true quantile
+    /// lies within a factor of 2 below the returned bound.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Exhaustive: powers of two land on the bucket whose range starts
+        // at them, and (2^k)-1 lands one bucket lower.
+        for k in 1..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1, "2^{k}");
+            assert_eq!(bucket_index(v - 1), k as usize, "2^{k}-1");
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v < hi, "2^{k} inside its bucket bounds");
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_domain() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, 1u64 << (i - 1));
+            assert_eq!(hi, 1u64 << i);
+            assert_eq!(bucket_bounds(i + 1).0.max(1), hi.max(1));
+        }
+        assert_eq!(bucket_bounds(63), (1u64 << 62, u64::MAX));
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = Hist64::default();
+        for v in [0, 1, 1, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1_001_007);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 2); // 1, 1
+        assert_eq!(s.buckets[3], 1); // 5
+        assert_eq!(s.buckets[10], 1); // 1000
+        assert_eq!(s.buckets[20], 1); // 1_000_000
+        assert!((s.mean() - 1_001_007.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = Hist64::default();
+        let b = Hist64::default();
+        a.record(3);
+        b.record(3);
+        b.record(70);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.buckets[bucket_index(3)], 2);
+        assert_eq!(m.buckets[bucket_index(70)], 1);
+        assert_eq!(m.max, 70);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = Hist64::default();
+        for _ in 0..99 {
+            h.record(10); // bucket 4: [8, 16)
+        }
+        h.record(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), 16);
+        assert_eq!(s.quantile_upper_bound(0.99), 16);
+        assert_eq!(s.quantile_upper_bound(1.0), 1 << 21);
+        assert_eq!(HistSnapshot::default().quantile_upper_bound(0.5), 0);
+    }
+}

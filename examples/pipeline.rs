@@ -40,25 +40,24 @@ fn main() {
 
     // The whole pipeline as one map_reduce: each chunk flows through the
     // three stages; chunk processing fans out as a balanced join tree.
-    let total = rt
-        .run(|| {
-            map_reduce(
-                0..chunks.len(),
-                4,
-                &|i| {
-                    // Stages 1+2 of one chunk can themselves overlap with
-                    // the neighbour chunk via the enclosing join tree; the
-                    // inner join2 splits parse from a checksum side-task.
-                    let (parsed, check) = join2(
-                        || transform(parse(chunks[i])),
-                        || chunks[i].iter().map(|&b| b as u64).sum::<u64>(),
-                    );
-                    aggregate(&parsed) ^ check
-                },
-                &|a, b| a.wrapping_add(b),
-            )
-            .unwrap_or(0)
-        });
+    let total = rt.run(|| {
+        map_reduce(
+            0..chunks.len(),
+            4,
+            &|i| {
+                // Stages 1+2 of one chunk can themselves overlap with
+                // the neighbour chunk via the enclosing join tree; the
+                // inner join2 splits parse from a checksum side-task.
+                let (parsed, check) = join2(
+                    || transform(parse(chunks[i])),
+                    || chunks[i].iter().map(|&b| b as u64).sum::<u64>(),
+                );
+                aggregate(&parsed) ^ check
+            },
+            &|a, b| a.wrapping_add(b),
+        )
+        .unwrap_or(0)
+    });
     println!("pipeline digest: {total:#x} over {} chunks", chunks.len());
 
     // The same computation through the Region API (linear spawns, one

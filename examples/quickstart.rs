@@ -22,7 +22,11 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let rt = Runtime::new(Config::with_workers(workers)).expect("runtime");
-    println!("runtime: {} workers, flavor {}", rt.workers(), rt.flavor().name());
+    println!(
+        "runtime: {} workers, flavor {}",
+        rt.workers(),
+        rt.flavor().name()
+    );
 
     // Recursive fork/join.
     let n = 30;

@@ -27,7 +27,11 @@ fn main() {
     );
 
     let threads = [1usize, 2, 4, 8, 16, 32, 64, 128, 192, 256];
-    let flavors = [SimFlavor::NowaCl, SimFlavor::FibrilLock, SimFlavor::ChildStealTbb];
+    let flavors = [
+        SimFlavor::NowaCl,
+        SimFlavor::FibrilLock,
+        SimFlavor::ChildStealTbb,
+    ];
 
     let mut results = Vec::new();
     for &p in &threads {
@@ -42,7 +46,10 @@ fn main() {
         .flat_map(|r| r.iter().copied())
         .fold(0.0f64, f64::max);
 
-    println!("{:>7}  {:>8}  {:>8}  {:>8}", "threads", "nowa", "fibril", "tbb");
+    println!(
+        "{:>7}  {:>8}  {:>8}  {:>8}",
+        "threads", "nowa", "fibril", "tbb"
+    );
     for (i, &p) in threads.iter().enumerate() {
         println!(
             "{:>7}  {:>8.2}  {:>8.2}  {:>8.2}   nowa {}",

@@ -43,8 +43,18 @@ impl Stats {
 /// Deterministic lorem-ipsum-ish corpus generator.
 fn corpus(paragraphs: usize) -> Vec<String> {
     const WORDS: [&str; 12] = [
-        "concurrency", "platform", "worker", "steal", "continuation", "sync",
-        "spawn", "strand", "queue", "stack", "cactus", "waitfree",
+        "concurrency",
+        "platform",
+        "worker",
+        "steal",
+        "continuation",
+        "sync",
+        "spawn",
+        "strand",
+        "queue",
+        "stack",
+        "cactus",
+        "waitfree",
     ];
     let mut seed = 0x5EEDu64;
     (0..paragraphs)

@@ -44,6 +44,48 @@ fn kernels_agree_across_all_real_runtimes() {
 }
 
 #[test]
+fn continuation_conservation_holds_on_every_flavor() {
+    // Every spawned continuation is consumed exactly once — popped back by
+    // its spawner (fast path), stolen, or taken locally by the work-finding
+    // loop. The counters must balance on every protocol × deque flavor.
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join2(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    for flavor in [
+        Flavor::NOWA,
+        Flavor::NOWA_THE,
+        Flavor::NOWA_ABP,
+        Flavor::NOWA_LOCKED_DEQUE,
+        Flavor::FIBRIL,
+    ] {
+        let rt = Runtime::new(Config::with_workers(4).flavor(flavor)).unwrap();
+        assert_eq!(rt.run(|| fib(20)), 6765, "under {}", flavor.name());
+        let stats = rt.stats();
+        assert!(stats.spawns > 0, "under {}", flavor.name());
+        assert_eq!(
+            stats.spawns,
+            stats.continuations_consumed(),
+            "conservation violated under {}: spawns {} vs fast {} + steals {} + own {}",
+            flavor.name(),
+            stats.spawns,
+            stats.fast_pops,
+            stats.steals,
+            stats.own_takes,
+        );
+        assert_eq!(
+            stats.steal_attempts(),
+            stats.steals + stats.steal_empty + stats.steal_retry,
+            "under {}",
+            flavor.name()
+        );
+    }
+}
+
+#[test]
 fn simulator_reproduces_headline_orderings() {
     // Fine-grained DAG at 256 workers with the figure-scale input:
     // wait-free beats locks beats the child-stealing and central-queue
@@ -86,9 +128,7 @@ fn many_runtime_lifecycles_do_not_leak_stacks() {
     // Create/destroy runtimes repeatedly; each must shut down cleanly.
     for round in 0..15 {
         let rt = Runtime::new(Config::with_workers(3)).unwrap();
-        let v = rt.run(|| {
-            nowa::map_reduce(0..100, 4, &|i| i as u64, &|a, b| a + b).unwrap_or(0)
-        });
+        let v = rt.run(|| nowa::map_reduce(0..100, 4, &|i| i as u64, &|a, b| a + b).unwrap_or(0));
         assert_eq!(v, 4950, "round {round}");
         drop(rt);
     }

@@ -67,11 +67,7 @@ proptest! {
 /// Random well-formed SimDags.
 fn sim_dag_strategy() -> impl Strategy<Value = SimDag> {
     // A recipe: sequence of (work, fan_out) region descriptors per level.
-    prop::collection::vec(
-        (1u64..500, 0usize..4, prop::bool::ANY),
-        1..12,
-    )
-    .prop_map(|recipe| {
+    prop::collection::vec((1u64..500, 0usize..4, prop::bool::ANY), 1..12).prop_map(|recipe| {
         let mut b = DagBuilder::new();
         let mut frontier = vec![0usize];
         for (work, fan, use_call) in recipe {

@@ -34,7 +34,12 @@ fn tiny_stacks_with_madvise() {
 
 #[test]
 fn tiny_deque_capacity_all_flavors() {
-    for flavor in [Flavor::NOWA, Flavor::NOWA_THE, Flavor::NOWA_ABP, Flavor::FIBRIL] {
+    for flavor in [
+        Flavor::NOWA,
+        Flavor::NOWA_THE,
+        Flavor::NOWA_ABP,
+        Flavor::FIBRIL,
+    ] {
         let mut config = Config::with_workers(4).flavor(flavor);
         config.deque_capacity = 2;
         let rt = Runtime::new(config).unwrap();
@@ -88,7 +93,10 @@ fn deep_suspension_chain() {
     assert_eq!(rt.run(|| chain(64)), 1);
     // With 4 workers and yields, at least some syncs must have suspended.
     let stats = rt.stats();
-    assert_eq!(stats.suspensions, stats.sync_resumes, "every suspension resumed");
+    assert_eq!(
+        stats.suspensions, stats.sync_resumes,
+        "every suspension resumed"
+    );
 }
 
 #[test]
@@ -155,7 +163,12 @@ fn mixed_kernels_back_to_back() {
     for _round in 0..3 {
         for bench in BenchId::ALL {
             let expected = bench.run(Size::Tiny);
-            assert_eq!(rt.run(|| bench.run(Size::Tiny)), expected, "{}", bench.name());
+            assert_eq!(
+                rt.run(|| bench.run(Size::Tiny)),
+                expected,
+                "{}",
+                bench.name()
+            );
         }
     }
 }

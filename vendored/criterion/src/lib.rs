@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The reproduction container cannot fetch crates, so this mini-harness
+//! implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion`] with `sample_size`/`measurement_time`/`warm_up_time`,
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Methodology: each `bench_function` warms up for `warm_up_time` (also
+//! used to calibrate the per-sample iteration count), then takes
+//! `sample_size` samples and reports min / median / mean ± std-dev per
+//! iteration. No plotting, no statistical regression testing — numbers go
+//! to stdout, which is all the repo's benches need.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away (re-export of
+/// `std::hint::black_box`, matching `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark harness configuration + runner (criterion API subset).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(200),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up (and calibration) budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies a substring filter from the command line (cargo bench passes
+    /// the user's filter argument through).
+    fn with_cli_filter(mut self) -> Criterion {
+        // cargo passes: <filter>? --bench [--exact]; take the first
+        // non-flag argument as a substring filter.
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count, samples it, and
+    /// prints a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            mode: Mode::Calibrate {
+                budget: self.warm_up_time,
+            },
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let iters = b.iters_per_sample.max(1);
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        b.mode = Mode::Measure {
+            sample_budget: Duration::from_secs_f64(per_sample),
+            samples_wanted: self.sample_size,
+        };
+        b.samples.clear();
+        b.iters_per_sample = iters;
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+enum Mode {
+    /// Warm up and find an iteration count that takes a measurable slice
+    /// of the budget.
+    Calibrate { budget: Duration },
+    /// Take timed samples of `iters_per_sample` iterations each.
+    Measure {
+        sample_budget: Duration,
+        samples_wanted: usize,
+    },
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    /// Nanoseconds **per iteration**, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` by running it repeatedly and timing batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Calibrate { budget } => {
+                // Double the batch size until one batch takes >= ~1/20 of
+                // the warm-up budget (or the budget runs out).
+                let start = Instant::now();
+                let mut iters: u64 = 1;
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        hint::black_box(routine());
+                    }
+                    let batch = t0.elapsed();
+                    if batch >= budget / 20 || start.elapsed() >= budget {
+                        break;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+                self.iters_per_sample = iters;
+            }
+            Mode::Measure {
+                sample_budget,
+                samples_wanted,
+            } => {
+                for _ in 0..samples_wanted {
+                    let deadline = Instant::now() + sample_budget;
+                    let t0 = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        hint::black_box(routine());
+                    }
+                    let elapsed = t0.elapsed();
+                    self.samples
+                        .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+                    // Keep long benches roughly within budget.
+                    if Instant::now() > deadline + sample_budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let var =
+        sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / sorted.len().max(1) as f64;
+    println!(
+        "{id:<48} min {:>12} median {:>12} mean {:>12} ± {:>10}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(var.sqrt()),
+        sorted.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a benchmark group function (criterion-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.__with_cli_filter();
+            $({
+                let f: fn(&mut $crate::Criterion) = $target;
+                f(&mut criterion);
+            })+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal hook for [`criterion_group!`]; applies CLI filtering.
+    #[doc(hidden)]
+    pub fn __with_cli_filter(self) -> Criterion {
+        self.with_cli_filter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        // Smoke: must terminate and not panic.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}
