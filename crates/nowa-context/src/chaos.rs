@@ -1,0 +1,72 @@
+//! Fault injection for the context layer (compiled only with the `chaos`
+//! cargo feature).
+//!
+//! The only fault this layer can fake is a failing stack `mmap`. Failures
+//! are *armed* per thread (the runtime's chaos driver arms on the worker
+//! that will perform the map, keeping the injection sequence deterministic
+//! per worker) and consumed by the next [`crate::stack::Stack::try_map`] or
+//! [`crate::pool::StackPool::try_get`] attempt on that thread. A global
+//! counter records how many injected failures were actually consumed, so
+//! tests can assert that the recovery paths really ran.
+
+use core::cell::Cell;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+std::thread_local! {
+    static ARMED: Cell<u32> = const { Cell::new(0) };
+}
+
+static CONSUMED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `n` additional map failures on the calling thread. Each is consumed
+/// by one subsequent map attempt on this thread.
+pub fn arm_map_failures(n: u32) {
+    ARMED.with(|a| a.set(a.get().saturating_add(n)));
+}
+
+/// Map failures currently armed on the calling thread.
+pub fn armed_map_failures() -> u32 {
+    ARMED.with(|a| a.get())
+}
+
+/// Disarms any pending map failures on the calling thread (test hygiene).
+pub fn reset() {
+    ARMED.with(|a| a.set(0));
+}
+
+/// Injected map failures consumed so far, across all threads since process
+/// start. Monotonic; an end-to-end chaos test asserts this advanced.
+pub fn consumed_map_failures() -> u64 {
+    CONSUMED.load(Ordering::Relaxed)
+}
+
+/// Consumes one armed failure, if any. Called by the map paths.
+pub(crate) fn take_map_failure() -> bool {
+    ARMED.with(|a| {
+        let n = a.get();
+        if n == 0 {
+            return false;
+        }
+        a.set(n - 1);
+        CONSUMED.fetch_add(1, Ordering::Relaxed);
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_consume() {
+        reset();
+        assert!(!take_map_failure());
+        arm_map_failures(2);
+        assert_eq!(armed_map_failures(), 2);
+        let before = consumed_map_failures();
+        assert!(take_map_failure());
+        assert!(take_map_failure());
+        assert!(!take_map_failure());
+        assert_eq!(consumed_map_failures(), before + 2);
+    }
+}

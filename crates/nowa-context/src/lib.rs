@@ -9,15 +9,25 @@
 //!   cactus-stack solution the paper evaluates in §V-B.
 //! * [`pool`] — per-worker stack caches over a global recirculation pool
 //!   (the design whose bottleneck §V-A discusses).
+//! * [`signal`] — guard-page fault diagnostics: a registry of fiber stacks
+//!   plus a SIGSEGV handler that turns an anonymous overflow crash into a
+//!   report naming the worker and the stack bounds.
 //! * [`sys`] — the minimal raw Linux syscall layer underneath.
+//!
+//! With the `chaos` cargo feature, [`chaos`] adds a deterministic
+//! `mmap`-failure injection point to the stack mapping path; without the
+//! feature the fallible paths compile to the plain syscalls.
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod context;
 pub mod pool;
+pub mod signal;
 pub mod stack;
 pub mod sys;
 
 pub use context::{capture_and_run_on, resume, switch, RawContext};
 pub use pool::{StackPool, WorkerStackCache};
-pub use stack::{MadvisePolicy, Stack};
+pub use stack::{MadvisePolicy, Stack, StackError};

@@ -16,7 +16,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::stack::{MadvisePolicy, Stack};
+use crate::stack::{MadvisePolicy, Stack, StackError};
+
+/// Map attempts (each preceded by a full stripe sweep) before a stack
+/// request gives up with [`StackError::Exhausted`]. Between attempts the
+/// thread yields, giving other workers a chance to recycle a stack into the
+/// pool — under genuine memory pressure a recycled stack is the only way
+/// forward.
+pub const MAP_RETRIES: u32 = 4;
 
 /// Counters exposed by the global pool (all Relaxed; statistics only).
 #[derive(Debug, Default)]
@@ -27,6 +34,8 @@ pub struct PoolStats {
     pub global_puts: AtomicU64,
     /// Fresh `mmap`s because the pool was empty.
     pub maps: AtomicU64,
+    /// Map attempts that failed (real `ENOMEM` or injected via `chaos`).
+    pub map_failures: AtomicU64,
 }
 
 impl PoolStats {
@@ -41,6 +50,11 @@ impl PoolStats {
             self.global_puts.load(Ordering::Relaxed),
             self.maps.load(Ordering::Relaxed),
         )
+    }
+
+    /// Map attempts that failed so far (real or injected).
+    pub fn map_failures(&self) -> u64 {
+        self.map_failures.load(Ordering::Relaxed)
     }
 }
 
@@ -92,19 +106,75 @@ impl StackPool {
         &self.stripes[n % self.stripes.len()]
     }
 
-    /// Takes a stack from the pool, mapping a fresh one if empty.
-    pub fn get(&self) -> Stack {
-        // Probe every stripe starting at a rotating offset.
+    /// One stripe sweep: pops a pooled stack if any stripe has one.
+    fn sweep(&self) -> Option<Stack> {
+        // Probe every stripe starting at a rotating offset. A pooled stack
+        // from *any* stripe beats a fresh map — this doubles as the
+        // backpressure path when mapping fails.
         let start = self.next.fetch_add(1, Ordering::Relaxed) as usize;
         for i in 0..self.stripes.len() {
             let stripe = &self.stripes[(start + i) % self.stripes.len()];
             if let Some(stack) = stripe.lock().pop() {
                 PoolStats::bump(&self.stats.global_gets);
-                return stack;
+                return Some(stack);
             }
         }
-        PoolStats::bump(&self.stats.maps);
-        Stack::map(self.stack_size).expect("stack mmap failed")
+        None
+    }
+
+    /// Takes a stack from the pool, mapping a fresh one if empty; bounded
+    /// retry instead of aborting.
+    ///
+    /// Each attempt sweeps every stripe and then maps; a map failure (real
+    /// or injected) yields the thread and retries, so a stack recycled by
+    /// another worker in the meantime satisfies the request. After
+    /// [`MAP_RETRIES`] failed attempts the typed error is returned for the
+    /// caller to degrade on.
+    pub fn try_get(&self) -> Result<Stack, StackError> {
+        let mut last_errno = 0;
+        for attempt in 0..MAP_RETRIES {
+            #[cfg(feature = "chaos")]
+            if crate::chaos::take_map_failure() {
+                // An injected failure consumes this attempt before the
+                // stripes are even probed, exercising the retry path from
+                // the very top.
+                PoolStats::bump(&self.stats.map_failures);
+                last_errno = 12; // ENOMEM
+                std::thread::yield_now();
+                continue;
+            }
+            if let Some(stack) = self.sweep() {
+                return Ok(stack);
+            }
+            match Stack::try_map(self.stack_size) {
+                Ok(stack) => {
+                    PoolStats::bump(&self.stats.maps);
+                    return Ok(stack);
+                }
+                Err(StackError::Map { errno, .. }) => {
+                    PoolStats::bump(&self.stats.map_failures);
+                    last_errno = errno;
+                    if attempt + 1 < MAP_RETRIES {
+                        // Give other workers a chance to recycle a stack.
+                        std::thread::yield_now();
+                    }
+                }
+                Err(e @ StackError::Exhausted { .. }) => return Err(e),
+            }
+        }
+        Err(StackError::Exhausted {
+            attempts: MAP_RETRIES,
+            errno: last_errno,
+        })
+    }
+
+    /// Takes a stack from the pool, mapping a fresh one if empty.
+    ///
+    /// Panics (with the [`StackError`] message) only after the bounded
+    /// retry and backpressure of [`StackPool::try_get`] are exhausted.
+    pub fn get(&self) -> Stack {
+        self.try_get()
+            .unwrap_or_else(|e| panic!("nowa: stack allocation failed: {e}"))
     }
 
     /// Returns a drained stack to the pool, applying the madvise policy.
@@ -114,12 +184,15 @@ impl StackPool {
         self.stripe().lock().push(stack);
     }
 
-    /// Pre-populates the pool with `n` mapped stacks.
-    pub fn prefill(&self, n: usize) {
+    /// Pre-populates the pool with `n` mapped stacks. Fails without side
+    /// effects beyond the stacks already pooled; callers (e.g.
+    /// `Runtime::new`) surface the error instead of aborting.
+    pub fn prefill(&self, n: usize) -> Result<(), StackError> {
         for _ in 0..n {
-            let stack = Stack::map(self.stack_size).expect("stack mmap failed");
+            let stack = Stack::try_map(self.stack_size)?;
             self.stripe().lock().push(stack);
         }
+        Ok(())
     }
 
     /// Number of stacks currently pooled (racy snapshot).
@@ -137,6 +210,8 @@ pub struct WorkerStackCache {
     pub hits: u64,
     /// Cache misses (had to go to the global pool).
     pub misses: u64,
+    /// Times allocation pressure made this cache shed capacity.
+    pub pressure_events: u64,
 }
 
 impl WorkerStackCache {
@@ -148,18 +223,52 @@ impl WorkerStackCache {
             capacity,
             hits: 0,
             misses: 0,
+            pressure_events: 0,
+        }
+    }
+
+    /// Takes a stack, preferring the private cache. Fallible: a pool-level
+    /// exhaustion surfaces as the typed error instead of aborting.
+    pub fn try_get(&mut self) -> Result<Stack, StackError> {
+        if let Some(stack) = self.cache.pop() {
+            self.hits += 1;
+            return Ok(stack);
+        }
+        self.misses += 1;
+        self.pool.try_get()
+    }
+
+    /// Reacts to allocation pressure: halves this cache's capacity and
+    /// drains the hoarded stacks back to the global pool, where a starving
+    /// worker on any stripe can pick them up.
+    pub fn shed_pressure(&mut self) {
+        self.pressure_events += 1;
+        self.capacity = (self.capacity / 2).max(1);
+        for stack in self.cache.drain(..) {
+            self.pool.put(stack);
         }
     }
 
     /// Takes a stack, preferring the private cache.
+    ///
+    /// On pool exhaustion this degrades — sheds cache capacity, yields, and
+    /// retries a few times (other workers' caches recycle through the pool
+    /// in the meantime) — and only panics when the process is genuinely out
+    /// of address space.
     pub fn get(&mut self) -> Stack {
-        if let Some(stack) = self.cache.pop() {
-            self.hits += 1;
-            stack
-        } else {
-            self.misses += 1;
-            self.pool.get()
+        let mut error = match self.try_get() {
+            Ok(stack) => return stack,
+            Err(e) => e,
+        };
+        for _ in 0..3 {
+            self.shed_pressure();
+            std::thread::yield_now();
+            match self.pool.try_get() {
+                Ok(stack) => return stack,
+                Err(e) => error = e,
+            }
         }
+        panic!("nowa: stack allocation failed: {error}");
     }
 
     /// Returns a drained stack, spilling to the global pool when full.
@@ -211,7 +320,7 @@ mod tests {
     #[test]
     fn prefill_avoids_maps() {
         let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
-        pool.prefill(4);
+        pool.prefill(4).unwrap();
         assert_eq!(pool.pooled(), 4);
         let _s1 = pool.get();
         let _s2 = pool.get();
@@ -258,7 +367,7 @@ mod tests {
     #[test]
     fn striped_pool_distributes() {
         let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 4);
-        pool.prefill(8);
+        pool.prefill(8).unwrap();
         assert_eq!(pool.pooled(), 8);
         let stacks: Vec<_> = (0..8).map(|_| pool.get()).collect();
         let (_, _, maps) = pool.stats().snapshot();
@@ -267,6 +376,52 @@ mod tests {
             pool.put(s);
         }
         assert_eq!(pool.pooled(), 8);
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_map_failures_retry_then_succeed() {
+        // Fewer armed failures than MAP_RETRIES: try_get must recover.
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        crate::chaos::reset();
+        crate::chaos::arm_map_failures(MAP_RETRIES - 1);
+        let stack = pool.try_get().expect("bounded retry recovers");
+        drop(stack);
+        assert_eq!(pool.stats().map_failures(), (MAP_RETRIES - 1) as u64);
+        assert_eq!(crate::chaos::armed_map_failures(), 0);
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_exhaustion_is_typed_not_abort() {
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        crate::chaos::reset();
+        crate::chaos::arm_map_failures(MAP_RETRIES);
+        let err = pool.try_get().expect_err("all attempts consumed");
+        assert_eq!(
+            err,
+            StackError::Exhausted {
+                attempts: MAP_RETRIES,
+                errno: 12,
+            }
+        );
+        crate::chaos::reset();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn cache_sheds_pressure_and_recovers_from_pool() {
+        // The pool holds a recycled stack; mapping is "broken". get() must
+        // degrade (shed the cache) and serve from the pool, not panic.
+        let pool = StackPool::new(64 * 1024, MadvisePolicy::Keep, 1);
+        pool.prefill(1).unwrap();
+        let mut cache = WorkerStackCache::new(pool.clone(), 8);
+        crate::chaos::reset();
+        crate::chaos::arm_map_failures(MAP_RETRIES);
+        let stack = cache.get();
+        assert!(cache.pressure_events >= 1, "cache shed under pressure");
+        drop(stack);
+        crate::chaos::reset();
     }
 
     #[test]

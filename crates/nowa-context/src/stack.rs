@@ -50,6 +50,49 @@ impl MadvisePolicy {
     }
 }
 
+/// Typed error for fallible stack allocation.
+///
+/// Carries enough context for the caller to decide between retrying,
+/// degrading (shrink caches, reuse pooled stacks) and giving up. The raw
+/// errno is preserved so transient (`EAGAIN`) and hard (`ENOMEM`) failures
+/// stay distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// The anonymous mapping (or its guard-page `mprotect`) failed.
+    Map {
+        /// Usable bytes that were requested.
+        usable: usize,
+        /// Raw errno from the kernel.
+        errno: i32,
+    },
+    /// Bounded retry with backpressure gave up.
+    Exhausted {
+        /// Map attempts made before giving up.
+        attempts: u32,
+        /// errno of the last failed attempt.
+        errno: i32,
+    },
+}
+
+impl core::fmt::Display for StackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackError::Map { usable, errno } => {
+                write!(
+                    f,
+                    "mapping a {usable}-byte fiber stack failed (errno {errno})"
+                )
+            }
+            StackError::Exhausted { attempts, errno } => write!(
+                f,
+                "fiber stack allocation exhausted after {attempts} attempts (last errno {errno})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
 /// An owned fiber stack.
 ///
 /// Dropping unmaps the region. Stacks are usually recycled through a
@@ -79,8 +122,30 @@ impl Stack {
         } as *mut u8;
         // Low page becomes the guard: stacks grow downward into it on
         // overflow, faulting instead of corrupting a neighbour.
-        unsafe { sys::mprotect(base as *mut c_void, PAGE_SIZE, sys::prot::NONE)? };
+        if let Err(e) = unsafe { sys::mprotect(base as *mut c_void, PAGE_SIZE, sys::prot::NONE) } {
+            unsafe {
+                let _ = sys::munmap(base as *mut c_void, len);
+            }
+            return Err(e);
+        }
+        crate::signal::register_stack(base as usize, len);
         Ok(Stack { base, len })
+    }
+
+    /// Fallible variant of [`Stack::map`] with a typed error. Under the
+    /// `chaos` feature this is also the `mmap`-failure injection point: an
+    /// armed failure (see [`crate::chaos`]) is consumed here and surfaces as
+    /// an `ENOMEM` [`StackError::Map`], indistinguishable from the real
+    /// thing to the recovery paths above.
+    pub fn try_map(usable: usize) -> Result<Stack, StackError> {
+        #[cfg(feature = "chaos")]
+        if crate::chaos::take_map_failure() {
+            return Err(StackError::Map {
+                usable,
+                errno: 12, // ENOMEM
+            });
+        }
+        Stack::map(usable).map_err(|e| StackError::Map { usable, errno: e.0 })
     }
 
     /// The high end of the usable area — the initial stack pointer.
@@ -141,6 +206,7 @@ impl Stack {
 
 impl Drop for Stack {
     fn drop(&mut self) {
+        crate::signal::unregister_stack(self.base as usize);
         unsafe {
             let _ = sys::munmap(self.base as *mut c_void, self.len);
         }

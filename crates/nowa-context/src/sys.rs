@@ -14,19 +14,25 @@ use core::ffi::c_void;
 // Syscall numbers.
 #[cfg(target_arch = "x86_64")]
 mod nr {
+    pub const WRITE: usize = 1;
     pub const MMAP: usize = 9;
     pub const MPROTECT: usize = 10;
     pub const MUNMAP: usize = 11;
+    pub const RT_SIGACTION: usize = 13;
     pub const MADVISE: usize = 28;
+    pub const SIGALTSTACK: usize = 131;
     pub const SCHED_SETAFFINITY: usize = 203;
 }
 
 #[cfg(target_arch = "aarch64")]
 mod nr {
+    pub const WRITE: usize = 64;
     pub const MMAP: usize = 222;
     pub const MPROTECT: usize = 226;
     pub const MUNMAP: usize = 215;
+    pub const RT_SIGACTION: usize = 134;
     pub const MADVISE: usize = 233;
+    pub const SIGALTSTACK: usize = 132;
     pub const SCHED_SETAFFINITY: usize = 122;
 }
 
@@ -160,6 +166,59 @@ pub unsafe fn madvise(addr: *mut c_void, len: usize, advice: Advice) -> Result<(
         0,
     ))
     .map(|_| ())
+}
+
+/// Installs a signal action via raw `rt_sigaction`. `new`/`old` point at
+/// kernel `sigaction` structs (see [`crate::signal`]); `sigsetsize` is the
+/// kernel sigset size (8 on Linux).
+pub unsafe fn rt_sigaction(
+    signum: i32,
+    new: *const c_void,
+    old: *mut c_void,
+    sigsetsize: usize,
+) -> Result<(), SysError> {
+    check(syscall6(
+        nr::RT_SIGACTION,
+        signum as usize,
+        new as usize,
+        old as usize,
+        sigsetsize,
+        0,
+        0,
+    ))
+    .map(|_| ())
+}
+
+/// Installs/queries the calling thread's alternate signal stack. `new`/`old`
+/// point at kernel `stack_t` structs (see [`crate::signal`]).
+pub unsafe fn sigaltstack(new: *const c_void, old: *mut c_void) -> Result<(), SysError> {
+    check(syscall6(
+        nr::SIGALTSTACK,
+        new as usize,
+        old as usize,
+        0,
+        0,
+        0,
+        0,
+    ))
+    .map(|_| ())
+}
+
+/// Raw `write(2)`. Async-signal-safe (no locks, no allocation); used by the
+/// guard-page fault handler to emit its diagnostic. Short writes are not
+/// retried — the caller is about to die anyway.
+pub fn write_raw(fd: i32, buf: &[u8]) -> isize {
+    unsafe {
+        syscall6(
+            nr::WRITE,
+            fd as usize,
+            buf.as_ptr() as usize,
+            buf.len(),
+            0,
+            0,
+            0,
+        )
+    }
 }
 
 /// Pins the calling thread to the single CPU `cpu`.

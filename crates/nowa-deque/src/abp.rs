@@ -163,6 +163,10 @@ impl<T: Token> WorkerOps<T> for AbpWorker<T> {
 impl<T: Token> StealerOps<T> for AbpStealer<T> {
     #[inline]
     fn steal(&self) -> Steal<T> {
+        #[cfg(feature = "chaos")]
+        if let Some(forced) = crate::chaos::take_forced() {
+            return forced.as_steal();
+        }
         let inner = &*self.inner;
         let old = Age(inner.age.load(Ordering::Acquire));
         let b = inner.bot.load(Ordering::Acquire);

@@ -1,0 +1,75 @@
+//! Fault injection for the deque layer (compiled only with the `chaos`
+//! cargo feature).
+//!
+//! A steal outcome can be *forced* on the calling thread: the next
+//! [`StealerOps::steal`](crate::StealerOps::steal) on that thread returns
+//! the forced [`Steal::Empty`] or [`Steal::Retry`] without touching the
+//! victim deque. This exercises the thief-side failure semantics (lost
+//! races, empty victims) deterministically — the runtime's chaos driver
+//! decides *when* from a seeded counter, this module only delivers.
+//!
+//! The force is thread-local and consumed exactly once, so an injected
+//! `Retry` cannot live-lock [`steal_retrying`](crate::StealerOps::steal_retrying):
+//! the retry loop's next attempt hits the real deque.
+
+use core::cell::Cell;
+
+use crate::Steal;
+
+/// A steal outcome to force, minus the success case (injection can only
+/// *fail* steals; making up stolen items would corrupt the runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedSteal {
+    /// Report the victim as empty.
+    Empty,
+    /// Report a lost race, asking the thief to retry.
+    Retry,
+}
+
+impl ForcedSteal {
+    /// Converts to the equivalent [`Steal`] for any item type.
+    pub fn as_steal<T>(self) -> Steal<T> {
+        match self {
+            ForcedSteal::Empty => Steal::Empty,
+            ForcedSteal::Retry => Steal::Retry,
+        }
+    }
+}
+
+std::thread_local! {
+    static FORCED: Cell<Option<ForcedSteal>> = const { Cell::new(None) };
+}
+
+/// Forces the next steal attempt on the calling thread to fail as `outcome`.
+pub fn force_next_steal(outcome: ForcedSteal) {
+    FORCED.with(|f| f.set(Some(outcome)));
+}
+
+/// Consumes a pending forced outcome, if any. Called at the top of every
+/// `steal` implementation.
+pub fn take_forced() -> Option<ForcedSteal> {
+    FORCED.with(|f| f.take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClDeque, StealerOps, WorkerOps};
+
+    #[test]
+    fn forced_outcome_consumed_once() {
+        let (worker, stealer) = ClDeque::<usize>::new(8);
+        worker.push(7).unwrap();
+        force_next_steal(ForcedSteal::Empty);
+        assert_eq!(stealer.steal(), Steal::Empty, "forced, despite the item");
+        assert_eq!(stealer.steal(), Steal::Success(7), "force was consumed");
+    }
+
+    #[test]
+    fn forced_retry_does_not_livelock_retry_loop() {
+        let (worker, stealer) = ClDeque::<usize>::new(8);
+        worker.push(9).unwrap();
+        force_next_steal(ForcedSteal::Retry);
+        assert_eq!(stealer.steal_retrying(), Some(9));
+    }
+}

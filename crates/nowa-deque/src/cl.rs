@@ -215,6 +215,10 @@ impl<T: Token> WorkerOps<T> for ClWorker<T> {
 impl<T: Token> StealerOps<T> for ClStealer<T> {
     #[inline]
     fn steal(&self) -> Steal<T> {
+        #[cfg(feature = "chaos")]
+        if let Some(forced) = crate::chaos::take_forced() {
+            return forced.as_steal();
+        }
         let inner = &*self.inner;
         let t = inner.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);

@@ -46,6 +46,8 @@
 #![warn(missing_docs)]
 
 mod abp;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod cl;
 mod locked;
 mod the;

@@ -75,6 +75,10 @@ impl<T: Token> WorkerOps<T> for LockedWorker<T> {
 
 impl<T: Token> StealerOps<T> for LockedStealer<T> {
     fn steal(&self) -> Steal<T> {
+        #[cfg(feature = "chaos")]
+        if let Some(forced) = crate::chaos::take_forced() {
+            return forced.as_steal();
+        }
         match self.inner.items.lock().pop_front() {
             Some(item) => Steal::Success(item),
             None => Steal::Empty,

@@ -174,6 +174,10 @@ impl<T: Token> WorkerOps<T> for TheWorker<T> {
 impl<T: Token> StealerOps<T> for TheStealer<T> {
     #[inline]
     fn steal(&self) -> Steal<T> {
+        #[cfg(feature = "chaos")]
+        if let Some(forced) = crate::chaos::take_forced() {
+            return forced.as_steal();
+        }
         let inner = &*self.inner;
         // Cheap unsynchronized emptiness probe before paying for the lock.
         if inner.head.load(Ordering::Relaxed) >= inner.tail.load(Ordering::Acquire) {

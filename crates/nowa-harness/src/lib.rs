@@ -26,6 +26,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaosexp;
 pub mod real;
 pub mod simexp;
 pub mod stats;

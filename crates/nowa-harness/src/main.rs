@@ -26,6 +26,9 @@ experiments:
                                  traced re-run of measured | ablation-pool |
                                  knapsack-order | fig9 with scheduler event
                                  rings + latency histograms enabled
+  chaos  [--seed N] [--iters K] [--workers N]
+                                 seeded fault-injection stress over the real
+                                 kernels (requires the `chaos` cargo feature)
   all    [--quick]               everything
 
 flags:
@@ -36,7 +39,9 @@ flags:
   --reps R       repetitions for real runs (default 5)
   --stats        also print aggregated scheduler statistics (measured, overhead)
   --trace-out F  write a Chrome trace_event JSON (one track per worker) to F;
-                 open in Perfetto or chrome://tracing (trace mode only)"
+                 open in Perfetto or chrome://tracing (trace mode only)
+  --seed N       chaos injection seed (default 1; chaos mode only)
+  --iters K      chaos iterations per flavor (default 3; chaos mode only)"
     );
     std::process::exit(2);
 }
@@ -49,6 +54,8 @@ struct Args {
     reps: usize,
     stats: bool,
     trace_out: Option<String>,
+    seed: u64,
+    iters: usize,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -60,6 +67,8 @@ fn parse_flags(rest: &[String]) -> Args {
         reps: 5,
         stats: false,
         trace_out: None,
+        seed: 1,
+        iters: 3,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -91,6 +100,20 @@ fn parse_flags(rest: &[String]) -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--stats" => args.stats = true,
+            "--seed" => {
+                i += 1;
+                args.seed = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--iters" => {
+                i += 1;
+                args.iters = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--trace-out" => {
                 i += 1;
                 args.trace_out = Some(rest.get(i).cloned().unwrap_or_else(|| usage()));
@@ -149,6 +172,22 @@ fn main() {
     });
 
     match cmd.as_str() {
+        #[cfg(feature = "chaos")]
+        "chaos" => print_tables(&nowa_harness::chaosexp::chaos_stress(
+            args.seed,
+            args.iters,
+            args.workers,
+        )),
+        #[cfg(not(feature = "chaos"))]
+        "chaos" => {
+            eprintln!(
+                "nowa-bench: the chaos stress mode needs the `chaos` cargo feature:\n  \
+                 cargo run -p nowa-harness --features chaos --bin nowa-bench -- \
+                 chaos --seed {} --iters {}",
+                args.seed, args.iters
+            );
+            std::process::exit(2);
+        }
         "table1" => print_tables(&real::table1()),
         "fig1" => print_tables(&simexp::fig1(args.quick)),
         "fig7" => print_tables(&simexp::fig7(sim_bench, args.quick)),

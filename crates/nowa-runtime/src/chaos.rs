@@ -1,0 +1,352 @@
+//! Fault injection: deterministic, seeded chaos at every scheduler
+//! decision — the runtime's only coupling to the injection machinery.
+//!
+//! Mirrors the [`crate::obs`] twin pattern: with the `chaos` cargo feature
+//! **off**, every hook below is an `#[inline(always)]` empty body and the
+//! scheduler compiles exactly as before. With the feature **on**, hooks are
+//! still no-ops unless the runtime was built with a
+//! [`ChaosConfig`](crate::config::ChaosConfig) whose rates are non-zero.
+//!
+//! # Determinism
+//!
+//! Whether site `s` injects at its `k`-th visit on worker `w` is a pure
+//! function `decision(seed, w, s, k)` — a splitmix64-style hash chain, no
+//! wall clock, no shared state. Per-worker tick counters make the sequence
+//! independent of cross-worker interleaving: replaying the same seed on the
+//! same configuration visits the same decisions in the same per-worker
+//! order. (Which *global* interleaving results still depends on the OS
+//! scheduler; the injection sequence each worker sees does not.)
+//!
+//! The injected faults:
+//!
+//! * **StealFail** — the next steal attempt is forced to fail (alternating
+//!   `Empty` / lost-race `Retry`), via [`nowa_deque::chaos`].
+//! * **ForceSuspend** — `sync_execute`'s fast path is vetoed, forcing the
+//!   suspension path (capture, Eq. 5 restore, work-finding) even when all
+//!   children already joined.
+//! * **SpuriousYield** — an OS yield right before `pushBottom`, widening
+//!   the window in which thieves observe the pre-push deque state.
+//! * **MmapFail** — arms one stack-map failure (consumed by the pool's
+//!   bounded-retry path, see [`nowa_context::chaos`]).
+//! * **ChildPanic** — panics inside a child strand with a recognisable
+//!   [`ChaosPanic`] payload, exercising panic capture and re-throw.
+
+#[cfg(feature = "chaos")]
+mod imp {
+    use core::sync::atomic::{AtomicU64, Ordering};
+
+    use crate::config::ChaosConfig;
+    use crate::worker::Worker;
+
+    /// Marker payload of an injected child panic, so tests (and users
+    /// catching panics) can tell injected faults from real bugs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ChaosPanic {
+        /// Worker the panic was injected on.
+        pub worker: usize,
+    }
+
+    /// The injection sites, one per scheduler decision kind.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[repr(usize)]
+    pub enum ChaosSite {
+        /// Forced steal failure (deque layer).
+        StealFail = 0,
+        /// Forced suspension at `sync_execute`.
+        ForceSuspend = 1,
+        /// Spurious yield before `pushBottom`.
+        SpuriousYield = 2,
+        /// Simulated stack-`mmap` failure.
+        MmapFail = 3,
+        /// Panic injected into a child strand.
+        ChildPanic = 4,
+    }
+
+    /// Number of distinct injection sites.
+    pub const SITES: usize = 5;
+
+    const SITE_NAMES: [&str; SITES] = [
+        "steal_fail",
+        "force_suspend",
+        "spurious_yield",
+        "mmap_fail",
+        "child_panic",
+    ];
+
+    /// Per-worker chaos state: one tick and one injected counter per site.
+    /// Padded like the stats blocks so chaos bookkeeping doesn't introduce
+    /// false sharing of its own.
+    #[repr(align(128))]
+    #[derive(Debug)]
+    pub struct ChaosWorkerState {
+        seed: u64,
+        worker: u64,
+        ticks: [AtomicU64; SITES],
+        injected: [AtomicU64; SITES],
+    }
+
+    impl ChaosWorkerState {
+        /// State for `worker` under `seed`.
+        pub fn new(seed: u64, worker: usize) -> ChaosWorkerState {
+            ChaosWorkerState {
+                seed,
+                worker: worker as u64,
+                ticks: [const { AtomicU64::new(0) }; SITES],
+                injected: [const { AtomicU64::new(0) }; SITES],
+            }
+        }
+
+        /// Advances `site`'s tick and decides whether to inject, given the
+        /// site's rate (per 65536; `u16::MAX` means always).
+        #[inline]
+        fn decide(&self, site: ChaosSite, rate: u16) -> bool {
+            if rate == 0 {
+                return false;
+            }
+            let tick = self.ticks[site as usize].fetch_add(1, Ordering::Relaxed);
+            if !decision(self.seed, self.worker, site as u64, tick, rate) {
+                return false;
+            }
+            self.injected[site as usize].fetch_add(1, Ordering::Relaxed);
+            true
+        }
+
+        fn snapshot_into(&self, snap: &mut ChaosSnapshot) {
+            for i in 0..SITES {
+                snap.ticks[i] += self.ticks[i].load(Ordering::Relaxed);
+                snap.injected[i] += self.injected[i].load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// splitmix64 finaliser; full-avalanche 64-bit mix.
+    #[inline]
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The pure injection decision: does site `site` inject at its `tick`-th
+    /// visit on worker `worker` under `seed` and `rate` (per 65536)?
+    /// Exposed so determinism tests can replay the sequence without a
+    /// runtime.
+    pub fn decision(seed: u64, worker: u64, site: u64, tick: u64, rate: u16) -> bool {
+        if rate == u16::MAX {
+            // "Always": an exact guarantee, not a 65535/65536 coin.
+            return true;
+        }
+        let h = mix(
+            mix(mix(seed ^ 0x6E6F_7761) ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(site)
+                .wrapping_add(tick.wrapping_mul(0xD134_2543_DE82_EF95)),
+        );
+        ((h & 0xFFFF) as u16) < rate
+    }
+
+    /// Counters of one run, aggregated over workers; equality of two
+    /// snapshots is the determinism-test criterion.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct ChaosSnapshot {
+        /// Site visits, indexed by [`ChaosSite`].
+        pub ticks: [u64; SITES],
+        /// Injections fired, indexed by [`ChaosSite`].
+        pub injected: [u64; SITES],
+    }
+
+    impl ChaosSnapshot {
+        /// Aggregates the per-worker states.
+        pub fn aggregate(states: &[ChaosWorkerState]) -> ChaosSnapshot {
+            let mut snap = ChaosSnapshot::default();
+            for s in states {
+                s.snapshot_into(&mut snap);
+            }
+            snap
+        }
+
+        /// Injections fired at `site`.
+        pub fn injected_at(&self, site: ChaosSite) -> u64 {
+            self.injected[site as usize]
+        }
+    }
+
+    impl core::fmt::Display for ChaosSnapshot {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            for (i, name) in SITE_NAMES.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={}/{}", name, self.injected[i], self.ticks[i])?;
+            }
+            Ok(())
+        }
+    }
+
+    /// The calling worker's chaos state, when chaos is configured.
+    ///
+    /// # Safety
+    /// `worker` must be a live worker pointer owned by the calling thread.
+    #[inline]
+    unsafe fn state<'a>(worker: *mut Worker) -> Option<(&'a ChaosWorkerState, &'a ChaosConfig)> {
+        unsafe {
+            let w = &*worker;
+            let cfg = w.shared.config.chaos.as_ref()?;
+            Some((&w.shared.chaos.as_deref()?[w.index], cfg))
+        }
+    }
+
+    /// Before a steal attempt: maybe force the outcome at the deque layer.
+    #[inline]
+    pub(crate) unsafe fn on_steal_attempt(worker: *mut Worker) {
+        unsafe {
+            if let Some((st, cfg)) = state(worker) {
+                if st.decide(ChaosSite::StealFail, cfg.steal_fail) {
+                    // Alternate between the two failure semantics so both
+                    // the empty-victim and lost-race paths get exercised.
+                    let forced =
+                        if st.injected[ChaosSite::StealFail as usize].load(Ordering::Relaxed) % 2
+                            == 0
+                        {
+                            nowa_deque::chaos::ForcedSteal::Retry
+                        } else {
+                            nowa_deque::chaos::ForcedSteal::Empty
+                        };
+                    nowa_deque::chaos::force_next_steal(forced);
+                }
+            }
+        }
+    }
+
+    /// At `sync_execute`: returns `true` to veto the inline fast path and
+    /// force the suspension path.
+    #[inline]
+    pub(crate) unsafe fn on_sync(worker: *mut Worker) -> bool {
+        unsafe {
+            match state(worker) {
+                Some((st, cfg)) => st.decide(ChaosSite::ForceSuspend, cfg.force_suspend),
+                None => false,
+            }
+        }
+    }
+
+    /// Right before `pushBottom`: maybe yield the OS thread, widening the
+    /// thief-vs-owner race window.
+    #[inline]
+    pub(crate) unsafe fn on_spawn_push(worker: *mut Worker) {
+        unsafe {
+            if let Some((st, cfg)) = state(worker) {
+                if st.decide(ChaosSite::SpuriousYield, cfg.spurious_yield) {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Before a stack acquisition: maybe arm one map failure for the pool's
+    /// bounded-retry path to absorb. Never arms on top of a pending one, so
+    /// armed failures stay below the retry bound and runs always recover.
+    #[inline]
+    pub(crate) unsafe fn on_stack_get(worker: *mut Worker) {
+        unsafe {
+            if let Some((st, cfg)) = state(worker) {
+                if nowa_context::chaos::armed_map_failures() == 0
+                    && st.decide(ChaosSite::MmapFail, cfg.mmap_fail)
+                {
+                    nowa_context::chaos::arm_map_failures(1);
+                }
+            }
+        }
+    }
+
+    /// Inside a child strand (within its panic-capture scope): maybe panic
+    /// with a [`ChaosPanic`] payload.
+    #[inline]
+    pub(crate) unsafe fn on_child_start(worker: *mut Worker) {
+        unsafe {
+            if let Some((st, cfg)) = state(worker) {
+                if st.decide(ChaosSite::ChildPanic, cfg.child_panic) {
+                    let index = (*worker).index;
+                    std::panic::panic_any(ChaosPanic { worker: index });
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn decision_is_pure_and_seed_sensitive() {
+            let a: Vec<bool> = (0..512).map(|t| decision(42, 1, 0, t, 8192)).collect();
+            let b: Vec<bool> = (0..512).map(|t| decision(42, 1, 0, t, 8192)).collect();
+            assert_eq!(a, b, "same inputs, same sequence");
+            let c: Vec<bool> = (0..512).map(|t| decision(43, 1, 0, t, 8192)).collect();
+            assert_ne!(a, c, "different seed, different sequence");
+        }
+
+        #[test]
+        fn max_rate_always_fires_zero_never() {
+            for t in 0..64 {
+                assert!(decision(7, 0, 4, t, u16::MAX));
+            }
+            let st = ChaosWorkerState::new(7, 0);
+            assert!(!st.decide(ChaosSite::StealFail, 0));
+            assert_eq!(
+                st.ticks[0].load(Ordering::Relaxed),
+                0,
+                "rate 0 skips ticking"
+            );
+        }
+
+        #[test]
+        fn rate_roughly_respected() {
+            let fired = (0..65536u64)
+                .filter(|&t| decision(9, 2, 1, t, 16384))
+                .count();
+            // 25% nominal; allow generous slack.
+            assert!((12000..21000).contains(&fired), "fired {fired}");
+        }
+
+        #[test]
+        fn snapshot_aggregates_and_compares() {
+            let a = ChaosWorkerState::new(5, 0);
+            let b = ChaosWorkerState::new(5, 1);
+            for _ in 0..100 {
+                a.decide(ChaosSite::StealFail, 32768);
+                b.decide(ChaosSite::MmapFail, 32768);
+            }
+            let states = [a, b];
+            let snap = ChaosSnapshot::aggregate(&states);
+            assert_eq!(snap.ticks[ChaosSite::StealFail as usize], 100);
+            assert_eq!(snap.ticks[ChaosSite::MmapFail as usize], 100);
+            let again = ChaosSnapshot::aggregate(&states);
+            assert_eq!(snap, again);
+            assert!(!format!("{snap}").is_empty());
+        }
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+#[allow(clippy::missing_safety_doc)]
+mod imp {
+    use crate::worker::Worker;
+
+    #[inline(always)]
+    pub(crate) unsafe fn on_steal_attempt(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_sync(_: *mut Worker) -> bool {
+        false
+    }
+    #[inline(always)]
+    pub(crate) unsafe fn on_spawn_push(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_stack_get(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_child_start(_: *mut Worker) {}
+}
+
+pub(crate) use imp::{on_child_start, on_spawn_push, on_stack_get, on_steal_attempt, on_sync};
+
+#[cfg(feature = "chaos")]
+pub use imp::{decision, ChaosPanic, ChaosSite, ChaosSnapshot, ChaosWorkerState, SITES};

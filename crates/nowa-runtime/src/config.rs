@@ -1,8 +1,69 @@
 //! Runtime configuration.
 
+use std::time::Duration;
+
 use nowa_context::MadvisePolicy;
 
 use crate::flavor::Flavor;
+
+/// Fault-injection configuration (the `chaos` knob).
+///
+/// All rates are probabilities per 65536 site visits; `0` disables a site
+/// and `u16::MAX` fires on *every* visit (an exact guarantee, not a coin).
+/// The whole struct only takes effect when the runtime is built with the
+/// `chaos` cargo feature; without it the knob is accepted but inert — the
+/// same contract as [`Config::tracing`].
+///
+/// Injection is deterministic: whether site `s` fires at its `k`-th visit
+/// on worker `w` is a pure function of `(seed, w, s, k)` — no wall clock,
+/// no global state — so a failing seed can be replayed exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic injection sequence.
+    pub seed: u64,
+    /// Rate of forced steal failures (alternating empty / lost-race).
+    pub steal_fail: u16,
+    /// Rate of forced suspensions at the sync fast path.
+    pub force_suspend: u16,
+    /// Rate of spurious OS yields right before `pushBottom`.
+    pub spurious_yield: u16,
+    /// Rate of simulated stack-`mmap` failures (absorbed by the pool's
+    /// bounded retry; never exceeds the retry budget).
+    pub mmap_fail: u16,
+    /// Rate of panics injected into child strands. Injected panics carry a
+    /// `ChaosPanic` payload and propagate like user panics — leave this at
+    /// `0` unless the workload expects to observe them.
+    pub child_panic: u16,
+}
+
+impl ChaosConfig {
+    /// All sites disabled under `seed`; enable sites by setting rates.
+    pub fn with_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            steal_fail: 0,
+            force_suspend: 0,
+            spurious_yield: 0,
+            mmap_fail: 0,
+            child_panic: 0,
+        }
+    }
+
+    /// A stress profile: every non-destructive site at a high rate (1/8
+    /// steal failures and forced suspensions, 1/16 spurious yields, 1/32
+    /// mmap failures). `child_panic` stays 0 so workloads still produce
+    /// their results; arm it separately to test panic propagation.
+    pub fn aggressive(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            steal_fail: 8192,
+            force_suspend: 8192,
+            spurious_yield: 4096,
+            mmap_fail: 2048,
+            child_panic: 0,
+        }
+    }
+}
 
 /// Configuration of a [`Runtime`](crate::runtime::Runtime).
 ///
@@ -34,6 +95,19 @@ pub struct Config {
     /// `trace` cargo feature; without the feature the flag is accepted but
     /// inert, so callers don't need their own `cfg` gymnastics.
     pub tracing: bool,
+    /// Fault injection (see [`ChaosConfig`]). Takes effect only when built
+    /// with the `chaos` cargo feature; accepted but inert otherwise.
+    pub chaos: Option<ChaosConfig>,
+    /// Stall watchdog: when `Some`, a monitor thread samples per-worker
+    /// progress counters and dumps a report to stderr (plus the trace
+    /// report, when tracing) for every worker that makes no progress for
+    /// the given duration. `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// Install the guard-page SIGSEGV handler so a fiber stack overflow is
+    /// reported (worker, stack bounds, fault address) instead of dying as
+    /// an anonymous segfault. Process-wide and idempotent across runtimes;
+    /// non-guard faults chain to the previously installed handler.
+    pub guard_diagnostics: bool,
 }
 
 impl Default for Config {
@@ -51,6 +125,9 @@ impl Default for Config {
             pool_prefill: 0,
             pin_workers: false,
             tracing: false,
+            chaos: None,
+            watchdog: None,
+            guard_diagnostics: true,
         }
     }
 }
@@ -88,6 +165,25 @@ impl Config {
         self.tracing = enabled;
         self
     }
+
+    /// Sets the fault-injection configuration (builder style). See the
+    /// field docs: requires the `chaos` cargo feature to have any effect.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Config {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets the stall-watchdog threshold (builder style).
+    pub fn watchdog(mut self, threshold: Duration) -> Config {
+        self.watchdog = Some(threshold);
+        self
+    }
+
+    /// Enables or disables guard-page overflow diagnostics (builder style).
+    pub fn guard_diagnostics(mut self, enabled: bool) -> Config {
+        self.guard_diagnostics = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,11 +205,27 @@ mod tests {
             .flavor(Flavor::FIBRIL)
             .madvise(MadvisePolicy::Free)
             .stack_size(64 * 1024)
-            .tracing(true);
+            .tracing(true)
+            .chaos(ChaosConfig::aggressive(7))
+            .watchdog(Duration::from_millis(100))
+            .guard_diagnostics(false);
         assert_eq!(c.workers, 3);
         assert_eq!(c.flavor, Flavor::FIBRIL);
         assert_eq!(c.madvise, MadvisePolicy::Free);
         assert_eq!(c.stack_size, 64 * 1024);
         assert!(c.tracing);
+        assert_eq!(c.chaos.unwrap().seed, 7);
+        assert_eq!(c.watchdog, Some(Duration::from_millis(100)));
+        assert!(!c.guard_diagnostics);
+    }
+
+    #[test]
+    fn chaos_profiles() {
+        let quiet = ChaosConfig::with_seed(1);
+        assert_eq!(quiet.steal_fail, 0);
+        assert_eq!(quiet.child_panic, 0);
+        let loud = ChaosConfig::aggressive(1);
+        assert!(loud.steal_fail > 0 && loud.mmap_fail > 0);
+        assert_eq!(loud.child_panic, 0, "panics stay opt-in");
     }
 }

@@ -351,6 +351,12 @@ pub fn steal_from(protocol: ProtocolKind, st: &SharedStealer) -> Steal<Rec> {
             outcome
         }
         ProtocolKind::FibrilLocked => {
+            // The fused queue bypasses the deque-layer steal entry points,
+            // so the forced-steal injection is honoured here.
+            #[cfg(feature = "chaos")]
+            if let Some(forced) = nowa_deque::chaos::take_forced() {
+                return forced.as_steal();
+            }
             let SharedStealer::Fused(f) = st else {
                 unreachable!();
             };

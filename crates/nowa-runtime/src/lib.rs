@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 pub mod config;
 pub mod flavor;
 pub mod foreign;
@@ -57,15 +58,16 @@ pub mod scheduler;
 pub mod slice;
 pub mod snzi;
 pub mod stats;
+mod watchdog;
 pub mod worker;
 
 pub use api::{
     for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, worker_index, Region,
 };
-pub use config::Config;
+pub use config::{ChaosConfig, Config};
 pub use flavor::{DequeKind, Flavor, ProtocolKind};
 pub use foreign::ForeignForkJoin;
-pub use nowa_context::MadvisePolicy;
+pub use nowa_context::{MadvisePolicy, StackError};
 pub use runtime::{Runtime, RuntimeError};
 pub use snzi::Snzi;
 pub use stats::StatsSnapshot;

@@ -6,13 +6,33 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use nowa_context::{RawContext, StackPool, WorkerStackCache};
+use nowa_context::{RawContext, StackError, StackPool, WorkerStackCache};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::Config;
 use crate::flavor::{self, Flavor};
 use crate::stats::StatsSnapshot;
 use crate::worker::{current_worker, worker_main, RootTask, Shared, Worker};
+
+/// The shared state the guard-page crash hook dumps trace data from. A
+/// plain `fn()` hook cannot capture, so the most recent tracing-enabled
+/// runtime registers itself here (best-effort diagnostics; last one wins).
+#[cfg(feature = "trace")]
+static CRASH_SHARED: Mutex<std::sync::Weak<Shared>> = Mutex::new(std::sync::Weak::new());
+
+/// Crash hook installed with the guard-page handler: dumps the last trace
+/// events of the dying process. Runs inside a signal handler — the process
+/// is already doomed, so allocation/locking here is best-effort by design.
+#[cfg(feature = "trace")]
+fn crash_trace_dump() {
+    let shared = CRASH_SHARED.lock().upgrade();
+    if let Some(shared) = shared {
+        if let Some(buffers) = shared.trace.as_deref() {
+            let report = nowa_trace::TraceReport::collect(buffers);
+            eprintln!("nowa: trace report at crash:\n{}", report.summary_table());
+        }
+    }
+}
 
 /// A running Nowa runtime instance.
 ///
@@ -33,6 +53,7 @@ use crate::worker::{current_worker, worker_main, RootTask, Shared, Worker};
 pub struct Runtime {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 /// Error constructing a runtime.
@@ -40,12 +61,24 @@ pub struct Runtime {
 pub enum RuntimeError {
     /// `workers` was zero.
     NoWorkers,
+    /// Pre-filling the stack pool failed (e.g. out of memory). The runtime
+    /// was not constructed; nothing aborts.
+    StackPrefill(StackError),
+    /// Installing the guard-page SIGSEGV handler failed.
+    GuardHandler(i32),
 }
 
 impl core::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             RuntimeError::NoWorkers => write!(f, "runtime needs at least one worker"),
+            RuntimeError::StackPrefill(e) => write!(f, "stack pool prefill failed: {e}"),
+            RuntimeError::GuardHandler(errno) => {
+                write!(
+                    f,
+                    "installing the guard-page handler failed (errno {errno})"
+                )
+            }
         }
     }
 }
@@ -63,8 +96,15 @@ impl Runtime {
         if config.workers == 0 {
             return Err(RuntimeError::NoWorkers);
         }
+        if config.guard_diagnostics {
+            // Process-wide and idempotent; failure is surfaced, not fatal
+            // to the OS state (nothing was installed on error).
+            nowa_context::signal::install_guard_handler()
+                .map_err(|e| RuntimeError::GuardHandler(e.0))?;
+        }
         let pool = StackPool::new(config.stack_size, config.madvise, config.pool_stripes);
-        pool.prefill(config.pool_prefill);
+        pool.prefill(config.pool_prefill)
+            .map_err(RuntimeError::StackPrefill)?;
 
         let mut owners = Vec::with_capacity(config.workers);
         let mut stealers = Vec::with_capacity(config.workers);
@@ -90,8 +130,25 @@ impl Runtime {
                     .map(|_| nowa_trace::TraceBuffer::new(nowa_trace::DEFAULT_RING_CAPACITY))
                     .collect()
             }),
+            #[cfg(feature = "chaos")]
+            chaos: config.chaos.map(|c| {
+                (0..config.workers)
+                    .map(|i| crate::chaos::ChaosWorkerState::new(c.seed, i))
+                    .collect()
+            }),
+            watchdog_reports: core::sync::atomic::AtomicU64::new(0),
             config: config.clone(),
         });
+
+        #[cfg(feature = "trace")]
+        if config.tracing && config.guard_diagnostics {
+            *CRASH_SHARED.lock() = Arc::downgrade(&shared);
+            nowa_context::signal::set_crash_hook(crash_trace_dump);
+        }
+
+        let watchdog = config
+            .watchdog
+            .map(|threshold| crate::watchdog::spawn(shared.clone(), threshold));
 
         let threads = owners
             .into_iter()
@@ -118,7 +175,11 @@ impl Runtime {
             })
             .collect();
 
-        Ok(Runtime { shared, threads })
+        Ok(Runtime {
+            shared,
+            threads,
+            watchdog,
+        })
     }
 
     /// Convenience: default configuration with `workers` threads.
@@ -144,6 +205,31 @@ impl Runtime {
     /// Stack-pool statistics `(global gets, global puts, mmaps)`.
     pub fn pool_stats(&self) -> (u64, u64, u64) {
         self.shared.pool.stats().snapshot()
+    }
+
+    /// Stack-map attempts that failed so far (real `ENOMEM` or injected via
+    /// the `chaos` feature) and were absorbed by the bounded-retry path.
+    pub fn stack_map_failures(&self) -> u64 {
+        self.shared.pool.stats().map_failures()
+    }
+
+    /// Stall reports emitted by the watchdog since startup (0 when the
+    /// watchdog is disabled or every worker kept making progress).
+    pub fn watchdog_reports(&self) -> u64 {
+        self.shared
+            .watchdog_reports
+            .load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Fault-injection counters (site visits and injections fired),
+    /// aggregated over workers. `None` unless the runtime was configured
+    /// with [`Config::chaos`].
+    #[cfg(feature = "chaos")]
+    pub fn chaos_stats(&self) -> Option<crate::chaos::ChaosSnapshot> {
+        self.shared
+            .chaos
+            .as_deref()
+            .map(crate::chaos::ChaosSnapshot::aggregate)
     }
 
     /// Drains the per-worker trace rings and merges everything recorded so
@@ -218,7 +304,24 @@ impl Drop for Runtime {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.idle_cv.notify_all();
         for t in self.threads.drain(..) {
-            let _ = t.join();
+            let name = t
+                .thread()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| "<unnamed>".to_owned());
+            if let Err(payload) = t.join() {
+                // A worker thread dying by panic is a runtime bug or an
+                // abort-worthy environment failure — never swallow it.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+                eprintln!("nowa-runtime: worker thread {name} panicked during shutdown: {msg}");
+            }
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
         }
     }
 }

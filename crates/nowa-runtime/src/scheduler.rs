@@ -32,6 +32,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use nowa_context::capture_and_run_on;
 
+use crate::chaos;
 use crate::flavor;
 use crate::obs;
 use crate::record::{Frame, SpawnRecord};
@@ -71,6 +72,7 @@ where
     debug_assert!(!worker.is_null(), "spawn_execute requires a worker thread");
     unsafe {
         // Stage the child stack before capturing.
+        chaos::on_stack_get(worker);
         let child_stack = (*worker).cache.get();
         let child_top = child_stack.top();
         debug_assert!((*worker).incoming_stack.is_none());
@@ -139,6 +141,9 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
             let w: &Worker = &*worker;
             w.shared.flavor.protocol
         };
+        // Chaos: maybe yield right before the push, widening the window in
+        // which thieves observe the pre-push deque state.
+        chaos::on_spawn_push(worker);
         let offered = flavor::push(&(*worker).deque, nowa_deque::Ptr::from_ref(&*record));
         if offered {
             WorkerStats::bump(&(*worker).stats().spawns);
@@ -147,8 +152,13 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         }
         obs::on_spawn(worker);
 
-        // The child, called directly (no further runtime involvement).
-        match catch_unwind(AssertUnwindSafe(f)) {
+        // The child, called directly (no further runtime involvement). An
+        // injected chaos panic fires inside the capture scope, so it takes
+        // exactly the propagation path a user panic would.
+        match catch_unwind(AssertUnwindSafe(|| {
+            chaos::on_child_start(worker);
+            f()
+        })) {
             Ok(()) => {}
             Err(payload) => (*frame).core.set_panic(payload),
         }
@@ -209,7 +219,10 @@ pub unsafe fn sync_execute(frame: &Frame) {
             let w: &Worker = &*worker;
             w.shared.flavor.protocol
         };
-        if flavor::sync_precheck(protocol, frame) {
+        // Chaos: a forced suspension vetoes the fast path, driving the
+        // capture/restore machinery even when all children already joined.
+        let forced_suspend = chaos::on_sync(worker);
+        if !forced_suspend && flavor::sync_precheck(protocol, frame) {
             // All children joined: proceed without suspending (Invariant
             // III makes α stable here, so the check is exact).
             WorkerStats::bump(&(*worker).stats().syncs_inline);
@@ -219,6 +232,7 @@ pub unsafe fn sync_execute(frame: &Frame) {
         }
 
         // Suspension path: stage a fresh stack for the work-finding loop.
+        chaos::on_stack_get(worker);
         let fresh = (*worker).cache.get();
         let fresh_top = fresh.top();
         debug_assert!((*worker).incoming_stack.is_none());

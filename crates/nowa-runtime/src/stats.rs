@@ -31,12 +31,33 @@ pub struct WorkerStats {
     pub sync_resumes: AtomicU64,
     /// Root tasks executed.
     pub roots: AtomicU64,
+    /// Work-finding loop iterations. Not part of [`StatsSnapshot`] (it's a
+    /// liveness heartbeat, not a scheduling event): an idle worker still
+    /// ticks every backoff period, so the stall watchdog can tell "parked
+    /// and healthy" from "wedged".
+    pub loop_ticks: AtomicU64,
 }
 
 impl WorkerStats {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A monotonically increasing progress measure for the stall watchdog:
+    /// any scheduling event or work-finding iteration advances it.
+    pub fn progress(&self) -> u64 {
+        self.loop_ticks
+            .load(Ordering::Relaxed)
+            .wrapping_add(self.spawns.load(Ordering::Relaxed))
+            .wrapping_add(self.fast_pops.load(Ordering::Relaxed))
+            .wrapping_add(self.joins.load(Ordering::Relaxed))
+            .wrapping_add(self.syncs_inline.load(Ordering::Relaxed))
+            .wrapping_add(self.suspensions.load(Ordering::Relaxed))
+            .wrapping_add(self.sync_resumes.load(Ordering::Relaxed))
+            .wrapping_add(self.roots.load(Ordering::Relaxed))
+            .wrapping_add(self.own_takes.load(Ordering::Relaxed))
+            .wrapping_add(self.steals.load(Ordering::Relaxed))
     }
 }
 

@@ -1,0 +1,76 @@
+//! Stall watchdog: a monitor thread that samples per-worker progress
+//! counters and reports workers that stop making progress.
+//!
+//! Progress is [`WorkerStats::progress`] — any scheduling event or
+//! work-finding iteration advances it, and idle workers still tick their
+//! loop counter every backoff period (≤ 200 µs), so a parked-but-healthy
+//! worker never trips the threshold. A genuine stall (a task stuck in a
+//! syscall, a deadlocked lock inside user code, a scheduler bug) leaves the
+//! counter frozen; after `threshold` without movement the watchdog prints
+//! one report per stall episode to stderr — worker index, seconds stalled,
+//! last progress value — plus the merged trace report when tracing is
+//! enabled. Reports are counted in `Shared::watchdog_reports` so tests and
+//! harnesses can assert on them.
+//!
+//! The monitor wakes four times per threshold (at least every 5 ms), so
+//! detection latency is at most ~1.25 × threshold; the thread exits when
+//! the runtime shuts down.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::worker::Shared;
+
+/// Spawns the watchdog thread for `shared`, sampling against `threshold`.
+pub(crate) fn spawn(shared: Arc<Shared>, threshold: Duration) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("nowa-watchdog".to_string())
+        .spawn(move || run(&shared, threshold))
+        .expect("spawning watchdog thread")
+}
+
+fn run(shared: &Shared, threshold: Duration) {
+    let interval = (threshold / 4).max(Duration::from_millis(5));
+    let n = shared.stats.len();
+    let mut last_progress: Vec<u64> = (0..n).map(|i| shared.stats[i].progress()).collect();
+    let mut last_change: Vec<Instant> = vec![Instant::now(); n];
+    // One report per stall episode: re-arm only after progress resumes.
+    let mut reported: Vec<bool> = vec![false; n];
+
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        let now = Instant::now();
+        for i in 0..n {
+            let progress = shared.stats[i].progress();
+            if progress != last_progress[i] {
+                last_progress[i] = progress;
+                last_change[i] = now;
+                reported[i] = false;
+            } else if !reported[i] && now.duration_since(last_change[i]) >= threshold {
+                reported[i] = true;
+                shared.watchdog_reports.fetch_add(1, Ordering::Relaxed);
+                report(shared, i, now.duration_since(last_change[i]), progress);
+            }
+        }
+    }
+}
+
+fn report(shared: &Shared, worker: usize, stalled_for: Duration, progress: u64) {
+    eprintln!(
+        "nowa-watchdog: worker {worker} made no progress for {:.3}s \
+         (progress counter stuck at {progress}); it may be blocked in user \
+         code or wedged",
+        stalled_for.as_secs_f64()
+    );
+    #[cfg(feature = "trace")]
+    if let Some(buffers) = shared.trace.as_deref() {
+        let report = nowa_trace::TraceReport::collect(buffers);
+        eprintln!(
+            "nowa-watchdog: trace report at stall:\n{}",
+            report.summary_table()
+        );
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = shared;
+}

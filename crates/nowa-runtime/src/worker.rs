@@ -19,7 +19,7 @@
 
 use core::cell::Cell;
 use core::ffi::c_void;
-use core::sync::atomic::{AtomicBool, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -27,6 +27,7 @@ use nowa_context::{capture_and_run_on, resume, RawContext, Stack, StackPool, Wor
 use nowa_deque::Steal;
 use parking_lot::{Condvar, Mutex};
 
+use crate::chaos;
 use crate::config::Config;
 use crate::flavor::{self, Flavor, OwnerDeque, Rec, SharedStealer};
 use crate::obs;
@@ -63,6 +64,12 @@ pub struct Shared {
     /// with `Config::tracing(true)`.
     #[cfg(feature = "trace")]
     pub trace: Option<Box<[nowa_trace::TraceBuffer]>>,
+    /// Per-worker fault-injection state; `Some` iff the runtime was
+    /// configured with a `Config::chaos` knob.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<Box<[chaos::ChaosWorkerState]>>,
+    /// Stall reports emitted by the watchdog since startup.
+    pub watchdog_reports: AtomicU64,
 }
 
 impl Shared {
@@ -206,6 +213,10 @@ pub unsafe fn find_work() -> ! {
         let shared: &Shared = unsafe { &*Arc::as_ptr(&(*worker).shared) };
         let protocol = shared.flavor.protocol;
 
+        // Liveness heartbeat for the stall watchdog: even a fully idle
+        // worker ticks this every backoff period.
+        unsafe { WorkerStats::bump(&(*worker).stats().loop_ticks) };
+
         if shared.shutdown.load(Ordering::Acquire) {
             unsafe {
                 (*worker).pending_recycle = (*worker).current_stack.take();
@@ -248,6 +259,7 @@ pub unsafe fn find_work() -> ! {
                 if victim == unsafe { (*worker).index } {
                     continue;
                 }
+                unsafe { chaos::on_steal_attempt(worker) };
                 match flavor::steal_from(protocol, &shared.stealers[victim]) {
                     Steal::Success(rec) => unsafe {
                         WorkerStats::bump(&(*worker).stats().steals);
@@ -308,6 +320,16 @@ pub fn worker_main(mut worker: Box<Worker>) {
     if worker.shared.config.pin_workers {
         let _ = nowa_context::sys::pin_current_thread_to(worker.index);
     }
+    // Label the thread for guard-page fault reports, and give the SIGSEGV
+    // handler an alternate stack to run on: at the moment of a fiber stack
+    // overflow this thread's sp points into the guard page, so the handler
+    // cannot run on the faulting stack. Held for the thread's lifetime.
+    nowa_context::signal::set_thread_label(worker.index);
+    let _alt = if worker.shared.config.guard_diagnostics {
+        nowa_context::signal::AltStack::install().ok()
+    } else {
+        None
+    };
     let wptr: *mut Worker = &mut *worker;
     set_current_worker(wptr);
     unsafe {

@@ -47,6 +47,6 @@ pub use nowa_sim as sim;
 
 pub use nowa_runtime::slice;
 pub use nowa_runtime::{
-    for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, Config, Flavor,
-    MadvisePolicy, Region, Runtime, StatsSnapshot,
+    for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, ChaosConfig, Config,
+    Flavor, MadvisePolicy, Region, Runtime, StackError, StatsSnapshot,
 };
