@@ -21,6 +21,7 @@ mod nr {
     pub const RT_SIGACTION: usize = 13;
     pub const MADVISE: usize = 28;
     pub const SIGALTSTACK: usize = 131;
+    pub const FUTEX: usize = 202;
     pub const SCHED_SETAFFINITY: usize = 203;
 }
 
@@ -33,6 +34,7 @@ mod nr {
     pub const RT_SIGACTION: usize = 134;
     pub const MADVISE: usize = 233;
     pub const SIGALTSTACK: usize = 132;
+    pub const FUTEX: usize = 98;
     pub const SCHED_SETAFFINITY: usize = 122;
 }
 
@@ -221,6 +223,84 @@ pub fn write_raw(fd: i32, buf: &[u8]) -> isize {
     }
 }
 
+/// `FUTEX_WAIT | FUTEX_PRIVATE_FLAG`.
+const FUTEX_WAIT_PRIVATE: usize = 128;
+/// `FUTEX_WAKE | FUTEX_PRIVATE_FLAG`.
+const FUTEX_WAKE_PRIVATE: usize = 1 | 128;
+
+/// Kernel `timespec` for the futex timeout.
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// Outcome of a [`futex_wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexWait {
+    /// The thread slept and was woken by a [`futex_wake`].
+    Woken,
+    /// The word no longer held `expected` at wait time (`EAGAIN`) — the
+    /// wake raced ahead of the sleep; no syscall-level sleep happened.
+    NotExpected,
+    /// The relative timeout elapsed (`ETIMEDOUT`).
+    TimedOut,
+    /// The wait was interrupted by a signal (`EINTR`); retry or revalidate.
+    Interrupted,
+}
+
+/// `futex(FUTEX_WAIT_PRIVATE)`: blocks while `*addr == expected`, for at
+/// most `timeout_ns` nanoseconds (`None` = forever). The caller must
+/// revalidate its sleep condition on every return — all four outcomes,
+/// including [`FutexWait::Woken`], permit spurious wakeups.
+pub fn futex_wait(
+    addr: &core::sync::atomic::AtomicU32,
+    expected: u32,
+    timeout_ns: Option<u64>,
+) -> FutexWait {
+    let ts = timeout_ns.map(|ns| Timespec {
+        tv_sec: (ns / 1_000_000_000) as i64,
+        tv_nsec: (ns % 1_000_000_000) as i64,
+    });
+    let ts_ptr = ts
+        .as_ref()
+        .map_or(core::ptr::null(), |t| t as *const Timespec);
+    let ret = unsafe {
+        syscall6(
+            nr::FUTEX,
+            addr.as_ptr() as usize,
+            FUTEX_WAIT_PRIVATE,
+            expected as usize,
+            ts_ptr as usize,
+            0,
+            0,
+        )
+    };
+    match check(ret) {
+        Ok(_) => FutexWait::Woken,
+        Err(SysError(11)) => FutexWait::NotExpected, // EAGAIN
+        Err(SysError(110)) => FutexWait::TimedOut,   // ETIMEDOUT
+        _ => FutexWait::Interrupted,                 // EINTR and anything exotic
+    }
+}
+
+/// `futex(FUTEX_WAKE_PRIVATE)`: wakes up to `count` threads blocked in
+/// [`futex_wait`] on `addr`. Returns the number of threads actually woken.
+pub fn futex_wake(addr: &core::sync::atomic::AtomicU32, count: u32) -> usize {
+    let ret = unsafe {
+        syscall6(
+            nr::FUTEX,
+            addr.as_ptr() as usize,
+            FUTEX_WAKE_PRIVATE,
+            count as usize,
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret).unwrap_or(0)
+}
+
 /// Pins the calling thread to the single CPU `cpu`.
 pub fn pin_current_thread_to(cpu: usize) -> Result<(), SysError> {
     let mut mask = [0u64; 16]; // up to 1024 CPUs
@@ -340,5 +420,43 @@ mod tests {
         let (rss, hwm) = rss_kib().expect("proc status parse");
         assert!(rss > 0);
         assert!(hwm >= rss);
+    }
+
+    #[test]
+    fn futex_wait_value_mismatch_returns_immediately() {
+        use core::sync::atomic::AtomicU32;
+        let word = AtomicU32::new(7);
+        assert_eq!(futex_wait(&word, 8, None), FutexWait::NotExpected);
+    }
+
+    #[test]
+    fn futex_wait_times_out() {
+        use core::sync::atomic::AtomicU32;
+        let word = AtomicU32::new(1);
+        let start = std::time::Instant::now();
+        assert_eq!(
+            futex_wait(&word, 1, Some(2_000_000)),
+            FutexWait::TimedOut,
+            "2ms relative timeout"
+        );
+        assert!(start.elapsed() >= std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn futex_wake_unblocks_waiter() {
+        use core::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let word = Arc::new(AtomicU32::new(0));
+        let w2 = word.clone();
+        let t = std::thread::spawn(move || {
+            // Loop: spurious returns are permitted by the contract.
+            while w2.load(Ordering::Acquire) == 0 {
+                futex_wait(&w2, 0, Some(1_000_000_000));
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        word.store(1, Ordering::Release);
+        futex_wake(&word, u32::MAX);
+        t.join().expect("waiter exits after wake");
     }
 }

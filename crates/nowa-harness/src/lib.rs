@@ -23,6 +23,9 @@
 //! to the `measured` and `overhead` reports. `trace` re-runs a real experiment
 //! with per-worker event rings and latency histograms enabled ([`traceexp`]);
 //! `--trace-out FILE` exports a Chrome `trace_event` JSON for Perfetto.
+//! `wakeup` ([`wakeexp`]) measures spawn-to-steal wakeup latency and idle
+//! CPU burn of the idle engine against a pre-engine emulation, writing
+//! `BENCH_wakeup.json`.
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod real;
 pub mod simexp;
 pub mod stats;
 pub mod traceexp;
+pub mod wakeexp;
 
 pub use stats::Table;
 

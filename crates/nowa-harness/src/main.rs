@@ -29,6 +29,10 @@ experiments:
   chaos  [--seed N] [--iters K] [--workers N]
                                  seeded fault-injection stress over the real
                                  kernels (requires the `chaos` cargo feature)
+  wakeup [--iters K|small] [--workers N]
+                                 idle-engine wakeup latency + idle CPU burn
+                                 vs a pre-engine emulation; writes
+                                 BENCH_wakeup.json
   all    [--quick]               everything
 
 flags:
@@ -41,7 +45,8 @@ flags:
   --trace-out F  write a Chrome trace_event JSON (one track per worker) to F;
                  open in Perfetto or chrome://tracing (trace mode only)
   --seed N       chaos injection seed (default 1; chaos mode only)
-  --iters K      chaos iterations per flavor (default 3; chaos mode only)"
+  --iters K      chaos iterations per flavor (default 3; chaos mode only) or
+                 wakeup latency samples per config (default 200; `small` = 50)"
     );
     std::process::exit(2);
 }
@@ -55,7 +60,7 @@ struct Args {
     stats: bool,
     trace_out: Option<String>,
     seed: u64,
-    iters: usize,
+    iters: Option<usize>,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -68,7 +73,7 @@ fn parse_flags(rest: &[String]) -> Args {
         stats: false,
         trace_out: None,
         seed: 1,
-        iters: 3,
+        iters: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -109,10 +114,11 @@ fn parse_flags(rest: &[String]) -> Args {
             }
             "--iters" => {
                 i += 1;
-                args.iters = rest
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                args.iters = match rest.get(i).map(String::as_str) {
+                    Some("small") => Some(50),
+                    Some(s) => Some(s.parse().unwrap_or_else(|_| usage())),
+                    None => usage(),
+                };
             }
             "--trace-out" => {
                 i += 1;
@@ -175,7 +181,7 @@ fn main() {
         #[cfg(feature = "chaos")]
         "chaos" => print_tables(&nowa_harness::chaosexp::chaos_stress(
             args.seed,
-            args.iters,
+            args.iters.unwrap_or(3),
             args.workers,
         )),
         #[cfg(not(feature = "chaos"))]
@@ -184,10 +190,15 @@ fn main() {
                 "nowa-bench: the chaos stress mode needs the `chaos` cargo feature:\n  \
                  cargo run -p nowa-harness --features chaos --bin nowa-bench -- \
                  chaos --seed {} --iters {}",
-                args.seed, args.iters
+                args.seed,
+                args.iters.unwrap_or(3)
             );
             std::process::exit(2);
         }
+        "wakeup" => print_tables(&nowa_harness::wakeexp::wakeup(
+            args.workers,
+            args.iters.unwrap_or(200),
+        )),
         "table1" => print_tables(&real::table1()),
         "fig1" => print_tables(&simexp::fig1(args.quick)),
         "fig7" => print_tables(&simexp::fig7(sim_bench, args.quick)),

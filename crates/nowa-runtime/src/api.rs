@@ -448,7 +448,13 @@ impl Region {
     ///   (it may be touched from another OS thread after a steal) — this is
     ///   the obligation the compiler cannot check for you;
     /// * thread-identity-dependent state (thread-locals, lock guards held
-    ///   across the call) must not be relied upon afterwards.
+    ///   across the call) must not be relied upon afterwards;
+    /// * `f` must capture by value (`move`) anything the continuation
+    ///   mutates. The classic footgun is a spawn loop whose closure borrows
+    ///   the loop variable: once the continuation is stolen, the thief
+    ///   advances the loop *concurrently with the still-running child*, and
+    ///   a by-reference capture reads whatever value the variable holds by
+    ///   the time the child gets there — a data race on the loop frame.
     pub unsafe fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send,

@@ -30,6 +30,16 @@
 //!   bounded-retry path, see [`nowa_context::chaos`]).
 //! * **ChildPanic** — panics inside a child strand with a recognisable
 //!   [`ChaosPanic`] payload, exercising panic capture and re-throw.
+//! * **ForcePark** — an idle worker skips the spin/yield ladder and goes
+//!   straight to the announce-validate-park sequence, maximising exposure
+//!   of the lost-wakeup window.
+//! * **SpuriousWake** — a park consumes its announce but skips the kernel
+//!   wait, simulating a spurious futex return.
+//!
+//! The two idle sites are *not* armed by `ChaosConfig::aggressive`: their
+//! visit counts depend on wall-clock idleness, so arming them would break
+//! the exact snapshot-equality determinism gates. Dedicated idle-engine
+//! tests arm them explicitly.
 
 #[cfg(feature = "chaos")]
 mod imp {
@@ -60,10 +70,14 @@ mod imp {
         MmapFail = 3,
         /// Panic injected into a child strand.
         ChildPanic = 4,
+        /// Forced descent to the park path in the idle ladder.
+        ForcePark = 5,
+        /// Spurious (kernel-less) return from a park.
+        SpuriousWake = 6,
     }
 
     /// Number of distinct injection sites.
-    pub const SITES: usize = 5;
+    pub const SITES: usize = 7;
 
     const SITE_NAMES: [&str; SITES] = [
         "steal_fail",
@@ -71,6 +85,8 @@ mod imp {
         "spurious_yield",
         "mmap_fail",
         "child_panic",
+        "force_park",
+        "spurious_wake",
     ];
 
     /// Per-worker chaos state: one tick and one injected counter per site.
@@ -272,6 +288,30 @@ mod imp {
         }
     }
 
+    /// In the idle backoff ladder: returns `true` to skip spin/yield and
+    /// descend straight to the announce-validate-park sequence.
+    #[inline]
+    pub(crate) unsafe fn on_idle_backoff(worker: *mut Worker) -> bool {
+        unsafe {
+            match state(worker) {
+                Some((st, cfg)) => st.decide(ChaosSite::ForcePark, cfg.force_park),
+                None => false,
+            }
+        }
+    }
+
+    /// Right before the futex wait of a park: returns `true` to skip the
+    /// kernel wait, simulating a spurious futex return.
+    #[inline]
+    pub(crate) unsafe fn on_park_wait(worker: *mut Worker) -> bool {
+        unsafe {
+            match state(worker) {
+                Some((st, cfg)) => st.decide(ChaosSite::SpuriousWake, cfg.spurious_wake),
+                None => false,
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -344,9 +384,20 @@ mod imp {
     pub(crate) unsafe fn on_stack_get(_: *mut Worker) {}
     #[inline(always)]
     pub(crate) unsafe fn on_child_start(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_idle_backoff(_: *mut Worker) -> bool {
+        false
+    }
+    #[inline(always)]
+    pub(crate) unsafe fn on_park_wait(_: *mut Worker) -> bool {
+        false
+    }
 }
 
-pub(crate) use imp::{on_child_start, on_spawn_push, on_stack_get, on_steal_attempt, on_sync};
+pub(crate) use imp::{
+    on_child_start, on_idle_backoff, on_park_wait, on_spawn_push, on_stack_get, on_steal_attempt,
+    on_sync,
+};
 
 #[cfg(feature = "chaos")]
 pub use imp::{decision, ChaosPanic, ChaosSite, ChaosSnapshot, ChaosWorkerState, SITES};

@@ -34,6 +34,17 @@ pub struct ChaosConfig {
     /// `ChaosPanic` payload and propagate like user panics — leave this at
     /// `0` unless the workload expects to observe them.
     pub child_panic: u16,
+    /// Rate of forced parks: an idle worker skips the spin/yield ladder and
+    /// descends straight to the announce-validate-park sequence. Stresses
+    /// the lost-wakeup window. Stays `0` in [`ChaosConfig::aggressive`]:
+    /// idle-loop visit counts depend on wall-clock timing, so arming this
+    /// site would break exact seed-replay of the existing determinism
+    /// gates — arm it in dedicated idle-engine tests instead.
+    pub force_park: u16,
+    /// Rate of injected spurious wakeups: a park consumes its announce but
+    /// skips the kernel wait, returning immediately as if the futex had
+    /// woken spuriously. Same determinism caveat as `force_park`.
+    pub spurious_wake: u16,
 }
 
 impl ChaosConfig {
@@ -46,6 +57,8 @@ impl ChaosConfig {
             spurious_yield: 0,
             mmap_fail: 0,
             child_panic: 0,
+            force_park: 0,
+            spurious_wake: 0,
         }
     }
 
@@ -61,6 +74,51 @@ impl ChaosConfig {
             spurious_yield: 4096,
             mmap_fail: 2048,
             child_panic: 0,
+            // Idle sites stay 0 here: their visit counts are wall-clock
+            // dependent, which would break the exact snapshot-equality
+            // determinism gates. See the field docs; armed per-test.
+            force_park: 0,
+            spurious_wake: 0,
+        }
+    }
+}
+
+/// Tuning knobs of the idle engine (see [`crate::idle`]). The defaults are
+/// latency-leaning: a worker reaches the futex park after roughly a dozen
+/// fruitless sweeps (single-digit microseconds of spinning), and a parked
+/// worker self-wakes after [`IdleConfig::max_park`] as the belt-and-braces
+/// bound on the one theoretical lost-wakeup window the relaxed producer
+/// load leaves open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleConfig {
+    /// Failed sweeps spent in the exponential spin phase before yielding.
+    pub spin_sweeps: u32,
+    /// Failed sweeps spent yielding the OS thread before parking.
+    pub yield_sweeps: u32,
+    /// Bounded same-victim retries on `Steal::Retry` (lost races) within
+    /// one sweep, with exponential backoff between attempts.
+    pub steal_retries: u32,
+    /// Minimum own-deque depth for the spawn path to issue a targeted wake
+    /// (checked only after the free relaxed sleeper-count load said someone
+    /// is parked). `usize::MAX` disables spawn-path wakes entirely —
+    /// that re-creates the seed's blind-self-wake behaviour and exists for
+    /// the `nowa-bench wakeup` baseline.
+    pub wake_threshold: usize,
+    /// Upper bound on one futex park. Bounds the worst case of the
+    /// store-buffering race the relaxed producer-side load admits; with
+    /// targeted wakes working this timeout is essentially never the path
+    /// a wakeup takes.
+    pub max_park: Duration,
+}
+
+impl Default for IdleConfig {
+    fn default() -> IdleConfig {
+        IdleConfig {
+            spin_sweeps: 6,
+            yield_sweeps: 10,
+            steal_retries: 4,
+            wake_threshold: 1,
+            max_park: Duration::from_millis(1),
         }
     }
 }
@@ -108,6 +166,8 @@ pub struct Config {
     /// an anonymous segfault. Process-wide and idempotent across runtimes;
     /// non-guard faults chain to the previously installed handler.
     pub guard_diagnostics: bool,
+    /// Idle-engine tuning (spin→yield→park ladder, wake condition).
+    pub idle: IdleConfig,
 }
 
 impl Default for Config {
@@ -128,6 +188,7 @@ impl Default for Config {
             chaos: None,
             watchdog: None,
             guard_diagnostics: true,
+            idle: IdleConfig::default(),
         }
     }
 }
@@ -184,6 +245,12 @@ impl Config {
         self.guard_diagnostics = enabled;
         self
     }
+
+    /// Sets the idle-engine tuning (builder style).
+    pub fn idle(mut self, idle: IdleConfig) -> Config {
+        self.idle = idle;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -227,5 +294,23 @@ mod tests {
         let loud = ChaosConfig::aggressive(1);
         assert!(loud.steal_fail > 0 && loud.mmap_fail > 0);
         assert_eq!(loud.child_panic, 0, "panics stay opt-in");
+        assert_eq!(loud.force_park, 0, "idle sites stay replay-safe");
+        assert_eq!(loud.spurious_wake, 0, "idle sites stay replay-safe");
+    }
+
+    #[test]
+    fn idle_builder_and_defaults() {
+        let d = IdleConfig::default();
+        assert!(d.spin_sweeps > 0 && d.yield_sweeps > 0);
+        assert!(
+            d.max_park >= Duration::from_micros(200),
+            "no blind-nap cliff"
+        );
+        let c = Config::default().idle(IdleConfig {
+            wake_threshold: usize::MAX,
+            ..IdleConfig::default()
+        });
+        assert_eq!(c.idle.wake_threshold, usize::MAX);
+        assert_eq!(c.idle.spin_sweeps, d.spin_sweeps);
     }
 }

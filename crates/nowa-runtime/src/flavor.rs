@@ -197,6 +197,19 @@ pub fn occupancy(dq: &OwnerDeque) -> usize {
     }
 }
 
+/// Occupancy seen through a thief-side handle (racy snapshot) — used by the
+/// idle engine's park validation re-scan: anything non-zero anywhere means
+/// "don't sleep, go steal".
+pub fn stealer_len(st: &SharedStealer) -> usize {
+    match st {
+        SharedStealer::Cl(s) => s.len(),
+        SharedStealer::The(s) => s.len(),
+        SharedStealer::Abp(s) => s.len(),
+        SharedStealer::Locked(s) => s.len(),
+        SharedStealer::Fused(f) => f.q.lock().len(),
+    }
+}
+
 /// Offers a continuation to thieves (Fig. 5 line 2). Returns `false` when a
 /// bounded queue refuses — the caller then simply runs the child without
 /// offering the continuation (less parallelism, same semantics).

@@ -1,0 +1,333 @@
+//! Lock-free MPMC segment queue for root-task submission.
+//!
+//! The old injector was a `Mutex<VecDeque>` — every work-finding iteration
+//! of every worker took the lock just to find it empty, so root submission
+//! from foreign threads serialized against N pollers. This queue makes the
+//! empty poll three loads on read-mostly cache lines and the transfer path
+//! lock-free:
+//!
+//! * **Producers** claim a slot index with one `fetch_add` on the tail
+//!   segment, then publish the task pointer into the slot.
+//! * **Consumers** check the committed range *before* claiming (an empty
+//!   poll performs no RMW and burns no index), then claim an index with a
+//!   CAS and spin the short producer-publish window out of the slot.
+//! * Segments are linked by `next` and never unlinked; a drained segment
+//!   is simply walked past. Memory is reclaimed in `Drop`, which sidesteps
+//!   hazard-pointer/epoch reclamation entirely — the queue only carries
+//!   root submissions (a handful per run), not per-spawn traffic, so a
+//!   few hundred bytes per 64 submissions until runtime drop is a fine
+//!   trade for a reclamation-free lock-free path.
+//!
+//! FIFO per producer, MPMC-safe, and unbounded (a full segment grows the
+//! chain with one allocation per [`SEG_CAP`] submissions).
+
+use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+use crate::worker::RootTask;
+
+/// Slots per segment.
+const SEG_CAP: usize = 64;
+
+struct Segment {
+    /// Next producer slot; claims `>= SEG_CAP` mean "segment full, move on".
+    enq: AtomicU32,
+    /// Next consumer slot; never claimed past the committed range.
+    deq: AtomicU32,
+    /// Following segment in the chain (null until a producer grows it).
+    next: AtomicPtr<Segment>,
+    /// Published task pointers; null = not yet published / consumed.
+    slots: [AtomicPtr<RootTask>; SEG_CAP],
+}
+
+impl Segment {
+    fn boxed() -> Box<Segment> {
+        Box::new(Segment {
+            enq: AtomicU32::new(0),
+            deq: AtomicU32::new(0),
+            next: AtomicPtr::new(core::ptr::null_mut()),
+            slots: [const { AtomicPtr::new(core::ptr::null_mut()) }; SEG_CAP],
+        })
+    }
+}
+
+/// The queue. See the module docs for the algorithm.
+pub struct Injector {
+    /// Producers' segment (tail of the chain, possibly stale — producers
+    /// re-advance it themselves).
+    enq_seg: AtomicPtr<Segment>,
+    /// Consumers' segment (trails the tail; advanced past drained
+    /// segments).
+    deq_seg: AtomicPtr<Segment>,
+    /// Head of the whole chain, for `Drop` reclamation only.
+    chain: *mut Segment,
+}
+
+// SAFETY: all shared mutation goes through atomics; the raw pointers are
+// only dereferenced while the chain is alive (segments are never freed
+// before `Drop`), and `RootTask` is `Send`.
+unsafe impl Send for Injector {}
+unsafe impl Sync for Injector {}
+
+impl Default for Injector {
+    fn default() -> Injector {
+        Injector::new()
+    }
+}
+
+impl Injector {
+    /// An empty injector with one pre-allocated segment.
+    pub fn new() -> Injector {
+        let first = Box::into_raw(Segment::boxed());
+        Injector {
+            enq_seg: AtomicPtr::new(first),
+            deq_seg: AtomicPtr::new(first),
+            chain: first,
+        }
+    }
+
+    /// Enqueues a task (any thread).
+    pub fn push(&self, task: RootTask) {
+        let ptr = Box::into_raw(Box::new(task));
+        loop {
+            let seg = self.enq_seg.load(Ordering::Acquire);
+            // SAFETY: segments live until Drop; `seg` came from the chain.
+            let seg_ref = unsafe { &*seg };
+            let i = seg_ref.enq.fetch_add(1, Ordering::AcqRel) as usize;
+            if i < SEG_CAP {
+                seg_ref.slots[i].store(ptr, Ordering::Release);
+                return;
+            }
+            self.advance_enq(seg);
+        }
+    }
+
+    /// Installs (or discovers) the successor of a full segment and swings
+    /// `enq_seg` forward. Losing either race is fine — someone advanced.
+    fn advance_enq(&self, seg: *mut Segment) {
+        let seg_ref = unsafe { &*seg };
+        let mut next = seg_ref.next.load(Ordering::Acquire);
+        if next.is_null() {
+            let fresh = Box::into_raw(Segment::boxed());
+            match seg_ref.next.compare_exchange(
+                core::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => next = fresh,
+                Err(winner) => {
+                    // SAFETY: `fresh` was never published.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    next = winner;
+                }
+            }
+        }
+        let _ = self
+            .enq_seg
+            .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Dequeues a task, or `None` when the queue is (momentarily) empty.
+    /// An empty poll performs no RMW.
+    pub fn pop(&self) -> Option<RootTask> {
+        loop {
+            let seg = self.deq_seg.load(Ordering::Acquire);
+            // SAFETY: segments live until Drop.
+            let seg_ref = unsafe { &*seg };
+            let deq = seg_ref.deq.load(Ordering::Acquire);
+            if deq as usize >= SEG_CAP {
+                // Segment fully consumed: walk past it (it stays linked for
+                // Drop — no reclamation here).
+                let next = seg_ref.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return None;
+                }
+                let _ =
+                    self.deq_seg
+                        .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Acquire);
+                continue;
+            }
+            let enq = (seg_ref.enq.load(Ordering::Acquire) as usize).min(SEG_CAP) as u32;
+            if deq >= enq {
+                return None;
+            }
+            if seg_ref
+                .deq
+                .compare_exchange_weak(deq, deq + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Index claimed exclusively; the producer that claimed it on
+            // the enq side may still be a store away from publishing.
+            let slot = &seg_ref.slots[deq as usize];
+            let ptr = loop {
+                let p = slot.load(Ordering::Acquire);
+                if !p.is_null() {
+                    break p;
+                }
+                core::hint::spin_loop();
+            };
+            slot.store(core::ptr::null_mut(), Ordering::Release);
+            // SAFETY: exclusive claim; the pointer came from `push`'s Box.
+            return Some(*unsafe { Box::from_raw(ptr) });
+        }
+    }
+
+    /// Racy emptiness snapshot for the park validation re-scan: may
+    /// spuriously report non-empty (harmless — one extra sweep), and any
+    /// push ordered before the caller's announce is reliably seen.
+    pub fn is_empty(&self) -> bool {
+        let seg = self.deq_seg.load(Ordering::Acquire);
+        // SAFETY: segments live until Drop.
+        let seg_ref = unsafe { &*seg };
+        let deq = seg_ref.deq.load(Ordering::Acquire) as usize;
+        let enq = (seg_ref.enq.load(Ordering::Acquire) as usize).min(SEG_CAP);
+        deq >= enq && seg_ref.next.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl Drop for Injector {
+    fn drop(&mut self) {
+        // Exclusive access now: free every unconsumed task, then the chain.
+        let mut seg = self.chain;
+        while !seg.is_null() {
+            // SAFETY: exclusive; chain pointers all came from Box::into_raw.
+            let boxed = unsafe { Box::from_raw(seg) };
+            for slot in &boxed.slots {
+                let p = slot.load(Ordering::Relaxed);
+                if !p.is_null() {
+                    drop(unsafe { Box::from_raw(p) });
+                }
+            }
+            seg = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn task(counter: &Arc<AtomicUsize>, value: usize) -> RootTask {
+        let counter = counter.clone();
+        RootTask {
+            run: Box::new(move || {
+                counter.fetch_add(value, Ordering::Relaxed);
+            }),
+        }
+    }
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = Injector::new();
+        let sum = Arc::new(AtomicUsize::new(0));
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        for i in 1..=5 {
+            q.push(task(&sum, i));
+        }
+        assert!(!q.is_empty());
+        let mut seen = 0;
+        while let Some(t) = q.pop() {
+            (t.run)();
+            seen += 1;
+        }
+        assert_eq!(seen, 5);
+        assert_eq!(sum.load(Ordering::Relaxed), 15);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn crosses_segment_boundaries() {
+        let q = Injector::new();
+        let sum = Arc::new(AtomicUsize::new(0));
+        let n = SEG_CAP * 3 + 7;
+        for _ in 0..n {
+            q.push(task(&sum, 1));
+        }
+        let mut seen = 0;
+        while let Some(t) = q.pop() {
+            (t.run)();
+            seen += 1;
+        }
+        assert_eq!(seen, n);
+        assert_eq!(sum.load(Ordering::Relaxed), n);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_unconsumed_tasks() {
+        // Leak-checked implicitly (miri/asan would flag it); here we assert
+        // the drop glue of queued closures runs.
+        struct Marker(Arc<AtomicUsize>);
+        impl Drop for Marker {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let q = Injector::new();
+        for _ in 0..(SEG_CAP + 3) {
+            let m = Marker(drops.clone());
+            q.push(RootTask {
+                run: Box::new(move || {
+                    let _keep = &m;
+                }),
+            });
+        }
+        drop(q);
+        assert_eq!(drops.load(Ordering::Relaxed), SEG_CAP + 3);
+    }
+
+    #[test]
+    fn mpmc_stress_transfers_everything_once() {
+        let q = Arc::new(Injector::new());
+        let sum = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let producers = 4;
+        let per_producer = 500;
+
+        let push_threads: Vec<_> = (0..producers)
+            .map(|_| {
+                let q = q.clone();
+                let sum = sum.clone();
+                std::thread::spawn(move || {
+                    for i in 1..=per_producer {
+                        q.push(task(&sum, i));
+                    }
+                })
+            })
+            .collect();
+        let expected = producers * (per_producer * (per_producer + 1)) / 2;
+        let total = producers * per_producer;
+        let pop_threads: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                let popped = popped.clone();
+                std::thread::spawn(move || {
+                    while popped.load(Ordering::Relaxed) < total {
+                        if let Some(t) = q.pop() {
+                            (t.run)();
+                            popped.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in push_threads {
+            t.join().unwrap();
+        }
+        for t in pop_threads {
+            t.join().unwrap();
+        }
+        assert_eq!(popped.load(Ordering::Relaxed), total);
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

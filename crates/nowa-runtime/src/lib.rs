@@ -51,6 +51,8 @@ pub mod config;
 pub mod flavor;
 pub mod foreign;
 pub mod frame;
+pub mod idle;
+pub mod injector;
 mod obs;
 pub mod record;
 pub mod runtime;
@@ -64,7 +66,7 @@ pub mod worker;
 pub use api::{
     for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, worker_index, Region,
 };
-pub use config::{ChaosConfig, Config};
+pub use config::{ChaosConfig, Config, IdleConfig};
 pub use flavor::{DequeKind, Flavor, ProtocolKind};
 pub use foreign::ForeignForkJoin;
 pub use nowa_context::{MadvisePolicy, StackError};

@@ -172,6 +172,36 @@ mod imp {
             }
         }
     }
+
+    /// The worker is entering a futex park (idle engine deep descent).
+    #[inline]
+    pub(crate) unsafe fn on_park(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.park_begin();
+            }
+        }
+    }
+
+    /// The worker's park ended (wake, timeout, or stale epoch).
+    #[inline]
+    pub(crate) unsafe fn on_unpark(worker: *mut Worker) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.park_end();
+            }
+        }
+    }
+
+    /// This worker issued a targeted wake of worker `target`.
+    #[inline]
+    pub(crate) unsafe fn on_wake(worker: *mut Worker, target: usize) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.wake(target);
+            }
+        }
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -206,6 +236,12 @@ mod imp {
     pub(crate) unsafe fn on_sync_resume(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]
     pub(crate) unsafe fn on_idle(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_park(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_unpark(_: *mut Worker) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_wake(_: *mut Worker, _: usize) {}
 }
 
 pub(crate) use imp::*;

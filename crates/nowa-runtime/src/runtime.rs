@@ -1,7 +1,6 @@
 //! The runtime instance: worker threads, submission, shutdown.
 
 use core::sync::atomic::{AtomicBool, Ordering};
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -11,6 +10,8 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::config::Config;
 use crate::flavor::{self, Flavor};
+use crate::idle::IdleState;
+use crate::injector::Injector;
 use crate::stats::StatsSnapshot;
 use crate::worker::{current_worker, worker_main, RootTask, Shared, Worker};
 
@@ -119,9 +120,8 @@ impl Runtime {
             flavor: config.flavor,
             stealers: stealers.into_boxed_slice(),
             stats,
-            injector: Mutex::new(VecDeque::new()),
-            idle_cv: Condvar::new(),
-            idle_lock: Mutex::new(()),
+            injector: Injector::new(),
+            idle: IdleState::new(config.workers),
             shutdown: AtomicBool::new(false),
             pool: pool.clone(),
             #[cfg(feature = "trace")]
@@ -164,6 +164,7 @@ impl Runtime {
                     pending_recycle: None,
                     exit_ctx: RawContext::null(),
                     rng: 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1,
+                    last_victim: usize::MAX,
                 });
                 std::thread::Builder::new()
                     .name(format!("nowa-worker-{index}"))
@@ -211,6 +212,14 @@ impl Runtime {
     /// the `chaos` feature) and were absorbed by the bounded-retry path.
     pub fn stack_map_failures(&self) -> u64 {
         self.shared.pool.stats().map_failures()
+    }
+
+    /// Workers currently announced to the idle engine (parked in a futex
+    /// or in the final validation step before parking). Racy snapshot —
+    /// useful for observability and for benchmarks that want to start
+    /// from a fully-parked runtime.
+    pub fn idle_workers(&self) -> usize {
+        self.shared.idle.sleepers() as usize
     }
 
     /// Stall reports emitted by the watchdog since startup (0 when the
@@ -281,11 +290,11 @@ impl Runtime {
             // the completion slot has been consumed — the same argument as
             // `std::thread::scope`.
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { core::mem::transmute(task) };
-            self.shared
-                .injector
-                .lock()
-                .push_back(RootTask { run: task });
-            self.shared.idle_cv.notify_all();
+            self.shared.injector.push(RootTask { run: task });
+            // Root submission always wakes one worker: there is no spawner
+            // on a worker thread to pick this up, so the eventcount is the
+            // only thing standing between the task and a full `max_park`.
+            self.shared.idle.wake_one();
         }
 
         let mut guard = completion.result.lock();
@@ -302,7 +311,7 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.idle_cv.notify_all();
+        self.shared.idle.wake_all();
         for t in self.threads.drain(..) {
             let name = t
                 .thread()

@@ -151,6 +151,12 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
             WorkerStats::bump(&(*worker).stats().unoffered);
         }
         obs::on_spawn(worker);
+        if offered {
+            // Idle engine: a relaxed sleeper-count load on the common path;
+            // a targeted wake only when parked workers exist and our deque
+            // is deep enough that we won't immediately reclaim this work.
+            crate::worker::maybe_wake_after_spawn(worker);
+        }
 
         // The child, called directly (no further runtime involvement). An
         // injected chaos panic fires inside the capture scope, so it takes

@@ -31,6 +31,16 @@ pub struct WorkerStats {
     pub sync_resumes: AtomicU64,
     /// Root tasks executed.
     pub roots: AtomicU64,
+    /// Futex parks entered by the idle engine (announce survived the
+    /// validation re-scan and the worker actually waited).
+    pub parks: AtomicU64,
+    /// Targeted wakes issued by this worker's spawn/submit path.
+    pub wakes_issued: AtomicU64,
+    /// Parks that ended without a targeted wake (timeout, stale epoch, or
+    /// an injected spurious return).
+    pub wakes_spurious: AtomicU64,
+    /// Nanoseconds spent inside futex parks.
+    pub parked_ns: AtomicU64,
     /// Work-finding loop iterations. Not part of [`StatsSnapshot`] (it's a
     /// liveness heartbeat, not a scheduling event): an idle worker still
     /// ticks every backoff period, so the stall watchdog can tell "parked
@@ -88,6 +98,14 @@ pub struct StatsSnapshot {
     pub sync_resumes: u64,
     /// Root tasks executed.
     pub roots: u64,
+    /// Futex parks entered by the idle engine.
+    pub parks: u64,
+    /// Targeted wakes issued by spawn/submit paths.
+    pub wakes_issued: u64,
+    /// Parks that ended without a targeted wake.
+    pub wakes_spurious: u64,
+    /// Nanoseconds spent parked.
+    pub parked_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -107,6 +125,10 @@ impl StatsSnapshot {
             s.suspensions += w.suspensions.load(Ordering::Relaxed);
             s.sync_resumes += w.sync_resumes.load(Ordering::Relaxed);
             s.roots += w.roots.load(Ordering::Relaxed);
+            s.parks += w.parks.load(Ordering::Relaxed);
+            s.wakes_issued += w.wakes_issued.load(Ordering::Relaxed);
+            s.wakes_spurious += w.wakes_spurious.load(Ordering::Relaxed);
+            s.parked_ns += w.parked_ns.load(Ordering::Relaxed);
         }
         s
     }
@@ -126,6 +148,10 @@ impl StatsSnapshot {
         self.suspensions += other.suspensions;
         self.sync_resumes += other.sync_resumes;
         self.roots += other.roots;
+        self.parks += other.parks;
+        self.wakes_issued += other.wakes_issued;
+        self.wakes_spurious += other.wakes_spurious;
+        self.parked_ns += other.parked_ns;
     }
 
     /// Total steal attempts, successful or not.
@@ -159,6 +185,17 @@ impl StatsSnapshot {
             0.0
         } else {
             self.fast_pops as f64 / consumed as f64
+        }
+    }
+
+    /// Fraction of parks that ended by a targeted wake rather than a
+    /// timeout/stale epoch (0 when no parks happened). High values mean
+    /// the wake hook, not the `max_park` safety net, is doing the waking.
+    pub fn targeted_wake_ratio(&self) -> f64 {
+        if self.parks == 0 {
+            0.0
+        } else {
+            (self.parks - self.wakes_spurious.min(self.parks)) as f64 / self.parks as f64
         }
     }
 }
@@ -206,6 +243,31 @@ mod tests {
         assert_eq!(a.spawns, 7);
         assert_eq!(a.steals, 1);
         assert_eq!(a.steal_empty, 2);
+    }
+
+    #[test]
+    fn idle_counters_aggregate_and_merge() {
+        let w = WorkerStats::default();
+        w.parks.store(4, Ordering::Relaxed);
+        w.wakes_issued.store(3, Ordering::Relaxed);
+        w.wakes_spurious.store(1, Ordering::Relaxed);
+        w.parked_ns.store(12_345, Ordering::Relaxed);
+        let stats = [w];
+        let mut s = StatsSnapshot::aggregate(&stats);
+        assert_eq!(s.parks, 4);
+        assert_eq!(s.wakes_issued, 3);
+        assert_eq!(s.wakes_spurious, 1);
+        assert_eq!(s.parked_ns, 12_345);
+        assert!((s.targeted_wake_ratio() - 0.75).abs() < 1e-12);
+        let other = StatsSnapshot {
+            parks: 1,
+            parked_ns: 5,
+            ..Default::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.parks, 5);
+        assert_eq!(s.parked_ns, 12_350);
+        assert_eq!(StatsSnapshot::default().targeted_wake_ratio(), 0.0);
     }
 
     #[test]

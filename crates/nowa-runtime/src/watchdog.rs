@@ -2,9 +2,11 @@
 //! counters and reports workers that stop making progress.
 //!
 //! Progress is [`WorkerStats::progress`] — any scheduling event or
-//! work-finding iteration advances it, and idle workers still tick their
-//! loop counter every backoff period (≤ 200 µs), so a parked-but-healthy
-//! worker never trips the threshold. A genuine stall (a task stuck in a
+//! work-finding iteration advances it. A deep-idle worker may be futex-
+//! parked for long stretches with a frozen counter; the monitor asks the
+//! idle engine ([`crate::idle::IdleState::is_parked`]) and classifies
+//! parked workers as healthy, so only a genuinely wedged worker trips the
+//! threshold. A genuine stall (a task stuck in a
 //! syscall, a deadlocked lock inside user code, a scheduler bug) leaves the
 //! counter frozen; after `threshold` without movement the watchdog prints
 //! one report per stall episode to stderr — worker index, seconds stalled,
@@ -43,7 +45,10 @@ fn run(shared: &Shared, threshold: Duration) {
         let now = Instant::now();
         for i in 0..n {
             let progress = shared.stats[i].progress();
-            if progress != last_progress[i] {
+            // A futex-parked worker is healthy by construction (it is
+            // exactly where an idle worker should be), so its frozen
+            // progress counter must not read as a stall.
+            if progress != last_progress[i] || shared.idle.is_parked(i) {
                 last_progress[i] = progress;
                 last_change[i] = now;
                 reported[i] = false;

@@ -20,16 +20,16 @@
 use core::cell::Cell;
 use core::ffi::c_void;
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use nowa_context::{capture_and_run_on, resume, RawContext, Stack, StackPool, WorkerStackCache};
 use nowa_deque::Steal;
-use parking_lot::{Condvar, Mutex};
 
 use crate::chaos;
 use crate::config::Config;
 use crate::flavor::{self, Flavor, OwnerDeque, Rec, SharedStealer};
+use crate::idle::IdleState;
+use crate::injector::Injector;
 use crate::obs;
 use crate::stats::{StatsSnapshot, WorkerStats};
 
@@ -48,12 +48,10 @@ pub struct Shared {
     pub stealers: Box<[SharedStealer]>,
     /// Per-worker statistics.
     pub stats: Box<[WorkerStats]>,
-    /// Root-task submission queue.
-    pub injector: Mutex<VecDeque<RootTask>>,
-    /// Signals idle workers about new root tasks / shutdown.
-    pub idle_cv: Condvar,
-    /// Lock paired with `idle_cv`.
-    pub idle_lock: Mutex<()>,
+    /// Root-task submission queue (lock-free MPMC segment queue).
+    pub injector: Injector,
+    /// The idle engine: eventcount-style parking and targeted wakes.
+    pub idle: IdleState,
     /// Set once at shutdown.
     pub shutdown: AtomicBool,
     /// The global stack pool.
@@ -99,6 +97,9 @@ pub struct Worker {
     pub exit_ctx: RawContext,
     /// xorshift64* state for victim selection.
     pub rng: u64,
+    /// Victim of this worker's most recent successful steal
+    /// (`usize::MAX` = none yet); retried first in every sweep.
+    pub last_victim: usize,
 }
 
 // SAFETY: a Worker is moved to its OS thread once at startup and from then
@@ -123,6 +124,15 @@ impl Worker {
         x ^= x >> 27;
         self.rng = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform random index in `0..n` via Lemire's multiply-shift reduction
+    /// — unbiased, unlike `next_rand() % n` (a `% n` of a 64-bit value
+    /// over-weights the low residues whenever `n` doesn't divide `2^64`).
+    #[inline]
+    pub fn next_rand_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (((self.next_rand() as u128) * (n as u128)) >> 64) as usize
     }
 }
 
@@ -199,7 +209,11 @@ pub unsafe fn resume_sync(worker: *mut Worker, frame: *const crate::record::Fram
 /// worker's exit continuation).
 ///
 /// Order per iteration: shutdown check → own deque bottom → root injector →
-/// random steal sweep → backoff.
+/// steal sweep (last-victim affinity, then a random walk) → the idle
+/// ladder: exponential spin, OS yields, and finally the announce-validate-
+/// park descent of [`crate::idle`]. `failed_sweeps` only resets when actual
+/// work was found — a perpetually contended victim (`Steal::Retry`) no
+/// longer pins every thief at maximum spin.
 ///
 /// # Safety
 /// Must run on a worker thread whose `current_stack` invariant holds.
@@ -235,9 +249,9 @@ pub unsafe fn find_work() -> ! {
             }
         }
 
-        // Root tasks.
-        let task = shared.injector.lock().pop_front();
-        if let Some(task) = task {
+        // Root tasks. An empty poll is three loads on read-mostly lines —
+        // N workers polling no longer serialize on an injector lock.
+        if let Some(task) = shared.injector.pop() {
             unsafe {
                 WorkerStats::bump(&(*worker).stats().roots);
                 obs::on_root(worker);
@@ -249,56 +263,167 @@ pub unsafe fn find_work() -> ! {
             continue;
         }
 
-        // Random steal sweep.
+        // Steal sweep: the last successful victim first (work tends to
+        // cluster — the victim that fed us last is the best bet), then a
+        // full walk from an unbiased random start.
         let n = shared.stealers.len();
-        let mut found = false;
         if n > 1 {
-            let start = (unsafe { (*worker).next_rand() } as usize) % n;
-            for i in 0..n {
-                let victim = (start + i) % n;
-                if victim == unsafe { (*worker).index } {
+            let me = unsafe { (*worker).index };
+            let lv = unsafe { (*worker).last_victim };
+            let start = unsafe { (*worker).next_rand_below(n) };
+            let retry_budget = shared.config.idle.steal_retries;
+            // Candidate 0 is the affinity victim; candidates 1..=n walk the
+            // ring (the affinity victim may repeat — one cheap extra probe).
+            for i in 0..=n {
+                let victim = if i == 0 {
+                    if lv < n && lv != me {
+                        lv
+                    } else {
+                        continue;
+                    }
+                } else {
+                    (start + i - 1) % n
+                };
+                if victim == me {
                     continue;
                 }
-                unsafe { chaos::on_steal_attempt(worker) };
-                match flavor::steal_from(protocol, &shared.stealers[victim]) {
-                    Steal::Success(rec) => unsafe {
-                        WorkerStats::bump(&(*worker).stats().steals);
-                        obs::on_steal_success(worker, victim);
-                        resume_record(worker, rec)
-                    },
-                    Steal::Retry => {
-                        unsafe {
-                            WorkerStats::bump(&(*worker).stats().steal_retry);
-                            obs::on_steal_retry(worker, victim);
+                // Bounded per-victim retry with exponential backoff: a lost
+                // race means the victim *has* work, so it's worth a few
+                // increasingly spaced attempts — but never an unbounded
+                // livelock against a contended victim.
+                let mut attempt: u32 = 0;
+                loop {
+                    unsafe { chaos::on_steal_attempt(worker) };
+                    match flavor::steal_from(protocol, &shared.stealers[victim]) {
+                        Steal::Success(rec) => unsafe {
+                            (*worker).last_victim = victim;
+                            WorkerStats::bump(&(*worker).stats().steals);
+                            obs::on_steal_success(worker, victim);
+                            resume_record(worker, rec)
+                        },
+                        Steal::Retry => {
+                            unsafe {
+                                WorkerStats::bump(&(*worker).stats().steal_retry);
+                                obs::on_steal_retry(worker, victim);
+                            }
+                            attempt += 1;
+                            if attempt > retry_budget {
+                                break;
+                            }
+                            for _ in 0..(1u32 << attempt.min(8)) {
+                                core::hint::spin_loop();
+                            }
                         }
-                        // Contended: try again within the sweep.
-                        found = true;
-                        core::hint::spin_loop();
+                        Steal::Empty => {
+                            unsafe {
+                                WorkerStats::bump(&(*worker).stats().steal_empty);
+                                obs::on_steal_empty(worker, victim);
+                            }
+                            break;
+                        }
                     }
-                    Steal::Empty => unsafe {
-                        WorkerStats::bump(&(*worker).stats().steal_empty);
-                        obs::on_steal_empty(worker, victim);
-                    },
                 }
             }
         }
 
-        if found {
-            failed_sweeps = 0;
-            continue;
-        }
+        // Nothing anywhere: descend the idle ladder. `failed_sweeps` resets
+        // only on actual work (the resume/continue paths above).
         failed_sweeps = failed_sweeps.saturating_add(1);
         unsafe { obs::on_idle(worker) };
-        if failed_sweeps < 16 {
-            std::thread::yield_now();
+        let idle_cfg = &shared.config.idle;
+        let force_park = unsafe { chaos::on_idle_backoff(worker) };
+        if force_park || failed_sweeps > idle_cfg.spin_sweeps + idle_cfg.yield_sweeps {
+            unsafe { park_worker(worker, shared) };
+        } else if failed_sweeps <= idle_cfg.spin_sweeps {
+            // Short exponential spin: cheapest, keeps steal latency minimal
+            // while work is likely to reappear immediately.
+            for _ in 0..(1u32 << failed_sweeps.min(10)) {
+                core::hint::spin_loop();
+            }
         } else {
-            // Deep idle: sleep briefly; woken by root submission/shutdown,
-            // and self-waking to re-scan the deques (spawns do not signal —
-            // that would put a syscall on the hot path).
-            let mut guard = shared.idle_lock.lock();
-            shared
-                .idle_cv
-                .wait_for(&mut guard, std::time::Duration::from_micros(200));
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The deep-idle descent: announce intent to sleep, re-validate every work
+/// source, then futex-park until a targeted wake, the `max_park` timeout,
+/// or a stale epoch. The announce-then-re-scan order is what makes the
+/// engine lost-wakeup-free: any producer whose push is ordered after our
+/// announce sees our sleeper count (and wakes us); any push ordered before
+/// it is seen by the re-scan (and aborts the park).
+///
+/// # Safety
+/// `worker` must be the calling thread's live worker; `shared` its runtime.
+unsafe fn park_worker(worker: *mut Worker, shared: &Shared) {
+    let index = unsafe { (*worker).index };
+    let epoch = shared.idle.announce(index);
+
+    // Validation re-scan: anything runnable anywhere? (Our own deque can't
+    // have grown — only this worker pushes to it — so scan the others.)
+    let runnable = shared.shutdown.load(Ordering::Acquire)
+        || !shared.injector.is_empty()
+        || shared
+            .stealers
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != index && flavor::stealer_len(s) > 0);
+    if runnable {
+        if shared.idle.cancel(index) {
+            // A targeted wake raced onto us while we were cancelling; pass
+            // it on so the work that triggered it still gets a thief.
+            if let Some(target) = shared.idle.wake_one() {
+                unsafe {
+                    WorkerStats::bump(&(*worker).stats().wakes_issued);
+                    obs::on_wake(worker, target);
+                }
+            }
+        }
+        return;
+    }
+
+    let skip_wait = unsafe { chaos::on_park_wait(worker) };
+    unsafe {
+        WorkerStats::bump(&(*worker).stats().parks);
+        obs::on_park(worker);
+    }
+    let t0 = std::time::Instant::now();
+    let timeout_ns = shared.config.idle.max_park.as_nanos().min(u64::MAX as u128) as u64;
+    let woken = shared.idle.park(index, epoch, timeout_ns.max(1), skip_wait);
+    unsafe {
+        let stats = (*worker).stats();
+        stats
+            .parked_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if !woken {
+            WorkerStats::bump(&stats.wakes_spurious);
+        }
+        obs::on_unpark(worker);
+    }
+}
+
+/// The spawn-path wake hook: one relaxed load of the sleeper count on the
+/// common path; only when sleepers exist *and* this worker's deque has
+/// crossed the configured depth does a targeted single-worker wake go out.
+/// (Depth gating keeps a lone spawn-pop-spawn-pop loop from paying wake
+/// overhead for work it is about to reclaim itself.)
+///
+/// # Safety
+/// `worker` must be the calling thread's live worker.
+#[inline]
+pub(crate) unsafe fn maybe_wake_after_spawn(worker: *mut Worker) {
+    let shared: &Shared = unsafe { &*Arc::as_ptr(&(*worker).shared) };
+    if shared.idle.sleepers() == 0 {
+        return;
+    }
+    let threshold = shared.config.idle.wake_threshold;
+    if threshold > 0 && flavor::occupancy(unsafe { &(*worker).deque }) < threshold {
+        return;
+    }
+    if let Some(target) = shared.idle.wake_one() {
+        unsafe {
+            WorkerStats::bump(&(*worker).stats().wakes_issued);
+            obs::on_wake(worker, target);
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Idle-engine integration tests: spawn bursts racing all-workers-parking.
+//!
+//! The hazardous interleaving is a producer pushing work concurrently with
+//! every other worker descending into a futex park. A lost wakeup does not
+//! corrupt anything — the bounded `max_park` timeout guarantees forward
+//! progress — but it turns a microsecond handoff into a full `max_park`
+//! nap. These tests therefore configure a `max_park` that is *orders of
+//! magnitude* larger than the expected burst time and assert a wall-clock
+//! bound far below it: a single lost wakeup anywhere in the run blows the
+//! bound deterministically.
+
+use std::time::{Duration, Instant};
+
+use nowa_runtime::{api, Config, Flavor, IdleConfig, Runtime};
+
+const ALL_FLAVORS: [Flavor; 5] = [
+    Flavor::NOWA,
+    Flavor::NOWA_THE,
+    Flavor::NOWA_ABP,
+    Flavor::NOWA_LOCKED_DEQUE,
+    Flavor::FIBRIL,
+];
+
+/// An idle config that parks as eagerly as possible (no spin, no yield
+/// phase) with a `max_park` long enough that a lost wakeup is glaring.
+fn eager_park() -> IdleConfig {
+    IdleConfig {
+        spin_sweeps: 0,
+        yield_sweeps: 0,
+        steal_retries: 2,
+        wake_threshold: 1,
+        max_park: Duration::from_secs(5),
+    }
+}
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = api::join2(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+/// Repeated small bursts, letting every worker park between bursts. Each
+/// burst must complete in a small fraction of `max_park`: the only way to
+/// take longer is a worker sleeping through work it should have been woken
+/// for.
+fn burst_round_trip(flavor: Flavor, workers: usize) {
+    let rt = Runtime::new(
+        Config::with_workers(workers)
+            .flavor(flavor)
+            .idle(eager_park()),
+    )
+    .unwrap();
+    for round in 0..40 {
+        // With no spin/yield phase the workers reach announce/park within
+        // a handful of sweeps; this sleep makes "everyone is parked or
+        // parking" the common entry state for the next burst.
+        std::thread::sleep(Duration::from_millis(1));
+        let t0 = Instant::now();
+        let got = rt.run(|| fib(16));
+        assert_eq!(got, 987, "flavor {} round {round}", flavor.name());
+        let took = t0.elapsed();
+        assert!(
+            took < Duration::from_secs(2),
+            "flavor {} round {round}: burst took {took:?} — a wakeup was \
+             lost (max_park is 5s, a healthy burst is microseconds)",
+            flavor.name()
+        );
+    }
+    let stats = rt.stats();
+    assert!(stats.parks > 0, "eager-park config never parked a worker");
+}
+
+#[test]
+fn burst_races_parking_two_workers_all_flavors() {
+    for flavor in ALL_FLAVORS {
+        burst_round_trip(flavor, 2);
+    }
+}
+
+#[test]
+fn burst_races_parking_eight_workers_all_flavors() {
+    for flavor in ALL_FLAVORS {
+        burst_round_trip(flavor, 8);
+    }
+}
+
+/// A sustained producer against eagerly parking thieves: one deep strand
+/// keeps spawning while every other worker oscillates between stealing and
+/// parking. Exercises the spawn-path conditional wake under contention.
+#[test]
+fn sustained_spawns_wake_parked_thieves() {
+    for flavor in [Flavor::NOWA, Flavor::FIBRIL] {
+        let rt = Runtime::new(Config::with_workers(4).flavor(flavor).idle(eager_park())).unwrap();
+        let t0 = Instant::now();
+        let total = rt.run(|| {
+            let mut acc = 0u64;
+            for _ in 0..200 {
+                acc += fib(12);
+            }
+            acc
+        });
+        assert_eq!(total, 200 * 144, "flavor {}", flavor.name());
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "flavor {}: sustained run stalled — spawn-path wakes are not \
+             reaching parked thieves",
+            flavor.name()
+        );
+    }
+}
+
+/// Parked workers must read as healthy: a runtime sitting idle for several
+/// watchdog thresholds must produce zero stall reports.
+#[test]
+fn watchdog_classifies_parked_workers_healthy() {
+    let rt = Runtime::new(
+        Config::with_workers(2)
+            .idle(eager_park())
+            .watchdog(Duration::from_millis(50)),
+    )
+    .unwrap();
+    assert_eq!(rt.run(|| fib(10)), 55);
+    // All workers descend into parks; give the watchdog several full
+    // thresholds to (wrongly) trip on their frozen progress counters.
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(
+        rt.watchdog_reports(),
+        0,
+        "watchdog reported a stall for a healthily parked worker"
+    );
+    // And the runtime still wakes up fine afterwards.
+    assert_eq!(rt.run(|| fib(10)), 55);
+}
+
+/// The same burst-vs-parking race with the chaos idle sites armed: forced
+/// premature parks (skipping the backoff ladder) and spurious wakes. The
+/// injection schedule is a pure function of the seed, so the same seed
+/// must produce correct results on every replay.
+#[cfg(feature = "chaos")]
+#[test]
+fn burst_survives_chaos_forced_parks_and_spurious_wakes() {
+    use nowa_runtime::ChaosConfig;
+
+    for flavor in ALL_FLAVORS {
+        for workers in [2usize, 8] {
+            for replay in 0..2 {
+                let mut chaos = ChaosConfig::with_seed(0xC0FF_EE00 + workers as u64);
+                chaos.force_park = 16384; // 25% of idle backoffs park instantly
+                chaos.spurious_wake = 16384; // 25% of parks return without waiting
+                let rt = Runtime::new(
+                    Config::with_workers(workers)
+                        .flavor(flavor)
+                        .idle(eager_park())
+                        .chaos(chaos),
+                )
+                .unwrap();
+                let t0 = Instant::now();
+                for _ in 0..10 {
+                    assert_eq!(
+                        rt.run(|| fib(14)),
+                        377,
+                        "flavor {} workers {workers} replay {replay}",
+                        flavor.name()
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                assert!(
+                    t0.elapsed() < Duration::from_secs(20),
+                    "flavor {} workers {workers} replay {replay}: chaos idle \
+                     faults caused a stall",
+                    flavor.name()
+                );
+                let snap = rt.chaos_stats().expect("chaos configured");
+                assert!(
+                    snap.ticks.iter().sum::<u64>() > 0,
+                    "chaos sites never visited"
+                );
+            }
+        }
+    }
+}

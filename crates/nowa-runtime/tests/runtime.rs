@@ -124,11 +124,14 @@ fn region_linear_spawns() {
     let sum = AtomicU64::new(0);
     rt.run(|| {
         let region = api::Region::new();
+        let sum = &sum;
         for i in 0..100u64 {
             // SAFETY: everything live across the spawns (the region, the
             // atomic) is Send+Sync; the region is synced before drop.
+            // `move` captures `i` by value — a stolen continuation mutates
+            // the loop frame concurrently.
             unsafe {
-                region.spawn(|| {
+                region.spawn(move || {
                     sum.fetch_add(i, Ordering::Relaxed);
                 })
             };

@@ -32,10 +32,14 @@ pub struct TraceBuffer {
     /// Owner-deque occupancy, sampled every
     /// `2^`[`OCCUPANCY_SHIFT`]`-th` spawn.
     pub occupancy: Hist64,
+    /// Time spent inside futex parks (idle engine).
+    pub parked: Hist64,
     /// Timestamp of the pending successful steal (0 = none).
     pending_steal_ns: AtomicU64,
     /// Timestamp idleness began (0 = currently busy).
     idle_since_ns: AtomicU64,
+    /// Timestamp the current park began (0 = not parked).
+    park_since_ns: AtomicU64,
     /// Spawns seen, for occupancy sampling.
     spawn_tick: AtomicU64,
 }
@@ -51,8 +55,10 @@ impl TraceBuffer {
             steal_latency: Hist64::default(),
             idle_spin: Hist64::default(),
             occupancy: Hist64::default(),
+            parked: Hist64::default(),
             pending_steal_ns: AtomicU64::new(0),
             idle_since_ns: AtomicU64::new(0),
+            park_since_ns: AtomicU64::new(0),
             spawn_tick: AtomicU64::new(0),
         }
     }
@@ -132,6 +138,35 @@ impl TraceBuffer {
             self.ring.push(Event::new(since, EventKind::Idle, dur));
         }
     }
+
+    /// Marks the beginning of a futex park ([`EventKind::Park`] instant,
+    /// parked-time clock started).
+    #[inline]
+    pub fn park_begin(&self) {
+        let ts = now_ns().max(1);
+        self.park_since_ns.store(ts, Ordering::Relaxed);
+        self.ring.push(Event::new(ts, EventKind::Park, 0));
+    }
+
+    /// Marks the end of a park: records the parked duration and an
+    /// [`EventKind::Unpark`] span covering it. No-op without a pending
+    /// [`TraceBuffer::park_begin`].
+    #[inline]
+    pub fn park_end(&self) {
+        let since = self.park_since_ns.load(Ordering::Relaxed);
+        if since != 0 {
+            self.park_since_ns.store(0, Ordering::Relaxed);
+            let dur = now_ns().saturating_sub(since);
+            self.parked.record(dur);
+            self.ring.push(Event::new(since, EventKind::Unpark, dur));
+        }
+    }
+
+    /// Records a targeted wake of worker `target` issued by this worker.
+    #[inline]
+    pub fn wake(&self, target: usize) {
+        self.event(EventKind::Wake, target as u64);
+    }
 }
 
 /// A compact id for a sync frame, derived from its address. Collisions
@@ -189,5 +224,29 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::Idle);
         assert_eq!(events[0].arg, s.max);
+    }
+
+    #[test]
+    fn park_span_recorded_once() {
+        let buf = TraceBuffer::new(64);
+        buf.park_end(); // not parked → no-op
+        assert_eq!(buf.parked.snapshot().count, 0);
+        buf.park_begin();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        buf.park_end();
+        buf.park_end(); // must not double-record
+        buf.wake(3);
+        let s = buf.parked.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 1_000_000, "parked ≥ 1ms, recorded {}", s.max);
+        let mut events = Vec::new();
+        buf.ring.drain_into(&mut events);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Park);
+        assert_eq!(events[1].kind, EventKind::Unpark);
+        assert_eq!(events[1].arg, s.max);
+        assert_eq!(events[1].ts_ns, events[0].ts_ns, "span starts at the park");
+        assert_eq!(events[2].kind, EventKind::Wake);
+        assert_eq!(events[2].arg, 3);
     }
 }

@@ -42,10 +42,18 @@ pub enum EventKind {
     Root = 11,
     /// Deque occupancy sample. arg: the owner deque's length.
     Occupancy = 12,
+    /// A worker entered a futex park (idle engine). arg: 0.
+    Park = 13,
+    /// A park ended. The timestamp is the *start* of the park; arg: its
+    /// duration in ns (mirrors [`EventKind::Idle`] so exporters can render
+    /// it as a span).
+    Unpark = 14,
+    /// A targeted wake was issued. arg: the woken worker's index.
+    Wake = 15,
 }
 
 /// Number of distinct [`EventKind`]s.
-pub const NUM_KINDS: usize = 13;
+pub const NUM_KINDS: usize = 16;
 
 impl EventKind {
     /// All kinds, in discriminant order.
@@ -63,6 +71,9 @@ impl EventKind {
         EventKind::Idle,
         EventKind::Root,
         EventKind::Occupancy,
+        EventKind::Park,
+        EventKind::Unpark,
+        EventKind::Wake,
     ];
 
     /// Kind from its discriminant.
@@ -86,6 +97,9 @@ impl EventKind {
             EventKind::Idle => "idle",
             EventKind::Root => "root",
             EventKind::Occupancy => "occupancy",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::Wake => "wake",
         }
     }
 }

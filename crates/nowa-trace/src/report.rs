@@ -35,6 +35,8 @@ pub struct TraceReport {
     pub idle_spin: HistSnapshot,
     /// Owner-deque occupancy samples, merged over workers.
     pub occupancy: HistSnapshot,
+    /// Futex-park durations (ns), merged over workers.
+    pub parked: HistSnapshot,
     /// Total events dropped on ring overflow.
     pub dropped_total: u64,
     /// Span from the first to the last retained event (ns).
@@ -55,6 +57,7 @@ impl TraceReport {
         let mut steal_latency = HistSnapshot::default();
         let mut idle_spin = HistSnapshot::default();
         let mut occupancy = HistSnapshot::default();
+        let mut parked = HistSnapshot::default();
         let mut dropped_total = 0;
 
         for (index, buf) in buffers.iter().enumerate() {
@@ -66,6 +69,7 @@ impl TraceReport {
             steal_latency.merge(&buf.steal_latency.snapshot());
             idle_spin.merge(&buf.idle_spin.snapshot());
             occupancy.merge(&buf.occupancy.snapshot());
+            parked.merge(&buf.parked.snapshot());
             let dropped = buf.ring.dropped();
             dropped_total += dropped;
             workers.push(WorkerTrace {
@@ -120,6 +124,7 @@ impl TraceReport {
             suspend_latency,
             idle_spin,
             occupancy,
+            parked,
             dropped_total,
             span_ns,
         }
@@ -170,6 +175,7 @@ impl TraceReport {
             ("steal→first-poll", &self.steal_latency),
             ("suspend→resume", &self.suspend_latency),
             ("idle spin", &self.idle_spin),
+            ("parked", &self.parked),
         ] {
             let _ = writeln!(out, "  {}", fmt_hist_line(name, h, fmt_ns));
         }
@@ -199,6 +205,7 @@ impl TraceReport {
             ("suspend_latency_ns", &self.suspend_latency),
             ("idle_spin_ns", &self.idle_spin),
             ("deque_occupancy", &self.occupancy),
+            ("parked_ns", &self.parked),
         ] {
             root.insert(key.to_string(), hist_json(h));
         }
@@ -233,7 +240,7 @@ impl TraceReport {
                 obj.insert("tid".to_string(), Json::Num(w.index as f64));
                 obj.insert("ts".to_string(), Json::Num(ev.ts_ns as f64 / 1_000.0));
                 match ev.kind {
-                    EventKind::Idle => {
+                    EventKind::Idle | EventKind::Unpark => {
                         obj.insert("ph".to_string(), Json::Str("X".into()));
                         obj.insert("dur".to_string(), Json::Num(ev.arg as f64 / 1_000.0));
                     }
@@ -242,7 +249,7 @@ impl TraceReport {
                         obj.insert("s".to_string(), Json::Str("t".into()));
                     }
                 }
-                if ev.arg != 0 && ev.kind != EventKind::Idle {
+                if ev.arg != 0 && !matches!(ev.kind, EventKind::Idle | EventKind::Unpark) {
                     let mut args = BTreeMap::new();
                     let key = match ev.kind {
                         EventKind::Steal | EventKind::StealEmpty | EventKind::StealRetry => {
@@ -250,6 +257,7 @@ impl TraceReport {
                         }
                         EventKind::SyncSuspend | EventKind::SyncResume => "frame",
                         EventKind::Occupancy => "len",
+                        EventKind::Wake => "target",
                         _ => "arg",
                     };
                     args.insert(key.to_string(), Json::Num(ev.arg as f64));
@@ -336,6 +344,10 @@ mod tests {
         bufs[1].event(EventKind::SyncResume, frame_id(0x1000 as *const ()));
         bufs[1].idle_enter();
         bufs[1].idle_exit();
+        // Worker 1 parks once and is woken by worker 0.
+        bufs[1].park_begin();
+        bufs[1].park_end();
+        bufs[0].wake(1);
         bufs
     }
 
@@ -347,6 +359,10 @@ mod tests {
         assert_eq!(report.count(EventKind::Spawn), 1);
         assert_eq!(report.count(EventKind::Steal), 1);
         assert_eq!(report.count(EventKind::Idle), 1);
+        assert_eq!(report.count(EventKind::Park), 1);
+        assert_eq!(report.count(EventKind::Unpark), 1);
+        assert_eq!(report.count(EventKind::Wake), 1);
+        assert_eq!(report.parked.count, 1);
         assert_eq!(
             report.suspend_latency.count, 1,
             "suspend paired with resume"
@@ -422,5 +438,20 @@ mod tests {
             .unwrap();
         assert_eq!(steal.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(steal.get("s").unwrap().as_str(), Some("t"));
+        // A park renders as an unpark duration slice plus a park instant.
+        let unpark = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("unpark"))
+            .unwrap();
+        assert_eq!(unpark.get("ph").unwrap().as_str(), Some("X"));
+        // A wake instant names its target worker.
+        let wake = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("wake"))
+            .unwrap();
+        assert_eq!(
+            wake.get("args").unwrap().get("target").unwrap().as_num(),
+            Some(1.0)
+        );
     }
 }

@@ -65,12 +65,15 @@ fn main() {
     let digest = AtomicU64::new(0);
     rt.run(|| {
         let region = Region::new();
+        let digest = &digest;
         for chunk in &chunks {
             // SAFETY: everything live across the spawns (the region, the
             // chunk slices, the atomic) is Send/Sync, and the region syncs
-            // before any of it dies.
+            // before any of it dies. `move` captures the chunk reference by
+            // value — a stolen continuation advances the loop variable
+            // concurrently with the child.
             unsafe {
-                region.spawn(|| {
+                region.spawn(move || {
                     let out = aggregate(&transform(parse(chunk)));
                     digest.fetch_xor(out, Ordering::Relaxed);
                 });

@@ -143,11 +143,14 @@ fn region_stress_many_linear_spawns() {
     let total = AtomicU64::new(0);
     rt.run(|| {
         let region = nowa::Region::new();
+        let total = &total;
         for i in 0..5_000u64 {
             // SAFETY: the atomic and loop index are Send; region syncs
-            // before drop.
+            // before drop. `move` is load-bearing: a stolen continuation
+            // advances `i` concurrently, so the child must capture its
+            // value, not a reference into the loop frame.
             unsafe {
-                region.spawn(|| {
+                region.spawn(move || {
                     total.fetch_add(i, Ordering::Relaxed);
                 })
             };
