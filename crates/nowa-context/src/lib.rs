@@ -14,7 +14,7 @@
 //!   report naming the worker and the stack bounds.
 //! * [`sys`] — the minimal raw Linux syscall layer underneath.
 //!
-//! With the `chaos` cargo feature, [`chaos`] adds a deterministic
+//! With the `chaos` cargo feature, the `chaos` module adds a deterministic
 //! `mmap`-failure injection point to the stack mapping path; without the
 //! feature the fallible paths compile to the plain syscalls.
 

@@ -134,7 +134,7 @@ impl Stack {
 
     /// Fallible variant of [`Stack::map`] with a typed error. Under the
     /// `chaos` feature this is also the `mmap`-failure injection point: an
-    /// armed failure (see [`crate::chaos`]) is consumed here and surfaces as
+    /// armed failure (see `crate::chaos`) is consumed here and surfaces as
     /// an `ENOMEM` [`StackError::Map`], indistinguishable from the real
     /// thing to the recovery paths above.
     pub fn try_map(usable: usize) -> Result<Stack, StackError> {

@@ -15,8 +15,9 @@
 use core::cell::Cell;
 use core::marker::PhantomData;
 use core::num::NonZeroU64;
-use core::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{fence, AtomicI64, AtomicU64, Ordering};
 
 use crate::{Full, Steal, StealerOps, Token, WorkerOps};
 

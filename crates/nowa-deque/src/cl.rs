@@ -20,11 +20,11 @@
 use core::cell::Cell;
 use core::marker::PhantomData;
 use core::num::NonZeroU64;
-use core::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
 
+use crate::sync::Mutex;
 use crate::{Full, Steal, StealerOps, Token, WorkerOps};
 
 /// A ring buffer of atomic word slots, sized to a power of two.
@@ -72,7 +72,8 @@ unsafe impl Sync for Inner {}
 impl Drop for Inner {
     fn drop(&mut self) {
         // Exclusive access: reclaim the live ring and every retired ring.
-        let live = *self.buffer.get_mut();
+        // (A plain load, not `get_mut` — the loom twin has no `get_mut`.)
+        let live = self.buffer.load(Ordering::Relaxed);
         unsafe { drop(Box::from_raw(live)) };
         for ring in self.retired.get_mut().drain(..) {
             unsafe { drop(Box::from_raw(ring)) };

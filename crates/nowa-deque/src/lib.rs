@@ -50,6 +50,7 @@ mod abp;
 pub mod chaos;
 mod cl;
 mod locked;
+mod sync;
 mod the;
 mod token;
 
@@ -132,7 +133,7 @@ pub trait StealerOps<T: Token>: Clone + Send + Sync {
             match self.steal() {
                 Steal::Success(item) => return Some(item),
                 Steal::Empty => return None,
-                Steal::Retry => core::hint::spin_loop(),
+                Steal::Retry => crate::sync::busy_spin(),
             }
         }
     }

@@ -24,11 +24,11 @@
 use core::cell::Cell;
 use core::marker::PhantomData;
 use core::num::NonZeroU64;
-use core::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::{fence, AtomicI64, AtomicU64, Ordering};
 
+use crate::sync::Mutex;
 use crate::{Full, Steal, StealerOps, Token, WorkerOps};
 
 struct Inner {
@@ -180,7 +180,12 @@ impl<T: Token> StealerOps<T> for TheStealer<T> {
         }
         let inner = &*self.inner;
         // Cheap unsynchronized emptiness probe before paying for the lock.
-        if inner.head.load(Ordering::Relaxed) >= inner.tail.load(Ordering::Acquire) {
+        // Relaxed on both sides: the probe only gates the lock acquisition —
+        // a stale miss is a legitimate Empty (the steal linearizes at the
+        // locked re-read below, which carries the Acquire that pairs with
+        // push's Release tail store). Verified by the loom models in
+        // tests/loom.rs (`the_single_item_owner_thief_race`).
+        if inner.head.load(Ordering::Relaxed) >= inner.tail.load(Ordering::Relaxed) {
             return Steal::Empty;
         }
         let _guard = inner.lock.lock();

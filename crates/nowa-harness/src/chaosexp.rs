@@ -7,7 +7,7 @@
 //! serial reference run. A separate phase injects child panics (rate
 //! `u16::MAX`, i.e. the first spawned child panics) and checks the payload
 //! propagates to the caller as a recognisable
-//! [`ChaosPanic`](nowa_runtime::chaos::ChaosPanic). A final determinism
+//! [`nowa_runtime::chaos::ChaosPanic`]. A final determinism
 //! check replays one seed twice on a single worker and compares the
 //! injection counters, which must match exactly.
 //!

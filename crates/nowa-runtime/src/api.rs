@@ -455,6 +455,37 @@ impl Region {
     ///   advances the loop *concurrently with the still-running child*, and
     ///   a by-reference capture reads whatever value the variable holds by
     ///   the time the child gets there — a data race on the loop frame.
+    ///
+    /// # Example
+    ///
+    /// A loop of spawns joined by one sync — the paper's Fig. 4 shape.
+    /// Children write through a shared atomic, and each closure `move`s
+    /// its loop variable:
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use nowa_runtime::{Config, Region, Runtime};
+    ///
+    /// let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    /// let total = rt.run(|| {
+    ///     let sum = AtomicU64::new(0);
+    ///     let region = Region::new();
+    ///     for i in 1..=4u64 {
+    ///         let sum = &sum;
+    ///         // SAFETY: the region is not moved; `sum` is a Send
+    ///         // reference outliving the sync; `i` is moved, not
+    ///         // borrowed from the loop frame.
+    ///         unsafe {
+    ///             region.spawn(move || {
+    ///                 sum.fetch_add(i * i, Ordering::Relaxed);
+    ///             });
+    ///         }
+    ///     }
+    ///     region.sync();
+    ///     sum.load(Ordering::Relaxed)
+    /// });
+    /// assert_eq!(total, 1 + 4 + 9 + 16);
+    /// ```
     pub unsafe fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send,

@@ -1,7 +1,7 @@
 //! Fault injection: deterministic, seeded chaos at every scheduler
 //! decision — the runtime's only coupling to the injection machinery.
 //!
-//! Mirrors the [`crate::obs`] twin pattern: with the `chaos` cargo feature
+//! Mirrors the `obs` twin pattern: with the `chaos` cargo feature
 //! **off**, every hook below is an `#[inline(always)]` empty body and the
 //! scheduler compiles exactly as before. With the feature **on**, hooks are
 //! still no-ops unless the runtime was built with a
@@ -20,16 +20,16 @@
 //! The injected faults:
 //!
 //! * **StealFail** — the next steal attempt is forced to fail (alternating
-//!   `Empty` / lost-race `Retry`), via [`nowa_deque::chaos`].
+//!   `Empty` / lost-race `Retry`), via `nowa_deque::chaos`.
 //! * **ForceSuspend** — `sync_execute`'s fast path is vetoed, forcing the
 //!   suspension path (capture, Eq. 5 restore, work-finding) even when all
 //!   children already joined.
 //! * **SpuriousYield** — an OS yield right before `pushBottom`, widening
 //!   the window in which thieves observe the pre-push deque state.
 //! * **MmapFail** — arms one stack-map failure (consumed by the pool's
-//!   bounded-retry path, see [`nowa_context::chaos`]).
+//!   bounded-retry path, see `nowa_context::chaos`).
 //! * **ChildPanic** — panics inside a child strand with a recognisable
-//!   [`ChaosPanic`] payload, exercising panic capture and re-throw.
+//!   `ChaosPanic` payload, exercising panic capture and re-throw.
 //! * **ForcePark** — an idle worker skips the spin/yield ladder and goes
 //!   straight to the announce-validate-park sequence, maximising exposure
 //!   of the lost-wakeup window.
@@ -275,7 +275,7 @@ mod imp {
     }
 
     /// Inside a child strand (within its panic-capture scope): maybe panic
-    /// with a [`ChaosPanic`] payload.
+    /// with a `ChaosPanic` payload.
     #[inline]
     pub(crate) unsafe fn on_child_start(worker: *mut Worker) {
         unsafe {

@@ -19,8 +19,9 @@ use nowa_deque::{
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+use crate::sync::Ordering;
 
 use crate::record::{AfterChild, Frame, SpawnRecord, I_MAX};
 

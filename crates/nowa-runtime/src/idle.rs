@@ -48,9 +48,7 @@
 //! claimed through a `parked_mask` bit (one CAS, no scan); beyond that the
 //! waker falls back to scanning the slot array.
 
-use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-
-use nowa_context::sys;
+use crate::sync::{futex_wait, futex_wake, AtomicU32, AtomicU64, Ordering};
 
 /// Slot states. `WAITING` is the futex-wait value; a waker moves the slot
 /// to `NOTIFIED` *before* the `FUTEX_WAKE`, so a worker that wasn't asleep
@@ -167,7 +165,7 @@ impl IdleState {
         // (or shutdown) — fall through to depart and re-scan instead of
         // sleeping through it.
         if !skip_wait && self.epoch() == epoch {
-            let _ = sys::futex_wait(slot, WAITING, Some(timeout_ns));
+            let _ = futex_wait(slot, WAITING, Some(timeout_ns));
         }
         // Depart. A targeted wake claimed our mask bit already; on the
         // spurious paths we clear it ourselves.
@@ -214,7 +212,7 @@ impl IdleState {
                 // The worker may already be asleep in the kernel on the old
                 // value; the wake is unconditional (one syscall, and only
                 // on the path that found a sleeper).
-                sys::futex_wake(slot, 1);
+                futex_wake(slot, 1);
                 return Some(idx);
             }
             // The worker departed between our mask claim and the slot CAS
@@ -230,7 +228,7 @@ impl IdleState {
                 .compare_exchange(WAITING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                sys::futex_wake(&s.state, 1);
+                futex_wake(&s.state, 1);
                 return Some(i);
             }
         }
@@ -249,7 +247,7 @@ impl IdleState {
                 .compare_exchange(WAITING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                sys::futex_wake(slot, 1);
+                futex_wake(slot, 1);
             }
         }
         for s in self.slots.iter().skip(MASK_BITS) {
@@ -257,7 +255,7 @@ impl IdleState {
                 .compare_exchange(WAITING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                sys::futex_wake(&s.state, 1);
+                futex_wake(&s.state, 1);
             }
         }
     }

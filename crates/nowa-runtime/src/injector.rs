@@ -19,14 +19,18 @@
 //!   trade for a reclamation-free lock-free path.
 //!
 //! FIFO per producer, MPMC-safe, and unbounded (a full segment grows the
-//! chain with one allocation per [`SEG_CAP`] submissions).
+//! chain with one allocation per `SEG_CAP` submissions).
 
-use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
-
+use crate::sync::{busy_spin, AtomicPtr, AtomicU32, Ordering};
 use crate::worker::RootTask;
 
-/// Slots per segment.
+/// Slots per segment. The loom build shrinks segments to capacity 2 so the
+/// bounded models can reach the segment-boundary paths (`advance_enq`, the
+/// drained-segment walk in `pop`) within the preemption budget.
+#[cfg(not(loom))]
 const SEG_CAP: usize = 64;
+#[cfg(loom)]
+const SEG_CAP: usize = 2;
 
 struct Segment {
     /// Next producer slot; claims `>= SEG_CAP` mean "segment full, move on".
@@ -89,11 +93,16 @@ impl Injector {
     pub fn push(&self, task: RootTask) {
         let ptr = Box::into_raw(Box::new(task));
         loop {
+            // Acquire pairs with `advance_enq`'s Release CAS: a segment
+            // read here is fully initialised.
             let seg = self.enq_seg.load(Ordering::Acquire);
             // SAFETY: segments live until Drop; `seg` came from the chain.
             let seg_ref = unsafe { &*seg };
+            // RMW atomicity hands each producer a unique slot index.
             let i = seg_ref.enq.fetch_add(1, Ordering::AcqRel) as usize;
             if i < SEG_CAP {
+                // Release publishes the boxed task; pairs with the
+                // consumer's Acquire spin on this slot.
                 seg_ref.slots[i].store(ptr, Ordering::Release);
                 return;
             }
@@ -108,6 +117,8 @@ impl Injector {
         let mut next = seg_ref.next.load(Ordering::Acquire);
         if next.is_null() {
             let fresh = Box::into_raw(Segment::boxed());
+            // The Release side of the CAS publishes the fresh segment's
+            // zeroed fields to every later Acquire reader of `next`.
             match seg_ref.next.compare_exchange(
                 core::ptr::null_mut(),
                 fresh,
@@ -151,6 +162,8 @@ impl Injector {
             if deq >= enq {
                 return None;
             }
+            // The CAS claims index `deq` exclusively — exactly-once
+            // delivery hangs on this RMW, not on the loads above.
             if seg_ref
                 .deq
                 .compare_exchange_weak(deq, deq + 1, Ordering::AcqRel, Ordering::Acquire)
@@ -166,8 +179,10 @@ impl Injector {
                 if !p.is_null() {
                     break p;
                 }
-                core::hint::spin_loop();
+                busy_spin();
             };
+            // Null marks the slot consumed so `Drop`'s sweep of the still-
+            // linked chain does not double-free the task.
             slot.store(core::ptr::null_mut(), Ordering::Release);
             // SAFETY: exclusive claim; the pointer came from `push`'s Box.
             return Some(*unsafe { Box::from_raw(ptr) });

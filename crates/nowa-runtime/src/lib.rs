@@ -60,6 +60,7 @@ pub mod scheduler;
 pub mod slice;
 pub mod snzi;
 pub mod stats;
+mod sync;
 mod watchdog;
 pub mod worker;
 

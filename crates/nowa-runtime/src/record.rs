@@ -1,8 +1,10 @@
 //! Spawn records and join state — the objects that flow through the deques.
 
-use core::sync::atomic::{AtomicI64, AtomicU32};
-
+use crate::sync::{AtomicI64, AtomicU32};
 use nowa_context::{RawContext, Stack};
+// The Fibril-style locked protocol is a baseline, not a verification
+// target: its mutex stays `parking_lot` even under loom (the loom models
+// only exercise the wait-free protocol's atomics).
 use parking_lot::Mutex;
 
 use crate::frame::FrameCore;

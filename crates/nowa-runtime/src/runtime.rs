@@ -93,6 +93,23 @@ struct Completion<R> {
 
 impl Runtime {
     /// Builds a runtime and starts its workers.
+    ///
+    /// The workers begin stealing immediately but have nothing to run
+    /// until [`run`](Runtime::run) submits a root task. Construction can
+    /// fail — zero workers, stack-pool prefill failure, or a rejected
+    /// guard-page handler — and failure leaves no OS state behind.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nowa_runtime::{Config, Runtime};
+    ///
+    /// let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    /// assert_eq!(rt.run(|| 6 * 7), 42);
+    ///
+    /// // Zero workers is rejected, not clamped.
+    /// assert!(Runtime::new(Config::with_workers(0)).is_err());
+    /// ```
     pub fn new(config: Config) -> Result<Runtime, RuntimeError> {
         if config.workers == 0 {
             return Err(RuntimeError::NoWorkers);

@@ -25,7 +25,7 @@
 //! the parent again (the `undoArr` loop). The root uses a plain counter —
 //! its 0↔nonzero transitions *are* the indicator.
 
-use core::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::{busy_spin, AtomicI64, AtomicU64, Ordering};
 
 /// Packed node word: low 32 bits = 2·c (so ½ is representable), high 32
 /// bits = version (ABA protection for the ½ handshake).
@@ -106,6 +106,12 @@ impl Snzi {
         self.depart_at(leaf);
     }
 
+    // Root RMWs are AcqRel and `query` loads Acquire: arrivals form a
+    // release chain, so a querier observing nonzero also observes the
+    // arriving strand's prior writes. Node CASes below are AcqRel for the
+    // same reason (the helping protocol reads state that losers wrote);
+    // their failure orderings are Relaxed because every failure path
+    // re-reads the word with Acquire before acting on it.
     fn arrive_root(&self) {
         self.root.fetch_add(1, Ordering::AcqRel);
     }
@@ -197,7 +203,7 @@ impl Snzi {
             if c2 < 2 {
                 // Contract violation (or an in-flight ½ under a buggy
                 // caller): never underflow; wait it out.
-                core::hint::spin_loop();
+                busy_spin();
                 continue;
             }
             if self.nodes[node]
@@ -211,7 +217,7 @@ impl Snzi {
                 }
                 return;
             }
-            core::hint::spin_loop();
+            busy_spin();
         }
     }
 

@@ -1,0 +1,621 @@
+//! Loom models for the runtime's lock-free protocols.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p nowa-runtime --test loom --release
+//! ```
+//!
+//! Four protocols are modeled, each against the *real* implementation (the
+//! `crate::sync` shim swaps `core::sync::atomic` for loom's atomics under
+//! `--cfg loom`, so the code under test is byte-for-byte the shipping
+//! protocol logic):
+//!
+//! 1. the wait-free `I_max` sync counter (Fig. 6's hazardous race, §IV-B),
+//!    driven through `flavor::pop_or_join` / `sync_restore` over a real
+//!    Chase–Lev deque;
+//! 2. the eventcount idle engine (`IdleState`) — the announce/validate/park
+//!    vs. publish/wake handshake whose failure mode is a lost wakeup;
+//! 3. the MPMC segment injector (`Injector`), with loom-shrunk segments so
+//!    the boundary paths are in reach;
+//! 4. the SNZI tree's ½-state arrival handshake.
+//!
+//! Each passing model is paired with a `*_canary` that re-implements the
+//! protocol core with one ordering deliberately weakened and asserts (via
+//! `#[should_panic]`) that the checker catches the resulting bug — proof
+//! the models explore the interleavings they claim to.
+
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use nowa_runtime::flavor::{self, new_deque, Flavor, ProtocolKind, Rec};
+use nowa_runtime::idle::IdleState;
+use nowa_runtime::injector::Injector;
+use nowa_runtime::record::{AfterChild, Frame, SpawnRecord, I_MAX};
+use nowa_runtime::worker::RootTask;
+use nowa_runtime::Snzi;
+
+// ---------------------------------------------------------------------------
+// 1. The wait-free sync counter (Fig. 6 / §IV-B)
+// ---------------------------------------------------------------------------
+
+/// The paper's hazardous race (Fig. 6), end to end on the real protocol
+/// functions over a real Chase–Lev deque. The owner spawns (push), runs
+/// the child inline, then `pop_or_join`s; a thief races the steal. On a
+/// successful steal the thief *becomes* the main flow and runs the
+/// explicit sync (precheck, then restore `N_r = N_r' − (I_max − α)`),
+/// while the owner's pop-miss path performs the wait-free child join
+/// (`fetch_sub(1)`). The pop and the decrement are not atomic together —
+/// the race the `I_max` arming turns benign — and exactly one side must
+/// conclude "sync condition holds" and resume the continuation.
+#[test]
+fn sync_counter_exactly_one_resumes() {
+    loom::model(|| {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Arc::new(Frame::new());
+        let (dq, st) = new_deque(Flavor::NOWA, 4);
+        // The record outlives both threads' use: the thief is joined
+        // before it drops.
+        let rec = SpawnRecord::new(&*frame);
+        assert!(flavor::push(&dq, Rec::from_ref(&rec)));
+
+        // Thief: on a successful steal (which does the α fork
+        // bookkeeping), run the stolen continuation to the explicit sync.
+        let thief = {
+            let frame = frame.clone();
+            loom::thread::spawn(move || {
+                flavor::steal_from(p, &st)
+                    .success()
+                    .map(|_| flavor::sync_precheck(p, &frame) || flavor::sync_restore(p, &frame))
+            })
+        };
+
+        // Owner: the child returned; reclaim the continuation or join.
+        let after = flavor::pop_or_join(p, &dq, &frame);
+        let thief_resumed = thief.join().unwrap();
+
+        match (after, thief_resumed) {
+            // Fast path: pop won (or the thief's CAS lost → Retry); the
+            // owner continues, nobody touched the counter.
+            (AfterChild::Continue, None) => {}
+            // Stolen. The owner joined; either its decrement found the
+            // restored counter at zero (owner resumes the suspended sync)
+            // or the thief's precheck/restore found all children joined
+            // (thief proceeds past the sync) — never both, never neither.
+            (AfterChild::OutOfWork, Some(true)) => {}
+            (AfterChild::ResumeSync, Some(false)) => {}
+            other => panic!(
+                "sync condition must be claimed exactly once, got \
+                 (owner, thief) = {other:?}"
+            ),
+        }
+    });
+}
+
+/// The suspension handoff (Eq. 5): continuation stolen, the main flow
+/// reaches the sync and restores `N_r = N_r' − (I_max − α)` concurrently
+/// with the child's join decrement. Exactly one of {restore, join} must
+/// observe zero and resume the suspended sync continuation.
+#[test]
+fn sync_counter_suspension_handoff() {
+    loom::model(|| {
+        let frame = Arc::new(Frame::new());
+        // Steal already happened: α = 1, one child outstanding.
+        frame
+            .join
+            .alpha
+            .store(1, loom::sync::atomic::Ordering::Relaxed);
+
+        let joiner = {
+            let frame = frame.clone();
+            loom::thread::spawn(move || {
+                // Child join: one wait-free RMW (flavor.rs pop-miss path).
+                let post = frame
+                    .join
+                    .counter
+                    .fetch_sub(1, loom::sync::atomic::Ordering::AcqRel)
+                    - 1;
+                post == 0 // ResumeSync
+            })
+        };
+
+        // Main flow at the explicit sync.
+        let main_resumes = if flavor::sync_precheck(ProtocolKind::NowaWaitFree, &frame) {
+            true // no suspension needed
+        } else {
+            flavor::sync_restore(ProtocolKind::NowaWaitFree, &frame)
+        };
+        let child_resumes = joiner.join().unwrap();
+
+        assert!(
+            usize::from(main_resumes) + usize::from(child_resumes) == 1,
+            "exactly one side must resume the sync continuation \
+             (main={main_resumes}, child={child_resumes})"
+        );
+    });
+}
+
+/// Payload visibility through the join: the child's result store (Relaxed)
+/// must be visible to whoever resumes the sync, via the AcqRel decrement /
+/// Acquire precheck pairing. This is the reason those orderings exist.
+#[test]
+fn sync_counter_join_publishes_child_result() {
+    loom::model(|| {
+        let frame = Arc::new(Frame::new());
+        let result = Arc::new(loom::sync::atomic::AtomicU64::new(0));
+        frame
+            .join
+            .alpha
+            .store(1, loom::sync::atomic::Ordering::Relaxed);
+
+        let joiner = {
+            let frame = frame.clone();
+            let result = result.clone();
+            loom::thread::spawn(move || {
+                // The child writes its result, then joins.
+                result.store(42, loom::sync::atomic::Ordering::Relaxed);
+                let post = frame
+                    .join
+                    .counter
+                    .fetch_sub(1, loom::sync::atomic::Ordering::AcqRel)
+                    - 1;
+                post == 0
+            })
+        };
+
+        let main_resumes = flavor::sync_precheck(ProtocolKind::NowaWaitFree, &frame)
+            || flavor::sync_restore(ProtocolKind::NowaWaitFree, &frame);
+        let child_resumes = joiner.join().unwrap();
+        if main_resumes {
+            assert!(!child_resumes);
+            assert_eq!(
+                result.load(loom::sync::atomic::Ordering::Relaxed),
+                42,
+                "sync resumption must see the joined child's result"
+            );
+        }
+    });
+}
+
+/// CANARY: the same handoff with the joiner's decrement weakened to
+/// Relaxed. The result store can then still be in flight when the main
+/// flow's precheck observes the counter — the resumed sync reads a stale
+/// result. The checker must catch this.
+#[test]
+#[should_panic(expected = "stale child result")]
+fn sync_counter_relaxed_join_canary_fails() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+        let counter = Arc::new(AtomicI64::new(I_MAX));
+        let result = Arc::new(AtomicU64::new(0));
+        let alpha = 1i64;
+
+        let joiner = {
+            let counter = counter.clone();
+            let result = result.clone();
+            loom::thread::spawn(move || {
+                result.store(42, Ordering::Relaxed);
+                // BUG: Relaxed instead of AcqRel.
+                counter.fetch_sub(1, Ordering::Relaxed);
+            })
+        };
+
+        // sync_precheck with the real Acquire load.
+        if counter.load(Ordering::Acquire) == I_MAX - alpha {
+            assert_eq!(result.load(Ordering::Relaxed), 42, "stale child result");
+        }
+        joiner.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 2. The eventcount idle engine
+// ---------------------------------------------------------------------------
+
+/// The lost-wakeup window: a consumer announces, re-scans its work source,
+/// and parks *untimed*; a producer publishes work and calls `wake_one`.
+/// Whatever the interleaving, the consumer must either see the flag in its
+/// re-scan or be woken out of the park — an unwoken untimed sleeper is
+/// reported by the model as a deadlock, so mere termination of this model
+/// proves the protocol closes the window.
+#[test]
+fn idle_no_lost_wakeup() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, Ordering};
+        let idle = Arc::new(IdleState::new(2));
+        let work = Arc::new(AtomicU32::new(0));
+
+        let producer = {
+            let idle = idle.clone();
+            let work = work.clone();
+            loom::thread::spawn(move || {
+                work.store(1, Ordering::Release);
+                // Producer-side discipline: wake whenever a sleeper may
+                // exist. (The real spawn path gates on `sleepers() != 0`,
+                // a Relaxed load whose one residual miss window is closed
+                // by the bounded park timeout — modeled separately below.)
+                idle.wake_one();
+            })
+        };
+
+        // Consumer: announce → validate (re-scan) → park or cancel.
+        let epoch = idle.announce(0);
+        if work.load(Ordering::Acquire) != 0 {
+            if idle.cancel(0) {
+                // A wake already claimed us; pass it on (protocol contract).
+                idle.wake_one();
+            }
+        } else {
+            // u64::MAX = untimed park: if the producer's wake can be lost,
+            // this blocks forever and the model reports a deadlock.
+            let _ = idle.park(0, epoch, u64::MAX, false);
+        }
+        producer.join().unwrap();
+
+        assert_eq!(
+            work.load(Ordering::Acquire),
+            1,
+            "a departed consumer always sees the published work"
+        );
+        assert_eq!(idle.sleepers(), 0, "every announce departed exactly once");
+    });
+}
+
+/// The residual hole of the Relaxed producer-side `sleepers()` gate, made
+/// benign by the bounded park timeout: with a *timed* park the model may
+/// let the consumer sleep through a missed wake, but it must then depart
+/// via the timeout (at quiescence) and re-scan — no deadlock, no missed
+/// work. This is the belt-and-braces path the `IdleConfig::max_park`
+/// bound exists for.
+#[test]
+fn idle_timed_park_bounds_the_relaxed_gate_hole() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, Ordering};
+        let idle = Arc::new(IdleState::new(2));
+        let work = Arc::new(AtomicU32::new(0));
+
+        let producer = {
+            let idle = idle.clone();
+            let work = work.clone();
+            loom::thread::spawn(move || {
+                work.store(1, Ordering::Release);
+                // The real hot path: only wake when the Relaxed load sees
+                // a sleeper. This CAN miss a concurrent announce.
+                if idle.sleepers() != 0 {
+                    idle.wake_one();
+                }
+            })
+        };
+
+        let epoch = idle.announce(0);
+        if work.load(Ordering::Acquire) != 0 {
+            if idle.cancel(0) {
+                idle.wake_one();
+            }
+        } else {
+            // Finite timeout: the model lets this time out at quiescence.
+            let _ = idle.park(0, epoch, 1_000_000, false);
+        }
+        producer.join().unwrap();
+
+        // After departing (woken, epoch-aborted, or timed out) the re-scan
+        // sees the work.
+        assert_eq!(work.load(Ordering::Acquire), 1);
+        assert_eq!(idle.sleepers(), 0);
+    });
+}
+
+/// Targeted-wake exclusivity: two untimed sleepers, a waker hammering
+/// `wake_one`. Each claim pairs with exactly one announce (a double-claim
+/// is impossible — the slot CAS `WAITING → NOTIFIED` consumes the claim),
+/// every parked sleeper is eventually woken (deadlock-freedom is the
+/// checked property: an unwoken untimed sleeper would be reported), and
+/// the sleeper accounting returns to zero.
+#[test]
+fn idle_wake_one_claims_exactly_one() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, Ordering};
+        let idle = Arc::new(IdleState::new(2));
+        let departed: Arc<[AtomicU32; 2]> = Arc::new([AtomicU32::new(0), AtomicU32::new(0)]);
+
+        let sleepers: Vec<_> = (0..2)
+            .map(|i| {
+                let idle = idle.clone();
+                let departed = departed.clone();
+                loom::thread::spawn(move || {
+                    let epoch = idle.announce(i);
+                    // A sleeper whose epoch validation fails (the waker's
+                    // bump raced ahead) departs on its own; one parked in
+                    // the futex must be claimed and woken.
+                    let woken = idle.park(i, epoch, u64::MAX, false);
+                    departed[i].store(1, Ordering::Release);
+                    woken
+                })
+            })
+            .collect();
+
+        // Keep waking until both sleepers have genuinely departed. The
+        // flags only ever go 0 → 1, so a stale read just loops once more.
+        let mut claims = 0;
+        loop {
+            if idle.wake_one().is_some() {
+                claims += 1;
+            }
+            if departed[0].load(Ordering::Acquire) == 1 && departed[1].load(Ordering::Acquire) == 1
+            {
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        for s in sleepers {
+            let _ = s.join().unwrap();
+        }
+        assert!(claims <= 2, "a wake claim pairs with exactly one announce");
+        assert_eq!(idle.sleepers(), 0, "every announce departed exactly once");
+    });
+}
+
+/// CANARY: the eventcount with the consumer's validation re-scan removed —
+/// announce then park blindly. The producer's flag store + conditional
+/// wake can then both miss (store ordered after the consumer's last look,
+/// Relaxed sleeper gate reads 0), leaving the consumer asleep forever:
+/// the model must report the deadlock.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn idle_no_validation_canary_deadlocks() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, Ordering};
+        let idle = Arc::new(IdleState::new(2));
+        let work = Arc::new(AtomicU32::new(0));
+
+        let producer = {
+            let idle = idle.clone();
+            let work = work.clone();
+            loom::thread::spawn(move || {
+                work.store(1, Ordering::Release);
+                if idle.sleepers() != 0 {
+                    idle.wake_one();
+                }
+            })
+        };
+
+        // BUG: no re-scan between announce and park.
+        let epoch = idle.announce(0);
+        let _ = idle.park(0, epoch, u64::MAX, false);
+        producer.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 3. The MPMC segment injector
+// ---------------------------------------------------------------------------
+
+fn counting_task(counter: &Arc<loom::sync::atomic::AtomicU64>, value: u64) -> RootTask {
+    let counter = counter.clone();
+    RootTask {
+        run: Box::new(move || {
+            counter.fetch_add(value, loom::sync::atomic::Ordering::Relaxed);
+        }),
+    }
+}
+
+/// Two producers race slot claims (including across the loom-shrunk
+/// segment boundary: SEG_CAP = 2, so three pushes exercise `advance_enq`)
+/// while a consumer drains: every task transferred exactly once, the
+/// publish/claim handshake never yields a stale closure.
+#[test]
+fn injector_mpmc_exactly_once() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU64, Ordering};
+        let q = Arc::new(Injector::new());
+        let sum = Arc::new(AtomicU64::new(0));
+
+        let p1 = {
+            let q = q.clone();
+            let sum = sum.clone();
+            loom::thread::spawn(move || {
+                q.push(counting_task(&sum, 1));
+                q.push(counting_task(&sum, 2));
+            })
+        };
+        let p2 = {
+            let q = q.clone();
+            let sum = sum.clone();
+            loom::thread::spawn(move || {
+                q.push(counting_task(&sum, 4));
+            })
+        };
+        p1.join().unwrap();
+        p2.join().unwrap();
+
+        // Drain (single consumer thread — the interesting races are the
+        // producer slot claims and the publish window spin in pop).
+        let mut seen = 0;
+        while let Some(t) = q.pop() {
+            (t.run)();
+            seen += 1;
+        }
+        assert_eq!(seen, 3, "every push popped exactly once");
+        assert_eq!(sum.load(Ordering::Relaxed), 7, "payloads intact");
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    });
+}
+
+/// Producer/consumer race on the publish window: the consumer can claim a
+/// slot index before the producer's pointer store lands and must spin it
+/// out, never return a null-derived task or drop one.
+#[test]
+fn injector_concurrent_push_pop() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU64, Ordering};
+        let q = Arc::new(Injector::new());
+        let sum = Arc::new(AtomicU64::new(0));
+
+        let producer = {
+            let q = q.clone();
+            let sum = sum.clone();
+            loom::thread::spawn(move || {
+                q.push(counting_task(&sum, 1));
+            })
+        };
+
+        // The consumer polls concurrently; `None` is legitimate (the push
+        // may not have happened yet), a popped task must be the real one.
+        if let Some(t) = q.pop() {
+            (t.run)();
+            assert_eq!(sum.load(Ordering::Relaxed), 1, "complete payload");
+        }
+        producer.join().unwrap();
+
+        // Post-join drain: whatever the poll missed is still there.
+        while let Some(t) = q.pop() {
+            (t.run)();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 1, "exactly-once transfer");
+    });
+}
+
+/// CANARY: the injector's slot handshake with the producer's publishing
+/// store weakened to Relaxed. The consumer's Acquire spin then no longer
+/// orders the closure's contents, and the model's explored interleavings
+/// include one where the claimed payload is stale.
+#[test]
+#[should_panic(expected = "torn payload")]
+fn injector_relaxed_publish_canary_fails() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+        // Modeled mini-slot: payload word + pointer-published cell, the
+        // injector's push/pop handshake reduced to its essence.
+        let payload = Arc::new(AtomicU64::new(0));
+        let slot = Arc::new(AtomicPtr::new(core::ptr::null_mut::<u64>()));
+
+        let producer = {
+            let payload = payload.clone();
+            let slot = slot.clone();
+            loom::thread::spawn(move || {
+                payload.store(42, Ordering::Relaxed);
+                // BUG: Relaxed instead of Release — the payload store can
+                // be reordered after the publication.
+                slot.store(Box::into_raw(Box::new(7u64)), Ordering::Relaxed);
+            })
+        };
+
+        let p = slot.load(Ordering::Acquire);
+        if !p.is_null() {
+            assert_eq!(payload.load(Ordering::Relaxed), 42, "torn payload");
+        }
+        producer.join().unwrap();
+        // Post-join the publication is ordered; reclaim it.
+        let p = slot.load(Ordering::Acquire);
+        drop(unsafe { Box::from_raw(p) });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 4. The SNZI tree
+// ---------------------------------------------------------------------------
+
+/// Concurrent first-arrivals through distinct leaves: the ½-state
+/// handshake must leave the root indicator set while any surplus is held
+/// and clear once balanced. `Snzi::new(2)` gives a 3-node tree (two
+/// leaves, one internal) over the root counter — deep enough to exercise
+/// `parent_arrive` propagation and the undo loop.
+#[test]
+fn snzi_concurrent_arrivals_exact_indicator() {
+    loom::model(|| {
+        let s = Arc::new(Snzi::new(2));
+        let other = {
+            let s = s.clone();
+            loom::thread::spawn(move || {
+                s.arrive(1);
+                assert!(s.query(), "own surplus outstanding");
+                s.depart(1);
+            })
+        };
+        s.arrive(0);
+        assert!(s.query(), "own surplus outstanding");
+        s.depart(0);
+        other.join().unwrap();
+        assert!(!s.query(), "balanced traffic ends at zero");
+    });
+}
+
+/// Same-leaf contention: two threads arriving at one leaf race the ½→1
+/// promotion; the helper path and the undo loop must keep the parent's
+/// count exact.
+#[test]
+fn snzi_same_leaf_half_state_race() {
+    loom::model(|| {
+        let s = Arc::new(Snzi::new(2));
+        let other = {
+            let s = s.clone();
+            loom::thread::spawn(move || {
+                s.arrive(0);
+                s.depart(0);
+            })
+        };
+        s.arrive(0);
+        assert!(s.query());
+        s.depart(0);
+        other.join().unwrap();
+        assert!(!s.query());
+    });
+}
+
+/// Cross-thread handoff: an arrival on one thread departed by another
+/// (after a release/acquire handshake) — the query must stay exact.
+#[test]
+fn snzi_handoff_preserves_indicator() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, Ordering};
+        let s = Arc::new(Snzi::new(2));
+        let ready = Arc::new(AtomicU32::new(0));
+
+        let departer = {
+            let s = s.clone();
+            let ready = ready.clone();
+            loom::thread::spawn(move || {
+                while ready.load(Ordering::Acquire) == 0 {
+                    loom::thread::yield_now();
+                }
+                assert!(s.query(), "handed-off surplus is visible");
+                s.depart(0);
+                assert!(!s.query());
+            })
+        };
+        s.arrive(0);
+        ready.store(1, Ordering::Release);
+        departer.join().unwrap();
+    });
+}
+
+/// CANARY: a bare (non-SNZI) root counter with the arrival's increment
+/// weakened to Relaxed: the indicator can be observed set while the
+/// arriving strand's payload write is still unordered — the exact
+/// visibility bug the root counter's AcqRel traffic prevents.
+#[test]
+#[should_panic(expected = "surplus payload lost")]
+fn snzi_relaxed_arrive_canary_fails() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+        let root = Arc::new(AtomicI64::new(0));
+        let payload = Arc::new(AtomicU64::new(0));
+
+        let arriver = {
+            let root = root.clone();
+            let payload = payload.clone();
+            loom::thread::spawn(move || {
+                payload.store(1, Ordering::Relaxed);
+                // BUG: Relaxed arrive — the payload write is not released
+                // to a querier that acquires the indicator.
+                root.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+
+        if root.load(Ordering::Acquire) != 0 {
+            assert_eq!(payload.load(Ordering::Relaxed), 1, "surplus payload lost");
+        }
+        arriver.join().unwrap();
+    });
+}

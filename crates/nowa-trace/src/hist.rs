@@ -88,7 +88,7 @@ impl Hist64 {
 /// A merged, plain-data histogram (what reports carry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistSnapshot {
-    /// Per-bucket counts (see [`bucket_index`]).
+    /// Per-bucket counts (see `bucket_index`).
     pub buckets: [u64; BUCKETS],
     /// Total recorded values.
     pub count: u64,

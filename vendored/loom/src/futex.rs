@@ -1,0 +1,32 @@
+//! Modeled futex calls, mirroring the raw-syscall wrappers in
+//! `nowa-context::sys`.
+//!
+//! Semantics:
+//!
+//! * [`futex_wait`] compares against the *latest* store to the word (the
+//!   kernel reads physical memory coherently, so it can never see a stale
+//!   value) and blocks while they are equal.
+//! * Timed waits (`timed = true`) only "time out" at quiescence — when no
+//!   thread is runnable. This keeps executions finite without exploding the
+//!   schedule space, and it is exactly the right lens for lost-wakeup bugs:
+//!   an *untimed* wait that is never woken becomes a reported deadlock,
+//!   while a timed wait shows the bug is bounded by the timeout.
+//! * [`futex_wake`] wakes the lowest-id waiters first; the model does not
+//!   branch over kernel wake order (the protocols under test treat woken
+//!   threads symmetrically).
+
+use crate::sync::atomic::{self, AtomicU32};
+
+pub use crate::rt::FutexResult;
+
+/// Modeled `FUTEX_WAIT`: blocks while `*atom == expected`.
+pub fn futex_wait(atom: &AtomicU32, expected: u32, timed: bool) -> FutexResult {
+    let (slot, init) = atomic::slot_of_u32(atom);
+    crate::rt::with_current(|ctl, me| ctl.futex_wait(me, slot, init, expected as u64, timed))
+}
+
+/// Modeled `FUTEX_WAKE`: wakes up to `count` waiters, returning how many.
+pub fn futex_wake(atom: &AtomicU32, count: usize) -> usize {
+    let (slot, init) = atomic::slot_of_u32(atom);
+    crate::rt::with_current(|ctl, me| ctl.futex_wake(me, slot, init, count))
+}

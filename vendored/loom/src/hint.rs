@@ -1,0 +1,8 @@
+//! Spin-loop hints under the model checker.
+
+/// Models `core::hint::spin_loop` as a scheduler yield: a spinning thread
+/// must let other threads run for its condition to ever change, and the
+/// runtime's livelock detector needs to see the spin as such.
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

@@ -1,0 +1,57 @@
+//! An offline stand-in for [loom](https://crates.io/crates/loom): a bounded
+//! model checker for concurrent Rust, implementing the API subset this
+//! workspace uses.
+//!
+//! This vendored crate exists because the workspace builds without network
+//! access; it is *not* the upstream loom. It implements the same testing
+//! discipline — run a closure under every bounded interleaving of its
+//! threads, with atomics that can legally return stale values wherever the
+//! C11 memory model permits — over a smaller feature surface: the atomic
+//! types, `thread::{spawn,yield_now}`, `hint::spin_loop`, and (beyond
+//! upstream) modeled futex wait/wake matching `nowa-context`'s raw-syscall
+//! wrappers.
+//!
+//! # Usage
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicU32, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let flag = Arc::new(AtomicU32::new(0));
+//!     let data = Arc::new(AtomicU32::new(0));
+//!     let t = {
+//!         let (flag, data) = (Arc::clone(&flag), Arc::clone(&data));
+//!         loom::thread::spawn(move || {
+//!             data.store(7, Ordering::Relaxed);
+//!             flag.store(1, Ordering::Release);
+//!         })
+//!     };
+//!     while flag.load(Ordering::Acquire) == 0 {
+//!         loom::thread::yield_now();
+//!     }
+//!     assert_eq!(data.load(Ordering::Relaxed), 7);
+//!     t.join().unwrap();
+//! });
+//! ```
+//!
+//! # What a pass means
+//!
+//! Every execution within the bounds (preemptions per execution, modeled
+//! staleness window, conservative SC approximation — see the `rt` module's
+//! docs) ran without an assertion failure, deadlock, or livelock. That is
+//! evidence, not proof: the bound is chosen so the classic ordering bugs
+//! (store buffering, message-passing without release/acquire, lost
+//! wakeups) all reproduce, which the workspace's `#[should_panic]`
+//! canaries demonstrate.
+
+#![warn(missing_docs)]
+
+mod rt;
+
+pub mod futex;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{model, Builder, MAX_THREADS};

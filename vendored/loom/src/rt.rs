@@ -1,0 +1,1001 @@
+//! The model-checking runtime: bounded DFS over thread interleavings with a
+//! vector-clock weak-memory model.
+//!
+//! # How an exploration works
+//!
+//! [`crate::model`] runs the user closure many times. Each run (an
+//! *execution*) is driven by a `path`: a list of recorded choice points
+//! (which thread runs the next visible operation; which store a load reads
+//! from). The first execution always picks option 0 everywhere and records
+//! the number of options it saw; after the run completes, the path is
+//! advanced like an odometer (last choice point with unexplored options is
+//! incremented, everything after it is discarded) and the closure runs
+//! again, replaying the prefix deterministically. When the path cannot be
+//! advanced, the space is exhausted.
+//!
+//! # Scheduling
+//!
+//! Model threads are real OS threads, but exactly one runs at a time: a
+//! baton is passed through a mutex + condvar. Every *visible operation*
+//! (atomic access, fence, futex call, spawn/join, yield) is a schedule
+//! point: the running thread picks — via the path — which thread performs
+//! the next operation. Switching away from a thread that could have
+//! continued costs one *preemption*; the search is bounded by
+//! `max_preemptions` (loom's classic bound: most bugs reproduce with 2).
+//!
+//! # Memory model (approximation)
+//!
+//! Per atomic location the checker keeps the *modification order* — the
+//! list of all stores, in execution order. A load may read any store that
+//! is not superseded for the loading thread: it must not be older than the
+//! newest store the thread has already observed (per-location coherence),
+//! and not older than any store that happens-before the load. Each store
+//! carries the release clock of its writer (empty for `Relaxed` stores
+//! without a preceding release fence); acquire loads join it into the
+//! reader's clock, which is how `Release`/`Acquire` edges arise. RMWs
+//! always read the latest store and carry the read store's release clock
+//! forward (release sequences). `SeqCst` operations additionally
+//! synchronise both ways with a global SC clock — a *conservative*
+//! approximation of the C11 total order `S`: it reliably rules out the
+//! store-buffering shapes `SeqCst` exists to forbid (and therefore makes
+//! downgraded-`SeqCst` canaries fail), but it is stronger than C11 in
+//! exotic corners (e.g. IRIW), so "model passes" must be read as "no bug
+//! found at this bound", not as a proof.
+//!
+//! Two deliberate simplifications keep bounded spin loops convergent:
+//! a load that has read a stale (non-latest) value from the same location
+//! twice in a row is forced to read the latest store (bounded staleness —
+//! models store-buffer drain), and `compare_exchange_weak` never fails
+//! spuriously.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+pub use core::sync::atomic::Ordering;
+
+/// Maximum number of model threads per execution (including the root).
+pub const MAX_THREADS: usize = 8;
+
+/// Consecutive stale reads of one location before a load is forced to see
+/// the latest store (bounded staleness; see the module docs).
+const STALE_MAX: u8 = 2;
+
+/// Full yield cycles (every live thread yielded) without a store before the
+/// execution is declared livelocked.
+const YIELD_LIMIT: u32 = 32;
+
+/// Marker payload used to unwind model threads after the execution has been
+/// poisoned (first panic / deadlock / livelock wins; these unwinds are
+/// ignored).
+pub(crate) struct PoisonExit;
+
+/// Monotonically increasing execution generation, used by lazily-registered
+/// atomics to detect "first touch in this execution".
+static GENERATION: StdAtomicU64 = StdAtomicU64::new(0);
+
+pub(crate) fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, StdOrdering::Relaxed) + 1
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A fixed-width vector clock over model threads.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    #[inline]
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    #[inline]
+    fn get(&self, t: usize) -> u32 {
+        self.0[t]
+    }
+
+    #[inline]
+    fn tick(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locations and stores
+// ---------------------------------------------------------------------------
+
+/// One store in a location's modification order.
+struct StoreEvent {
+    value: u64,
+    /// Thread that performed the store and its clock component at the time,
+    /// for happens-before tests (`store hb T ⇔ T.clock[writer] ≥ writer_clock`).
+    writer: usize,
+    writer_clock: u32,
+    /// Release clock acquired by acquire-loads that read this store.
+    sync: VClock,
+}
+
+struct Location {
+    stores: Vec<StoreEvent>,
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+enum Run {
+    Ready,
+    /// Yielded threads are only schedulable when no `Ready` thread exists.
+    Yielded,
+    BlockedFutex {
+        loc: u32,
+        timed: bool,
+    },
+    BlockedJoin {
+        target: usize,
+    },
+    Finished,
+}
+
+/// Outcome of a modeled futex wait.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FutexResult {
+    /// The word did not hold the expected value; the wait returned at once.
+    NotExpected,
+    /// Woken by a modeled `futex_wake`.
+    Woken,
+    /// The (timed) wait "timed out": the model fires timeouts only when no
+    /// thread is runnable, which both keeps executions finite and surfaces
+    /// lost wakeups that a timeout would otherwise mask as latency.
+    TimedOut,
+}
+
+struct ThreadState {
+    run: Run,
+    clock: VClock,
+    /// Release clocks of stores read by relaxed loads, released into the
+    /// thread clock by the next acquire fence.
+    acq_pending: VClock,
+    /// Thread clock as of the last release fence (applies to later relaxed
+    /// stores).
+    rel_fence: Option<VClock>,
+    /// Per-location index of the newest store this thread has observed.
+    coherence: Vec<u32>,
+    /// Per-location consecutive stale-read counter.
+    stale: Vec<u8>,
+    /// Clock of the futex waker, joined when the wait returns.
+    wake_sync: Option<VClock>,
+    futex_result: FutexResult,
+    /// Clock snapshot published at thread finish (joined by joiners).
+    finish_clock: VClock,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> ThreadState {
+        ThreadState {
+            run: Run::Ready,
+            clock,
+            acq_pending: VClock::default(),
+            rel_fence: None,
+            coherence: Vec::new(),
+            stale: Vec::new(),
+            wake_sync: None,
+            futex_result: FutexResult::NotExpected,
+            finish_clock: VClock::default(),
+        }
+    }
+
+    fn coherence_at(&mut self, loc: u32) -> u32 {
+        let loc = loc as usize;
+        if self.coherence.len() <= loc {
+            self.coherence.resize(loc + 1, 0);
+            self.stale.resize(loc + 1, 0);
+        }
+        self.coherence[loc]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path / choices
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    chosen: u32,
+    options: u32,
+}
+
+/// Advances the DFS path odometer-style. Returns `false` when the space is
+/// exhausted.
+pub(crate) fn advance_path(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    /// The current thread is about to perform a visible operation and could
+    /// continue — switching away costs a preemption.
+    Op,
+    /// The current thread volunteered to stop (yield / block / finish) —
+    /// switching away is free.
+    Release,
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Execution {
+    threads: Vec<ThreadState>,
+    locations: Vec<Location>,
+    sc_clock: VClock,
+    /// Thread holding the baton; `usize::MAX` once the execution completed.
+    current: usize,
+    path: Vec<Choice>,
+    path_pos: usize,
+    preemptions_left: u32,
+    steps: u64,
+    max_steps: u64,
+    yield_cycles: u32,
+    /// First harness-detected failure (deadlock, livelock, step bound).
+    pub(crate) poison: Option<String>,
+    /// First user panic payload (assertion failures in the model).
+    pub(crate) panic_payload: Option<Box<dyn Any + Send>>,
+    /// Number of threads not yet finished.
+    pub(crate) active: usize,
+}
+
+impl Execution {
+    fn new(path: Vec<Choice>, max_preemptions: u32, max_steps: u64) -> Execution {
+        Execution {
+            threads: vec![ThreadState::new({
+                let mut c = VClock::default();
+                c.tick(0);
+                c
+            })],
+            locations: Vec::new(),
+            sc_clock: VClock::default(),
+            current: 0,
+            path,
+            path_pos: 0,
+            preemptions_left: max_preemptions,
+            steps: 0,
+            max_steps,
+            yield_cycles: 0,
+            poison: None,
+            panic_payload: None,
+            active: 1,
+        }
+    }
+
+    fn poison_with(&mut self, reason: String) {
+        if self.poison.is_none() && self.panic_payload.is_none() {
+            self.poison = Some(reason);
+        }
+    }
+
+    fn choose(&mut self, options: u32) -> u32 {
+        debug_assert!(options >= 1);
+        if options == 1 {
+            return 0;
+        }
+        let pos = self.path_pos;
+        self.path_pos += 1;
+        if pos < self.path.len() {
+            if self.path[pos].options != options {
+                self.poison_with(format!(
+                    "loom: nondeterministic execution (replay saw {} options, recorded {}) — \
+                     model closures must be deterministic",
+                    options, self.path[pos].options
+                ));
+                return 0;
+            }
+            self.path[pos].chosen
+        } else {
+            self.path.push(Choice { chosen: 0, options });
+            0
+        }
+    }
+
+    /// Picks the thread that performs the next visible operation and hands
+    /// it the baton. Handles yield promotion, futex timeouts, deadlock and
+    /// livelock detection.
+    fn sched(&mut self, me: usize, kind: Kind) {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.poison_with(format!(
+                "loom: exceeded {} steps in one execution (unbounded loop in the model?)",
+                self.max_steps
+            ));
+            return;
+        }
+        let mut ready: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| self.threads[t].run == Run::Ready)
+            .collect();
+        if ready.is_empty() {
+            // Promote yielded threads: they are schedulable once nothing
+            // else can run.
+            let mut promoted = false;
+            for t in 0..self.threads.len() {
+                if self.threads[t].run == Run::Yielded {
+                    self.threads[t].run = Run::Ready;
+                    ready.push(t);
+                    promoted = true;
+                }
+            }
+            if promoted {
+                self.yield_cycles += 1;
+                if self.yield_cycles > YIELD_LIMIT {
+                    self.poison_with(
+                        "loom: livelock — every live thread is spinning without progress"
+                            .to_string(),
+                    );
+                    return;
+                }
+            }
+        }
+        if ready.is_empty() {
+            // Fire timeouts of timed futex waits, but only at quiescence:
+            // this models "the timeout eventually fires" without exploding
+            // the schedule space, and lets untimed waits surface lost
+            // wakeups as deadlocks.
+            for t in 0..self.threads.len() {
+                if let Run::BlockedFutex { timed: true, .. } = self.threads[t].run {
+                    self.threads[t].run = Run::Ready;
+                    self.threads[t].futex_result = FutexResult::TimedOut;
+                    self.threads[t].wake_sync = None;
+                    ready.push(t);
+                }
+            }
+        }
+        if ready.is_empty() {
+            if self.active > 0 {
+                let blocked: Vec<usize> = (0..self.threads.len())
+                    .filter(|&t| {
+                        matches!(
+                            self.threads[t].run,
+                            Run::BlockedFutex { .. } | Run::BlockedJoin { .. }
+                        )
+                    })
+                    .collect();
+                self.poison_with(format!(
+                    "loom: deadlock — {} thread(s) {:?} blocked with no runnable thread \
+                     (lost wakeup?)",
+                    blocked.len(),
+                    blocked
+                ));
+                return;
+            }
+            // All threads finished: execution complete.
+            self.current = usize::MAX;
+            return;
+        }
+        ready.sort_unstable();
+        let me_ready = kind == Kind::Op && ready.contains(&me);
+        let chosen = if me_ready {
+            // `me` first, so option 0 = "continue without preempting".
+            let mut options = vec![me];
+            if self.preemptions_left > 0 {
+                options.extend(ready.iter().copied().filter(|&t| t != me));
+            }
+            let idx = self.choose(options.len() as u32) as usize;
+            if idx > 0 {
+                self.preemptions_left -= 1;
+            }
+            options[idx]
+        } else {
+            let idx = self.choose(ready.len() as u32) as usize;
+            ready[idx]
+        };
+        self.current = chosen;
+    }
+
+    // -- memory model -----------------------------------------------------
+
+    pub(crate) fn register_location(&mut self, me: usize, init: u64) -> u32 {
+        let id = self.locations.len() as u32;
+        let writer_clock = self.threads[me].clock.get(me);
+        self.locations.push(Location {
+            stores: vec![StoreEvent {
+                value: init,
+                writer: me,
+                writer_clock,
+                sync: VClock::default(),
+            }],
+        });
+        id
+    }
+
+    fn tick(&mut self, me: usize) {
+        self.threads[me].clock.tick(me);
+    }
+
+    fn sc_pre(&mut self, me: usize, ord: Ordering) {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock;
+            self.threads[me].clock.join(&sc);
+        }
+    }
+
+    fn sc_post(&mut self, me: usize, ord: Ordering) {
+        if ord == Ordering::SeqCst {
+            let clock = self.threads[me].clock;
+            self.sc_clock.join(&clock);
+        }
+    }
+
+    fn is_acquire(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_release(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// The clock a store publishes for acquire-readers.
+    fn store_sync(&self, me: usize, ord: Ordering) -> VClock {
+        if Self::is_release(ord) {
+            self.threads[me].clock
+        } else {
+            self.threads[me].rel_fence.unwrap_or_default()
+        }
+    }
+
+    /// A store on `loc` wakes spinners: any yielded thread may have been
+    /// waiting for exactly this value change.
+    fn note_progress(&mut self) {
+        self.yield_cycles = 0;
+        for t in self.threads.iter_mut() {
+            if t.run == Run::Yielded {
+                t.run = Run::Ready;
+            }
+        }
+    }
+
+    pub(crate) fn load(&mut self, me: usize, loc: u32, ord: Ordering) -> u64 {
+        self.tick(me);
+        self.sc_pre(me, ord);
+        let mut floor = self.threads[me].coherence_at(loc);
+        let len = {
+            let stores = &self.locations[loc as usize].stores;
+            // Write-read coherence: the load cannot see anything older than
+            // a store that happens-before it.
+            for (j, s) in stores.iter().enumerate().skip(floor as usize + 1) {
+                if self.threads[me].clock.get(s.writer) >= s.writer_clock {
+                    floor = j as u32;
+                }
+            }
+            stores.len() as u32
+        };
+        let idx = if self.threads[me].stale[loc as usize] >= STALE_MAX {
+            len - 1
+        } else {
+            // Choice 0 = the newest store, so the first-explored execution
+            // behaves sequentially consistently.
+            len - 1 - self.choose(len - floor)
+        };
+        {
+            let st = &mut self.threads[me];
+            st.stale[loc as usize] = if idx + 1 < len {
+                st.stale[loc as usize] + 1
+            } else {
+                0
+            };
+            st.coherence[loc as usize] = idx;
+        }
+        let store = &self.locations[loc as usize].stores[idx as usize];
+        let (value, sync) = (store.value, store.sync);
+        self.threads[me].acq_pending.join(&sync);
+        if Self::is_acquire(ord) {
+            self.threads[me].clock.join(&sync);
+        }
+        self.sc_post(me, ord);
+        value
+    }
+
+    pub(crate) fn store(&mut self, me: usize, loc: u32, value: u64, ord: Ordering) {
+        self.tick(me);
+        self.sc_pre(me, ord);
+        let _ = self.threads[me].coherence_at(loc);
+        let sync = self.store_sync(me, ord);
+        let writer_clock = self.threads[me].clock.get(me);
+        let stores = &mut self.locations[loc as usize].stores;
+        stores.push(StoreEvent {
+            value,
+            writer: me,
+            writer_clock,
+            sync,
+        });
+        let last = (stores.len() - 1) as u32;
+        self.threads[me].coherence[loc as usize] = last;
+        self.threads[me].stale[loc as usize] = 0;
+        self.sc_post(me, ord);
+        self.note_progress();
+    }
+
+    /// Read-modify-write. Always reads the latest store (RMW atomicity) and
+    /// carries the read store's release clock into the new store (release
+    /// sequences). Returns the previous value; stores only when `f` returns
+    /// `Some` (failed CAS = load-only with `fail_ord` effects).
+    pub(crate) fn rmw(
+        &mut self,
+        me: usize,
+        loc: u32,
+        ord: Ordering,
+        fail_ord: Ordering,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        self.tick(me);
+        self.sc_pre(me, ord);
+        let _ = self.threads[me].coherence_at(loc);
+        let (old, read_sync, last_idx) = {
+            let stores = &self.locations[loc as usize].stores;
+            let s = stores.last().expect("location has an initial store");
+            (s.value, s.sync, (stores.len() - 1) as u32)
+        };
+        match f(old) {
+            Some(new) => {
+                self.threads[me].acq_pending.join(&read_sync);
+                if Self::is_acquire(ord) {
+                    self.threads[me].clock.join(&read_sync);
+                }
+                let mut sync = self.store_sync(me, ord);
+                sync.join(&read_sync); // release-sequence continuation
+                let writer_clock = self.threads[me].clock.get(me);
+                let stores = &mut self.locations[loc as usize].stores;
+                stores.push(StoreEvent {
+                    value: new,
+                    writer: me,
+                    writer_clock,
+                    sync,
+                });
+                let last = (stores.len() - 1) as u32;
+                self.threads[me].coherence[loc as usize] = last;
+                self.threads[me].stale[loc as usize] = 0;
+                self.sc_post(me, ord);
+                self.note_progress();
+            }
+            None => {
+                self.threads[me].acq_pending.join(&read_sync);
+                if Self::is_acquire(fail_ord) {
+                    self.threads[me].clock.join(&read_sync);
+                }
+                self.threads[me].coherence[loc as usize] = last_idx;
+                self.threads[me].stale[loc as usize] = 0;
+                self.sc_post(me, fail_ord);
+            }
+        }
+        old
+    }
+
+    pub(crate) fn fence(&mut self, me: usize, ord: Ordering) {
+        self.tick(me);
+        if Self::is_acquire(ord) {
+            let pending = self.threads[me].acq_pending;
+            self.threads[me].clock.join(&pending);
+        }
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock;
+            self.threads[me].clock.join(&sc);
+        }
+        if Self::is_release(ord) {
+            self.threads[me].rel_fence = Some(self.threads[me].clock);
+        }
+        if ord == Ordering::SeqCst {
+            let clock = self.threads[me].clock;
+            self.sc_clock.join(&clock);
+        }
+    }
+
+    /// The value a futex syscall would compare against: the latest store
+    /// (the kernel reads the physical memory location coherently). The read
+    /// advances the thread's coherence floor — per-location coherence is
+    /// global on real hardware, so later loads cannot travel back past it.
+    fn futex_value(&mut self, me: usize, loc: u32) -> u64 {
+        let _ = self.threads[me].coherence_at(loc);
+        let stores = &self.locations[loc as usize].stores;
+        let last = (stores.len() - 1) as u32;
+        let value = stores.last().expect("location has an initial store").value;
+        self.threads[me].coherence[loc as usize] = last;
+        self.threads[me].stale[loc as usize] = 0;
+        value
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller: baton passing between OS threads
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Controller {
+    pub(crate) mu: Mutex<Execution>,
+    pub(crate) cv: Condvar,
+    pub(crate) generation: u64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Controller>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Controller>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (ctl, me) = borrow
+            .as_ref()
+            .expect("loom primitives may only be used inside loom::model");
+        f(ctl, *me)
+    })
+}
+
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl Controller {
+    fn new(path: Vec<Choice>, max_preemptions: u32, max_steps: u64) -> Controller {
+        Controller {
+            mu: Mutex::new(Execution::new(path, max_preemptions, max_steps)),
+            cv: Condvar::new(),
+            generation: next_generation(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Execution> {
+        self.mu.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `me` holds the baton; panics with [`PoisonExit`] when the
+    /// execution has been poisoned in the meantime.
+    fn wait_turn<'a>(
+        &self,
+        mut g: MutexGuard<'a, Execution>,
+        me: usize,
+    ) -> MutexGuard<'a, Execution> {
+        loop {
+            if g.poison.is_some() || g.panic_payload.is_some() {
+                drop(g);
+                self.cv.notify_all();
+                panic::panic_any(PoisonExit);
+            }
+            if g.current == me {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn sched_and_wait<'a>(
+        &self,
+        mut g: MutexGuard<'a, Execution>,
+        me: usize,
+        kind: Kind,
+    ) -> MutexGuard<'a, Execution> {
+        g.sched(me, kind);
+        if g.current != me {
+            self.cv.notify_all();
+        }
+        self.wait_turn(g, me)
+    }
+
+    /// A visible operation: schedule point, then `f` runs with the baton.
+    pub(crate) fn visible_op<R>(&self, me: usize, f: impl FnOnce(&mut Execution, usize) -> R) -> R {
+        let g = self.lock();
+        let mut g = self.sched_and_wait(g, me, Kind::Op);
+        f(&mut g, me)
+    }
+
+    /// Registers (or refreshes, on a new execution) a lazily-created atomic
+    /// location. Must be called with the baton held inside a visible op.
+    pub(crate) fn ensure_location(
+        &self,
+        ex: &mut Execution,
+        me: usize,
+        slot: &core::cell::UnsafeCell<crate::sync::atomic::Slot>,
+        init: u64,
+    ) -> u32 {
+        // SAFETY: the baton guarantees exactly one model thread executes at
+        // a time, and `slot` is only touched under the controller lock.
+        let s = unsafe { &mut *slot.get() };
+        if s.generation != self.generation {
+            s.generation = self.generation;
+            s.loc = ex.register_location(me, init);
+        }
+        s.loc
+    }
+
+    pub(crate) fn yield_now(&self, me: usize) {
+        let mut g = self.lock();
+        g.threads[me].run = Run::Yielded;
+        let _g = self.sched_and_wait(g, me, Kind::Release);
+    }
+
+    pub(crate) fn spawn_model_thread<F>(self: &Arc<Self>, f: F) -> usize
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let (child, ctl) = {
+            let mut g = self.lock();
+            let me = with_current(|_, me| me);
+            let child = g.threads.len();
+            assert!(
+                child < MAX_THREADS,
+                "loom: model spawned more than {MAX_THREADS} threads"
+            );
+            g.tick(me);
+            let mut clock = g.threads[me].clock;
+            clock.tick(child);
+            g.threads.push(ThreadState::new(clock));
+            g.active += 1;
+            (child, Arc::clone(self))
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{child}"))
+            .spawn(move || run_model_thread(ctl, child, f))
+            .expect("spawn loom model thread");
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        child
+    }
+
+    /// Blocks `me` until thread `target` finishes, establishing the join
+    /// happens-before edge.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        let g = self.lock();
+        let mut g = self.sched_and_wait(g, me, Kind::Op);
+        g.tick(me);
+        if g.threads[target].run != Run::Finished {
+            g.threads[me].run = Run::BlockedJoin { target };
+            g = self.sched_and_wait(g, me, Kind::Release);
+        }
+        debug_assert_eq!(g.threads[target].run, Run::Finished);
+        let fc = g.threads[target].finish_clock;
+        g.threads[me].clock.join(&fc);
+    }
+
+    /// Modeled `FUTEX_WAIT`: blocks while the latest store equals `expected`.
+    pub(crate) fn futex_wait(
+        &self,
+        me: usize,
+        slot: &core::cell::UnsafeCell<crate::sync::atomic::Slot>,
+        init: u64,
+        expected: u64,
+        timed: bool,
+    ) -> FutexResult {
+        let g = self.lock();
+        let mut g = self.sched_and_wait(g, me, Kind::Op);
+        let loc = self.ensure_location(&mut g, me, slot, init);
+        g.tick(me);
+        if g.futex_value(me, loc) != expected {
+            return FutexResult::NotExpected;
+        }
+        g.threads[me].run = Run::BlockedFutex { loc, timed };
+        g.threads[me].wake_sync = None;
+        g = self.sched_and_wait(g, me, Kind::Release);
+        let result = g.threads[me].futex_result;
+        if let Some(ws) = g.threads[me].wake_sync.take() {
+            // Conservative: a futex wake edge orders the waker's prior
+            // operations before the woken thread (the protocols around it
+            // re-establish this through their own atomics anyway).
+            g.threads[me].clock.join(&ws);
+        }
+        result
+    }
+
+    /// Modeled `FUTEX_WAKE`: wakes up to `count` waiters (lowest thread id
+    /// first — the model does not branch over kernel wake order).
+    pub(crate) fn futex_wake(
+        &self,
+        me: usize,
+        slot: &core::cell::UnsafeCell<crate::sync::atomic::Slot>,
+        init: u64,
+        count: usize,
+    ) -> usize {
+        self.visible_op(me, |ex, me| {
+            let loc = self.ensure_location(ex, me, slot, init);
+            ex.tick(me);
+            let waker_clock = ex.threads[me].clock;
+            let mut woken = 0;
+            for t in 0..ex.threads.len() {
+                if woken >= count {
+                    break;
+                }
+                if ex.threads[t].run == (Run::BlockedFutex { loc, timed: true })
+                    || ex.threads[t].run == (Run::BlockedFutex { loc, timed: false })
+                {
+                    ex.threads[t].run = Run::Ready;
+                    ex.threads[t].futex_result = FutexResult::Woken;
+                    ex.threads[t].wake_sync = Some(waker_clock);
+                    woken += 1;
+                }
+            }
+            woken
+        })
+    }
+
+    fn finish_thread(&self, me: usize, outcome: Result<(), Box<dyn Any + Send>>) {
+        let mut g = self.lock();
+        match outcome {
+            Ok(()) => {
+                g.threads[me].run = Run::Finished;
+                g.threads[me].finish_clock = g.threads[me].clock;
+                g.active -= 1;
+                // Wake joiners.
+                for t in 0..g.threads.len() {
+                    if g.threads[t].run == (Run::BlockedJoin { target: me }) {
+                        g.threads[t].run = Run::Ready;
+                    }
+                }
+                if g.poison.is_none() && g.panic_payload.is_none() {
+                    g.sched(me, Kind::Release);
+                }
+            }
+            Err(payload) => {
+                g.threads[me].run = Run::Finished;
+                g.active -= 1;
+                if !payload.is::<PoisonExit>() && g.panic_payload.is_none() && g.poison.is_none() {
+                    g.panic_payload = Some(payload);
+                }
+            }
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+}
+
+fn run_model_thread<F: FnOnce()>(ctl: Arc<Controller>, me: usize, f: F) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctl), me)));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        // Wait to be scheduled for the first time.
+        let g = ctl.lock();
+        drop(ctl.wait_turn(g, me));
+        f();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    ctl.finish_thread(me, outcome.map(|_| ()));
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver
+// ---------------------------------------------------------------------------
+
+/// Model-checking configuration. Construct via [`Builder::default`] (which
+/// honours `LOOM_MAX_PREEMPTIONS`, `LOOM_MAX_ITERATIONS` and `LOOM_LOG`) and
+/// run with [`Builder::check`].
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Preemption bound per execution (default 2, `LOOM_MAX_PREEMPTIONS`).
+    pub max_preemptions: u32,
+    /// Hard cap on explored executions; exceeding it panics rather than
+    /// silently under-exploring (default 2'000'000, `LOOM_MAX_ITERATIONS`).
+    pub max_iterations: u64,
+    /// Hard cap on visible operations per execution.
+    pub max_steps: u64,
+    /// Print the exploration summary to stderr (`LOOM_LOG`).
+    pub log: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        let env_u64 = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        Builder {
+            max_preemptions: env_u64("LOOM_MAX_PREEMPTIONS").unwrap_or(2) as u32,
+            max_iterations: env_u64("LOOM_MAX_ITERATIONS").unwrap_or(2_000_000),
+            max_steps: env_u64("LOOM_MAX_STEPS").unwrap_or(20_000),
+            log: std::env::var_os("LOOM_LOG").is_some(),
+        }
+    }
+}
+
+impl Builder {
+    /// Exhaustively explores `f` under the configured bounds, panicking on
+    /// the first failing execution (assertion failure, deadlock, livelock).
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            !in_model(),
+            "loom::model may not be nested inside another model"
+        );
+        let f = Arc::new(f);
+        let mut path: Vec<Choice> = Vec::new();
+        let mut iterations: u64 = 0;
+        loop {
+            iterations += 1;
+            if iterations > self.max_iterations {
+                panic!(
+                    "loom: exceeded {} executions without exhausting the search \
+                     (raise LOOM_MAX_ITERATIONS or shrink the model)",
+                    self.max_iterations
+                );
+            }
+            let ctl = Arc::new(Controller::new(
+                std::mem::take(&mut path),
+                self.max_preemptions,
+                self.max_steps,
+            ));
+            // The root model thread (id 0) is pre-registered in
+            // `Execution::new` and starts holding the baton.
+            {
+                let ctl2 = Arc::clone(&ctl);
+                let f = Arc::clone(&f);
+                let handle = std::thread::Builder::new()
+                    .name("loom-0".into())
+                    .spawn(move || run_model_thread(ctl2, 0, move || f()))
+                    .expect("spawn loom root thread");
+                ctl.handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(handle);
+            }
+            // Wait for the execution to settle, then join every OS thread
+            // (poisoned executions unwind all of them via PoisonExit).
+            {
+                let mut g = ctl.lock();
+                while g.active > 0 && g.poison.is_none() && g.panic_payload.is_none() {
+                    g = ctl.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            ctl.cv.notify_all();
+            let handles: Vec<_> = ctl
+                .handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+            let mut g = ctl.lock();
+            if let Some(payload) = g.panic_payload.take() {
+                drop(g);
+                if self.log {
+                    eprintln!("loom: failing execution found after {iterations} iteration(s)");
+                }
+                panic::resume_unwind(payload);
+            }
+            if let Some(reason) = g.poison.take() {
+                drop(g);
+                if self.log {
+                    eprintln!("loom: failing execution found after {iterations} iteration(s)");
+                }
+                panic!("{reason}");
+            }
+            path = std::mem::take(&mut g.path);
+            drop(g);
+            if !advance_path(&mut path) {
+                break;
+            }
+        }
+        if self.log {
+            eprintln!("loom: completed {iterations} execution(s), no failures");
+        }
+    }
+}
+
+/// Exhaustively explores every bounded interleaving of `f`. See the crate
+/// docs for what "exhaustively" means under the configured bounds.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

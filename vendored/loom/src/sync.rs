@@ -1,0 +1,5 @@
+//! Mirrors the `std::sync` surface the workspace uses under loom.
+
+pub use std::sync::Arc;
+
+pub mod atomic;

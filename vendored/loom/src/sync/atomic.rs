@@ -1,0 +1,370 @@
+//! Model-checked atomic types.
+//!
+//! Each atomic is a lazily-registered *location* in the current execution's
+//! memory model (see the `rt` module): the constructors are `const fn` (so
+//! `[const { AtomicPtr::new(null_mut()) }; N]` patterns keep compiling) and
+//! the location is registered on first access, attributing the initial value
+//! to the first accessor — sound, because the initial store is always
+//! readable unless superseded by a visible newer store.
+//!
+//! Two deliberate deviations from the hardware, both on the permissive side
+//! of the search space:
+//!
+//! * `compare_exchange_weak` never fails spuriously (spurious failures only
+//!   add retry interleavings, they cannot hide bugs the strong CAS has).
+//! * `fetch_*`/`swap`/CAS always operate on the newest store in modification
+//!   order, as C11 requires of read-modify-writes.
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::marker::PhantomData;
+
+pub use core::sync::atomic::Ordering;
+
+use crate::rt;
+
+/// Per-atomic registration state: which execution generation the location
+/// was registered in, and its id. Only touched under the controller lock.
+pub struct Slot {
+    pub(crate) generation: u64,
+    pub(crate) loc: u32,
+}
+
+macro_rules! atomic_common {
+    ($name:ident, $t:ty) => {
+        // SAFETY: the inner `UnsafeCell<Slot>` is only accessed while the
+        // model controller's lock is held (exactly one model thread runs at
+        // a time).
+        unsafe impl Send for $name {}
+        unsafe impl Sync for $name {}
+
+        impl $name {
+            fn op<R>(&self, f: impl FnOnce(&mut rt::Execution, usize, u32) -> R) -> R {
+                rt::with_current(|ctl, me| {
+                    ctl.visible_op(me, |ex, me| {
+                        let loc = ctl.ensure_location(ex, me, &self.slot, Self::to_repr(self.init));
+                        f(ex, me, loc)
+                    })
+                })
+            }
+
+            /// Loads a value, possibly a stale one permitted by `ord`.
+            pub fn load(&self, ord: Ordering) -> $t {
+                Self::from_repr(self.op(|ex, me, loc| ex.load(me, loc, ord)))
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $t, ord: Ordering) {
+                let repr = Self::to_repr(val);
+                self.op(|ex, me, loc| ex.store(me, loc, repr, ord))
+            }
+
+            /// Atomically replaces the value, returning the previous one.
+            pub fn swap(&self, val: $t, ord: Ordering) -> $t {
+                let repr = Self::to_repr(val);
+                Self::from_repr(
+                    self.op(|ex, me, loc| ex.rmw(me, loc, ord, Ordering::Relaxed, |_| Some(repr))),
+                )
+            }
+
+            /// Strong compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                let cur = Self::to_repr(current);
+                let new = Self::to_repr(new);
+                let old = self.op(|ex, me, loc| {
+                    ex.rmw(me, loc, success, failure, |o| {
+                        if o == cur {
+                            Some(new)
+                        } else {
+                            None
+                        }
+                    })
+                });
+                if old == cur {
+                    Ok(Self::from_repr(old))
+                } else {
+                    Err(Self::from_repr(old))
+                }
+            }
+
+            /// Weak compare-exchange; in the model it never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // The live value is execution state; printing it outside a
+                // visible op would race the model. Print the type only.
+                write!(f, concat!(stringify!($name), "(..)"))
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int {
+    ($(#[$meta:meta])* $name:ident, $t:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            init: $t,
+            slot: UnsafeCell<Slot>,
+        }
+
+        impl $name {
+            /// A new atomic holding `val`.
+            pub const fn new(val: $t) -> $name {
+                $name {
+                    init: val,
+                    slot: UnsafeCell::new(Slot {
+                        generation: 0,
+                        loc: 0,
+                    }),
+                }
+            }
+
+            #[inline]
+            fn to_repr(v: $t) -> u64 {
+                v as u64
+            }
+
+            #[inline]
+            fn from_repr(r: u64) -> $t {
+                r as $t
+            }
+
+            /// Atomic wrapping add; returns the previous value.
+            pub fn fetch_add(&self, val: $t, ord: Ordering) -> $t {
+                self.fetch_update_model(ord, |v| v.wrapping_add(val))
+            }
+
+            /// Atomic wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, val: $t, ord: Ordering) -> $t {
+                self.fetch_update_model(ord, |v| v.wrapping_sub(val))
+            }
+
+            /// Atomic bitwise OR; returns the previous value.
+            pub fn fetch_or(&self, val: $t, ord: Ordering) -> $t {
+                self.fetch_update_model(ord, |v| v | val)
+            }
+
+            /// Atomic bitwise AND; returns the previous value.
+            pub fn fetch_and(&self, val: $t, ord: Ordering) -> $t {
+                self.fetch_update_model(ord, |v| v & val)
+            }
+
+            fn fetch_update_model(&self, ord: Ordering, f: impl Fn($t) -> $t) -> $t {
+                Self::from_repr(self.op(|ex, me, loc| {
+                    ex.rmw(me, loc, ord, Ordering::Relaxed, |o| {
+                        Some(Self::to_repr(f(Self::from_repr(o))))
+                    })
+                }))
+            }
+        }
+
+        atomic_common!($name, $t);
+    };
+}
+
+atomic_int!(
+    /// Model-checked `AtomicU32`.
+    AtomicU32,
+    u32
+);
+atomic_int!(
+    /// Model-checked `AtomicU64`.
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Model-checked `AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+atomic_int!(
+    /// Model-checked `AtomicI64` (two's-complement via the `u64` repr, so
+    /// wrapping add/sub behave identically to hardware).
+    AtomicI64,
+    i64
+);
+
+/// Model-checked `AtomicBool`.
+pub struct AtomicBool {
+    init: bool,
+    slot: UnsafeCell<Slot>,
+}
+
+impl AtomicBool {
+    /// A new atomic holding `val`.
+    pub const fn new(val: bool) -> AtomicBool {
+        AtomicBool {
+            init: val,
+            slot: UnsafeCell::new(Slot {
+                generation: 0,
+                loc: 0,
+            }),
+        }
+    }
+
+    #[inline]
+    fn to_repr(v: bool) -> u64 {
+        v as u64
+    }
+
+    #[inline]
+    fn from_repr(r: u64) -> bool {
+        r != 0
+    }
+
+    /// Atomic logical OR; returns the previous value.
+    pub fn fetch_or(&self, val: bool, ord: Ordering) -> bool {
+        Self::from_repr(self.op(|ex, me, loc| {
+            ex.rmw(me, loc, ord, Ordering::Relaxed, |o| {
+                Some(Self::to_repr(Self::from_repr(o) | val))
+            })
+        }))
+    }
+
+    /// Atomic logical AND; returns the previous value.
+    pub fn fetch_and(&self, val: bool, ord: Ordering) -> bool {
+        Self::from_repr(self.op(|ex, me, loc| {
+            ex.rmw(me, loc, ord, Ordering::Relaxed, |o| {
+                Some(Self::to_repr(Self::from_repr(o) & val))
+            })
+        }))
+    }
+}
+
+atomic_common!(AtomicBool, bool);
+
+/// Model-checked `AtomicPtr<T>`.
+///
+/// Pointers round-trip through the `u64` repr as addresses; the model never
+/// dereferences them, and loom builds never run under Miri, so the
+/// provenance laundering is confined to the checker.
+pub struct AtomicPtr<T> {
+    init: *mut T,
+    slot: UnsafeCell<Slot>,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: as for std's `AtomicPtr` — the cell holds the pointer itself; the
+// `Slot` is only touched under the controller lock.
+unsafe impl<T> Send for AtomicPtr<T> {}
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    /// A new atomic holding `ptr`.
+    pub const fn new(ptr: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            init: ptr,
+            slot: UnsafeCell::new(Slot {
+                generation: 0,
+                loc: 0,
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn to_repr(p: *mut T) -> u64 {
+        p as usize as u64
+    }
+
+    #[inline]
+    fn from_repr(r: u64) -> *mut T {
+        r as usize as *mut T
+    }
+
+    fn op<R>(&self, f: impl FnOnce(&mut rt::Execution, usize, u32) -> R) -> R {
+        rt::with_current(|ctl, me| {
+            ctl.visible_op(me, |ex, me| {
+                let loc = ctl.ensure_location(ex, me, &self.slot, Self::to_repr(self.init));
+                f(ex, me, loc)
+            })
+        })
+    }
+
+    /// Loads the pointer, possibly a stale one permitted by `ord`.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        Self::from_repr(self.op(|ex, me, loc| ex.load(me, loc, ord)))
+    }
+
+    /// Stores a pointer.
+    pub fn store(&self, ptr: *mut T, ord: Ordering) {
+        let repr = Self::to_repr(ptr);
+        self.op(|ex, me, loc| ex.store(me, loc, repr, ord))
+    }
+
+    /// Atomically replaces the pointer, returning the previous one.
+    pub fn swap(&self, ptr: *mut T, ord: Ordering) -> *mut T {
+        let repr = Self::to_repr(ptr);
+        Self::from_repr(
+            self.op(|ex, me, loc| ex.rmw(me, loc, ord, Ordering::Relaxed, |_| Some(repr))),
+        )
+    }
+
+    /// Strong compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        let cur = Self::to_repr(current);
+        let new = Self::to_repr(new);
+        let old = self.op(|ex, me, loc| {
+            ex.rmw(me, loc, success, failure, |o| {
+                if o == cur {
+                    Some(new)
+                } else {
+                    None
+                }
+            })
+        });
+        if old == cur {
+            Ok(Self::from_repr(old))
+        } else {
+            Err(Self::from_repr(old))
+        }
+    }
+
+    /// Weak compare-exchange; in the model it never fails spuriously.
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AtomicPtr(..)")
+    }
+}
+
+/// Model-checked `atomic::fence`.
+pub fn fence(ord: Ordering) {
+    rt::with_current(|ctl, me| ctl.visible_op(me, |ex, me| ex.fence(me, ord)))
+}
+
+pub(crate) fn slot_of_u32(atom: &AtomicU32) -> (&UnsafeCell<Slot>, u64) {
+    (&atom.slot, AtomicU32::to_repr(atom.init))
+}

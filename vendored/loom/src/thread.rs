@@ -1,0 +1,57 @@
+//! Model threads.
+//!
+//! Model threads are real OS threads, but the controller lets exactly one
+//! run at a time (see the `rt` module). Spawning establishes the usual
+//! happens-before edge from the spawner to the child; joining establishes
+//! it from the child's last operation to the joiner.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a spawned model thread. Mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes, returning its
+    /// value. Always `Ok` — a panicking model thread fails the whole
+    /// execution instead of surfacing here.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::with_current(|ctl, me| ctl.join_thread(me, self.tid));
+        Ok(self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined model thread stored its result"))
+    }
+}
+
+/// Spawns a model thread. Panics if the model exceeds
+/// [`crate::MAX_THREADS`] threads.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::with_current(|ctl, _me| {
+        ctl.spawn_model_thread(move || {
+            let value = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+        })
+    });
+    JoinHandle { tid, result }
+}
+
+/// Yields the model scheduler: this thread becomes unschedulable until no
+/// other thread can run (or a store is performed, which re-arms spinners).
+/// Spin loops must call this (or [`crate::hint::spin_loop`]) or the
+/// step-bound detector will flag them.
+pub fn yield_now() {
+    rt::with_current(|ctl, me| ctl.yield_now(me));
+}

@@ -1,0 +1,272 @@
+//! Litmus tests for the vendored model checker itself.
+//!
+//! Each classic weak-memory shape appears twice: a correctly-fenced variant
+//! that must pass, and a deliberately-broken variant that must fail — the
+//! latter proves the checker actually explores the reorderings the former
+//! claims to rule out. These run under plain `cargo test` (the `loom` crate
+//! itself needs no `--cfg loom`; that gate belongs to its consumers).
+
+use loom::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use loom::sync::Arc;
+
+/// Message passing with release/acquire: the reader that sees the flag must
+/// see the data.
+#[test]
+fn mp_release_acquire_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU32::new(0));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            loom::thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+/// The same shape with a relaxed flag must be caught: some execution reads
+/// the flag as set but the data as stale.
+#[test]
+#[should_panic]
+fn mp_relaxed_flag_fails() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU32::new(0));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            loom::thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed);
+            })
+        };
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Release/acquire *fences* carry the same edge as release/acquire accesses.
+#[test]
+fn mp_fences_pass() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU32::new(0));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            loom::thread::spawn(move || {
+                data.store(7, Ordering::Relaxed);
+                fence(Ordering::Release);
+                flag.store(1, Ordering::Relaxed);
+            })
+        };
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 7);
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Store buffering: with `SeqCst` on every access, both threads reading 0 is
+/// forbidden.
+#[test]
+fn sb_seqcst_passes() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            loom::thread::spawn(move || {
+                x.store(1, Ordering::SeqCst);
+                y.load(Ordering::SeqCst)
+            })
+        };
+        y.store(1, Ordering::SeqCst);
+        let r2 = x.load(Ordering::SeqCst);
+        let r1 = t.join().unwrap();
+        assert!(
+            r1 == 1 || r2 == 1,
+            "store buffering: both threads read 0 under SeqCst"
+        );
+    });
+}
+
+/// Store buffering under release/acquire alone IS allowed — the checker must
+/// find the both-read-0 execution.
+#[test]
+#[should_panic(expected = "store buffering")]
+fn sb_acqrel_fails() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            loom::thread::spawn(move || {
+                x.store(1, Ordering::Release);
+                y.load(Ordering::Acquire)
+            })
+        };
+        y.store(1, Ordering::Release);
+        let r2 = x.load(Ordering::Acquire);
+        let r1 = t.join().unwrap();
+        assert!(
+            r1 == 1 || r2 == 1,
+            "store buffering: both threads read 0 under SeqCst"
+        );
+    });
+}
+
+/// RMWs are atomic: two concurrent increments never lose an update.
+#[test]
+fn rmw_atomicity() {
+    loom::model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// CAS loops converge and exactly one claimant wins each value.
+#[test]
+fn cas_exactly_one_winner() {
+    loom::model(|| {
+        let claim = Arc::new(AtomicU32::new(0));
+        let wins = Arc::new(AtomicU32::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let (claim, wins) = (Arc::clone(&claim), Arc::clone(&wins));
+                loom::thread::spawn(move || {
+                    if claim
+                        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+    });
+}
+
+/// A spin loop with `yield_now` converges: bounded staleness forces the
+/// spinner to eventually observe the store.
+#[test]
+fn spin_loop_converges() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicU32::new(0));
+        let t = {
+            let flag = Arc::clone(&flag);
+            loom::thread::spawn(move || {
+                flag.store(1, Ordering::Release);
+            })
+        };
+        while flag.load(Ordering::Acquire) == 0 {
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+}
+
+/// An untimed futex wait with no waker is reported as a deadlock.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn futex_lost_wakeup_is_deadlock() {
+    loom::model(|| {
+        let word = Arc::new(AtomicU32::new(0));
+        loom::futex::futex_wait(&word, 0, false);
+    });
+}
+
+/// The futex wait/wake handshake works: value change or wake, never a hang.
+#[test]
+fn futex_handshake() {
+    use loom::futex::FutexResult;
+    loom::model(|| {
+        let word = Arc::new(AtomicU32::new(0));
+        let t = {
+            let word = Arc::clone(&word);
+            loom::thread::spawn(move || {
+                word.store(1, Ordering::Release);
+                loom::futex::futex_wake(&word, 1);
+            })
+        };
+        let r = loom::futex::futex_wait(&word, 0, false);
+        assert!(matches!(r, FutexResult::Woken | FutexResult::NotExpected));
+        assert_eq!(word.load(Ordering::Acquire), 1);
+        t.join().unwrap();
+    });
+}
+
+/// A *timed* futex wait may time out instead of deadlocking — the model
+/// fires timeouts at quiescence.
+#[test]
+fn timed_futex_wait_times_out() {
+    use loom::futex::FutexResult;
+    loom::model(|| {
+        let word = Arc::new(AtomicU32::new(0));
+        let r = loom::futex::futex_wait(&word, 0, true);
+        assert_eq!(r, FutexResult::TimedOut);
+    });
+}
+
+/// Spawn establishes happens-before: the child sees everything the spawner
+/// did, join establishes the reverse edge.
+#[test]
+fn spawn_join_happens_before() {
+    loom::model(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        a.store(5, Ordering::Relaxed);
+        let t = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            loom::thread::spawn(move || {
+                assert_eq!(a.load(Ordering::Relaxed), 5);
+                b.store(6, Ordering::Relaxed);
+            })
+        };
+        t.join().unwrap();
+        assert_eq!(b.load(Ordering::Relaxed), 6);
+    });
+}
+
+/// Three threads exercise the preemption bound without exploding: a sanity
+/// check that exploration terminates on a non-trivial model.
+#[test]
+fn three_thread_counter() {
+    loom::model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Acquire), 3);
+    });
+}
