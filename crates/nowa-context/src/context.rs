@@ -173,6 +173,11 @@ mod imp {
     //   resume address = saved lr.
 
     /// See the x86_64 documentation; identical contract.
+    ///
+    /// # Safety
+    /// Same contract as the x86_64 twin: `stack_top` is the high end of a
+    /// writable region large enough for `body`; `body` never returns;
+    /// `*ctx` is resumed at most once, after this call captured it.
     #[unsafe(naked)]
     pub unsafe extern "C" fn capture_and_run_on(
         ctx: *mut RawContext,
@@ -205,6 +210,11 @@ mod imp {
     }
 
     /// See the x86_64 documentation; identical contract.
+    ///
+    /// # Safety
+    /// Same contract as the x86_64 twin: `ctx` holds an unresumed captured
+    /// context whose stack is intact; cross-thread happens-before is the
+    /// caller's responsibility.
     #[unsafe(naked)]
     pub unsafe extern "C" fn resume(ctx: RawContext, payload: *mut c_void) -> ! {
         core::arch::naked_asm!(
@@ -227,6 +237,10 @@ mod imp {
     }
 
     /// See the x86_64 documentation; identical contract.
+    ///
+    /// # Safety
+    /// Same contract as the x86_64 twin ([`capture_and_run_on`] +
+    /// [`resume`] combined).
     #[unsafe(naked)]
     pub unsafe extern "C" fn switch(
         save: *mut RawContext,
@@ -273,6 +287,7 @@ mod tests {
     use crate::stack::Stack;
 
     /// Body that immediately resumes the captured parent with payload 7.
+    // SAFETY: callers pass `arg` pointing at the `RawContext` they captured.
     unsafe extern "C" fn bounce_back(arg: *mut c_void) -> ! {
         let ctx = unsafe { *(arg as *mut RawContext) };
         unsafe { resume(ctx, 7usize as *mut c_void) }
@@ -282,6 +297,8 @@ mod tests {
     fn capture_resume_round_trip() {
         let stack = Stack::map(64 * 1024).unwrap();
         let mut ctx = RawContext::null();
+        // SAFETY: fresh mapped stack; `bounce_back` diverges into `resume`
+        // and resumes `ctx` exactly once.
         let payload = unsafe {
             capture_and_run_on(
                 &mut ctx,
@@ -299,6 +316,8 @@ mod tests {
         trace: Vec<u32>,
     }
 
+    // SAFETY: callers pass `arg` pointing at a live `PingPong` owned by the
+    // main context for the whole test.
     unsafe extern "C" fn pingpong_body(arg: *mut c_void) -> ! {
         let state = unsafe { &mut *(arg as *mut PingPong) };
         state.trace.push(1);
@@ -317,6 +336,8 @@ mod tests {
             coro: RawContext::null(),
             trace: Vec::new(),
         };
+        // SAFETY: fresh stack; the body switches back to `main` exactly once
+        // before this call returns.
         unsafe {
             // First entry: runs body until it switches back.
             capture_and_run_on(
@@ -327,6 +348,8 @@ mod tests {
             );
         }
         state.trace.push(2);
+        // SAFETY: `state.coro` was captured by the body's switch and is
+        // resumed exactly once here.
         unsafe {
             // Re-enter the coroutine; it finishes and resumes us.
             switch(&mut state.main, state.coro, core::ptr::null_mut());
@@ -339,6 +362,7 @@ mod tests {
         depth: u64,
     }
 
+    // SAFETY: callers pass `arg` pointing at a live `DeepState`.
     unsafe extern "C" fn deep_body(arg: *mut c_void) -> ! {
         let state = unsafe { &mut *(arg as *mut DeepState) };
         // Burn real stack to prove the new stack is actually in use.
@@ -364,6 +388,8 @@ mod tests {
             parent: RawContext::null(),
             depth: 500,
         };
+        // SAFETY: 256 KiB stack covers the depth-500 recursion; `deep_body`
+        // diverges into `resume(parent)`.
         let payload = unsafe {
             capture_and_run_on(
                 &mut state.parent,
@@ -388,6 +414,8 @@ mod tests {
             value: u64,
         }
 
+        // SAFETY: callers pass `arg` pointing at a `Shared` that outlives
+        // both halves of the coroutine (the test joins before dropping it).
         unsafe extern "C" fn body(arg: *mut c_void) -> ! {
             let shared = unsafe { &mut *(arg as *mut Shared) };
             let local = 40u64; // lives in the coroutine frame across threads
@@ -405,6 +433,8 @@ mod tests {
             t2: RawContext::null(),
             value: 0,
         };
+        // SAFETY: fresh stack; `body` switches back to `main` once, then
+        // later (on the second thread) diverges into `resume(t2)`.
         unsafe {
             capture_and_run_on(
                 &mut shared.main,
@@ -416,10 +446,12 @@ mod tests {
         // The coroutine is suspended; hand its continuation to a new thread.
         let addr = &mut shared as *mut Shared as usize;
         std::thread::spawn(move || {
+            // SAFETY: `shared` outlives the spawned thread (joined below).
             let shared = unsafe { &mut *(addr as *mut Shared) };
             // Switch into the coroutine; it resumes `t2` when done, which
             // makes this switch return and lets the thread exit cleanly on
             // its own stack.
+            // SAFETY: `coro` is suspended and resumed exactly once, here.
             unsafe { switch(&mut shared.t2, shared.coro, 2usize as *mut c_void) };
         })
         .join()

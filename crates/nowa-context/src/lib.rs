@@ -19,6 +19,7 @@
 //! feature the fallible paths compile to the plain syscalls.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 #[cfg(feature = "chaos")]
 pub mod chaos;

@@ -428,9 +428,11 @@ mod tests {
     fn dontneed_policy_applied_on_put() {
         let pool = StackPool::new(64 * 1024, MadvisePolicy::DontNeed, 1);
         let stack = pool.get();
+        // SAFETY: single-byte write inside the mapped usable area.
         unsafe { *stack.usable_base() = 5 };
         pool.put(stack);
         let stack = pool.get();
+        // SAFETY: as above; DONTNEED keeps the mapping readable.
         assert_eq!(unsafe { *stack.usable_base() }, 0, "pages were reclaimed");
     }
 }

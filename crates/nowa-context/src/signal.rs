@@ -188,6 +188,7 @@ impl AltStack {
     /// Maps and installs an alternate signal stack for the calling thread.
     pub fn install() -> Result<AltStack, SysError> {
         let len = AltStack::SIZE;
+        // SAFETY: fresh anonymous mapping; nothing else is touched.
         let base = unsafe {
             sys::mmap(
                 len,
@@ -200,12 +201,16 @@ impl AltStack {
             ss_flags: 0,
             ss_size: len,
         };
+        // SAFETY: `ss` is a fully initialised `StackT` on this stack; the
+        // kernel copies it during the call.
         let installed = unsafe {
             sys::sigaltstack(&ss as *const StackT as *const c_void, core::ptr::null_mut())
         };
         match installed {
             Ok(()) => Ok(AltStack { base, len }),
             Err(e) => {
+                // SAFETY: unmapping the mapping we just created; it was
+                // never installed.
                 unsafe {
                     let _ = sys::munmap(base as *mut c_void, len);
                 }
@@ -222,6 +227,9 @@ impl Drop for AltStack {
             ss_flags: SS_DISABLE,
             ss_size: 0,
         };
+        // SAFETY: disabling the alt stack before unmapping it, so the
+        // kernel never redirects a signal onto freed memory; `Drop` owns the
+        // mapping exclusively.
         unsafe {
             let _ = sys::sigaltstack(&ss as *const StackT as *const c_void, core::ptr::null_mut());
             let _ = sys::munmap(self.base as *mut c_void, self.len);
@@ -262,6 +270,8 @@ pub fn install_guard_handler() -> Result<bool, SysError> {
         restorer: 0,
         mask: 0,
     };
+    // SAFETY: `new` and `old` are fully initialised, properly sized
+    // kernel-layout sigaction structs living on this stack.
     let result = unsafe {
         sys::rt_sigaction(
             SIGSEGV,
@@ -287,7 +297,13 @@ pub fn install_guard_handler() -> Result<bool, SysError> {
 
 /// Reinstalls an action for `sig` from inside the handler (async-signal-
 /// safe: one raw syscall).
+///
+/// # Safety
+/// `act` must describe a valid handler/restorer pair (or SIG_DFL); the call
+/// replaces the process-wide disposition for `sig`.
 unsafe fn set_action(sig: i32, act: &KernelSigaction) {
+    // SAFETY: `act` is a valid kernel-layout struct per the contract above;
+    // passing a null old-action pointer is allowed.
     unsafe {
         let _ = sys::rt_sigaction(
             sig,
@@ -304,6 +320,11 @@ unsafe fn set_action(sig: i32, act: &KernelSigaction) {
 /// general registers (offsets 160/168). aarch64: `uc_mcontext` is 16-byte
 /// aligned after the 128-byte `uc_sigmask` (offset 176); `sp`/`pc` follow
 /// `fault_address` and `regs[0..31]` (offsets 432/440).
+///
+/// # Safety
+/// `ctx` must be the `ucontext_t` pointer the kernel passed to an
+/// `SA_SIGINFO` handler; the hard-coded offsets assume the Linux layout for
+/// the current architecture.
 unsafe fn fault_sp_pc(ctx: *const c_void) -> (usize, usize) {
     #[cfg(target_arch = "x86_64")]
     unsafe {
@@ -415,6 +436,10 @@ fn report_guard_hit(base: usize, len: usize, addr: usize, sp: usize, pc: usize) 
     let _ = sys::write_raw(2, buf.as_bytes());
 }
 
+// SAFETY: invoked only by the kernel as an `SA_SIGINFO` SIGSEGV handler, so
+// `info`/`ctx` are valid `siginfo_t`/`ucontext_t` pointers. The body is
+// async-signal-safe: atomics, raw syscalls, and a stack buffer — no locks,
+// no allocation.
 unsafe extern "C" fn guard_handler(sig: i32, info: *mut c_void, ctx: *mut c_void) {
     unsafe {
         let addr = info.cast::<u8>().add(SI_ADDR_OFFSET).cast::<usize>().read();

@@ -105,6 +105,9 @@ pub struct Stack {
     len: usize,
 }
 
+// SAFETY: a `Stack` is just an owned mapping (base + len); nothing in it is
+// thread-affine, and ownership transfer is exactly how continuations migrate
+// between workers.
 unsafe impl Send for Stack {}
 
 impl Stack {
@@ -113,6 +116,8 @@ impl Stack {
     pub fn map(usable: usize) -> Result<Stack, SysError> {
         let usable = usable.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE;
         let len = usable + PAGE_SIZE;
+        // SAFETY: fresh anonymous mapping with a length we computed; no
+        // existing memory is affected.
         let base = unsafe {
             sys::mmap(
                 len,
@@ -122,7 +127,11 @@ impl Stack {
         } as *mut u8;
         // Low page becomes the guard: stacks grow downward into it on
         // overflow, faulting instead of corrupting a neighbour.
+        // SAFETY: `base..base+PAGE_SIZE` is the low page of the mapping we
+        // just created and nothing points into it yet.
         if let Err(e) = unsafe { sys::mprotect(base as *mut c_void, PAGE_SIZE, sys::prot::NONE) } {
+            // SAFETY: unmapping the region we just mapped; it was never
+            // published.
             unsafe {
                 let _ = sys::munmap(base as *mut c_void, len);
             }
@@ -151,12 +160,16 @@ impl Stack {
     /// The high end of the usable area — the initial stack pointer.
     #[inline]
     pub fn top(&self) -> *mut c_void {
+        // SAFETY: `base + len` is one-past-the-end of the owned mapping —
+        // in bounds for pointer arithmetic.
         unsafe { self.base.add(self.len) as *mut c_void }
     }
 
     /// The low end of the usable area (just above the guard page).
     #[inline]
     pub fn usable_base(&self) -> *mut u8 {
+        // SAFETY: the mapping is at least one page plus the guard page, so
+        // `base + PAGE_SIZE` stays in bounds.
         unsafe { self.base.add(PAGE_SIZE) }
     }
 
@@ -178,6 +191,8 @@ impl Stack {
     /// no live frames). Used when recycling through a pool.
     pub fn release_all(&self, policy: MadvisePolicy) {
         if let Some(advice) = policy.advice() {
+            // SAFETY: the range is the usable area of the owned mapping, and
+            // the caller asserts no live frames occupy it.
             unsafe {
                 let _ = sys::madvise(self.usable_base() as *mut c_void, self.usable_len(), advice);
             }
@@ -197,6 +212,8 @@ impl Stack {
         // itself stays mapped.
         let hi = (sp / PAGE_SIZE) * PAGE_SIZE;
         if hi > lo {
+            // SAFETY: `lo..hi` lies inside the owned mapping, strictly below
+            // the page holding `sp`, so no live frame is touched.
             unsafe {
                 let _ = sys::madvise(lo as *mut c_void, hi - lo, advice);
             }
@@ -207,6 +224,8 @@ impl Stack {
 impl Drop for Stack {
     fn drop(&mut self) {
         crate::signal::unregister_stack(self.base as usize);
+        // SAFETY: `Drop` has exclusive ownership of the mapping; nothing can
+        // reference it afterwards.
         unsafe {
             let _ = sys::munmap(self.base as *mut c_void, self.len);
         }
@@ -221,6 +240,7 @@ mod tests {
     fn map_and_touch() {
         let stack = Stack::map(64 * 1024).unwrap();
         assert_eq!(stack.usable_len(), 64 * 1024);
+        // SAFETY: writing within the freshly mapped usable area.
         unsafe {
             // Touch the whole usable area.
             core::ptr::write_bytes(stack.usable_base(), 0xAB, stack.usable_len());
@@ -239,8 +259,11 @@ mod tests {
     #[test]
     fn release_all_dontneed_zeroes() {
         let stack = Stack::map(16 * 1024).unwrap();
+        // SAFETY: both accesses are single-byte reads/writes inside the
+        // mapped usable area.
         unsafe { *stack.usable_base() = 9 };
         stack.release_all(MadvisePolicy::DontNeed);
+        // SAFETY: as above; DONTNEED keeps the mapping readable.
         assert_eq!(unsafe { *stack.usable_base() }, 0);
     }
 
@@ -248,21 +271,29 @@ mod tests {
     fn release_below_keeps_upper_frames() {
         let stack = Stack::map(16 * 1024).unwrap();
         let top_word = (stack.top() as usize - 8) as *mut u64;
+        // SAFETY: `top-8` and `usable_base` are in-bounds, aligned slots of
+        // the mapped usable area.
         unsafe { *top_word = 0xDEAD_BEEF };
+        // SAFETY: as above.
         unsafe { *stack.usable_base() = 7 };
         // Pretend a frame is suspended near the top; release everything
         // below an sp two pages under the top.
         let sp = (stack.top() as usize - 2 * PAGE_SIZE) as *mut c_void;
         stack.release_below(sp, MadvisePolicy::DontNeed);
+        // SAFETY: reads of the same in-bounds slots; the mapping survives
+        // madvise.
         assert_eq!(unsafe { *top_word }, 0xDEAD_BEEF, "upper frames intact");
+        // SAFETY: as above.
         assert_eq!(unsafe { *stack.usable_base() }, 0, "lower pages reclaimed");
     }
 
     #[test]
     fn release_below_keep_policy_is_noop() {
         let stack = Stack::map(16 * 1024).unwrap();
+        // SAFETY: in-bounds single-byte write inside the mapped area.
         unsafe { *stack.usable_base() = 7 };
         stack.release_below(stack.top(), MadvisePolicy::Keep);
+        // SAFETY: as above; `Keep` touches nothing.
         assert_eq!(unsafe { *stack.usable_base() }, 7);
     }
 

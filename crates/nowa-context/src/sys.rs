@@ -76,19 +76,23 @@ pub enum Advice {
 #[inline]
 unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
     let ret: isize;
-    core::arch::asm!(
-        "syscall",
-        inlateout("rax") n as isize => ret,
-        in("rdi") a,
-        in("rsi") b,
-        in("rdx") c,
-        in("r10") d,
-        in("r8") e,
-        in("r9") f,
-        lateout("rcx") _,
-        lateout("r11") _,
-        options(nostack),
-    );
+    // SAFETY: a raw syscall instruction; the caller vouches for the
+    // arguments per this function's contract.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
     ret
 }
 
@@ -96,17 +100,20 @@ unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f
 #[inline]
 unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
     let ret: isize;
-    core::arch::asm!(
-        "svc 0",
-        in("x8") n,
-        inlateout("x0") a as isize => ret,
-        in("x1") b,
-        in("x2") c,
-        in("x3") d,
-        in("x4") e,
-        in("x5") f,
-        options(nostack),
-    );
+    // SAFETY: as in the x86_64 twin.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a as isize => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+    }
     ret
 }
 
@@ -133,41 +140,24 @@ fn check(ret: isize) -> Result<usize, SysError> {
 
 /// Maps `len` bytes of anonymous memory with the given protection.
 pub unsafe fn mmap(len: usize, protection: usize, flags: usize) -> Result<*mut c_void, SysError> {
-    let ret = syscall6(nr::MMAP, 0, len, protection, flags, usize::MAX, 0);
+    let ret = unsafe { syscall6(nr::MMAP, 0, len, protection, flags, usize::MAX, 0) };
     check(ret).map(|addr| addr as *mut c_void)
 }
 
 /// Unmaps a region previously returned by [`mmap`].
 pub unsafe fn munmap(addr: *mut c_void, len: usize) -> Result<(), SysError> {
-    check(syscall6(nr::MUNMAP, addr as usize, len, 0, 0, 0, 0)).map(|_| ())
+    check(unsafe { syscall6(nr::MUNMAP, addr as usize, len, 0, 0, 0, 0) }).map(|_| ())
 }
 
 /// Changes the protection of a mapped region (used for guard pages).
 pub unsafe fn mprotect(addr: *mut c_void, len: usize, protection: usize) -> Result<(), SysError> {
-    check(syscall6(
-        nr::MPROTECT,
-        addr as usize,
-        len,
-        protection,
-        0,
-        0,
-        0,
-    ))
-    .map(|_| ())
+    check(unsafe { syscall6(nr::MPROTECT, addr as usize, len, protection, 0, 0, 0) }).map(|_| ())
 }
 
 /// Advises the kernel about a mapped region (the §V-B experiments).
 pub unsafe fn madvise(addr: *mut c_void, len: usize, advice: Advice) -> Result<(), SysError> {
-    check(syscall6(
-        nr::MADVISE,
-        addr as usize,
-        len,
-        advice as usize,
-        0,
-        0,
-        0,
-    ))
-    .map(|_| ())
+    check(unsafe { syscall6(nr::MADVISE, addr as usize, len, advice as usize, 0, 0, 0) })
+        .map(|_| ())
 }
 
 /// Installs a signal action via raw `rt_sigaction`. `new`/`old` point at
@@ -179,37 +169,32 @@ pub unsafe fn rt_sigaction(
     old: *mut c_void,
     sigsetsize: usize,
 ) -> Result<(), SysError> {
-    check(syscall6(
-        nr::RT_SIGACTION,
-        signum as usize,
-        new as usize,
-        old as usize,
-        sigsetsize,
-        0,
-        0,
-    ))
+    check(unsafe {
+        syscall6(
+            nr::RT_SIGACTION,
+            signum as usize,
+            new as usize,
+            old as usize,
+            sigsetsize,
+            0,
+            0,
+        )
+    })
     .map(|_| ())
 }
 
 /// Installs/queries the calling thread's alternate signal stack. `new`/`old`
 /// point at kernel `stack_t` structs (see [`crate::signal`]).
 pub unsafe fn sigaltstack(new: *const c_void, old: *mut c_void) -> Result<(), SysError> {
-    check(syscall6(
-        nr::SIGALTSTACK,
-        new as usize,
-        old as usize,
-        0,
-        0,
-        0,
-        0,
-    ))
-    .map(|_| ())
+    check(unsafe { syscall6(nr::SIGALTSTACK, new as usize, old as usize, 0, 0, 0, 0) }).map(|_| ())
 }
 
 /// Raw `write(2)`. Async-signal-safe (no locks, no allocation); used by the
 /// guard-page fault handler to emit its diagnostic. Short writes are not
 /// retried — the caller is about to die anyway.
 pub fn write_raw(fd: i32, buf: &[u8]) -> isize {
+    // SAFETY: `write(2)` only reads `buf.len()` bytes from the valid slice;
+    // no memory is mutated on our side.
     unsafe {
         syscall6(
             nr::WRITE,
@@ -265,6 +250,8 @@ pub fn futex_wait(
     let ts_ptr = ts
         .as_ref()
         .map_or(core::ptr::null(), |t| t as *const Timespec);
+    // SAFETY: `addr` is a live atomic word and `ts_ptr` is null or points
+    // at a `Timespec` that outlives the call; FUTEX_WAIT only reads both.
     let ret = unsafe {
         syscall6(
             nr::FUTEX,
@@ -287,6 +274,8 @@ pub fn futex_wait(
 /// `futex(FUTEX_WAKE_PRIVATE)`: wakes up to `count` threads blocked in
 /// [`futex_wait`] on `addr`. Returns the number of threads actually woken.
 pub fn futex_wake(addr: &core::sync::atomic::AtomicU32, count: u32) -> usize {
+    // SAFETY: FUTEX_WAKE dereferences nothing — the address is only a key
+    // into the kernel's wait-queue hash.
     let ret = unsafe {
         syscall6(
             nr::FUTEX,
@@ -306,6 +295,8 @@ pub fn pin_current_thread_to(cpu: usize) -> Result<(), SysError> {
     let mut mask = [0u64; 16]; // up to 1024 CPUs
     mask[cpu / 64] = 1u64 << (cpu % 64);
     // pid 0 = calling thread.
+    // SAFETY: the kernel reads `size_of_val(&mask)` bytes from the live
+    // stack-allocated mask.
     let ret = unsafe {
         syscall6(
             nr::SCHED_SETAFFINITY,
@@ -346,6 +337,8 @@ mod tests {
 
     #[test]
     fn mmap_munmap_round_trip() {
+        // SAFETY: every access stays inside the fresh R/W mapping, unmapped
+        // only at the end.
         unsafe {
             let len = 4 * PAGE_SIZE;
             let addr =
@@ -362,6 +355,8 @@ mod tests {
 
     #[test]
     fn mprotect_guard_page() {
+        // SAFETY: the write lands in the second page, which stays R/W after
+        // the first page is protected.
         unsafe {
             let len = 2 * PAGE_SIZE;
             let addr =
@@ -375,6 +370,8 @@ mod tests {
 
     #[test]
     fn madvise_dontneed_zeroes_pages() {
+        // SAFETY: accesses stay inside the fresh R/W mapping; DONTNEED keeps
+        // it mapped (refaults as zero).
         unsafe {
             let len = 2 * PAGE_SIZE;
             let addr =
@@ -389,6 +386,8 @@ mod tests {
 
     #[test]
     fn madvise_free_keeps_mapping_valid() {
+        // SAFETY: accesses stay inside the fresh R/W mapping; MADV_FREE
+        // keeps it mapped.
         unsafe {
             let len = 2 * PAGE_SIZE;
             let addr =
@@ -406,6 +405,8 @@ mod tests {
     #[test]
     fn bad_munmap_reports_errno() {
         // Unaligned address must fail with EINVAL (22).
+        // SAFETY: the call is guaranteed to fail before touching any
+        // mapping, and address 1 maps nothing anyway.
         let err = unsafe { munmap(core::ptr::without_provenance_mut(1), PAGE_SIZE) }.unwrap_err();
         assert_eq!(err.0, 22);
     }

@@ -103,6 +103,7 @@ unsafe impl<T: Token> Sync for AbpStealer<T> {}
 
 impl<T: Token> WorkerOps<T> for AbpWorker<T> {
     #[inline]
+    // lint: hot-path
     fn push(&self, item: T) -> Result<(), Full<T>> {
         let inner = &*self.inner;
         let b = inner.bot.load(Ordering::Relaxed);
@@ -118,6 +119,7 @@ impl<T: Token> WorkerOps<T> for AbpWorker<T> {
     }
 
     #[inline]
+    // lint: hot-path
     fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
         let b = inner.bot.load(Ordering::Relaxed);
@@ -163,6 +165,7 @@ impl<T: Token> WorkerOps<T> for AbpWorker<T> {
 
 impl<T: Token> StealerOps<T> for AbpStealer<T> {
     #[inline]
+    // lint: hot-path
     fn steal(&self) -> Steal<T> {
         #[cfg(feature = "chaos")]
         if let Some(forced) = crate::chaos::take_forced() {

@@ -160,6 +160,7 @@ impl<T> ClWorker<T> {
 
 impl<T: Token> WorkerOps<T> for ClWorker<T> {
     #[inline]
+    // lint: hot-path
     fn push(&self, item: T) -> Result<(), Full<T>> {
         let inner = &*self.inner;
         let b = inner.bottom.load(Ordering::Relaxed);
@@ -176,6 +177,7 @@ impl<T: Token> WorkerOps<T> for ClWorker<T> {
     }
 
     #[inline]
+    // lint: hot-path
     fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
         let b = inner.bottom.load(Ordering::Relaxed) - 1;
@@ -215,6 +217,7 @@ impl<T: Token> WorkerOps<T> for ClWorker<T> {
 
 impl<T: Token> StealerOps<T> for ClStealer<T> {
     #[inline]
+    // lint: hot-path
     fn steal(&self) -> Steal<T> {
         #[cfg(feature = "chaos")]
         if let Some(forced) = crate::chaos::take_forced() {

@@ -31,6 +31,13 @@ pub(crate) fn busy_spin() {
 #[cfg(not(loom))]
 pub(crate) use parking_lot::Mutex;
 
+// Cfg-twin parity: the loom arm defines a `MutexGuard` type, so the normal
+// arm must export the same name even while no caller stores a guard in a
+// typed binding yet.
+#[allow(unused_imports)]
+#[cfg(not(loom))]
+pub(crate) use parking_lot::MutexGuard;
+
 /// Under loom, a mutex the model checker can see: a spinlock over a loom
 /// atomic. A real `parking_lot::Mutex` would still exclude threads in wall
 /// time, but its acquire/release edges would be invisible to the model —

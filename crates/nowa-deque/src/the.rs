@@ -105,6 +105,7 @@ unsafe impl<T: Token> Sync for TheStealer<T> {}
 
 impl<T: Token> WorkerOps<T> for TheWorker<T> {
     #[inline]
+    // lint: hot-path
     fn push(&self, item: T) -> Result<(), Full<T>> {
         let inner = &*self.inner;
         let t = inner.tail.load(Ordering::Relaxed);
@@ -138,6 +139,7 @@ impl<T: Token> WorkerOps<T> for TheWorker<T> {
     }
 
     #[inline]
+    // lint: hot-path
     fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
         // Optimistic Dijkstra-style retreat protocol.
@@ -173,6 +175,7 @@ impl<T: Token> WorkerOps<T> for TheWorker<T> {
 
 impl<T: Token> StealerOps<T> for TheStealer<T> {
     #[inline]
+    // lint: hot-path
     fn steal(&self) -> Steal<T> {
         #[cfg(feature = "chaos")]
         if let Some(forced) = crate::chaos::take_forced() {

@@ -1,0 +1,54 @@
+//! Diagnostics: one machine-readable line per finding.
+
+use std::fmt;
+
+/// A single lint finding. Renders as `file:line: rule-id: message` —
+/// stable, greppable, and editor-clickable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    /// Rule id, e.g. `R2`.
+    pub rule: &'static str,
+    pub message: String,
+    /// Enclosing function, when known (used for allowlist matching).
+    pub context_fn: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: &str,
+        line: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.into(),
+            context_fn: None,
+        }
+    }
+
+    pub fn in_fn(mut self, f: Option<&str>) -> Diagnostic {
+        self.context_fn = f.map(|s| s.to_string());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics for stable output: by file, then line, then rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}

@@ -1,0 +1,345 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with line numbers, keeping comments as
+//! first-class tokens (the rules read `// SAFETY:`, `// ordering:` and
+//! `// lint:` markers out of them). It understands exactly as much Rust as
+//! the rules need: strings (plain, raw, byte), char literals vs lifetimes,
+//! nested block comments, numbers, identifiers and punctuation. It does
+//! *not* build a syntax tree — [`crate::parse`] layers a small item model
+//! on top.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Source text of the token (comments keep their full text, including
+    /// the `//` / `/*` introducers).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Token classification, just fine-grained enough for the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the parser distinguishes keywords by text).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String / char / byte / numeric literal.
+    Literal,
+    /// `'lifetime` (including the quote).
+    Lifetime,
+    /// `// …` (also `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` (nesting folded into one token).
+    BlockComment,
+}
+
+impl Token {
+    /// True for comment trivia of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True for a `///` or `//!` doc comment.
+    pub fn is_doc_comment(&self) -> bool {
+        self.kind == TokenKind::LineComment
+            && (self.text.starts_with("///") || self.text.starts_with("//!"))
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs are
+/// consumed to end-of-file (the lint runs on a tree that `rustc` already
+/// accepts, so this only matters for fixtures).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if raw_string_start(b, i) => {
+                let start = i;
+                let start_line = line;
+                // Skip the `r` / `b` / `br` prefix and count `#`s.
+                let mut saw_r = false;
+                while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+                    saw_r |= b[i] == b'r';
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < b.len() {
+                    // Plain byte strings (`b"…"`) honor escapes; raw forms
+                    // (`r"…"`, `br#"…"#`) do not.
+                    if !saw_r && b[i] == b'\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i..].starts_with(&closer) {
+                        i += closer.len();
+                        break;
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'x'` / `'\n'` are chars; a
+                // quote followed by an identifier with no closing quote is
+                // a lifetime.
+                if is_char_literal(b, i) {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // `b"…"` / `b'…'` / `r"…"` prefixes were handled above, so a
+                // bare identifier here really is one.
+                toks.push(Token {
+                    kind: TokenKind::Ident,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Stop a `1..2` range from being eaten as one number.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Is position `i` (at `r` or `b`) the start of a raw/byte string literal?
+fn raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        saw_r |= b[j] == b'r';
+        j += 1;
+    }
+    if j >= b.len() {
+        return false;
+    }
+    if b[j] == b'"' {
+        // b"…" byte strings are handled here too (saw_r may be false).
+        return true;
+    }
+    saw_r && b[j] == b'#' // r#"…"# or br#"…"#
+}
+
+/// Is the `'` at `i` a char literal (as opposed to a lifetime)?
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true; // '\n', '\'', '\u{…}'
+    }
+    // 'x' — one char then a closing quote.
+    if i + 2 < b.len() && b[i + 2] == b'\'' {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let t = kinds("use core::sync::atomic::Ordering;");
+        assert_eq!(t[0], (TokenKind::Ident, "use".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "core".into()));
+        assert_eq!(t[2], (TokenKind::Punct, ":".into()));
+        assert!(t.iter().any(|(_, s)| s == "Ordering"));
+    }
+
+    #[test]
+    fn comments_survive_with_lines() {
+        let toks = lex("let a = 1; // SAFETY: fine\n/* block\ncomment */ let b = 2;");
+        let lc = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert!(lc.text.contains("SAFETY"));
+        assert_eq!(lc.line, 1);
+        let bc = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .unwrap();
+        assert_eq!(bc.line, 2);
+        let b_tok = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "Ordering::SeqCst // not a comment";"#);
+        assert!(toks.iter().all(|t| t.kind != TokenKind::LineComment));
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "Ordering"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let toks = lex(r##"let s = r#"un"balanced"#; let c = '\n'; fn f<'a>(x: &'a u8) {}"##);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text.starts_with("r#")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks.iter().any(|t| t.text == "fn"));
+    }
+}

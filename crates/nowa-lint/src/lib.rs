@@ -1,0 +1,98 @@
+//! nowa-lint: project-specific concurrency lints for the Nowa workspace.
+//!
+//! A self-contained (zero-dependency) static analysis pass that keeps
+//! three artifacts in lock-step: the shipping source, the cfg-twinned
+//! loom shims, and the DESIGN.md §7b memory-ordering audit. `rustc` and
+//! `clippy` cannot see any of these contracts — they are project
+//! conventions, not language rules — so this tool walks the workspace
+//! with a hand-rolled lexer and a small item model and enforces them:
+//!
+//! * **R1 ordering-audit-drift** — `Ordering::` sites ↔ §7b audit rows.
+//! * **R2 shim-discipline** — loom-shimmed modules never bypass
+//!   `crate::sync`.
+//! * **R3 cfg-twin parity** — twin arms export identical public surfaces.
+//! * **R4 safety-comments** — every `unsafe` carries its written contract.
+//! * **R5 hot-path hygiene** — `// lint: hot-path` fns never block or
+//!   allocate.
+//!
+//! Diagnostics print as `file:line: rule-id: message`. Suppressions are
+//! either inline (`// lint: allow(R2)` on or above the offending line) or
+//! reasoned entries in `nowa-lint.allow` at the workspace root; stale
+//! suppressions are themselves errors. See DESIGN.md §7c for the rule
+//! catalogue.
+
+pub mod allow;
+pub mod audit;
+pub mod diag;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use parse::FileModel;
+
+/// The parsed workspace: every `crates/*/src/**/*.rs` plus the §7b audit.
+pub struct Workspace {
+    pub files: Vec<FileModel>,
+    pub audit: audit::Audit,
+}
+
+impl Workspace {
+    /// Loads and parses the workspace rooted at `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rs_files: Vec<PathBuf> = Vec::new();
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for dir in crate_dirs {
+                let src = dir.join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut rs_files)?;
+                }
+            }
+        }
+        rs_files.sort();
+
+        let mut files = Vec::with_capacity(rs_files.len());
+        for p in rs_files {
+            let text = fs::read_to_string(&p)?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(FileModel::parse(&rel, &text));
+        }
+
+        let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+        let audit = audit::parse("DESIGN.md", &design);
+        Ok(Workspace { files, audit })
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule, applies the allowlist, and returns sorted diagnostics.
+pub fn run_lint(ws: &Workspace, allowlist: &allow::Allowlist) -> Vec<diag::Diagnostic> {
+    let raw = rules::run_all(ws);
+    let mut out = allowlist.apply(raw);
+    diag::sort(&mut out);
+    out
+}

@@ -1,0 +1,1042 @@
+//! A lightweight item/scope model over the token stream.
+//!
+//! One linear scan with a scope stack recovers everything the rules need:
+//! which function encloses each line, which code is `#[cfg(test)]`, where
+//! the `unsafe` sites are, where `Ordering::X` is mentioned, which items a
+//! module exports under which `cfg`, and which lines carry lint markers.
+//! It is deliberately *not* a full parser — the input already compiles
+//! under `rustc`, so the model only has to be right about the shapes that
+//! actually occur (and the fixture tests pin those).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Atomic `Ordering` variants — used to tell `sync::atomic::Ordering::X`
+/// apart from `cmp::Ordering::Less` and friends.
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// A `Ordering::<variant>` mention in code.
+#[derive(Debug, Clone)]
+pub struct OrderingSite {
+    pub line: u32,
+    pub variant: String,
+    /// Innermost enclosing function, if any.
+    pub enclosing_fn: Option<String>,
+    pub in_test: bool,
+}
+
+/// A direct `std::sync::atomic` / `core::sync::atomic` /
+/// `std::sync::{Mutex,RwLock,Condvar}` reference (import or inline path).
+#[derive(Debug, Clone)]
+pub struct AtomicPathSite {
+    pub line: u32,
+    /// The offending path prefix, e.g. `std::sync::atomic`.
+    pub path: String,
+    pub in_test: bool,
+}
+
+/// Kind of an `unsafe` site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+/// An `unsafe` block, fn, impl or trait.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+    pub kind: UnsafeKind,
+    /// Name, for fns/impls/traits.
+    pub name: Option<String>,
+    /// For blocks: the innermost enclosing fn, if any.
+    pub enclosing_fn: Option<String>,
+    /// For blocks: true when lexically inside an `unsafe fn`'s body.
+    pub inside_unsafe_fn: bool,
+    pub in_test: bool,
+}
+
+/// A parsed function.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Inclusive body line span; `None` for bodyless signatures.
+    pub body: Option<(u32, u32)>,
+    /// Normalized signature: qualifiers + parameter *types* + return/where
+    /// tokens, whitespace-collapsed. Parameter names are dropped so twin
+    /// arms may name (or `_`) their parameters differently.
+    pub sig: String,
+    pub is_unsafe: bool,
+    pub in_test: bool,
+    /// `// lint: hot-path` marker in the comment block above the fn.
+    pub hot_path: bool,
+    /// `/// # Safety` doc section or adjacent `// SAFETY:` comment.
+    pub has_safety_comment: bool,
+    /// Attributes attached to the fn (full bracket text, spaces stripped).
+    pub attrs: Vec<String>,
+    /// Attributes inherited from enclosing `mod` scopes (e.g. a module-wide
+    /// `#[allow(clippy::missing_safety_doc)]`).
+    pub scope_attrs: Vec<String>,
+    /// Names of enclosing `mod` scopes, outermost first.
+    pub mod_path: Vec<String>,
+}
+
+/// Kind of a module-level item (for cfg-twin comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Struct,
+    Enum,
+    Trait,
+    TypeAlias,
+    Const,
+    Static,
+    Use,
+    Mod,
+}
+
+/// A module-level item (top level, or one level inside a `mod`).
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Declared name; for `use` items, the list of leaf names bound.
+    pub names: Vec<String>,
+    pub line: u32,
+    pub attrs: Vec<String>,
+    /// `pub`, `pub(crate)`, `pub(super)`, or "" for private.
+    pub vis: String,
+    /// Enclosing `mod` names, outermost first (empty at file top level).
+    pub mod_path: Vec<String>,
+    /// For fns: index into [`FileModel::fns`].
+    pub fn_index: Option<usize>,
+    /// Effective `[cfg(…)]` attributes: the item's own plus those inherited
+    /// from enclosing `mod`s (a mod-twin's items inherit the twin's cfg).
+    pub cfgs: Vec<String>,
+    /// For `use` items: the flattened path text, e.g. `imp::{a,b}`.
+    pub use_path: Option<String>,
+}
+
+/// The per-file model all rules consume.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, as printed in diagnostics.
+    pub rel_path: String,
+    /// Raw source lines (0-indexed storage; line N is `lines[N-1]`).
+    pub lines: Vec<String>,
+    pub fns: Vec<FnItem>,
+    pub items: Vec<Item>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub ordering_sites: Vec<OrderingSite>,
+    pub atomic_paths: Vec<AtomicPathSite>,
+    /// File-level inner attributes (`#![…]`, spaces stripped).
+    pub inner_attrs: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Scope {
+    Mod {
+        name: String,
+        is_test: bool,
+        attrs: Vec<String>,
+    },
+    Fn {
+        index: usize,
+        is_unsafe: bool,
+        is_test: bool,
+    },
+    Impl,
+    Other,
+}
+
+impl FileModel {
+    /// Parses `src`, labeling diagnostics with `rel_path`.
+    pub fn parse(rel_path: &str, src: &str) -> FileModel {
+        let tokens = lex(src);
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let mut m = FileModel {
+            rel_path: rel_path.to_string(),
+            lines,
+            fns: Vec::new(),
+            items: Vec::new(),
+            unsafe_sites: Vec::new(),
+            ordering_sites: Vec::new(),
+            atomic_paths: Vec::new(),
+            inner_attrs: Vec::new(),
+        };
+        m.scan(&tokens);
+        m
+    }
+
+    /// Is any part of the scope stack test-only?
+    fn stack_in_test(stack: &[Scope]) -> bool {
+        stack.iter().any(|s| match s {
+            Scope::Mod { is_test, .. } => *is_test,
+            Scope::Fn { is_test, .. } => *is_test,
+            Scope::Impl | Scope::Other => false,
+        })
+    }
+
+    fn innermost_fn(stack: &[Scope], fns: &[FnItem]) -> Option<String> {
+        stack.iter().rev().find_map(|s| match s {
+            Scope::Fn { index, .. } => Some(fns[*index].name.clone()),
+            _ => None,
+        })
+    }
+
+    fn inside_unsafe_fn(stack: &[Scope]) -> bool {
+        stack
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Scope::Fn { is_unsafe, .. } => Some(*is_unsafe),
+                _ => None,
+            })
+            .unwrap_or(false)
+    }
+
+    fn mod_path(stack: &[Scope]) -> Vec<String> {
+        stack
+            .iter()
+            .filter_map(|s| match s {
+                Scope::Mod { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Attributes inherited from enclosing `mod` scopes, outermost first.
+    fn inherited_attrs(stack: &[Scope]) -> Vec<String> {
+        stack
+            .iter()
+            .flat_map(|s| match s {
+                Scope::Mod { attrs, .. } => attrs.clone(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Effective cfg attributes for an item: inherited mod cfgs + its own.
+    fn cfgs_of(own: &[String], stack: &[Scope]) -> Vec<String> {
+        Self::inherited_attrs(stack)
+            .into_iter()
+            .chain(own.iter().cloned())
+            .filter(|a| a.starts_with("[cfg("))
+            .collect()
+    }
+
+    /// True when the scanner sits at module-item position: every enclosing
+    /// scope is a `mod` (so impl methods, trait members and statements in
+    /// fn bodies are not mistaken for module items).
+    fn item_position(stack: &[Scope]) -> bool {
+        stack.iter().all(|s| matches!(s, Scope::Mod { .. }))
+    }
+
+    fn scan(&mut self, tokens: &[Token]) {
+        // Indices of non-comment tokens; comments are consulted by line.
+        let nc: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let tok = |p: usize| -> Option<&Token> { nc.get(p).map(|&i| &tokens[i]) };
+        let text = |p: usize| -> &str { tok(p).map(|t| t.text.as_str()).unwrap_or("") };
+
+        let mut stack: Vec<Scope> = Vec::new();
+        // Scope kind to assign to the next `{`.
+        let mut pending: Option<Scope> = None;
+        // Attributes accumulated since the last item/statement boundary.
+        let mut pending_attrs: Vec<String> = Vec::new();
+
+        let mut p = 0usize;
+        while p < nc.len() {
+            let t = tok(p).unwrap();
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "#") => {
+                    // #[…] or #![…]: consume the balanced bracket group.
+                    let mut q = p + 1;
+                    let inner = text(q) == "!";
+                    if inner {
+                        q += 1;
+                    }
+                    if text(q) == "[" {
+                        let mut depth = 0usize;
+                        let start = q;
+                        while q < nc.len() {
+                            match text(q) {
+                                "[" => depth += 1,
+                                "]" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            q += 1;
+                        }
+                        let attr: String = (start..=q.min(nc.len().saturating_sub(1)))
+                            .map(text)
+                            .collect::<Vec<_>>()
+                            .concat();
+                        if inner {
+                            self.inner_attrs.push(attr);
+                        } else {
+                            pending_attrs.push(attr);
+                        }
+                        p = q + 1;
+                        continue;
+                    }
+                    p += 1;
+                }
+                (TokenKind::Ident, "macro_rules") => {
+                    // macro_rules! name { … } — skip the whole definition;
+                    // its body is token soup, not items.
+                    let mut q = p;
+                    while q < nc.len() && text(q) != "{" {
+                        q += 1;
+                    }
+                    let mut depth = 0usize;
+                    while q < nc.len() {
+                        match text(q) {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        q += 1;
+                    }
+                    pending_attrs.clear();
+                    p = q + 1;
+                }
+                (TokenKind::Ident, "mod") => {
+                    let name = text(p + 1).to_string();
+                    let is_test = pending_attrs.iter().any(|a| a.contains("cfg(test)"))
+                        || Self::stack_in_test(&stack);
+                    if Self::item_position(&stack) {
+                        self.items.push(Item {
+                            kind: ItemKind::Mod,
+                            names: vec![name.clone()],
+                            line: t.line,
+                            attrs: pending_attrs.clone(),
+                            vis: Self::recent_vis(tokens, &nc, p),
+                            mod_path: Self::mod_path(&stack),
+                            fn_index: None,
+                            cfgs: Self::cfgs_of(&pending_attrs, &stack),
+                            use_path: None,
+                        });
+                    }
+                    if text(p + 2) == "{" {
+                        pending = Some(Scope::Mod {
+                            name,
+                            is_test,
+                            attrs: pending_attrs.clone(),
+                        });
+                        p += 2; // land on `{`, handled below
+                    } else {
+                        p += 3; // `mod name;`
+                    }
+                    pending_attrs.clear();
+                }
+                (TokenKind::Ident, "use") => {
+                    // Consume to `;`, recording bound leaf names and any
+                    // shim-bypassing path mention.
+                    let start_line = t.line;
+                    let mut q = p + 1;
+                    let mut path_tokens: Vec<String> = Vec::new();
+                    while q < nc.len() && text(q) != ";" {
+                        path_tokens.push(text(q).to_string());
+                        q += 1;
+                    }
+                    let joined = path_tokens.concat();
+                    self.record_atomic_paths(&joined, start_line, Self::stack_in_test(&stack));
+                    if Self::item_position(&stack) {
+                        self.items.push(Item {
+                            kind: ItemKind::Use,
+                            names: use_leaf_names(&path_tokens),
+                            line: start_line,
+                            attrs: pending_attrs.clone(),
+                            vis: Self::recent_vis(tokens, &nc, p),
+                            mod_path: Self::mod_path(&stack),
+                            fn_index: None,
+                            cfgs: Self::cfgs_of(&pending_attrs, &stack),
+                            use_path: Some(joined.clone()),
+                        });
+                    }
+                    pending_attrs.clear();
+                    p = q + 1;
+                }
+                (TokenKind::Ident, "fn")
+                    if tok(p + 1).map(|t| t.kind) == Some(TokenKind::Ident) =>
+                {
+                    let (item, body_open) = self.parse_fn(tokens, &nc, p, &stack, &pending_attrs);
+                    let is_unsafe = item.is_unsafe;
+                    let is_test = item.in_test;
+                    let fn_line = item.line;
+                    self.fns.push(item);
+                    let index = self.fns.len() - 1;
+                    if Self::item_position(&stack) {
+                        self.items.push(Item {
+                            kind: ItemKind::Fn,
+                            names: vec![self.fns[index].name.clone()],
+                            line: fn_line,
+                            attrs: pending_attrs.clone(),
+                            vis: Self::recent_vis(tokens, &nc, p),
+                            mod_path: Self::mod_path(&stack),
+                            fn_index: Some(index),
+                            cfgs: Self::cfgs_of(&pending_attrs, &stack),
+                            use_path: None,
+                        });
+                    }
+                    pending_attrs.clear();
+                    match body_open {
+                        Some(open_p) => {
+                            pending = Some(Scope::Fn {
+                                index,
+                                is_unsafe,
+                                is_test,
+                            });
+                            p = open_p; // land on `{`
+                        }
+                        None => {
+                            // Signature only (trait method): already past `;`.
+                            p = self.after_fn_header(&nc, tokens, p);
+                        }
+                    }
+                }
+                (
+                    TokenKind::Ident,
+                    kw @ ("struct" | "enum" | "trait" | "union" | "type" | "static" | "const"),
+                ) if tok(p + 1).map(|t| t.kind) == Some(TokenKind::Ident)
+                    && text(p + 1) != "fn" =>
+                {
+                    let name = text(p + 1).to_string();
+                    let kind = match kw {
+                        "struct" => ItemKind::Struct,
+                        "enum" => ItemKind::Enum,
+                        "trait" => ItemKind::Trait,
+                        "type" => ItemKind::TypeAlias,
+                        "static" => ItemKind::Static,
+                        _ => ItemKind::Const,
+                    };
+                    if Self::item_position(&stack) {
+                        self.items.push(Item {
+                            kind,
+                            names: vec![name],
+                            line: t.line,
+                            attrs: pending_attrs.clone(),
+                            vis: Self::recent_vis(tokens, &nc, p),
+                            mod_path: Self::mod_path(&stack),
+                            fn_index: None,
+                            cfgs: Self::cfgs_of(&pending_attrs, &stack),
+                            use_path: None,
+                        });
+                    }
+                    pending_attrs.clear();
+                    p += 1;
+                }
+                (TokenKind::Ident, "impl") if Self::item_position(&stack) => {
+                    // The next `{` opens the impl body: its methods are not
+                    // module items.
+                    pending = Some(Scope::Impl);
+                    p += 1;
+                }
+                (TokenKind::Ident, "unsafe") => {
+                    let next = text(p + 1);
+                    if next == "{" {
+                        self.unsafe_sites.push(UnsafeSite {
+                            line: t.line,
+                            kind: UnsafeKind::Block,
+                            name: None,
+                            enclosing_fn: Self::innermost_fn(&stack, &self.fns),
+                            inside_unsafe_fn: Self::inside_unsafe_fn(&stack),
+                            in_test: Self::stack_in_test(&stack),
+                        });
+                    } else if next == "impl" {
+                        let name = (p + 2..p + 8)
+                            .map(text)
+                            .find(|s| {
+                                !s.is_empty()
+                                    && s.chars()
+                                        .next()
+                                        .is_some_and(|c| c.is_alphabetic() || c == '_')
+                                    && !matches!(*s, "impl" | "for" | "unsafe")
+                            })
+                            .map(|s| s.to_string());
+                        self.unsafe_sites.push(UnsafeSite {
+                            line: t.line,
+                            kind: UnsafeKind::Impl,
+                            name,
+                            enclosing_fn: None,
+                            inside_unsafe_fn: false,
+                            in_test: Self::stack_in_test(&stack),
+                        });
+                    } else if next == "trait" {
+                        self.unsafe_sites.push(UnsafeSite {
+                            line: t.line,
+                            kind: UnsafeKind::Trait,
+                            name: Some(text(p + 2).to_string()),
+                            enclosing_fn: None,
+                            inside_unsafe_fn: false,
+                            in_test: Self::stack_in_test(&stack),
+                        });
+                    }
+                    // `unsafe fn` / `unsafe extern "C" fn` are recorded when
+                    // the scan reaches the `fn` token itself.
+                    p += 1;
+                }
+                (TokenKind::Ident, "Ordering") if text(p + 1) == ":" && text(p + 2) == ":" => {
+                    let variant = text(p + 3).to_string();
+                    if ATOMIC_ORDERINGS.contains(&variant.as_str()) {
+                        self.ordering_sites.push(OrderingSite {
+                            line: t.line,
+                            variant,
+                            enclosing_fn: Self::innermost_fn(&stack, &self.fns),
+                            in_test: Self::stack_in_test(&stack),
+                        });
+                    }
+                    p += 4;
+                }
+                (TokenKind::Ident, root @ ("std" | "core")) if text(p + 1) == ":" => {
+                    // Inline qualified paths: std::sync::atomic::…,
+                    // std::sync::Mutex::… (imports are caught in `use`).
+                    let span: String = (p..p + 9).map(text).collect::<Vec<_>>().concat();
+                    let in_test = Self::stack_in_test(&stack);
+                    if span.starts_with(&format!("{root}::sync::atomic")) {
+                        self.atomic_paths.push(AtomicPathSite {
+                            line: t.line,
+                            path: format!("{root}::sync::atomic"),
+                            in_test,
+                        });
+                    } else {
+                        for prim in ["Mutex", "RwLock", "Condvar"] {
+                            if span.starts_with(&format!("{root}::sync::{prim}")) {
+                                self.atomic_paths.push(AtomicPathSite {
+                                    line: t.line,
+                                    path: format!("{root}::sync::{prim}"),
+                                    in_test,
+                                });
+                            }
+                        }
+                    }
+                    p += 1;
+                }
+                (TokenKind::Punct, "{") => {
+                    stack.push(pending.take().unwrap_or(Scope::Other));
+                    p += 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    if let Some(Scope::Fn { index, .. }) = stack.last() {
+                        let end = t.line;
+                        let fnd = &mut self.fns[*index];
+                        if let Some((start, _)) = fnd.body {
+                            fnd.body = Some((start, end));
+                        }
+                    }
+                    stack.pop();
+                    p += 1;
+                }
+                (TokenKind::Punct, ";") => {
+                    pending_attrs.clear();
+                    p += 1;
+                }
+                _ => p += 1,
+            }
+        }
+    }
+
+    /// Records shim-bypassing prefixes found in a flattened `use` path.
+    fn record_atomic_paths(&mut self, joined: &str, line: u32, in_test: bool) {
+        for root in ["std", "core"] {
+            let atomic = format!("{root}::sync::atomic");
+            if joined.contains(&atomic) {
+                self.atomic_paths.push(AtomicPathSite {
+                    line,
+                    path: atomic,
+                    in_test,
+                });
+            }
+            for prim in ["Mutex", "RwLock", "Condvar"] {
+                let path = format!("{root}::sync::{prim}");
+                // Match both `use std::sync::Mutex` and `use std::sync::{Mutex, …}`.
+                let braced_root = format!("{root}::sync::{{");
+                let hit = joined.contains(&path)
+                    || (joined.contains(&braced_root)
+                        && joined.split_once(&braced_root).is_some_and(|(_, rest)| {
+                            rest.split('}')
+                                .next()
+                                .is_some_and(|inner| inner.split(',').any(|n| n.trim() == prim))
+                        }));
+                if hit {
+                    self.atomic_paths.push(AtomicPathSite {
+                        line,
+                        path,
+                        in_test,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Visibility tokens directly before item position `p` (walks back over
+    /// qualifier tokens).
+    fn recent_vis(tokens: &[Token], nc: &[usize], p: usize) -> String {
+        let mut vis = String::new();
+        let mut q = p;
+        let txt = |q: usize| -> &str { nc.get(q).map(|&i| tokens[i].text.as_str()).unwrap_or("") };
+        // Walk back over: fn/struct/… keyword qualifiers and pub(...).
+        while q > 0 {
+            q -= 1;
+            match txt(q) {
+                "unsafe" | "const" | "async" | "extern" | "\"C\"" | "\"C-unwind\"" => continue,
+                ")" => {
+                    // possibly the close of pub(crate)/pub(super)
+                    let mut r = q;
+                    while r > 0 && txt(r) != "(" {
+                        r -= 1;
+                    }
+                    if r > 0 && txt(r - 1) == "pub" {
+                        let inner: String = (r + 1..q).map(txt).collect::<Vec<_>>().join("");
+                        vis = format!("pub({inner})");
+                    }
+                    break;
+                }
+                "pub" => {
+                    if vis.is_empty() {
+                        vis = "pub".to_string();
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        vis
+    }
+
+    /// Parses a fn header at non-comment position `p` (the `fn` token).
+    /// Returns the item plus the nc-position of the body `{`, if any.
+    fn parse_fn(
+        &self,
+        tokens: &[Token],
+        nc: &[usize],
+        p: usize,
+        stack: &[Scope],
+        pending_attrs: &[String],
+    ) -> (FnItem, Option<usize>) {
+        let txt = |q: usize| -> &str { nc.get(q).map(|&i| tokens[i].text.as_str()).unwrap_or("") };
+        let line_of = |q: usize| -> u32 { nc.get(q).map(|&i| tokens[i].line).unwrap_or(0) };
+        let name = txt(p + 1).to_string();
+        let fn_line = line_of(p);
+
+        // Backward walk for qualifiers.
+        let mut is_unsafe = false;
+        let mut quals: Vec<&str> = Vec::new();
+        let mut q = p;
+        while q > 0 {
+            q -= 1;
+            match txt(q) {
+                "unsafe" => {
+                    is_unsafe = true;
+                    quals.push("unsafe");
+                }
+                "const" => quals.push("const"),
+                "async" => quals.push("async"),
+                "extern" => quals.push("extern"),
+                s if s.starts_with('"') => quals.push("\"abi\""),
+                _ => break,
+            }
+        }
+        quals.reverse();
+
+        // Forward scan: find parameter parens, then the body `{` or `;`.
+        let mut q = p + 2;
+        let mut angle: i32 = 0;
+        // Generics before the parens.
+        while q < nc.len() {
+            match txt(q) {
+                "<" => angle += 1,
+                ">" if txt(q.wrapping_sub(1)) != "-" => angle -= 1,
+                "(" if angle <= 0 => break,
+                _ => {}
+            }
+            q += 1;
+        }
+        let params_open = q;
+        let mut depth = 0usize;
+        while q < nc.len() {
+            match txt(q) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        let params_close = q;
+
+        // Normalize parameters to their types.
+        let mut param_types: Vec<String> = Vec::new();
+        {
+            let mut cur: Vec<String> = Vec::new();
+            let mut d_paren = 0i32;
+            let mut d_angle = 0i32;
+            let mut d_brack = 0i32;
+            let flush = |cur: &mut Vec<String>, out: &mut Vec<String>| {
+                if cur.is_empty() {
+                    return;
+                }
+                let joined = cur.join(" ");
+                // Drop the pattern before the first top-level `:` (keeping
+                // `self` receivers whole; `::` never appears at the start
+                // of a parameter's type position in this codebase).
+                let ty = match joined.find(':') {
+                    Some(i) if !joined[i + 1..].starts_with(':') => joined[i + 1..].to_string(),
+                    _ => joined,
+                };
+                out.push(normalize_ws(&ty));
+                cur.clear();
+            };
+            for r in params_open + 1..params_close {
+                let s = txt(r);
+                match s {
+                    "(" => d_paren += 1,
+                    ")" => d_paren -= 1,
+                    "<" => d_angle += 1,
+                    ">" if txt(r.wrapping_sub(1)) != "-" => d_angle -= 1,
+                    "[" => d_brack += 1,
+                    "]" => d_brack -= 1,
+                    "," if d_paren == 0 && d_angle <= 0 && d_brack == 0 => {
+                        flush(&mut cur, &mut param_types);
+                        continue;
+                    }
+                    _ => {}
+                }
+                cur.push(s.to_string());
+            }
+            flush(&mut cur, &mut param_types);
+        }
+
+        // Return type / where clause tokens up to the body.
+        let mut tail: Vec<String> = Vec::new();
+        let mut q = params_close + 1;
+        let mut body_open = None;
+        while q < nc.len() {
+            match txt(q) {
+                "{" => {
+                    body_open = Some(q);
+                    break;
+                }
+                ";" => break,
+                s => tail.push(s.to_string()),
+            }
+            q += 1;
+        }
+
+        let sig = normalize_ws(&format!(
+            "{} fn({}) {}",
+            quals.join(" "),
+            param_types.join(", "),
+            tail.join(" ")
+        ));
+
+        let in_test = Self::stack_in_test(stack)
+            || pending_attrs
+                .iter()
+                .any(|a| a == "[test]" || a.contains("[test]"));
+        let (hot_path, safety_above) = self.fn_markers(fn_line, pending_attrs);
+        let body = body_open.map(|b| (line_of(b), line_of(b))); // end patched at `}`
+
+        (
+            FnItem {
+                name,
+                line: fn_line,
+                body,
+                sig,
+                is_unsafe,
+                in_test,
+                hot_path,
+                has_safety_comment: safety_above,
+                attrs: pending_attrs.to_vec(),
+                scope_attrs: Self::inherited_attrs(stack),
+                mod_path: Self::mod_path(stack),
+            },
+            body_open,
+        )
+    }
+
+    /// nc-position just past a bodyless fn header's `;`.
+    fn after_fn_header(&self, nc: &[usize], tokens: &[Token], p: usize) -> usize {
+        let txt = |q: usize| -> &str { nc.get(q).map(|&i| tokens[i].text.as_str()).unwrap_or("") };
+        let mut q = p;
+        let mut depth = 0i32;
+        while q < nc.len() {
+            match txt(q) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => return q + 1,
+                "{" => return q, // default body; let the main loop handle it
+                _ => {}
+            }
+            q += 1;
+        }
+        q
+    }
+
+    /// (hot_path, safety) markers from the comment block directly above
+    /// `fn_line` (doc comments, line comments and attribute lines form one
+    /// contiguous block).
+    fn fn_markers(&self, fn_line: u32, _attrs: &[String]) -> (bool, bool) {
+        let block = self.comment_block_above(fn_line);
+        let hot = block.iter().any(|l| l.contains("lint: hot-path"));
+        let safety = block
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+        (hot, safety)
+    }
+
+    /// The contiguous run of comment/attribute lines directly above `line`
+    /// (1-based), top-down order.
+    pub fn comment_block_above(&self, line: u32) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let Some(raw) = self.lines.get((l - 1) as usize) else {
+                break;
+            };
+            let t = raw.trim_start();
+            if t.starts_with("//")
+                || t.starts_with("#[")
+                || t.starts_with("#!")
+                || t.starts_with("*")
+                || t.starts_with("/*")
+            {
+                out.push(t);
+                l -= 1;
+            } else {
+                break;
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// True if `line` (1-based) itself, or the comment block directly above
+    /// it, contains `needle`.
+    pub fn line_or_block_above_contains(&self, line: u32, needle: &str) -> bool {
+        if let Some(raw) = self.lines.get((line - 1) as usize) {
+            if let Some(pos) = raw.find("//") {
+                if raw[pos..].contains(needle) {
+                    return true;
+                }
+            }
+        }
+        self.comment_block_above(line)
+            .iter()
+            .any(|l| l.contains(needle))
+    }
+
+    /// Inline suppression: `// lint: allow(Rn[, …])` on the line or in the
+    /// comment block directly above it.
+    pub fn allowed_inline(&self, rule: &str, line: u32) -> bool {
+        let check = |s: &str| -> bool {
+            s.find("lint: allow(").is_some_and(|i| {
+                s[i..]
+                    .split_once('(')
+                    .and_then(|(_, rest)| rest.split_once(')'))
+                    .is_some_and(|(inner, _)| {
+                        inner
+                            .split(',')
+                            .any(|r| r.trim().eq_ignore_ascii_case(rule))
+                    })
+            })
+        };
+        if let Some(raw) = self.lines.get((line - 1) as usize) {
+            if let Some(pos) = raw.find("//") {
+                if check(&raw[pos..]) {
+                    return true;
+                }
+            }
+        }
+        self.comment_block_above(line).iter().any(|l| check(l))
+    }
+
+    /// All fn names (lowercased) defined in this file.
+    pub fn fn_names_lower(&self) -> std::collections::HashSet<String> {
+        self.fns.iter().map(|f| f.name.to_lowercase()).collect()
+    }
+
+    /// Non-test `Ordering::` sites inside the named fn (case-insensitive).
+    pub fn ordering_sites_in_fn(&self, fn_name_lower: &str) -> usize {
+        self.ordering_sites
+            .iter()
+            .filter(|s| {
+                !s.in_test
+                    && s.enclosing_fn
+                        .as_deref()
+                        .is_some_and(|f| f.to_lowercase() == fn_name_lower)
+            })
+            .count()
+    }
+}
+
+/// Collapses whitespace runs to single spaces and trims.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Leaf names bound by a `use` path, from its token list (`use` and the
+/// trailing `;` excluded), e.g. `core::sync::atomic::{AtomicU64, Ordering}`
+/// → [AtomicU64, Ordering]; `x::y as z` → [z]; globs → ["*"].
+fn use_leaf_names(toks: &[String]) -> Vec<String> {
+    // Split into groups at top-level-of-brace commas; each group's bound
+    // name is the token after `as` if present, else its last ident/`*`.
+    let mut names = Vec::new();
+    let mut group: Vec<&str> = Vec::new();
+    let flush = |group: &mut Vec<&str>, names: &mut Vec<String>| {
+        if group.is_empty() {
+            return;
+        }
+        let name = group
+            .iter()
+            .position(|&s| s == "as")
+            .and_then(|i| group.get(i + 1).copied())
+            .or_else(|| {
+                group
+                    .iter()
+                    .rev()
+                    .find(|s| {
+                        **s == "*"
+                            || s.chars()
+                                .next()
+                                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    })
+                    .copied()
+            });
+        if let Some(n) = name {
+            names.push(n.to_string());
+        }
+        group.clear();
+    };
+    for s in toks {
+        match s.as_str() {
+            // A `{` means the tokens so far were a path prefix — they bind
+            // nothing themselves.
+            "{" => group.clear(),
+            "}" | "," => flush(&mut group, &mut names),
+            _ => group.push(s.as_str()),
+        }
+    }
+    flush(&mut group, &mut names);
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+use core::sync::atomic::{AtomicU64, Ordering};
+
+pub struct S { x: u64 }
+
+impl S {
+    /// Docs.
+    // lint: hot-path
+    #[inline]
+    pub fn load_it(&self) -> u64 {
+        self.inner.load(Ordering::Acquire)
+    }
+
+    /// # Safety
+    /// Caller must hold the lock.
+    pub unsafe fn dangerous(&self, p: *mut u64) {
+        unsafe { *p = 1 };
+    }
+}
+
+pub fn free_standing(x: u64) -> u64 {
+    // SAFETY: x is valid by construction.
+    let y = unsafe { core::mem::transmute::<u64, u64>(x) };
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn t() {
+        let _ = Ordering::SeqCst;
+    }
+}
+"#;
+
+    #[test]
+    fn model_basics() {
+        let m = FileModel::parse("fixture.rs", SRC);
+        assert!(m
+            .atomic_paths
+            .iter()
+            .any(|a| a.path == "core::sync::atomic"));
+        let load = m.fns.iter().find(|f| f.name == "load_it").unwrap();
+        assert!(load.hot_path);
+        assert!(!load.in_test);
+        let dang = m.fns.iter().find(|f| f.name == "dangerous").unwrap();
+        assert!(dang.is_unsafe);
+        assert!(dang.has_safety_comment);
+        let sites: Vec<_> = m.ordering_sites.iter().filter(|s| !s.in_test).collect();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].enclosing_fn.as_deref(), Some("load_it"));
+        let test_sites: Vec<_> = m.ordering_sites.iter().filter(|s| s.in_test).collect();
+        assert_eq!(test_sites.len(), 1);
+        // unsafe block inside documented unsafe fn + one in a safe fn
+        assert_eq!(m.unsafe_sites.len(), 2);
+        let in_safe = m
+            .unsafe_sites
+            .iter()
+            .find(|u| u.enclosing_fn.as_deref() == Some("free_standing"))
+            .unwrap();
+        assert!(!in_safe.inside_unsafe_fn);
+        assert!(m.line_or_block_above_contains(in_safe.line, "SAFETY:"));
+    }
+
+    #[test]
+    fn use_names_and_vis() {
+        let m = FileModel::parse(
+            "f.rs",
+            "pub(crate) use core::sync::atomic::{AtomicU64, Ordering};\npub use x::y as z;\n",
+        );
+        let uses: Vec<_> = m.items.iter().filter(|i| i.kind == ItemKind::Use).collect();
+        assert_eq!(uses[0].names, vec!["AtomicU64", "Ordering"]);
+        assert_eq!(uses[0].vis, "pub(crate)");
+        assert_eq!(uses[1].names, vec!["z"]);
+    }
+
+    #[test]
+    fn signature_normalization_ignores_param_names() {
+        let a = FileModel::parse(
+            "a.rs",
+            "pub(crate) unsafe fn f(worker: *mut Worker) -> bool { false }",
+        );
+        let b = FileModel::parse(
+            "b.rs",
+            "pub(crate) unsafe fn f(_: *mut Worker) -> bool { false }",
+        );
+        assert_eq!(a.fns[0].sig, b.fns[0].sig);
+        let c = FileModel::parse(
+            "c.rs",
+            "pub(crate) unsafe fn f(_: *const Worker) -> bool { false }",
+        );
+        assert_ne!(a.fns[0].sig, c.fns[0].sig);
+    }
+}

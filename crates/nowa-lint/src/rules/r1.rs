@@ -1,0 +1,125 @@
+//! R1 — ordering-audit-drift.
+//!
+//! Forward: every non-test `Ordering::` site in the audited crates must be
+//! covered by a DESIGN.md §7b row anchored to its file and enclosing fn
+//! (or carry an `// ordering:` comment at the site). Backward: every audit
+//! row's fn anchor must still bind to at least one live non-test site —
+//! a row describing code that no longer exists is drift in the other
+//! direction. Structural problems in the audit document itself (rows the
+//! parser cannot anchor) are also reported here.
+
+use crate::audit::anchor_matches;
+use crate::diag::Diagnostic;
+use crate::rules::{in_scope, AUDIT_SCOPE};
+use crate::Workspace;
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = ws.audit.errors.clone();
+
+    // Forward: code → audit.
+    for f in ws
+        .files
+        .iter()
+        .filter(|f| in_scope(&f.rel_path, AUDIT_SCOPE))
+    {
+        for s in f.ordering_sites.iter().filter(|s| !s.in_test) {
+            if f.allowed_inline("R1", s.line) || f.line_or_block_above_contains(s.line, "ordering:")
+            {
+                continue;
+            }
+            let fn_lower = s.enclosing_fn.as_deref().map(|n| n.to_lowercase());
+            let covered = ws.audit.entries.iter().any(|e| {
+                e.covers_path(&f.rel_path)
+                    && (e.blanket || fn_lower.as_deref().is_some_and(|fl| e.anchors_fn(fl)))
+            });
+            if !covered {
+                let place = match s.enclosing_fn.as_deref() {
+                    Some(name) => format!("in fn `{name}`"),
+                    None => "at module scope".to_string(),
+                };
+                out.push(
+                    Diagnostic::new(
+                        &f.rel_path,
+                        s.line,
+                        "R1",
+                        format!(
+                            "`Ordering::{}` {place} is not covered by the DESIGN.md \
+                             §7b audit — add an anchored row (or an `// ordering:` \
+                             comment at the site)",
+                            s.variant
+                        ),
+                    )
+                    .in_fn(s.enclosing_fn.as_deref()),
+                );
+            }
+        }
+    }
+
+    // Backward: audit → code.
+    for e in &ws.audit.entries {
+        let files: Vec<_> = ws
+            .files
+            .iter()
+            .filter(|f| e.covers_path(&f.rel_path))
+            .collect();
+        if files.is_empty() {
+            out.push(Diagnostic::new(
+                &ws.audit.rel_path,
+                e.line,
+                "R1",
+                format!(
+                    "stale audit row `{}`: no source file matches `{}` in crate `{}`",
+                    e.site_text,
+                    e.files.join("`/`"),
+                    e.crate_name
+                ),
+            ));
+            continue;
+        }
+        if e.blanket {
+            let any = files
+                .iter()
+                .any(|f| f.ordering_sites.iter().any(|s| !s.in_test));
+            if !any {
+                out.push(Diagnostic::new(
+                    &ws.audit.rel_path,
+                    e.line,
+                    "R1",
+                    format!(
+                        "stale audit row `{}`: `{}` has no non-test `Ordering::` \
+                         site left to blanket",
+                        e.site_text,
+                        e.files.join("`/`")
+                    ),
+                ));
+            }
+            continue;
+        }
+        for a in &e.anchors {
+            let bound = files.iter().any(|f| {
+                f.ordering_sites.iter().any(|s| {
+                    !s.in_test
+                        && s.enclosing_fn
+                            .as_deref()
+                            .is_some_and(|n| anchor_matches(a, &n.to_lowercase()))
+                })
+            });
+            if !bound {
+                out.push(Diagnostic::new(
+                    &ws.audit.rel_path,
+                    e.line,
+                    "R1",
+                    format!(
+                        "stale audit row `{}`: anchor `{}` matches no non-test \
+                         `Ordering::` site in `{}`",
+                        e.site_text,
+                        a,
+                        e.files.join("`/`")
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}

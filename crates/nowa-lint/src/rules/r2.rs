@@ -1,0 +1,39 @@
+//! R2 — shim-discipline.
+//!
+//! Modules that were ported to the cfg-twinned loom shims must never name
+//! `std::sync::atomic` / `core::sync::atomic` / `std::sync::Mutex` (and
+//! friends) directly — a direct reference compiles fine but is invisible
+//! to the model checker, which silently weakens every model covering the
+//! module. This applies to test modules inside the file too: the shim
+//! types are `pub(crate)` and work there just as well, and keeping the
+//! whole file clean means a future refactor cannot move a bypassing
+//! import into modeled code unnoticed.
+
+use crate::diag::Diagnostic;
+use crate::rules::SHIM_MODULES;
+use crate::Workspace;
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !SHIM_MODULES.iter().any(|m| f.rel_path.ends_with(m)) {
+            continue;
+        }
+        for a in &f.atomic_paths {
+            if f.allowed_inline("R2", a.line) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                &f.rel_path,
+                a.line,
+                "R2",
+                format!(
+                    "direct `{}` reference in a loom-shimmed module — import it \
+                     from `crate::sync` so the model checker sees the access",
+                    a.path
+                ),
+            ));
+        }
+    }
+    out
+}

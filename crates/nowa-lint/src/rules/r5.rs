@@ -1,0 +1,76 @@
+//! R5 — hot-path hygiene.
+//!
+//! Functions annotated `// lint: hot-path` sit on the spawn/steal/join
+//! fast path, where a hidden allocation or lock defeats the wait-free
+//! design the paper measures. The rule scans their bodies for a fixed
+//! needle list of blocking/allocating calls. This is a *textual* check —
+//! a hand-rolled lexer cannot type-resolve a `.push(` receiver — so the
+//! needles are chosen to be rare outside their std meanings, and every
+//! hit can be suppressed with a reasoned allowlist entry (the THE deque's
+//! arbitration lock is the canonical example).
+
+use crate::diag::Diagnostic;
+use crate::Workspace;
+
+/// Blocking or allocating constructs banned from hot paths.
+const NEEDLES: &[&str] = &[
+    "Box::new",
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    ".push(",
+    "String::new",
+    "String::from",
+    ".to_string(",
+    ".to_owned(",
+    "format!",
+    "println!",
+    "eprintln!",
+    "print!(",
+    "eprint!(",
+    "HashMap::new",
+    "BTreeMap::new",
+    "thread::sleep",
+    ".lock(",
+    ".wait(",
+    ".join(",
+];
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        for fun in f.fns.iter().filter(|fun| fun.hot_path) {
+            let Some((start, end)) = fun.body else {
+                continue;
+            };
+            for line in start..=end {
+                let Some(raw) = f.lines.get((line - 1) as usize) else {
+                    break;
+                };
+                // Strip a trailing line comment (naive, but hot-path bodies
+                // do not put `//` inside string literals).
+                let code = raw.split("//").next().unwrap_or("");
+                for needle in NEEDLES {
+                    if code.contains(needle) && !f.allowed_inline("R5", line) {
+                        out.push(
+                            Diagnostic::new(
+                                &f.rel_path,
+                                line,
+                                "R5",
+                                format!(
+                                    "hot-path fn `{}` calls `{}` — blocking or \
+                                     allocating on the fast path (allowlist it \
+                                     with a reason if intentional)",
+                                    fun.name,
+                                    needle.trim_start_matches('.').trim_end_matches('('),
+                                ),
+                            )
+                            .in_fn(Some(&fun.name)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,18 @@
+//! R1 fail fixture: `sneak` performs an `Ordering::` access that no audit
+//! row anchors and no `// ordering:` comment explains.
+
+use crate::sync::{AtomicU64, Ordering};
+
+pub struct Fix {
+    slot: AtomicU64,
+}
+
+impl Fix {
+    pub fn publish(&self) {
+        self.slot.store(1, Ordering::Release);
+    }
+
+    pub fn sneak(&self) -> u64 {
+        self.slot.load(Ordering::SeqCst)
+    }
+}

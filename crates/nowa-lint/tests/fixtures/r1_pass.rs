@@ -1,0 +1,28 @@
+//! R1 pass fixture: the single `Ordering::` site is anchored by the
+//! fixture audit's `publish` row.
+
+use crate::sync::{AtomicU64, Ordering};
+
+pub struct Fix {
+    slot: AtomicU64,
+}
+
+impl Fix {
+    pub fn publish(&self) {
+        self.slot.store(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_sites_are_exempt() {
+        let f = Fix {
+            slot: AtomicU64::new(0),
+        };
+        f.publish();
+        assert_eq!(f.slot.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! R2 fail fixture: a shim-ported module reaching around `crate::sync`
+//! straight into `core::sync::atomic`, invisible to the loom models.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) {
+    // ordering: monotone fixture counter, never read for synchronisation.
+    x.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+//! R2 pass fixture: a shim-ported module taking its atomics from
+//! `crate::sync`, as the loom discipline requires.
+
+use crate::sync::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) {
+    // ordering: monotone fixture counter, never read for synchronisation.
+    x.fetch_add(1, Ordering::Relaxed);
+}

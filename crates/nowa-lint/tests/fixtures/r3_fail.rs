@@ -1,0 +1,22 @@
+//! R3 fail fixture: the trace arm grew a hook the no-op arm never got —
+//! the build breaks only with the feature off, i.e. in someone else's CI.
+
+#[cfg(feature = "trace")]
+mod imp {
+    pub(crate) fn on_spawn(worker: usize) {
+        let _ = worker;
+    }
+
+    pub(crate) fn on_steal(worker: usize, victim: usize) {
+        let _ = (worker, victim);
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    pub(crate) fn on_spawn(worker: usize) {
+        let _ = worker;
+    }
+}
+
+pub(crate) use imp::on_spawn;

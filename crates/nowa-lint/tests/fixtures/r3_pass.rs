@@ -1,0 +1,26 @@
+//! R3 pass fixture: both cfg-twin arms export the same public surface
+//! with identical signatures.
+
+#[cfg(feature = "trace")]
+mod imp {
+    pub(crate) fn on_spawn(worker: usize) {
+        let _ = worker;
+    }
+
+    pub(crate) fn on_steal(worker: usize, victim: usize) {
+        let _ = (worker, victim);
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    pub(crate) fn on_spawn(worker: usize) {
+        let _ = worker;
+    }
+
+    pub(crate) fn on_steal(worker: usize, victim: usize) {
+        let _ = (worker, victim);
+    }
+}
+
+pub(crate) use imp::{on_spawn, on_steal};

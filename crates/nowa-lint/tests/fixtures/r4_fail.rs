@@ -1,0 +1,15 @@
+//! R4 fail fixture: an undocumented unsafe fn, an uncommented unsafe
+//! block, and a bare unsafe impl.
+
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn caller() -> u8 {
+    let x = 7u8;
+    unsafe { read_byte(&x) }
+}
+
+pub struct Token(*mut u8);
+
+unsafe impl Send for Token {}

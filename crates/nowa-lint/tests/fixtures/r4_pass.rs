@@ -1,0 +1,21 @@
+//! R4 pass fixture: every unsafe construct carries its written contract.
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads of one byte.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: valid-for-reads per this function's contract.
+    unsafe { *p }
+}
+
+pub fn caller() -> u8 {
+    let x = 7u8;
+    // SAFETY: `&x` is a valid, live pointer.
+    unsafe { read_byte(&x) }
+}
+
+pub struct Token(*mut u8);
+
+// SAFETY: the pointee is never aliased across threads in this fixture.
+unsafe impl Send for Token {}

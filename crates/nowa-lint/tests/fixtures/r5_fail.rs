@@ -1,0 +1,6 @@
+//! R5 fail fixture: a hot-path fn that allocates.
+
+// lint: hot-path
+pub fn fast() -> Box<u64> {
+    Box::new(42)
+}

@@ -1,0 +1,15 @@
+//! R5 pass fixture: a hot-path fn that stays on atomics, plus an inline
+//! allow for a deliberate exception.
+
+use crate::sync::{AtomicU64, Ordering};
+
+// lint: hot-path
+pub fn fast(x: &AtomicU64) -> u64 {
+    // ordering: fixture counter.
+    x.fetch_add(1, Ordering::Relaxed)
+}
+
+// lint: hot-path
+pub fn fast_with_exception(items: &mut Vec<u64>) {
+    items.push(1); // lint: allow(R5) — fixture-sanctioned exception
+}

@@ -1,0 +1,229 @@
+//! Fixture tests: each rule must fire on its violating fixture and stay
+//! silent on the passing one. Fixtures are parsed under *mapped* paths
+//! (e.g. `crates/nowa-deque/src/cl.rs`) so the shipped scope configuration
+//! — shim module lists, audit scope, twin files — is what gets exercised,
+//! not a parallel test-only configuration.
+
+use nowa_lint::allow::Allowlist;
+use nowa_lint::audit;
+use nowa_lint::parse::FileModel;
+use nowa_lint::{run_lint, Workspace};
+
+fn workspace(files: &[(&str, &str)], audit_md: &str) -> Workspace {
+    Workspace {
+        files: files
+            .iter()
+            .map(|(path, text)| FileModel::parse(path, text))
+            .collect(),
+        audit: audit::parse("DESIGN.md", audit_md),
+    }
+}
+
+/// Diagnostics of one rule, with no allowlist in play.
+fn findings(ws: &Workspace, rule: &str) -> Vec<String> {
+    run_lint(ws, &Allowlist::default())
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.to_string())
+        .collect()
+}
+
+const AUDIT: &str = include_str!("fixtures/r1_audit.md");
+const AUDIT_STALE: &str = include_str!("fixtures/r1_audit_stale.md");
+
+#[test]
+fn r1_pass_fixture_is_clean() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/r1fix.rs",
+            include_str!("fixtures/r1_pass.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R1"), Vec::<String>::new());
+}
+
+#[test]
+fn r1_fires_on_unaudited_ordering_site() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/r1fix.rs",
+            include_str!("fixtures/r1_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let out = findings(&ws, "R1");
+    assert_eq!(out.len(), 1, "exactly the `sneak` site drifts: {out:?}");
+    assert!(out[0].contains("sneak"), "{out:?}");
+}
+
+#[test]
+fn r1_fires_on_stale_audit_anchor() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/r1fix.rs",
+            include_str!("fixtures/r1_pass.rs"),
+        )],
+        AUDIT_STALE,
+    );
+    let out = findings(&ws, "R1");
+    assert_eq!(out.len(), 1, "exactly the `ghost` row is stale: {out:?}");
+    assert!(out[0].contains("ghost"), "{out:?}");
+}
+
+#[test]
+fn r2_pass_fixture_is_clean() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/cl.rs",
+            include_str!("fixtures/r2_pass.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R2"), Vec::<String>::new());
+}
+
+#[test]
+fn r2_fires_on_direct_atomic_import_in_shim_module() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/cl.rs",
+            include_str!("fixtures/r2_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let out = findings(&ws, "R2");
+    assert!(!out.is_empty());
+    assert!(out[0].contains("core::sync::atomic"), "{out:?}");
+}
+
+#[test]
+fn r2_ignores_the_same_import_outside_shim_modules() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/stats.rs",
+            include_str!("fixtures/r2_fail.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R2"), Vec::<String>::new());
+}
+
+#[test]
+fn r3_pass_fixture_is_clean() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/obs.rs",
+            include_str!("fixtures/r3_pass.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R3"), Vec::<String>::new());
+}
+
+#[test]
+fn r3_fires_on_one_sided_twin_item() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/obs.rs",
+            include_str!("fixtures/r3_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let out = findings(&ws, "R3");
+    assert!(!out.is_empty());
+    assert!(out.iter().any(|d| d.contains("on_steal")), "{out:?}");
+}
+
+#[test]
+fn r4_pass_fixture_is_clean() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/fix4.rs",
+            include_str!("fixtures/r4_pass.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R4"), Vec::<String>::new());
+}
+
+#[test]
+fn r4_fires_on_undocumented_unsafe() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/fix4.rs",
+            include_str!("fixtures/r4_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let out = findings(&ws, "R4");
+    // The undocumented unsafe fn, the bare block in `caller`, and the
+    // bare `unsafe impl Send`. The block *inside* the unsafe fn is exempt
+    // (the fn-level contract covers it; rustc's own
+    // `unsafe_op_in_unsafe_fn` handles the mechanics).
+    assert_eq!(out.len(), 3, "{out:?}");
+}
+
+#[test]
+fn r4_ignores_files_outside_safety_scope() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/fix4.rs",
+            include_str!("fixtures/r4_fail.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R4"), Vec::<String>::new());
+}
+
+#[test]
+fn r5_pass_fixture_is_clean() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/fix5.rs",
+            include_str!("fixtures/r5_pass.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R5"), Vec::<String>::new());
+}
+
+#[test]
+fn r5_fires_on_hot_path_allocation() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/fix5.rs",
+            include_str!("fixtures/r5_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let out = findings(&ws, "R5");
+    assert!(!out.is_empty());
+    assert!(out[0].contains("Box::new"), "{out:?}");
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale_entries() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-runtime/src/fix5.rs",
+            include_str!("fixtures/r5_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let list = Allowlist::parse(
+        "nowa-lint.allow",
+        "R5 | src/fix5.rs | fast | Box::new | fixture exception\n\
+         R5 | src/gone.rs | *    | *        | suppresses nothing\n",
+    );
+    let out = run_lint(&ws, &list);
+    assert!(
+        !out.iter().any(|d| d.rule == "R5"),
+        "the R5 finding is suppressed: {out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|d| d.rule == "ALLOW" && d.message.contains("stale")),
+        "the unused entry is reported: {out:?}"
+    );
+}

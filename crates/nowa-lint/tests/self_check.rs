@@ -1,0 +1,39 @@
+//! The repo self-check: the shipped tree must be lint-clean under its own
+//! allowlist. This is the test that turns the lint from a tool you *can*
+//! run into an invariant `cargo test` enforces — seeding an unaudited
+//! `Ordering::` site, a shim bypass, a one-sided cfg twin, a bare
+//! `unsafe`, or a stale suppression anywhere in the workspace fails here.
+
+use std::path::Path;
+
+use nowa_lint::allow::Allowlist;
+use nowa_lint::{run_lint, Workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(
+        !ws.files.is_empty(),
+        "workspace walk found no sources — wrong root?"
+    );
+    assert!(
+        !ws.audit.entries.is_empty(),
+        "DESIGN.md §7b parsed to zero audit rows — wrong root or broken appendix?"
+    );
+
+    let allow_text = std::fs::read_to_string(root.join("nowa-lint.allow")).unwrap_or_default();
+    let allowlist = Allowlist::parse("nowa-lint.allow", &allow_text);
+
+    let diags = run_lint(&ws, &allowlist);
+    assert!(
+        diags.is_empty(),
+        "nowa-lint found {} finding(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

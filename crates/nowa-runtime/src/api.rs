@@ -54,6 +54,9 @@ pub fn worker_index() -> Option<usize> {
 /// A raw pointer wrapper that asserts cross-thread transferability of the
 /// pointee access it stands for.
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper itself carries no aliasing claims — each construction
+// site asserts (and documents) that the pointee access it stands for is
+// externally synchronised by the join protocol.
 unsafe impl<T> Send for SendPtr<T> {}
 impl<T> Copy for SendPtr<T> {}
 impl<T> Clone for SendPtr<T> {

@@ -42,6 +42,12 @@
 //! tests arm them explicitly.
 
 #[cfg(feature = "chaos")]
+// Shared safety contract for every hook in this module: `worker` must point
+// to the calling worker's live `Worker` (the scheduler invokes hooks only
+// from that worker's own loop), which makes the deref in `state` sound. The
+// contract is spelled once here — mirroring the no-op arm — instead of on
+// each hook.
+#[allow(clippy::missing_safety_doc)]
 mod imp {
     use core::sync::atomic::{AtomicU64, Ordering};
 

@@ -237,6 +237,7 @@ pub fn push(dq: &OwnerDeque, rec: Rec) -> bool {
 /// sync restores it (§IV-B). For the locked protocol the deque lock is held
 /// until the frame lock is acquired, exactly as in Listing 2.
 #[inline]
+// lint: hot-path
 pub fn pop_or_join(protocol: ProtocolKind, dq: &OwnerDeque, frame: &Frame) -> AfterChild {
     match protocol {
         ProtocolKind::NowaWaitFree => {
@@ -250,6 +251,8 @@ pub fn pop_or_join(protocol: ProtocolKind, dq: &OwnerDeque, frame: &Frame) -> Af
             match popped {
                 Some(rec) => {
                     debug_assert_eq!(
+                        // SAFETY: a popped record is exclusively ours; it
+                        // lives in the spawn wrapper's frame until resumed.
                         unsafe { (*rec.as_ptr()).frame },
                         frame as *const Frame,
                         "LIFO invariant: popped record belongs to our frame"
@@ -273,6 +276,8 @@ pub fn pop_or_join(protocol: ProtocolKind, dq: &OwnerDeque, frame: &Frame) -> Af
             };
             let mut q = f.q.lock();
             if let Some(rec) = q.pop_back() {
+                // SAFETY: popping under the deque lock grants exclusive
+                // ownership of the record.
                 debug_assert_eq!(unsafe { (*rec.as_ptr()).frame }, frame as *const Frame);
                 return AfterChild::Continue;
             }
@@ -298,7 +303,10 @@ pub fn pop_or_join(protocol: ProtocolKind, dq: &OwnerDeque, frame: &Frame) -> Af
 /// performs before calling `resume()` (§III-B); it needs no synchronisation
 /// because the taker *becomes* the main path (Invariant II).
 #[inline]
+// lint: hot-path
 fn fork_bookkeeping(protocol: ProtocolKind, rec: Rec) {
+    // SAFETY: the caller owns `rec` (a successful steal or pop), and the
+    // frame outlives every record pointing at it.
     let frame = unsafe { &*(*rec.as_ptr()).frame };
     match protocol {
         ProtocolKind::NowaWaitFree => {
@@ -316,6 +324,7 @@ fn fork_bookkeeping(protocol: ProtocolKind, rec: Rec) {
 /// (the work-finding loop prefers local work before stealing). Includes
 /// fork bookkeeping.
 #[inline]
+// lint: hot-path
 pub fn take_own(protocol: ProtocolKind, dq: &OwnerDeque) -> Option<Rec> {
     match protocol {
         ProtocolKind::NowaWaitFree => {
@@ -335,6 +344,8 @@ pub fn take_own(protocol: ProtocolKind, dq: &OwnerDeque) -> Option<Rec> {
             };
             let mut q = f.q.lock();
             let rec = q.pop_back()?;
+            // SAFETY: popped under the deque lock — the record is ours, and
+            // its frame outlives it.
             let frame = unsafe { &*(*rec.as_ptr()).frame };
             let mut j = frame.join.locked.lock();
             drop(q);
@@ -349,6 +360,7 @@ pub fn take_own(protocol: ProtocolKind, dq: &OwnerDeque) -> Option<Rec> {
 /// `popTop()` + the `N` increment in `run()`; Listing 2 for the locked
 /// protocol).
 #[inline]
+// lint: hot-path
 pub fn steal_from(protocol: ProtocolKind, st: &SharedStealer) -> Steal<Rec> {
     match protocol {
         ProtocolKind::NowaWaitFree => {
@@ -378,6 +390,8 @@ pub fn steal_from(protocol: ProtocolKind, st: &SharedStealer) -> Steal<Rec> {
             let Some(rec) = q.pop_front() else {
                 return Steal::Empty;
             };
+            // SAFETY: stolen under the victim's deque lock — the record is
+            // ours, and its frame outlives it.
             let frame = unsafe { &*(*rec.as_ptr()).frame };
             // Listing 2 lines 10–15: frame lock acquired while still
             // holding the victim's deque lock.

@@ -98,6 +98,8 @@ mod tests {
     #[test]
     fn dispatches_through_foreign_executor() {
         static INLINE: Inline = Inline;
+        // SAFETY: `INLINE` is a `'static` executor, and the serial test
+        // harness clears it before anything else can observe it.
         unsafe { set_foreign_executor(&INLINE) };
         assert!(foreign_executor().is_some());
         let (x, y) = crate::api::join2(|| 2 + 2, || "ok");

@@ -70,9 +70,11 @@ impl Default for FrameCore {
     }
 }
 
-// The frame is shared between workers by design; the runtime upholds the
-// access discipline documented above.
+// SAFETY: the frame is shared between workers by design; the runtime
+// upholds the access discipline documented above (each `UnsafeCell` is
+// written only by the party the join protocol designates).
 unsafe impl Send for FrameCore {}
+// SAFETY: as for `Send`.
 unsafe impl Sync for FrameCore {}
 
 #[cfg(test)]
@@ -92,7 +94,10 @@ mod tests {
     #[test]
     fn fresh_core_is_empty() {
         let core = FrameCore::new();
+        // SAFETY: `core` is unshared here, so reading its cells races with
+        // nothing.
         assert!(unsafe { &*core.sync_ctx.get() }.is_null());
+        // SAFETY: as above.
         assert!(unsafe { &*core.suspended_stack.get() }.is_none());
     }
 }

@@ -122,6 +122,7 @@ impl IdleState {
     /// validate against in [`park`](IdleState::park). The caller **must**
     /// re-scan all work sources after this call and either `cancel` or
     /// `park` — never abandon an announce.
+    // lint: hot-path
     pub fn announce(&self, index: usize) -> u32 {
         self.slots[index].state.store(WAITING, Ordering::Relaxed);
         if index < MASK_BITS {
@@ -142,6 +143,7 @@ impl IdleState {
     /// `true` when a targeted wake had already claimed this worker — the
     /// caller should pass the wake on ([`wake_one`](IdleState::wake_one))
     /// so the work that triggered it still gets a thief.
+    // lint: hot-path
     pub fn cancel(&self, index: usize) -> bool {
         if index < MASK_BITS {
             self.parked_mask.fetch_and(!(1 << index), Ordering::AcqRel);
@@ -182,6 +184,7 @@ impl IdleState {
     /// of the worker claimed. Always bumps the epoch first, so even when no
     /// sleeper is claimable yet, any worker between announce and park will
     /// fail its validation and re-scan.
+    // lint: hot-path
     pub fn wake_one(&self) -> Option<usize> {
         // SeqCst: pairs with the announcer's RMW — the waker's prior work
         // publication is ordered before the sleeper scan below.
@@ -264,7 +267,7 @@ impl IdleState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use crate::sync::AtomicBool;
     use std::sync::Arc;
 
     #[test]

@@ -70,6 +70,7 @@ pub struct Injector {
 // only dereferenced while the chain is alive (segments are never freed
 // before `Drop`), and `RootTask` is `Send`.
 unsafe impl Send for Injector {}
+// SAFETY: as for `Send`.
 unsafe impl Sync for Injector {}
 
 impl Default for Injector {
@@ -113,6 +114,7 @@ impl Injector {
     /// Installs (or discovers) the successor of a full segment and swings
     /// `enq_seg` forward. Losing either race is fine — someone advanced.
     fn advance_enq(&self, seg: *mut Segment) {
+        // SAFETY: segments live until Drop; `seg` came from the chain.
         let seg_ref = unsafe { &*seg };
         let mut next = seg_ref.next.load(Ordering::Acquire);
         if next.is_null() {
@@ -212,6 +214,8 @@ impl Drop for Injector {
             for slot in &boxed.slots {
                 let p = slot.load(Ordering::Relaxed);
                 if !p.is_null() {
+                    // SAFETY: exclusive access in Drop; an unconsumed slot
+                    // still owns the box `push` leaked into it.
                     drop(unsafe { Box::from_raw(p) });
                 }
             }
@@ -223,10 +227,10 @@ impl Drop for Injector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use crate::sync::AtomicU64;
     use std::sync::Arc;
 
-    fn task(counter: &Arc<AtomicUsize>, value: usize) -> RootTask {
+    fn task(counter: &Arc<AtomicU64>, value: u64) -> RootTask {
         let counter = counter.clone();
         RootTask {
             run: Box::new(move || {
@@ -238,7 +242,7 @@ mod tests {
     #[test]
     fn fifo_single_thread() {
         let q = Injector::new();
-        let sum = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
         assert!(q.is_empty());
         assert!(q.pop().is_none());
         for i in 1..=5 {
@@ -258,7 +262,7 @@ mod tests {
     #[test]
     fn crosses_segment_boundaries() {
         let q = Injector::new();
-        let sum = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
         let n = SEG_CAP * 3 + 7;
         for _ in 0..n {
             q.push(task(&sum, 1));
@@ -269,7 +273,7 @@ mod tests {
             seen += 1;
         }
         assert_eq!(seen, n);
-        assert_eq!(sum.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n as u64);
         assert!(q.is_empty());
     }
 
@@ -277,13 +281,13 @@ mod tests {
     fn drop_frees_unconsumed_tasks() {
         // Leak-checked implicitly (miri/asan would flag it); here we assert
         // the drop glue of queued closures runs.
-        struct Marker(Arc<AtomicUsize>);
+        struct Marker(Arc<AtomicU64>);
         impl Drop for Marker {
             fn drop(&mut self) {
                 self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let drops = Arc::new(AtomicUsize::new(0));
+        let drops = Arc::new(AtomicU64::new(0));
         let q = Injector::new();
         for _ in 0..(SEG_CAP + 3) {
             let m = Marker(drops.clone());
@@ -294,14 +298,14 @@ mod tests {
             });
         }
         drop(q);
-        assert_eq!(drops.load(Ordering::Relaxed), SEG_CAP + 3);
+        assert_eq!(drops.load(Ordering::Relaxed), (SEG_CAP + 3) as u64);
     }
 
     #[test]
     fn mpmc_stress_transfers_everything_once() {
         let q = Arc::new(Injector::new());
-        let sum = Arc::new(AtomicUsize::new(0));
-        let popped = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let popped = Arc::new(AtomicU64::new(0));
         let producers = 4;
         let per_producer = 500;
 

@@ -44,6 +44,7 @@
 //! Thread-locals must not be relied upon across spawn/sync points.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
 pub mod chaos;

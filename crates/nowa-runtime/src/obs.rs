@@ -12,6 +12,12 @@
 //! drop-newest overflow policy, and histograms are relaxed `fetch_add`s.
 
 #[cfg(feature = "trace")]
+// Shared safety contract for every hook in this module: `worker` must point
+// to the calling worker's live `Worker` (the scheduler invokes hooks only
+// from that worker's own loop), which makes the deref in `buf` sound. The
+// contract is spelled once here — mirroring the no-op arm — instead of on
+// each of the sixteen hooks.
+#[allow(clippy::missing_safety_doc)]
 mod imp {
     use nowa_trace::{frame_id, EventKind, TraceBuffer};
 

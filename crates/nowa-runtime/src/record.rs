@@ -133,7 +133,7 @@ pub enum AfterChild {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use core::sync::atomic::Ordering;
+    use crate::sync::Ordering;
 
     #[test]
     fn join_state_starts_at_imax() {

@@ -1,6 +1,6 @@
 //! The runtime instance: worker threads, submission, shutdown.
 
-use core::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, Ordering};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -153,7 +153,7 @@ impl Runtime {
                     .map(|i| crate::chaos::ChaosWorkerState::new(c.seed, i))
                     .collect()
             }),
-            watchdog_reports: core::sync::atomic::AtomicU64::new(0),
+            watchdog_reports: crate::sync::AtomicU64::new(0),
             config: config.clone(),
         });
 
@@ -244,7 +244,7 @@ impl Runtime {
     pub fn watchdog_reports(&self) -> u64 {
         self.shared
             .watchdog_reports
-            .load(core::sync::atomic::Ordering::Relaxed)
+            .load(crate::sync::Ordering::Relaxed)
     }
 
     /// Fault-injection counters (site visits and injections fired),

@@ -102,6 +102,11 @@ where
 
 /// Re-establishes the `current_stack` invariant at a resume site and
 /// recycles the stack the resumer abandoned.
+///
+/// # Safety
+/// `payload` must be the `*mut Worker` the resumer delivered (every resume
+/// site in this runtime passes the resuming worker), valid for the whole
+/// call and not aliased by another thread.
 unsafe fn finish_resume(payload: *mut c_void, record: &mut SpawnRecord) {
     let worker = payload as *mut Worker;
     unsafe {
@@ -117,6 +122,9 @@ unsafe fn finish_resume(payload: *mut c_void, record: &mut SpawnRecord) {
     }
 }
 
+// SAFETY: callers: invoked only via `capture_and_run_on` with `arg` pointing
+// at the `SpawnArgs<F>` staged in `spawn_execute`'s frame, which stays alive
+// until the closure has been moved out and the continuation published.
 unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
     // Armed for the whole body: runtime-internal panics must abort rather
     // than unwind into the fiber base frame (never dropped on the normal
@@ -264,6 +272,9 @@ pub unsafe fn sync_execute(frame: &Frame) {
     }
 }
 
+// SAFETY: callers: invoked only via `capture_and_run_on` with `arg` pointing
+// at the `SyncArgs` staged in the suspending frame, which remains alive until
+// the last child resumes the sync continuation.
 unsafe extern "C" fn sync_body(arg: *mut c_void) -> ! {
     let _guard = AbortOnUnwind;
     unsafe {

@@ -17,12 +17,19 @@
 //! models.
 
 #[cfg(not(loom))]
-pub(crate) use core::sync::atomic::{AtomicI64, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+pub(crate) use core::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, Ordering,
+};
 
 #[cfg(loom)]
-pub(crate) use loom::sync::atomic::{AtomicI64, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+pub(crate) use loom::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, Ordering,
+};
 
-#[cfg(loom)]
+// Exported from both arms (cfg-twin parity): only the loom arm's
+// `futex_wait` wrapper names the type itself, but callers must be able to
+// match on the result under either cfg.
+#[allow(unused_imports)]
 pub(crate) use nowa_context::sys::FutexWait;
 
 #[cfg(not(loom))]

@@ -17,9 +17,9 @@
 //! from a call on a different OS thread than it entered (which happens
 //! whenever a nested sync suspended and was resumed elsewhere).
 
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use core::cell::Cell;
 use core::ffi::c_void;
-use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nowa_context::{capture_and_run_on, resume, RawContext, Stack, StackPool, WorkerStackCache};
@@ -428,6 +428,8 @@ pub(crate) unsafe fn maybe_wake_after_spawn(worker: *mut Worker) {
     }
 }
 
+// SAFETY: callers: invoked only via `capture_and_run_on` from `worker_main`
+// with `arg` pointing at this thread's boxed, pinned `Worker`.
 unsafe extern "C" fn worker_body(arg: *mut c_void) -> ! {
     // Armed for the whole body: an unwinding panic would otherwise reach
     // the fiber base frame (undefined behaviour).
@@ -457,6 +459,9 @@ pub fn worker_main(mut worker: Box<Worker>) {
     };
     let wptr: *mut Worker = &mut *worker;
     set_current_worker(wptr);
+    // SAFETY: `wptr` points at the boxed worker pinned for this whole
+    // function; `worker_body` diverges into the scheduler and resumes
+    // `exit_ctx` exactly once, at shutdown.
     unsafe {
         let first = (*wptr).cache.get();
         let top = first.top();
