@@ -19,7 +19,8 @@
 //!   not run on it;
 //! * a **thread label** ([`set_thread_label`]) naming the worker in the
 //!   report, and an optional **crash hook** ([`set_crash_hook`]) the runtime
-//!   uses to dump its last trace events.
+//!   uses to drain its flight recorder (the bounded overwrite-oldest ring
+//!   of recent scheduler events) and dump its last trace events.
 //!
 //! Everything on the fault path is async-signal-safe: the report is
 //! formatted into a stack buffer and written with raw `write(2)`; the only
@@ -158,8 +159,16 @@ pub fn thread_label() -> usize {
 
 static CRASH_HOOK: AtomicUsize = AtomicUsize::new(0);
 
-/// Registers a hook run after the guard-page diagnostic has been written
-/// and before the process dies. **Best-effort**: the hook runs inside a
+/// Registers a hook run after the guard-page diagnostic has been written,
+/// before the process dies.
+///
+/// The runtime uses this as the third leg of the flight-recorder drain
+/// protocol (panic propagation and watchdog stall reports are the other
+/// two): the hook snapshots each worker's flight ring — a lock-free read
+/// that discards any slot the producer may still be overwriting — merges
+/// the retained events by timestamp, and writes the dump to stderr.
+///
+/// **Best-effort**: the hook runs inside a
 /// signal handler on an alternate stack, so it may allocate or lock only
 /// because the process is beyond saving anyway — a deadlock here trades a
 /// crash for a hang, so hooks should stay minimal.

@@ -16,6 +16,8 @@
 //! nowa-bench measured [--size quick] [--workers N] [--reps R] [--stats]  # real wall-clock
 //! nowa-bench overhead [--size quick] [--stats]   # real 1-worker overhead
 //! nowa-bench trace measured [--size tiny] [--trace-out t.json]  # traced re-run
+//! nowa-bench profile fib [--size quick] [--out BENCH_profile.json]  # causal profile
+//! nowa-bench trace-overhead [--size quick]       # CI gate: tracing cost ≤ 10%
 //! nowa-bench all   [--quick]   # everything above
 //! ```
 //!
@@ -25,12 +27,19 @@
 //! `--trace-out FILE` exports a Chrome `trace_event` JSON for Perfetto.
 //! `wakeup` ([`wakeexp`]) measures spawn-to-steal wakeup latency and idle
 //! CPU burn of the idle engine against a pre-engine emulation, writing
-//! `BENCH_wakeup.json`.
+//! `BENCH_wakeup.json`. `profile` ([`profileexp`]) reconstructs the
+//! fork/join DAG from causal trace events and reports work T1, span T∞,
+//! parallelism, steal-edge statistics, and per-phase critical-path
+//! attribution, writing `BENCH_profile.json`; `trace-overhead` is the CI
+//! gate keeping tracing within its overhead budget. All `BENCH_*.json`
+//! artifacts carry the versioned [`artifact`] envelope.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 #[cfg(feature = "chaos")]
 pub mod chaosexp;
+pub mod profileexp;
 pub mod real;
 pub mod simexp;
 pub mod stats;

@@ -1,6 +1,6 @@
 //! `nowa-bench` — CLI entry of the experiment harness.
 
-use nowa_harness::{print_tables, real, simexp, traceexp};
+use nowa_harness::{print_tables, profileexp, real, simexp, traceexp};
 use nowa_kernels::{BenchId, Size};
 use nowa_runtime::MadvisePolicy;
 use nowa_sim::SimBench;
@@ -26,6 +26,14 @@ experiments:
                                  traced re-run of measured | ablation-pool |
                                  knapsack-order | fig9 with scheduler event
                                  rings + latency histograms enabled
+  profile <kernel> [--size S] [--workers N] [--out FILE]
+                                 causal profile of one kernel run: DAG
+                                 reconstruction, work T1 / span T∞ /
+                                 parallelism, steal edges, critical-path
+                                 attribution; writes BENCH_profile.json
+  trace-overhead [--size S] [--workers N] [--reps R]
+                                 CI gate: fib with tracing on vs off, exits
+                                 non-zero when tracing costs > 10%
   chaos  [--seed N] [--iters K] [--workers N]
                                  seeded fault-injection stress over the real
                                  kernels (requires the `chaos` cargo feature)
@@ -44,6 +52,7 @@ flags:
   --stats        also print aggregated scheduler statistics (measured, overhead)
   --trace-out F  write a Chrome trace_event JSON (one track per worker) to F;
                  open in Perfetto or chrome://tracing (trace mode only)
+  --out F        artifact path for profile mode (default BENCH_profile.json)
   --seed N       chaos injection seed (default 1; chaos mode only)
   --iters K      chaos iterations per flavor (default 3; chaos mode only) or
                  wakeup latency samples per config (default 200; `small` = 50)"
@@ -59,6 +68,7 @@ struct Args {
     reps: usize,
     stats: bool,
     trace_out: Option<String>,
+    out: Option<String>,
     seed: u64,
     iters: Option<usize>,
 }
@@ -72,6 +82,7 @@ fn parse_flags(rest: &[String]) -> Args {
         reps: 5,
         stats: false,
         trace_out: None,
+        out: None,
         seed: 1,
         iters: None,
     };
@@ -124,6 +135,10 @@ fn parse_flags(rest: &[String]) -> Args {
                 i += 1;
                 args.trace_out = Some(rest.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--out" => {
+                i += 1;
+                args.out = Some(rest.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -165,6 +180,19 @@ fn main() {
             args.workers,
             args.reps,
             args.trace_out.as_deref(),
+        ));
+        return;
+    }
+
+    // `profile` takes a kernel name before the flags.
+    if cmd == "profile" {
+        let Some(kernel) = rest.first() else { usage() };
+        let args = parse_flags(&rest[1..]);
+        print_tables(&profileexp::profile(
+            kernel,
+            args.size,
+            args.workers,
+            args.out.as_deref().unwrap_or("BENCH_profile.json"),
         ));
         return;
     }
@@ -214,6 +242,11 @@ fn main() {
             args.stats,
         )),
         "overhead" => print_tables(&real::overhead_table(args.size, args.reps, args.stats)),
+        "trace-overhead" => {
+            if !profileexp::trace_overhead(args.size, args.workers, args.reps) {
+                std::process::exit(1);
+            }
+        }
         "ablation-pool" => print_tables(&real::pool_ablation(args.size, args.workers, args.reps)),
         "knapsack-order" => print_tables(&real::knapsack_order(args.workers, args.reps)),
         "all" => {

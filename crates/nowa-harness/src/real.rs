@@ -128,6 +128,10 @@ fn scheduler_stats_table(title: String, rows: &[(String, StatsSnapshot)]) -> Tab
             "attempts",
             "steal-success",
             "suspensions",
+            "parks",
+            "wakes",
+            "spurious",
+            "targeted-wake",
         ],
     );
     for (name, s) in rows {
@@ -140,6 +144,10 @@ fn scheduler_stats_table(title: String, rows: &[(String, StatsSnapshot)]) -> Tab
             s.steal_attempts().to_string(),
             format!("{:.3}", s.steal_success_ratio()),
             s.suspensions.to_string(),
+            s.parks.to_string(),
+            s.wakes_issued.to_string(),
+            s.wakes_spurious.to_string(),
+            format!("{:.3}", s.targeted_wake_ratio()),
         ]);
     }
     table
@@ -461,6 +469,28 @@ mod tests {
         assert_eq!(stats.spawns, stats.continuations_consumed());
         let serial = measure_detailed(RealRuntime::Serial, BenchId::Fib, Size::Tiny, 1, 1);
         assert!(serial.stats.is_none());
+    }
+
+    #[test]
+    fn stats_table_formats_idle_counters() {
+        let s = StatsSnapshot {
+            spawns: 10,
+            fast_pops: 8,
+            steals: 2,
+            parks: 4,
+            wakes_issued: 3,
+            wakes_spurious: 1,
+            ..Default::default()
+        };
+        let t = scheduler_stats_table("t".to_string(), &[("nowa".to_string(), s)]);
+        for col in ["parks", "wakes", "spurious", "targeted-wake"] {
+            assert!(t.header.iter().any(|h| h == col), "missing column {col}");
+        }
+        let rendered = t.render();
+        assert!(rendered.contains('4'), "parks value rendered:\n{rendered}");
+        assert!(rendered.contains('3'), "wakes value rendered:\n{rendered}");
+        // targeted_wake_ratio = (parks − spurious) / parks = 3/4.
+        assert!(rendered.contains("0.750"), "{rendered}");
     }
 
     #[test]

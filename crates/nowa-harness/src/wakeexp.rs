@@ -20,7 +20,8 @@
 //!    futex; the baseline emulation wakes every 200 µs to re-sweep.
 //!
 //! Results are printed as a table and written to `BENCH_wakeup.json` in
-//! the current directory.
+//! the current directory, wrapped in the versioned [`crate::artifact`]
+//! envelope (`schema`/`schema_version`/`timestamp_unix_s`/`host`).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -230,11 +231,10 @@ pub fn wakeup(workers: usize, iters: usize) -> Vec<Table> {
     root.insert("iters".into(), Json::Num(iters as f64));
     root.insert("engine".into(), json_of(&engine));
     root.insert("baseline".into(), json_of(&baseline));
-    let path = "BENCH_wakeup.json";
-    match std::fs::write(path, Json::Obj(root).render()) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("failed to write {path}: {e}"),
-    }
+    crate::artifact::write(
+        "BENCH_wakeup.json",
+        &crate::artifact::envelope("nowa-bench-wakeup", root),
+    );
 
     vec![table]
 }

@@ -123,6 +123,15 @@ impl Default for IdleConfig {
     }
 }
 
+/// Default per-worker trace-ring capacity in events. Kept equal to
+/// `nowa_trace::DEFAULT_RING_CAPACITY` (asserted in the runtime tests);
+/// spelled locally because `nowa-trace` is an optional dependency.
+pub const DEFAULT_TRACE_RING: usize = 1 << 14;
+
+/// Default flight-recorder capacity used by
+/// [`Config::flight_recorder`], in events per worker.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
 /// Configuration of a [`Runtime`](crate::runtime::Runtime).
 ///
 /// Defaults mirror the paper's evaluation setup where applicable: 1 MiB
@@ -153,6 +162,19 @@ pub struct Config {
     /// `trace` cargo feature; without the feature the flag is accepted but
     /// inert, so callers don't need their own `cfg` gymnastics.
     pub tracing: bool,
+    /// Per-worker event-ring capacity used when `tracing` is on, in
+    /// events (rounded up to a power of two). Long profiling runs that
+    /// drain the rings from an exporter thread can raise this to lower
+    /// the drop rate. Mirrors `nowa_trace::DEFAULT_RING_CAPACITY`.
+    pub trace_ring: usize,
+    /// Flight recorder: when `Some(n)`, every worker keeps a bounded
+    /// overwrite-oldest ring of its last `n` scheduler events with no
+    /// exporter thread — cheap enough to leave on in production. The
+    /// crash/stall machinery (child-panic propagation, the watchdog, the
+    /// guard-page handler) dumps the merged tail on failure. Independent
+    /// of `tracing`; same `trace` cargo-feature contract (inert without
+    /// it).
+    pub flight: Option<usize>,
     /// Fault injection (see [`ChaosConfig`]). Takes effect only when built
     /// with the `chaos` cargo feature; accepted but inert otherwise.
     pub chaos: Option<ChaosConfig>,
@@ -185,6 +207,8 @@ impl Default for Config {
             pool_prefill: 0,
             pin_workers: false,
             tracing: false,
+            trace_ring: DEFAULT_TRACE_RING,
+            flight: None,
             chaos: None,
             watchdog: None,
             guard_diagnostics: true,
@@ -227,6 +251,20 @@ impl Config {
         self
     }
 
+    /// Sets the per-worker trace-ring capacity (builder style).
+    pub fn trace_ring(mut self, events: usize) -> Config {
+        self.trace_ring = events;
+        self
+    }
+
+    /// Enables the flight recorder with `events` per-worker capacity
+    /// (builder style). See the field docs: requires the `trace` cargo
+    /// feature to have any effect.
+    pub fn flight_recorder(mut self, events: usize) -> Config {
+        self.flight = Some(events);
+        self
+    }
+
     /// Sets the fault-injection configuration (builder style). See the
     /// field docs: requires the `chaos` cargo feature to have any effect.
     pub fn chaos(mut self, chaos: ChaosConfig) -> Config {
@@ -264,6 +302,8 @@ mod tests {
         assert_eq!(c.madvise, MadvisePolicy::Keep);
         assert_eq!(c.flavor, Flavor::NOWA);
         assert!(c.workers >= 1);
+        assert_eq!(c.trace_ring, DEFAULT_TRACE_RING);
+        assert_eq!(c.flight, None, "flight recorder is opt-in");
     }
 
     #[test]
@@ -273,6 +313,8 @@ mod tests {
             .madvise(MadvisePolicy::Free)
             .stack_size(64 * 1024)
             .tracing(true)
+            .trace_ring(1 << 16)
+            .flight_recorder(512)
             .chaos(ChaosConfig::aggressive(7))
             .watchdog(Duration::from_millis(100))
             .guard_diagnostics(false);
@@ -281,6 +323,8 @@ mod tests {
         assert_eq!(c.madvise, MadvisePolicy::Free);
         assert_eq!(c.stack_size, 64 * 1024);
         assert!(c.tracing);
+        assert_eq!(c.trace_ring, 1 << 16);
+        assert_eq!(c.flight, Some(512));
         assert_eq!(c.chaos.unwrap().seed, 7);
         assert_eq!(c.watchdog, Some(Duration::from_millis(100)));
         assert!(!c.guard_diagnostics);

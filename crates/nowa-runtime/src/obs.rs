@@ -6,20 +6,26 @@
 //! nothing observes the hot path and the scheduler compiles exactly as
 //! before. With the feature **on**, hooks are still no-ops unless the
 //! runtime was built with [`crate::Config`]`::tracing(true)` (the buffers
-//! are simply absent otherwise).
+//! are simply absent otherwise) and/or `Config::flight_recorder` (the
+//! flight rings likewise).
 //!
 //! Hooks never block and never allocate: rings are wait-free SPSC with a
-//! drop-newest overflow policy, and histograms are relaxed `fetch_add`s.
+//! drop-newest overflow policy (flight rings overwrite-oldest), and
+//! histograms are relaxed `fetch_add`s.
+//!
+//! Deque-lifecycle hooks carry the frame involved, giving events causal
+//! identity (see `nowa_trace::EventKind`): post-run analysis replays the
+//! deques and rebuilds the fork/join DAG from the stream.
 
 #[cfg(feature = "trace")]
 // Shared safety contract for every hook in this module: `worker` must point
 // to the calling worker's live `Worker` (the scheduler invokes hooks only
-// from that worker's own loop), which makes the deref in `buf` sound. The
-// contract is spelled once here — mirroring the no-op arm — instead of on
-// each of the sixteen hooks.
+// from that worker's own loop), which makes the derefs in `buf`/`flight`
+// sound. The contract is spelled once here — mirroring the no-op arm —
+// instead of on each of the sixteen hooks.
 #[allow(clippy::missing_safety_doc)]
 mod imp {
-    use nowa_trace::{frame_id, EventKind, TraceBuffer};
+    use nowa_trace::{frame_id, EventKind, FlightRing, TraceBuffer};
 
     use crate::flavor;
     use crate::record::Frame;
@@ -37,13 +43,37 @@ mod imp {
         }
     }
 
-    /// A continuation was offered (or failed to be offered) to thieves.
-    /// Samples deque occupancy periodically.
+    /// The calling worker's flight ring, when the flight recorder is on.
+    ///
+    /// # Safety
+    /// `worker` must be a live worker pointer owned by the calling thread.
     #[inline]
-    pub(crate) unsafe fn on_spawn(worker: *mut Worker) {
+    unsafe fn flight<'a>(worker: *mut Worker) -> Option<&'a FlightRing> {
         unsafe {
+            let w = &*worker;
+            w.shared.flight.as_deref().map(|t| &t[w.index])
+        }
+    }
+
+    /// A continuation of `frame` was offered to thieves (`offered`), or
+    /// the flavor elided the offer. Only offered spawns create a deque
+    /// record, so only they emit a causal [`EventKind::Spawn`] — an event
+    /// for an elided spawn would be a phantom record in DAG replay.
+    /// Occupancy sampling rides the offered path for the same reason:
+    /// elided spawns never touch the deque.
+    // lint: hot-path
+    #[inline]
+    pub(crate) unsafe fn on_spawn(worker: *mut Worker, frame: *const Frame, offered: bool) {
+        unsafe {
+            if !offered {
+                return;
+            }
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
-                b.spawn(|| flavor::occupancy(&(*worker).deque) as u64);
+                b.spawn(id, || flavor::occupancy(&(*worker).deque) as u64);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Spawn, id);
             }
         }
     }
@@ -53,6 +83,7 @@ mod imp {
     /// thousand times a second and would evict everything else from the
     /// ring; the [`EventKind::Idle`] span summarises the period instead
     /// (the `steal_empty` *counter* in [`crate::stats`] still counts all).
+    /// Never recorded to the flight ring for the same reason.
     #[inline]
     pub(crate) unsafe fn on_steal_empty(worker: *mut Worker, victim: usize) {
         unsafe {
@@ -74,13 +105,19 @@ mod imp {
         }
     }
 
-    /// A steal succeeded; starts the steal-to-first-poll clock.
+    /// A steal of `frame`'s record from `victim` succeeded; starts the
+    /// steal-to-first-poll clock.
+    // lint: hot-path
     #[inline]
-    pub(crate) unsafe fn on_steal_success(worker: *mut Worker, victim: usize) {
+    pub(crate) unsafe fn on_steal_success(worker: *mut Worker, victim: usize, frame: *const Frame) {
         unsafe {
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
                 b.idle_exit();
-                b.steal_success(victim);
+                b.steal_success(victim, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Steal, nowa_trace::pack_steal_arg(victim, id));
             }
         }
     }
@@ -96,23 +133,33 @@ mod imp {
         }
     }
 
-    /// Fast-path pop: the spawner reclaimed its own continuation.
+    /// Fast-path pop: the spawner reclaimed its own continuation of
+    /// `frame`.
+    // lint: hot-path
     #[inline]
-    pub(crate) unsafe fn on_fast_pop(worker: *mut Worker) {
+    pub(crate) unsafe fn on_fast_pop(worker: *mut Worker, frame: *const Frame) {
         unsafe {
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
-                b.event(EventKind::FastPop, 0);
+                b.hot_event(EventKind::FastPop, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::FastPop, id);
             }
         }
     }
 
-    /// The work-finding loop took from its own deque.
+    /// The work-finding loop took `frame`'s record from its own deque.
     #[inline]
-    pub(crate) unsafe fn on_own_take(worker: *mut Worker) {
+    pub(crate) unsafe fn on_own_take(worker: *mut Worker, frame: *const Frame) {
         unsafe {
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
                 b.idle_exit();
-                b.event(EventKind::OwnTake, 0);
+                b.event(EventKind::OwnTake, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::OwnTake, id);
             }
         }
     }
@@ -125,25 +172,39 @@ mod imp {
                 b.idle_exit();
                 b.event(EventKind::Root, 0);
             }
-        }
-    }
-
-    /// A child joined (its continuation was consumed elsewhere).
-    #[inline]
-    pub(crate) unsafe fn on_join(worker: *mut Worker) {
-        unsafe {
-            if let Some(b) = buf(worker) {
-                b.event(EventKind::Join, 0);
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Root, 0);
             }
         }
     }
 
-    /// An explicit sync was satisfied without suspending.
+    /// A child of `frame` joined (its continuation was consumed
+    /// elsewhere).
+    // lint: hot-path
     #[inline]
-    pub(crate) unsafe fn on_sync_inline(worker: *mut Worker) {
+    pub(crate) unsafe fn on_join(worker: *mut Worker, frame: *const Frame) {
         unsafe {
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
-                b.event(EventKind::SyncInline, 0);
+                b.hot_event(EventKind::Join, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Join, id);
+            }
+        }
+    }
+
+    /// An explicit sync on `frame` was satisfied without suspending.
+    // lint: hot-path
+    #[inline]
+    pub(crate) unsafe fn on_sync_inline(worker: *mut Worker, frame: *const Frame) {
+        unsafe {
+            let id = frame_id(frame as *const ());
+            if let Some(b) = buf(worker) {
+                b.hot_event(EventKind::SyncInline, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::SyncInline, id);
             }
         }
     }
@@ -152,8 +213,12 @@ mod imp {
     #[inline]
     pub(crate) unsafe fn on_sync_suspend(worker: *mut Worker, frame: *const Frame) {
         unsafe {
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
-                b.event(EventKind::SyncSuspend, frame_id(frame as *const ()));
+                b.event(EventKind::SyncSuspend, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::SyncSuspend, id);
             }
         }
     }
@@ -162,9 +227,13 @@ mod imp {
     #[inline]
     pub(crate) unsafe fn on_sync_resume(worker: *mut Worker, frame: *const Frame) {
         unsafe {
+            let id = frame_id(frame as *const ());
             if let Some(b) = buf(worker) {
                 b.idle_exit();
-                b.event(EventKind::SyncResume, frame_id(frame as *const ()));
+                b.event(EventKind::SyncResume, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::SyncResume, id);
             }
         }
     }
@@ -186,6 +255,9 @@ mod imp {
             if let Some(b) = buf(worker) {
                 b.park_begin();
             }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Park, 0);
+            }
         }
     }
 
@@ -196,6 +268,9 @@ mod imp {
             if let Some(b) = buf(worker) {
                 b.park_end();
             }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Unpark, 0);
+            }
         }
     }
 
@@ -205,6 +280,9 @@ mod imp {
         unsafe {
             if let Some(b) = buf(worker) {
                 b.wake(target);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Wake, target as u64);
             }
         }
     }
@@ -217,25 +295,25 @@ mod imp {
     use crate::worker::Worker;
 
     #[inline(always)]
-    pub(crate) unsafe fn on_spawn(_: *mut Worker) {}
+    pub(crate) unsafe fn on_spawn(_: *mut Worker, _: *const Frame, _: bool) {}
     #[inline(always)]
     pub(crate) unsafe fn on_steal_empty(_: *mut Worker, _: usize) {}
     #[inline(always)]
     pub(crate) unsafe fn on_steal_retry(_: *mut Worker, _: usize) {}
     #[inline(always)]
-    pub(crate) unsafe fn on_steal_success(_: *mut Worker, _: usize) {}
+    pub(crate) unsafe fn on_steal_success(_: *mut Worker, _: usize, _: *const Frame) {}
     #[inline(always)]
     pub(crate) unsafe fn on_resume_finished(_: *mut Worker) {}
     #[inline(always)]
-    pub(crate) unsafe fn on_fast_pop(_: *mut Worker) {}
+    pub(crate) unsafe fn on_fast_pop(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]
-    pub(crate) unsafe fn on_own_take(_: *mut Worker) {}
+    pub(crate) unsafe fn on_own_take(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]
     pub(crate) unsafe fn on_root(_: *mut Worker) {}
     #[inline(always)]
-    pub(crate) unsafe fn on_join(_: *mut Worker) {}
+    pub(crate) unsafe fn on_join(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]
-    pub(crate) unsafe fn on_sync_inline(_: *mut Worker) {}
+    pub(crate) unsafe fn on_sync_inline(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]
     pub(crate) unsafe fn on_sync_suspend(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]

@@ -24,10 +24,21 @@ static CRASH_SHARED: Mutex<std::sync::Weak<Shared>> = Mutex::new(std::sync::Weak
 /// Crash hook installed with the guard-page handler: dumps the last trace
 /// events of the dying process. Runs inside a signal handler — the process
 /// is already doomed, so allocation/locking here is best-effort by design.
+///
+/// The flight recorder is dumped first: it is the always-available bounded
+/// history (last N events per worker, exact ordering), whereas the trace
+/// report only exists when full tracing was on and summarises rather than
+/// replays.
 #[cfg(feature = "trace")]
 fn crash_trace_dump() {
     let shared = CRASH_SHARED.lock().upgrade();
     if let Some(shared) = shared {
+        if let Some(rings) = shared.flight.as_deref() {
+            eprintln!(
+                "nowa: flight recorder at crash:\n{}",
+                nowa_trace::flight::dump(rings)
+            );
+        }
         if let Some(buffers) = shared.trace.as_deref() {
             let report = nowa_trace::TraceReport::collect(buffers);
             eprintln!("nowa: trace report at crash:\n{}", report.summary_table());
@@ -144,7 +155,13 @@ impl Runtime {
             #[cfg(feature = "trace")]
             trace: config.tracing.then(|| {
                 (0..config.workers)
-                    .map(|_| nowa_trace::TraceBuffer::new(nowa_trace::DEFAULT_RING_CAPACITY))
+                    .map(|_| nowa_trace::TraceBuffer::new(config.trace_ring))
+                    .collect()
+            }),
+            #[cfg(feature = "trace")]
+            flight: config.flight.map(|capacity| {
+                (0..config.workers)
+                    .map(|_| nowa_trace::FlightRing::new(capacity))
                     .collect()
             }),
             #[cfg(feature = "chaos")]
@@ -158,7 +175,7 @@ impl Runtime {
         });
 
         #[cfg(feature = "trace")]
-        if config.tracing && config.guard_diagnostics {
+        if (config.tracing || config.flight.is_some()) && config.guard_diagnostics {
             *CRASH_SHARED.lock() = Arc::downgrade(&shared);
             nowa_context::signal::set_crash_hook(crash_trace_dump);
         }
@@ -274,6 +291,202 @@ impl Runtime {
             .map(nowa_trace::TraceReport::collect)
     }
 
+    /// Formats a post-mortem dump of the flight recorder: the last moments
+    /// of scheduler history across all workers, merged by timestamp. `None`
+    /// unless the runtime was configured with [`Config::flight_recorder`].
+    ///
+    /// Non-destructive (the rings keep recording) and safe to call at any
+    /// time, including while tasks are running.
+    #[cfg(feature = "trace")]
+    pub fn flight_dump(&self) -> Option<String> {
+        self.shared.flight.as_deref().map(nowa_trace::flight::dump)
+    }
+
+    /// Builds a fresh metrics registry from the runtime's live counters:
+    /// per-worker scheduler statistics (also aggregated process-wide),
+    /// idle-engine counters, stack-pool activity, and watchdog reports.
+    ///
+    /// Pull-based: each call re-reads the relaxed counters — no background
+    /// thread, no hot-path cost. Encode with
+    /// [`nowa_trace::MetricsRegistry::render_prometheus`] /
+    /// [`render_json`](nowa_trace::MetricsRegistry::render_json), or use
+    /// the [`Runtime::metrics_text`] / [`Runtime::metrics_json`] shortcuts.
+    #[cfg(feature = "trace")]
+    pub fn metrics_registry(&self) -> nowa_trace::MetricsRegistry {
+        use crate::stats::StatsSnapshot;
+        let mut reg = nowa_trace::MetricsRegistry::new();
+        reg.gauge(
+            "nowa_workers",
+            "Worker threads in this runtime.",
+            self.workers() as f64,
+        );
+        reg.gauge_with(
+            "nowa_build_info",
+            "Runtime build information (value is always 1).",
+            &[("flavor", format!("{:?}", self.flavor()))],
+            1.0,
+        );
+        reg.gauge(
+            "nowa_idle_workers",
+            "Workers currently announced to the idle engine.",
+            self.idle_workers() as f64,
+        );
+        reg.counter(
+            "nowa_watchdog_reports_total",
+            "Stall reports emitted by the watchdog.",
+            self.watchdog_reports() as f64,
+        );
+        let (gets, puts, mmaps) = self.pool_stats();
+        reg.counter(
+            "nowa_stack_pool_gets_total",
+            "Global stack-pool gets.",
+            gets as f64,
+        );
+        reg.counter(
+            "nowa_stack_pool_puts_total",
+            "Global stack-pool puts.",
+            puts as f64,
+        );
+        reg.counter(
+            "nowa_stack_mmaps_total",
+            "Stacks mapped from the OS.",
+            mmaps as f64,
+        );
+        reg.counter(
+            "nowa_stack_map_failures_total",
+            "Stack-map attempts absorbed by the bounded-retry path.",
+            self.stack_map_failures() as f64,
+        );
+
+        let s = self.stats();
+        let totals: [(&str, &str, u64); 16] = [
+            (
+                "nowa_spawns_total",
+                "Continuations offered to thieves.",
+                s.spawns,
+            ),
+            (
+                "nowa_unoffered_total",
+                "Spawns elided (deque full).",
+                s.unoffered,
+            ),
+            (
+                "nowa_fast_pops_total",
+                "Fast-path continuation pops.",
+                s.fast_pops,
+            ),
+            ("nowa_steals_total", "Successful steals.", s.steals),
+            (
+                "nowa_steal_empty_total",
+                "Steal attempts on empty deques.",
+                s.steal_empty,
+            ),
+            (
+                "nowa_steal_retry_total",
+                "Steal attempts that lost a race.",
+                s.steal_retry,
+            ),
+            (
+                "nowa_own_takes_total",
+                "Local takes by the work-finding loop.",
+                s.own_takes,
+            ),
+            ("nowa_joins_total", "Child joins.", s.joins),
+            (
+                "nowa_syncs_inline_total",
+                "Syncs satisfied without suspending.",
+                s.syncs_inline,
+            ),
+            (
+                "nowa_suspensions_total",
+                "Syncs that suspended the frame.",
+                s.suspensions,
+            ),
+            (
+                "nowa_sync_resumes_total",
+                "Suspended syncs resumed by joiners.",
+                s.sync_resumes,
+            ),
+            ("nowa_roots_total", "Root tasks executed.", s.roots),
+            (
+                "nowa_parks_total",
+                "Futex parks entered by the idle engine.",
+                s.parks,
+            ),
+            (
+                "nowa_wakes_issued_total",
+                "Targeted wakes issued.",
+                s.wakes_issued,
+            ),
+            (
+                "nowa_wakes_spurious_total",
+                "Parks ended without a targeted wake.",
+                s.wakes_spurious,
+            ),
+            (
+                "nowa_parked_ns_total",
+                "Nanoseconds spent parked.",
+                s.parked_ns,
+            ),
+        ];
+        for (name, help, value) in totals {
+            reg.counter(name, help, value as f64);
+        }
+        reg.gauge(
+            "nowa_fast_path_ratio",
+            "Fraction of consumed continuations reclaimed on the fast path.",
+            s.fast_path_ratio(),
+        );
+        reg.gauge(
+            "nowa_steal_success_ratio",
+            "Fraction of steal attempts that succeeded.",
+            s.steal_success_ratio(),
+        );
+        reg.gauge(
+            "nowa_targeted_wake_ratio",
+            "Fraction of parks ended by a targeted wake.",
+            s.targeted_wake_ratio(),
+        );
+
+        for (i, w) in self.shared.stats.iter().enumerate() {
+            let one = std::slice::from_ref(w);
+            let per = StatsSnapshot::aggregate(one);
+            let labels = [("worker", i.to_string())];
+            reg.counter_with(
+                "nowa_worker_spawns_total",
+                "Continuations offered, per worker.",
+                &labels,
+                per.spawns as f64,
+            );
+            reg.counter_with(
+                "nowa_worker_steals_total",
+                "Successful steals, per worker.",
+                &labels,
+                per.steals as f64,
+            );
+            reg.counter_with(
+                "nowa_worker_parks_total",
+                "Futex parks, per worker.",
+                &labels,
+                per.parks as f64,
+            );
+        }
+        reg
+    }
+
+    /// The live metrics in Prometheus text exposition format. See
+    /// [`Runtime::metrics_registry`] for what is exported.
+    #[cfg(feature = "trace")]
+    pub fn metrics_text(&self) -> String {
+        self.metrics_registry().render_prometheus()
+    }
+
+    /// The live metrics as JSON. See [`Runtime::metrics_registry`].
+    #[cfg(feature = "trace")]
+    pub fn metrics_json(&self) -> String {
+        self.metrics_registry().render_json()
+    }
+
     /// Runs `f` as a root task on the runtime and blocks until it finishes,
     /// returning its result. Panics in `f` (or any strand it spawns) are
     /// propagated to the caller.
@@ -320,7 +533,16 @@ impl Runtime {
         }
         match guard.take().expect("completion filled") {
             Ok(result) => result,
-            Err(payload) => resume_unwind(payload),
+            Err(payload) => {
+                // A propagating task panic is exactly what the flight
+                // recorder exists for: dump the final scheduler events
+                // before the unwind leaves the runtime.
+                #[cfg(feature = "trace")]
+                if let Some(dump) = self.flight_dump() {
+                    eprintln!("nowa: flight recorder at task panic:\n{dump}");
+                }
+                resume_unwind(payload)
+            }
         }
     }
 }

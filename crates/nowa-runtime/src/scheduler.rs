@@ -158,7 +158,7 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         } else {
             WorkerStats::bump(&(*worker).stats().unoffered);
         }
-        obs::on_spawn(worker);
+        obs::on_spawn(worker, frame, offered);
         if offered {
             // Idle engine: a relaxed sleeper-count load on the common path;
             // a targeted wake only when parked workers exist and our deque
@@ -189,17 +189,17 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         match flavor::pop_or_join(protocol, &(*worker).deque, &*frame) {
             crate::record::AfterChild::Continue => {
                 WorkerStats::bump(&(*worker).stats().fast_pops);
-                obs::on_fast_pop(worker);
+                obs::on_fast_pop(worker, frame);
                 resume_record(worker, nowa_deque::Ptr::from_ref(&*record))
             }
             crate::record::AfterChild::ResumeSync => {
                 WorkerStats::bump(&(*worker).stats().joins);
-                obs::on_join(worker);
+                obs::on_join(worker, frame);
                 resume_sync(worker, frame)
             }
             crate::record::AfterChild::OutOfWork => {
                 WorkerStats::bump(&(*worker).stats().joins);
-                obs::on_join(worker);
+                obs::on_join(worker, frame);
                 find_work()
             }
         }
@@ -240,7 +240,7 @@ pub unsafe fn sync_execute(frame: &Frame) {
             // All children joined: proceed without suspending (Invariant
             // III makes α stable here, so the check is exact).
             WorkerStats::bump(&(*worker).stats().syncs_inline);
-            obs::on_sync_inline(worker);
+            obs::on_sync_inline(worker, frame);
             flavor::rearm(protocol, frame);
             return;
         }

@@ -10,8 +10,9 @@
 //! syscall, a deadlocked lock inside user code, a scheduler bug) leaves the
 //! counter frozen; after `threshold` without movement the watchdog prints
 //! one report per stall episode to stderr — worker index, seconds stalled,
-//! last progress value — plus the merged trace report when tracing is
-//! enabled. Reports are counted in `Shared::watchdog_reports` so tests and
+//! last progress value — plus the flight-recorder dump (when the flight
+//! recorder is on) and the merged trace report (when tracing is enabled).
+//! Reports are counted in `Shared::watchdog_reports` so tests and
 //! harnesses can assert on them.
 //!
 //! The monitor wakes four times per threshold (at least every 5 ms), so
@@ -68,6 +69,16 @@ fn report(shared: &Shared, worker: usize, stalled_for: Duration, progress: u64) 
          code or wedged",
         stalled_for.as_secs_f64()
     );
+    // The flight recorder first: the last per-worker scheduler events
+    // usually show *where* the wedged worker stopped, which the summary
+    // table cannot.
+    #[cfg(feature = "trace")]
+    if let Some(rings) = shared.flight.as_deref() {
+        eprintln!(
+            "nowa-watchdog: flight recorder at stall:\n{}",
+            nowa_trace::flight::dump(rings)
+        );
+    }
     #[cfg(feature = "trace")]
     if let Some(buffers) = shared.trace.as_deref() {
         let report = nowa_trace::TraceReport::collect(buffers);

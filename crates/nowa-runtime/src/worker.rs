@@ -62,6 +62,12 @@ pub struct Shared {
     /// with `Config::tracing(true)`.
     #[cfg(feature = "trace")]
     pub trace: Option<Box<[nowa_trace::TraceBuffer]>>,
+    /// Per-worker flight-recorder rings; `Some` iff the runtime was
+    /// configured with `Config::flight_recorder`. Independent of `trace`:
+    /// the flight recorder is bounded and exporter-free, so it can stay on
+    /// even when full tracing is off.
+    #[cfg(feature = "trace")]
+    pub flight: Option<Box<[nowa_trace::FlightRing]>>,
     /// Per-worker fault-injection state; `Some` iff the runtime was
     /// configured with a `Config::chaos` knob.
     #[cfg(feature = "chaos")]
@@ -244,7 +250,7 @@ pub unsafe fn find_work() -> ! {
         if let Some(rec) = flavor::take_own(protocol, unsafe { &(*worker).deque }) {
             unsafe {
                 WorkerStats::bump(&(*worker).stats().own_takes);
-                obs::on_own_take(worker);
+                obs::on_own_take(worker, (*rec.as_ptr()).frame);
                 resume_record(worker, rec)
             }
         }
@@ -298,7 +304,7 @@ pub unsafe fn find_work() -> ! {
                         Steal::Success(rec) => unsafe {
                             (*worker).last_victim = victim;
                             WorkerStats::bump(&(*worker).stats().steals);
-                            obs::on_steal_success(worker, victim);
+                            obs::on_steal_success(worker, victim, (*rec.as_ptr()).frame);
                             resume_record(worker, rec)
                         },
                         Steal::Retry => {

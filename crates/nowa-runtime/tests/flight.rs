@@ -1,0 +1,153 @@
+//! Flight-recorder and live-metrics integration tests.
+//!
+//! The flight recorder is a bounded overwrite-oldest ring per worker that
+//! keeps the last moments of scheduler history with no exporter thread.
+//! These tests drive the three drain paths end to end:
+//!
+//! * a child panic propagating out of [`Runtime::run`] leaves the final
+//!   scheduler events in the rings (and dumps them to stderr on the way);
+//! * a watchdog-detected stall counts a report and leaves the rings
+//!   dumpable;
+//! * the recorder works with full tracing *off* — it is the always-on
+//!   half of the observability story.
+//!
+//! The metrics tests cover the pull-based registry the runtime folds its
+//! counters into.
+
+#![cfg(feature = "trace")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::Duration;
+
+use nowa_runtime::{api, Config, Runtime};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = api::join2(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+/// Deliberate panic payload; the quiet hook below suppresses its backtrace.
+struct Boom;
+
+fn quiet_expected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Boom>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn child_panic_leaves_final_events_in_flight_ring() {
+    quiet_expected_panics();
+    let rt = Runtime::new(Config::with_workers(2).flight_recorder(4096)).unwrap();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.run(|| {
+            let (_a, _b) = api::join2(|| fib(10), || -> u64 { std::panic::panic_any(Boom) });
+        })
+    }));
+    assert!(result.is_err(), "the child panic must propagate");
+    let dump = rt.flight_dump().expect("flight recorder configured");
+    assert!(
+        dump.contains("flight recorder: last"),
+        "dump must have the merged header:\n{dump}"
+    );
+    // Capacity is far above the event count of fib(10), so the full
+    // history — root pickup through the last spawns before the panic —
+    // must be retained.
+    assert!(dump.contains(" root "), "root pickup retained:\n{dump}");
+    assert!(dump.contains(" spawn "), "spawns retained:\n{dump}");
+}
+
+#[test]
+fn watchdog_stall_counts_report_with_flight_recorder_armed() {
+    // A root task that sleeps past the threshold pins its worker without
+    // bumping progress counters: the watchdog must report it, and the
+    // stall report path dumps the flight rings (visible on stderr; here
+    // we assert the report fired and the rings are dumpable).
+    let rt = Runtime::new(
+        Config::with_workers(2)
+            .flight_recorder(1024)
+            .watchdog(Duration::from_millis(40)),
+    )
+    .unwrap();
+    rt.run(|| {
+        let _ = fib(10);
+        std::thread::sleep(Duration::from_millis(250));
+    });
+    assert!(
+        rt.watchdog_reports() >= 1,
+        "watchdog missed a 250ms stall with a 40ms threshold"
+    );
+    let dump = rt.flight_dump().expect("flight recorder configured");
+    assert!(
+        dump.contains(" spawn "),
+        "scheduler history retained:\n{dump}"
+    );
+}
+
+#[test]
+fn flight_recorder_works_without_tracing() {
+    let rt = Runtime::new(Config::with_workers(2).flight_recorder(64)).unwrap();
+    assert!(rt.trace_report().is_none(), "tracing was not requested");
+    assert_eq!(rt.run(|| fib(14)), 377);
+    let dump = rt.flight_dump().expect("flight recorder configured");
+    assert!(dump.contains("flight recorder: last"), "{dump}");
+    // Bounded: each worker retains at most capacity − 1 events no matter
+    // how much history the run produced.
+    let events = dump.lines().count() - 1;
+    assert!(
+        events <= 2 * 63,
+        "dump exceeded ring bounds: {events} events"
+    );
+}
+
+#[test]
+fn flight_dump_absent_when_not_configured() {
+    let rt = Runtime::new(Config::with_workers(1)).unwrap();
+    assert_eq!(rt.run(|| 21 * 2), 42);
+    assert!(rt.flight_dump().is_none());
+}
+
+#[test]
+fn metrics_fold_scheduler_and_idle_counters() {
+    let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    assert_eq!(rt.run(|| fib(16)), 987);
+    let stats = rt.stats();
+    let text = rt.metrics_text();
+    assert!(text.contains("# TYPE nowa_spawns_total counter"), "{text}");
+    assert!(text.contains("# TYPE nowa_fast_path_ratio gauge"), "{text}");
+    assert!(text.contains("nowa_workers 2"), "{text}");
+    assert!(
+        text.contains(&format!("nowa_spawns_total {}", stats.spawns)),
+        "aggregate spawn counter must match stats():\n{text}"
+    );
+    assert!(text.contains("nowa_parks_total"), "{text}");
+    assert!(text.contains("nowa_wakes_issued_total"), "{text}");
+    assert!(text.contains("nowa_targeted_wake_ratio"), "{text}");
+    assert!(
+        text.contains("nowa_worker_spawns_total{worker=\"0\"}")
+            && text.contains("nowa_worker_spawns_total{worker=\"1\"}"),
+        "per-worker families must be labelled:\n{text}"
+    );
+
+    let json = rt.metrics_json();
+    let parsed = nowa_trace::json::Json::parse(&json).expect("metrics JSON parses");
+    let spawns = parsed
+        .get("nowa_spawns_total")
+        .and_then(|f| f.get("samples"))
+        .and_then(|s| s.as_arr())
+        .and_then(|s| s.first())
+        .and_then(|s| s.get("value"))
+        .and_then(|v| v.as_num())
+        .expect("spawn family present");
+    assert_eq!(spawns, stats.spawns as f64);
+}

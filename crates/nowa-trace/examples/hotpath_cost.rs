@@ -1,0 +1,41 @@
+//! Micro-cost probe for the hot recording path (dev aid: run with
+//! --release and read ns/op).
+use nowa_trace::{Event, EventKind, EventRing, TraceBuffer};
+use std::time::Instant;
+
+fn main() {
+    let n = 5_000_000u64;
+
+    let ring = EventRing::new(1 << 14);
+    let t0 = Instant::now();
+    for i in 0..n {
+        ring.push(Event::new(i, EventKind::Spawn, i));
+    }
+    println!(
+        "ring.push alone: {:.1} ns/op",
+        t0.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    let buf = TraceBuffer::new(1 << 14);
+    let t0 = Instant::now();
+    for i in 0..n {
+        buf.hot_event(EventKind::FastPop, i);
+    }
+    println!(
+        "hot_event: {:.1} ns/op",
+        t0.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    let buf = TraceBuffer::new(1 << 14);
+    let t0 = Instant::now();
+    for i in 0..n {
+        buf.spawn(i, || 3);
+        buf.hot_event(EventKind::FastPop, i);
+        buf.hot_event(EventKind::SyncInline, i);
+    }
+    let per = t0.elapsed().as_nanos() as f64 / n as f64;
+    println!(
+        "spawn+fastpop+syncinline: {per:.1} ns/iter ({:.1} ns/event)",
+        per / 3.0
+    );
+}

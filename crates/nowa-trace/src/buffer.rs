@@ -10,6 +10,19 @@ use crate::ring::EventRing;
 /// How often deque occupancy is sampled: every `2^OCCUPANCY_SHIFT`-th spawn.
 pub const OCCUPANCY_SHIFT: u32 = 6;
 
+/// How often hot-path events take a fresh clock reading: every
+/// `2^STAMP_SHIFT`-th hot event reads the monotonic clock; the ones in
+/// between reuse the last reading. A clock read costs tens of
+/// nanoseconds — more than a fine-grained spawn itself — so stamping
+/// every event would double the runtime of spawn-bound kernels (the
+/// `trace-overhead` CI gate enforces the budget). Staleness is bounded
+/// by `2^STAMP_SHIFT` *hot* events: rare-path events (steals, syncs,
+/// idle/park transitions) always stamp precisely and refresh the shared
+/// reading, so timestamps stay monotonic per worker and dense event
+/// bursts — the only periods that reuse stamps — are exactly the periods
+/// with no scheduling gaps to mis-measure.
+pub const STAMP_SHIFT: u32 = 6;
+
 /// Everything one worker records: its event ring, its latency histograms,
 /// and the scratch cells for in-flight measurements. Cache-line padded so
 /// two workers' buffers never share a line.
@@ -42,6 +55,10 @@ pub struct TraceBuffer {
     park_since_ns: AtomicU64,
     /// Spawns seen, for occupancy sampling.
     spawn_tick: AtomicU64,
+    /// Hot events seen, for amortized stamping ([`STAMP_SHIFT`]).
+    stamp_tick: AtomicU64,
+    /// The last monotonic clock reading taken by this worker.
+    stamp_ns: AtomicU64,
 }
 
 impl TraceBuffer {
@@ -60,41 +77,76 @@ impl TraceBuffer {
             idle_since_ns: AtomicU64::new(0),
             park_since_ns: AtomicU64::new(0),
             spawn_tick: AtomicU64::new(0),
+            stamp_tick: AtomicU64::new(0),
+            stamp_ns: AtomicU64::new(0),
         }
     }
 
-    /// Records a plain event stamped now.
+    /// Reads the clock and refreshes the shared stamp. Every precise
+    /// (rare-path) reading goes through here so subsequent hot events can
+    /// never be stamped earlier than a preceding precise event.
     #[inline]
-    pub fn event(&self, kind: EventKind, arg: u64) {
-        self.ring.push(Event::new(now_ns(), kind, arg));
+    fn fresh_ts(&self) -> u64 {
+        let ts = now_ns();
+        self.stamp_ns.store(ts, Ordering::Relaxed);
+        ts
     }
 
-    /// Records a spawn; every `2^`[`OCCUPANCY_SHIFT`]`-th` call also
-    /// samples `deque_len` into the occupancy histogram (and an
-    /// [`EventKind::Occupancy`] event), where `deque_len` is provided
-    /// lazily so the common case never touches the deque.
+    /// Amortized timestamp for hot-path events: a fresh reading every
+    /// `2^`[`STAMP_SHIFT`]`-th` call, the last reading otherwise.
     #[inline]
-    pub fn spawn(&self, deque_len: impl FnOnce() -> u64) {
+    fn hot_ts(&self) -> u64 {
+        let tick = self.stamp_tick.load(Ordering::Relaxed);
+        self.stamp_tick.store(tick + 1, Ordering::Relaxed);
+        if tick & ((1 << STAMP_SHIFT) - 1) == 0 {
+            self.fresh_ts()
+        } else {
+            self.stamp_ns.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Records a rare-path event stamped with a fresh clock reading.
+    #[inline]
+    pub fn event(&self, kind: EventKind, arg: u64) {
+        self.ring.push(Event::new(self.fresh_ts(), kind, arg));
+    }
+
+    /// Records a hot-path event with an amortized stamp ([`STAMP_SHIFT`]).
+    #[inline]
+    pub fn hot_event(&self, kind: EventKind, arg: u64) {
+        self.ring.push(Event::new(self.hot_ts(), kind, arg));
+    }
+
+    /// Records an offered spawn of `frame`; every
+    /// `2^`[`OCCUPANCY_SHIFT`]`-th` call also samples `deque_len` into the
+    /// occupancy histogram (and an [`EventKind::Occupancy`] event), where
+    /// `deque_len` is provided lazily so the common case never touches the
+    /// deque.
+    #[inline]
+    pub fn spawn(&self, frame: u64, deque_len: impl FnOnce() -> u64) {
         let tick = self.spawn_tick.load(Ordering::Relaxed);
         self.spawn_tick.store(tick + 1, Ordering::Relaxed);
         if tick & ((1 << OCCUPANCY_SHIFT) - 1) == 0 {
             let len = deque_len();
             self.occupancy.record(len);
-            let ts = now_ns();
-            self.ring.push(Event::new(ts, EventKind::Spawn, 0));
+            let ts = self.fresh_ts();
+            self.ring.push(Event::new(ts, EventKind::Spawn, frame));
             self.ring.push(Event::new(ts, EventKind::Occupancy, len));
         } else {
-            self.event(EventKind::Spawn, 0);
+            self.hot_event(EventKind::Spawn, frame);
         }
     }
 
-    /// Records a successful steal from `victim` and starts the
-    /// steal-to-first-poll clock.
+    /// Records a successful steal of `frame`'s record from `victim` and
+    /// starts the steal-to-first-poll clock.
     #[inline]
-    pub fn steal_success(&self, victim: usize) {
-        let ts = now_ns();
-        self.ring
-            .push(Event::new(ts, EventKind::Steal, victim as u64));
+    pub fn steal_success(&self, victim: usize, frame: u64) {
+        let ts = self.fresh_ts();
+        self.ring.push(Event::new(
+            ts,
+            EventKind::Steal,
+            crate::event::pack_steal_arg(victim, frame),
+        ));
         self.pending_steal_ns.store(ts, Ordering::Relaxed);
     }
 
@@ -106,7 +158,8 @@ impl TraceBuffer {
         let started = self.pending_steal_ns.load(Ordering::Relaxed);
         if started != 0 {
             self.pending_steal_ns.store(0, Ordering::Relaxed);
-            self.steal_latency.record(now_ns().saturating_sub(started));
+            self.steal_latency
+                .record(self.fresh_ts().saturating_sub(started));
         }
     }
 
@@ -122,7 +175,8 @@ impl TraceBuffer {
     #[inline]
     pub fn idle_enter(&self) {
         if self.idle_since_ns.load(Ordering::Relaxed) == 0 {
-            self.idle_since_ns.store(now_ns().max(1), Ordering::Relaxed);
+            self.idle_since_ns
+                .store(self.fresh_ts().max(1), Ordering::Relaxed);
         }
     }
 
@@ -133,7 +187,7 @@ impl TraceBuffer {
         let since = self.idle_since_ns.load(Ordering::Relaxed);
         if since != 0 {
             self.idle_since_ns.store(0, Ordering::Relaxed);
-            let dur = now_ns().saturating_sub(since);
+            let dur = self.fresh_ts().saturating_sub(since);
             self.idle_spin.record(dur);
             self.ring.push(Event::new(since, EventKind::Idle, dur));
         }
@@ -143,7 +197,7 @@ impl TraceBuffer {
     /// parked-time clock started).
     #[inline]
     pub fn park_begin(&self) {
-        let ts = now_ns().max(1);
+        let ts = self.fresh_ts().max(1);
         self.park_since_ns.store(ts, Ordering::Relaxed);
         self.ring.push(Event::new(ts, EventKind::Park, 0));
     }
@@ -156,7 +210,7 @@ impl TraceBuffer {
         let since = self.park_since_ns.load(Ordering::Relaxed);
         if since != 0 {
             self.park_since_ns.store(0, Ordering::Relaxed);
-            let dur = now_ns().saturating_sub(since);
+            let dur = self.fresh_ts().saturating_sub(since);
             self.parked.record(dur);
             self.ring.push(Event::new(since, EventKind::Unpark, dur));
         }
@@ -186,7 +240,7 @@ mod tests {
         let buf = TraceBuffer::new(1 << 10);
         let mut probes = 0u32;
         for _ in 0..(2 << OCCUPANCY_SHIFT) {
-            buf.spawn(|| {
+            buf.spawn(42, || {
                 probes += 1;
                 3
             });
@@ -202,7 +256,7 @@ mod tests {
         let buf = TraceBuffer::new(64);
         buf.resume_finished(); // fast-path resume: no pending steal
         assert_eq!(buf.steal_latency.snapshot().count, 0);
-        buf.steal_success(2);
+        buf.steal_success(2, 42);
         buf.resume_finished();
         buf.resume_finished(); // second resume must not double-record
         assert_eq!(buf.steal_latency.snapshot().count, 1);

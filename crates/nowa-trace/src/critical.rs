@@ -1,0 +1,408 @@
+//! Critical-path state and the assembled causal profile.
+//!
+//! [`crate::dag`] replays the per-worker deques from causal events; this
+//! module holds the quantity it propagates — a *path value*, the length of
+//! the longest chain of dependent work ending at a point in the execution,
+//! together with the attribution of that length — and the final
+//! [`CausalProfile`] with its exporters.
+//!
+//! The recurrence is the classic work/span one (Cilkview): a spawn forks
+//! the current path into child and continuation; a join takes the max of
+//! the joining strands; sequential work extends the path. Replaying it
+//! over the event stream yields the *theoretical* span T∞ — what an
+//! infinite-processor schedule would take — while summing all busy time
+//! gives the burdened work T1.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, NUM_KINDS};
+use crate::hist::HistSnapshot;
+use crate::json::Json;
+use crate::report::WorkerTrace;
+
+/// A value in the span recurrence: a path length plus where it came from.
+///
+/// `max` over path values compares lengths and keeps the winner's
+/// attribution, so the final maximum describes the critical path itself.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PathVal {
+    /// Path length in ns.
+    pub len: u64,
+    /// Path nanoseconds bucketed by the event kind that terminated each
+    /// busy segment (the "phase" attribution).
+    pub by_kind: [u64; NUM_KINDS],
+    /// Steal edges traversed along this path.
+    pub steal_edges: u64,
+    /// Realized time records on this path sat in a deque before being
+    /// stolen (not part of `len`; wall-clock delay, not dependence depth).
+    pub deque_wait_ns: u64,
+    /// Realized suspend→resume wall time at syncs along this path (also
+    /// not part of `len`).
+    pub suspend_wait_ns: u64,
+    /// Busy segments folded into this path.
+    pub segments: u64,
+}
+
+impl PathVal {
+    /// Extends the path by a busy segment of `ns` that ended with `kind`.
+    pub fn add(&mut self, ns: u64, kind: EventKind) {
+        if ns > 0 {
+            self.len += ns;
+            self.by_kind[kind as usize] += ns;
+            self.segments += 1;
+        }
+    }
+
+    /// Replaces `self` with `other` if `other` is the longer path.
+    pub fn fold_max(&mut self, other: &PathVal) {
+        if other.len > self.len {
+            *self = other.clone();
+        }
+    }
+}
+
+/// The critical path of a run: its length and its composition.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Span T∞ in ns — the length of the longest dependence chain.
+    pub span_ns: u64,
+    /// Span ns attributed per event kind terminating each busy segment
+    /// (kind name, ns), non-zero entries only, largest first.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Steal edges traversed by the critical path.
+    pub steal_edges: u64,
+    /// Realized deque-wait delay along the critical path (ns).
+    pub deque_wait_ns: u64,
+    /// Realized sync-suspension wait along the critical path (ns).
+    pub suspend_wait_ns: u64,
+    /// Busy segments composing the critical path.
+    pub segments: u64,
+}
+
+impl From<PathVal> for CriticalPath {
+    fn from(p: PathVal) -> CriticalPath {
+        let mut phases: Vec<(&'static str, u64)> = EventKind::ALL
+            .iter()
+            .filter_map(|k| {
+                let ns = p.by_kind[*k as usize];
+                (ns > 0).then_some((k.name(), ns))
+            })
+            .collect();
+        phases.sort_by_key(|&(_, ns)| core::cmp::Reverse(ns));
+        CriticalPath {
+            span_ns: p.len,
+            phases,
+            steal_edges: p.steal_edges,
+            deque_wait_ns: p.deque_wait_ns,
+            suspend_wait_ns: p.suspend_wait_ns,
+            segments: p.segments,
+        }
+    }
+}
+
+/// Cilkview-style numbers for one run, reconstructed from causal events.
+///
+/// Built by [`CausalProfile::from_workers`] (see [`crate::dag`] for the
+/// replay). Robust to ring overflow: drops make the reconstruction
+/// best-effort and are reported via [`CausalProfile::complete`] and the
+/// `unmatched_*` counters rather than corrupting the numbers.
+#[derive(Debug, Clone, Default)]
+pub struct CausalProfile {
+    /// Workers that contributed events.
+    pub workers: usize,
+    /// Burdened work T1: total busy ns summed over workers (idle and
+    /// parked periods excluded).
+    pub t1_ns: u64,
+    /// Span T∞: longest dependence chain observed (ns).
+    pub span_ns: u64,
+    /// Wall-clock span of the event stream (first to last event, ns).
+    pub wall_ns: u64,
+    /// Offered spawns (deque records created).
+    pub spawns: u64,
+    /// Steal events.
+    pub steals: u64,
+    /// Steals paired with a spawn record in deque replay.
+    pub matched_steals: u64,
+    /// Steals with no matching record (ring overflow or torn stream).
+    pub unmatched_steals: u64,
+    /// Fast-path pops.
+    pub fast_pops: u64,
+    /// Own-deque takes from the work-finding loop.
+    pub own_takes: u64,
+    /// Pops/takes with no matching record.
+    pub unmatched_pops: u64,
+    /// Steals/pops whose event frame id disagreed with the replayed
+    /// record's (frame-id collision or torn stream).
+    pub frame_mismatches: u64,
+    /// Child joins (continuation consumed elsewhere).
+    pub joins: u64,
+    /// Sync suspensions.
+    pub suspensions: u64,
+    /// Root tasks taken from the injector.
+    pub roots: u64,
+    /// Events dropped on ring overflow (from the worker streams).
+    pub dropped: u64,
+    /// Every matched steal edge, in steal-timestamp order.
+    pub steal_edges: Vec<StealEdge>,
+    /// Time stolen records spent in their deque before the steal (ns).
+    pub time_in_deque: HistSnapshot,
+    /// Ring distance thief→victim per matched steal.
+    pub steal_distance: HistSnapshot,
+    /// Realized suspend→resume wall time per suspension (ns).
+    pub suspend_wait: HistSnapshot,
+    /// The critical path and its attribution.
+    pub critical: CriticalPath,
+}
+
+/// One matched steal: provenance of a migrated continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealEdge {
+    /// The stealing worker.
+    pub thief: usize,
+    /// The worker whose deque was robbed.
+    pub victim: usize,
+    /// Frame id of the stolen record (48-bit truncated).
+    pub frame: u64,
+    /// When the record was pushed (offered).
+    pub spawn_ts_ns: u64,
+    /// When it was stolen.
+    pub steal_ts_ns: u64,
+}
+
+impl StealEdge {
+    /// Time the record sat in the deque before being stolen.
+    pub fn deque_wait_ns(&self) -> u64 {
+        self.steal_ts_ns.saturating_sub(self.spawn_ts_ns)
+    }
+
+    /// Ring distance between thief and victim among `workers` workers
+    /// (steal sweeps walk the worker ring, so distance is modular).
+    pub fn distance(&self, workers: usize) -> u64 {
+        let d = self.thief.abs_diff(self.victim) as u64;
+        if workers == 0 {
+            d
+        } else {
+            d.min(workers as u64 - d)
+        }
+    }
+}
+
+impl CausalProfile {
+    /// Reconstructs the profile from drained per-worker event streams.
+    pub fn from_workers(workers: &[WorkerTrace]) -> CausalProfile {
+        crate::dag::rebuild(workers)
+    }
+
+    /// Parallelism T1/T∞ (0 when the span is empty).
+    pub fn parallelism(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.t1_ns as f64 / self.span_ns as f64
+        }
+    }
+
+    /// True when no events were dropped and every steal/pop paired with a
+    /// record — the DAG is exact, not best-effort.
+    pub fn complete(&self) -> bool {
+        self.dropped == 0 && self.unmatched_steals == 0 && self.unmatched_pops == 0
+    }
+
+    /// A human-readable profile table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "causal profile: {} workers, wall {}{}",
+            self.workers,
+            fmt_ns(self.wall_ns),
+            if self.complete() {
+                String::new()
+            } else {
+                format!(
+                    " (INCOMPLETE: {} dropped, {} unmatched steals, {} unmatched pops)",
+                    self.dropped, self.unmatched_steals, self.unmatched_pops
+                )
+            },
+        );
+        let _ = writeln!(out, "  work T1          {}", fmt_ns(self.t1_ns));
+        let _ = writeln!(out, "  span T∞          {}", fmt_ns(self.span_ns));
+        let _ = writeln!(out, "  parallelism      {:.2}", self.parallelism());
+        let _ = writeln!(
+            out,
+            "  spawns {} · fast-pops {} · own-takes {} · joins {} · suspensions {}",
+            self.spawns, self.fast_pops, self.own_takes, self.joins, self.suspensions
+        );
+        let _ = writeln!(
+            out,
+            "  steal edges      {} ({} matched, {} unmatched)",
+            self.steals, self.matched_steals, self.unmatched_steals
+        );
+        for (name, h) in [
+            ("time-in-deque", &self.time_in_deque),
+            ("suspend wait", &self.suspend_wait),
+        ] {
+            if h.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} n={} mean={} p50≤{} p99≤{} max={}",
+                    name,
+                    h.count,
+                    fmt_ns(h.mean() as u64),
+                    fmt_ns(h.quantile_upper_bound(0.5)),
+                    fmt_ns(h.quantile_upper_bound(0.99)),
+                    fmt_ns(h.max),
+                );
+            }
+        }
+        if self.steal_distance.count > 0 {
+            let _ = writeln!(
+                out,
+                "  steal distance   mean={:.1} max={}",
+                self.steal_distance.mean(),
+                self.steal_distance.max,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  critical path    {} segments, {} steal edges, deque-wait {}, suspend-wait {}",
+            self.critical.segments,
+            self.critical.steal_edges,
+            fmt_ns(self.critical.deque_wait_ns),
+            fmt_ns(self.critical.suspend_wait_ns),
+        );
+        for (phase, ns) in &self.critical.phases {
+            let pct = if self.span_ns > 0 {
+                *ns as f64 * 100.0 / self.span_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "    {:<14} {:>10}  {:5.1}%", phase, fmt_ns(*ns), pct);
+        }
+        out
+    }
+
+    /// The profile as a JSON value (not yet enveloped; callers wrap it).
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        let num = |v: u64| Json::Num(v as f64);
+        root.insert("workers".into(), num(self.workers as u64));
+        root.insert("t1_ns".into(), num(self.t1_ns));
+        root.insert("t_inf_ns".into(), num(self.span_ns));
+        root.insert("parallelism".into(), Json::Num(self.parallelism()));
+        root.insert("wall_ns".into(), num(self.wall_ns));
+        root.insert("complete".into(), Json::Bool(self.complete()));
+        let mut counts = BTreeMap::new();
+        for (key, v) in [
+            ("spawns", self.spawns),
+            ("steals", self.steals),
+            ("matched_steals", self.matched_steals),
+            ("unmatched_steals", self.unmatched_steals),
+            ("fast_pops", self.fast_pops),
+            ("own_takes", self.own_takes),
+            ("unmatched_pops", self.unmatched_pops),
+            ("frame_mismatches", self.frame_mismatches),
+            ("joins", self.joins),
+            ("suspensions", self.suspensions),
+            ("roots", self.roots),
+            ("dropped", self.dropped),
+        ] {
+            counts.insert(key.to_string(), num(v));
+        }
+        root.insert("counts".into(), Json::Obj(counts));
+        for (key, h) in [
+            ("time_in_deque_ns", &self.time_in_deque),
+            ("steal_distance", &self.steal_distance),
+            ("suspend_wait_ns", &self.suspend_wait),
+        ] {
+            let mut obj = BTreeMap::new();
+            obj.insert("count".into(), num(h.count));
+            obj.insert("mean".into(), Json::Num(h.mean()));
+            obj.insert("p50_ub".into(), num(h.quantile_upper_bound(0.5)));
+            obj.insert("p99_ub".into(), num(h.quantile_upper_bound(0.99)));
+            obj.insert("max".into(), num(h.max));
+            root.insert(key.to_string(), Json::Obj(obj));
+        }
+        let mut crit = BTreeMap::new();
+        crit.insert("span_ns".into(), num(self.critical.span_ns));
+        crit.insert("segments".into(), num(self.critical.segments));
+        crit.insert("steal_edges".into(), num(self.critical.steal_edges));
+        crit.insert("deque_wait_ns".into(), num(self.critical.deque_wait_ns));
+        crit.insert("suspend_wait_ns".into(), num(self.critical.suspend_wait_ns));
+        let mut phases = BTreeMap::new();
+        for (phase, ns) in &self.critical.phases {
+            phases.insert(phase.to_string(), num(*ns));
+        }
+        crit.insert("phases_ns".into(), Json::Obj(phases));
+        root.insert("critical_path".into(), Json::Obj(crit));
+        Json::Obj(root)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pathval_add_and_fold() {
+        let mut a = PathVal::default();
+        a.add(10, EventKind::Spawn);
+        a.add(0, EventKind::Join); // zero segments are not counted
+        a.add(5, EventKind::Join);
+        assert_eq!(a.len, 15);
+        assert_eq!(a.segments, 2);
+        assert_eq!(a.by_kind[EventKind::Spawn as usize], 10);
+        let mut b = PathVal::default();
+        b.add(12, EventKind::Steal);
+        b.fold_max(&a);
+        assert_eq!(b.len, 15, "longer path wins");
+        assert_eq!(b.by_kind[EventKind::Spawn as usize], 10);
+        a.fold_max(&b);
+        assert_eq!(a.len, 15, "equal path keeps self");
+    }
+
+    #[test]
+    fn critical_path_phases_sorted() {
+        let mut p = PathVal::default();
+        p.add(5, EventKind::Spawn);
+        p.add(20, EventKind::Join);
+        let crit = CriticalPath::from(p);
+        assert_eq!(crit.span_ns, 25);
+        assert_eq!(crit.phases[0], ("join", 20));
+        assert_eq!(crit.phases[1], ("spawn", 5));
+    }
+
+    #[test]
+    fn steal_edge_distance_is_modular() {
+        let e = StealEdge {
+            thief: 7,
+            victim: 0,
+            frame: 1,
+            spawn_ts_ns: 10,
+            steal_ts_ns: 25,
+        };
+        assert_eq!(e.deque_wait_ns(), 15);
+        assert_eq!(e.distance(8), 1, "ring distance wraps");
+        assert_eq!(e.distance(16), 7);
+    }
+
+    #[test]
+    fn parallelism_guards_zero_span() {
+        let p = CausalProfile::default();
+        assert_eq!(p.parallelism(), 0.0);
+        assert!(p.complete());
+    }
+}

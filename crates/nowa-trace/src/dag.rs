@@ -1,0 +1,445 @@
+//! Fork/join DAG reconstruction from causal trace events.
+//!
+//! Deque-lifecycle events carry frame ids (see [`crate::EventKind`]), so
+//! the merged event stream contains enough information to *replay* every
+//! worker's deque: `Spawn` pushes a record at the bottom, `FastPop` and
+//! `OwnTake` pop the bottom, `Steal` pops the victim's top. Each replayed
+//! record carries the path value at its push, which is exactly the state
+//! the span recurrence needs when the record is consumed — so one pass in
+//! global timestamp order rebuilds the DAG and computes work T1, span T∞
+//! and the critical path simultaneously.
+//!
+//! The replay is drop-tolerant by construction: a pop or steal that finds
+//! no record (ring overflow ate the spawn) keeps the current path and is
+//! counted in the `unmatched_*` fields instead of failing.
+//!
+//! Cross-worker timestamp skew is handled explicitly: the victim stamps
+//! its `Spawn` event *after* the push is visible to thieves, so a fast
+//! thief's `Steal` can carry an earlier timestamp than the matching
+//! `Spawn`. A steal that finds no matching record is therefore parked and
+//! resolved when the spawn arrives (nanoseconds later in the merged
+//! stream); only steals still unresolved at end of stream count as
+//! unmatched. Owner-side pops need no such handling — push and pop are
+//! stamped by the same thread, so their order is always consistent.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::critical::{CausalProfile, CriticalPath, PathVal, StealEdge};
+use crate::event::{steal_frame, steal_victim, EventKind, STEAL_FRAME_BITS};
+use crate::hist::HistSnapshot;
+use crate::report::WorkerTrace;
+
+/// A deque record in the replay: the pushed continuation's identity and
+/// the path value at its push.
+struct Pending {
+    frame: u64,
+    ts_ns: u64,
+    path: PathVal,
+}
+
+/// Per-worker replay state.
+#[derive(Default)]
+struct WState {
+    /// The span-recurrence path of the strand this worker is running.
+    path: PathVal,
+    /// Timestamp busy time accumulates from (None before the first event).
+    last_busy_ns: Option<u64>,
+    /// False between a Join/SyncSuspend and the next take: the worker is
+    /// searching for work, so busy time is burden (counted in T1) but not
+    /// part of any dependence chain.
+    on_strand: bool,
+    /// Replayed owner deque.
+    deque: VecDeque<Pending>,
+}
+
+const FRAME_MASK: u64 = (1 << STEAL_FRAME_BITS) - 1;
+
+fn frames_match(a: u64, b: u64) -> bool {
+    a & FRAME_MASK == b & FRAME_MASK
+}
+
+/// Replays the merged event streams and reconstructs the causal profile.
+///
+/// Used via [`CausalProfile::from_workers`].
+pub(crate) fn rebuild(workers: &[WorkerTrace]) -> CausalProfile {
+    // Merge by (ts, worker, index): per-worker publication order is
+    // preserved on timestamp ties, which matters for adjacent events
+    // stamped in the same nanosecond (e.g. Join then SyncResume).
+    let mut merged: Vec<(u64, usize, usize)> = Vec::new();
+    for (w, wt) in workers.iter().enumerate() {
+        for (i, ev) in wt.events.iter().enumerate() {
+            merged.push((ev.ts_ns, w, i));
+        }
+    }
+    merged.sort_unstable();
+
+    let mut st: Vec<WState> = (0..workers.len()).map(|_| WState::default()).collect();
+    // Steals stamped before their spawn (cross-worker clock skew), keyed
+    // by (victim, frame): resolved by the next matching Spawn, FIFO.
+    let mut early_steals: BTreeMap<(usize, u64), VecDeque<usize>> = BTreeMap::new();
+    let mut joins: BTreeMap<u64, PathVal> = BTreeMap::new();
+    let mut suspended: BTreeMap<u64, (PathVal, u64)> = BTreeMap::new();
+    let mut best = PathVal::default();
+    let mut out = CausalProfile {
+        workers: workers.len(),
+        dropped: workers.iter().map(|w| w.dropped).sum(),
+        ..CausalProfile::default()
+    };
+    let mut time_in_deque = HistSnapshot::default();
+    let mut steal_distance = HistSnapshot::default();
+    let mut suspend_wait = HistSnapshot::default();
+    let (mut first_ts, mut last_ts) = (u64::MAX, 0u64);
+
+    for &(ts, w, i) in &merged {
+        let ev = &workers[w].events[i];
+        first_ts = first_ts.min(ts);
+        last_ts = last_ts.max(ts);
+        match ev.kind {
+            // Search/idle-engine instants: stats only, no clock movement
+            // (their time folds into the surrounding segment or idle span).
+            EventKind::StealEmpty
+            | EventKind::StealRetry
+            | EventKind::Park
+            | EventKind::Unpark
+            | EventKind::Wake
+            | EventKind::Occupancy => continue,
+            // Idle spans are backdated to the period start and carry the
+            // duration: account busy time up to the start, then skip the
+            // span (it covers any parks inside it).
+            EventKind::Idle => {
+                let ws = &mut st[w];
+                if let Some(last) = ws.last_busy_ns {
+                    let gap = ts.saturating_sub(last);
+                    out.t1_ns += gap;
+                    if ws.on_strand {
+                        ws.path.add(gap, EventKind::Idle);
+                    }
+                }
+                let end = ts.saturating_add(ev.arg);
+                ws.last_busy_ns = Some(ws.last_busy_ns.map_or(end, |l| l.max(end)));
+                continue;
+            }
+            _ => {}
+        }
+
+        // Busy time since the previous event on this worker belongs to the
+        // strand that just ran (T1 always; the path only while on-strand).
+        let ws = &mut st[w];
+        if let Some(last) = ws.last_busy_ns {
+            let gap = ts.saturating_sub(last);
+            out.t1_ns += gap;
+            if ws.on_strand {
+                ws.path.add(gap, ev.kind);
+            }
+        }
+        ws.last_busy_ns = Some(ws.last_busy_ns.map_or(ts, |l| l.max(ts)));
+
+        match ev.kind {
+            EventKind::Spawn => {
+                out.spawns += 1;
+                ws.on_strand = true;
+                let key = (w, ev.arg & FRAME_MASK);
+                let thief = early_steals.get_mut(&key).and_then(VecDeque::pop_front);
+                match thief {
+                    // A thief already consumed this record (its Steal was
+                    // stamped first): resolve the edge now instead of
+                    // pushing a record nobody will take. The skew window is
+                    // nanoseconds, so the wait reads as ~0 and the thief's
+                    // path is corrected by folding in the spawn-point path.
+                    Some(thief) => {
+                        if early_steals.get(&key).is_some_and(VecDeque::is_empty) {
+                            early_steals.remove(&key);
+                        }
+                        out.matched_steals += 1;
+                        time_in_deque.record(0);
+                        let edge = StealEdge {
+                            thief,
+                            victim: w,
+                            frame: key.1,
+                            spawn_ts_ns: ts,
+                            steal_ts_ns: ts,
+                        };
+                        steal_distance.record(edge.distance(workers.len()));
+                        out.steal_edges.push(edge);
+                        let mut stolen_path = st[w].path.clone();
+                        stolen_path.steal_edges += 1;
+                        if thief != w {
+                            st[thief].path.fold_max(&stolen_path);
+                        }
+                    }
+                    None => {
+                        let ws = &mut st[w];
+                        ws.deque.push_back(Pending {
+                            frame: ev.arg,
+                            ts_ns: ts,
+                            path: ws.path.clone(),
+                        });
+                    }
+                }
+            }
+            EventKind::FastPop => {
+                out.fast_pops += 1;
+                // The child strand ends here; fold it into the join state
+                // of the popped record's frame, then continue as the
+                // continuation from its spawn point.
+                joins.entry(ev.arg).or_default().fold_max(&ws.path);
+                match ws.deque.pop_back() {
+                    Some(p) => {
+                        if !frames_match(p.frame, ev.arg) {
+                            out.frame_mismatches += 1;
+                        }
+                        ws.path = p.path;
+                    }
+                    None => out.unmatched_pops += 1,
+                }
+                ws.on_strand = true;
+            }
+            EventKind::OwnTake => {
+                out.own_takes += 1;
+                match ws.deque.pop_back() {
+                    Some(p) => {
+                        if !frames_match(p.frame, ev.arg) {
+                            out.frame_mismatches += 1;
+                        }
+                        ws.path = p.path;
+                    }
+                    None => out.unmatched_pops += 1,
+                }
+                ws.on_strand = true;
+            }
+            EventKind::Steal => {
+                out.steals += 1;
+                let victim = steal_victim(ev.arg);
+                let frame = steal_frame(ev.arg);
+                // Steals drain the top, but two thieves' Steal events can be
+                // stamped out of order relative to each other: take the
+                // frontmost record with the *matching* frame, tolerating
+                // positional skew.
+                let stolen = st.get_mut(victim).and_then(|v| {
+                    v.deque
+                        .iter()
+                        .position(|p| frames_match(p.frame, frame))
+                        .and_then(|idx| v.deque.remove(idx))
+                });
+                let ws = &mut st[w];
+                match stolen {
+                    Some(p) => {
+                        out.matched_steals += 1;
+                        let wait = ts.saturating_sub(p.ts_ns);
+                        time_in_deque.record(wait);
+                        let edge = StealEdge {
+                            thief: w,
+                            victim,
+                            frame,
+                            spawn_ts_ns: p.ts_ns,
+                            steal_ts_ns: ts,
+                        };
+                        steal_distance.record(edge.distance(workers.len()));
+                        out.steal_edges.push(edge);
+                        ws.path = p.path;
+                        ws.path.steal_edges += 1;
+                        ws.path.deque_wait_ns += wait;
+                    }
+                    None => {
+                        // Either this steal's Spawn is stamped a few ns
+                        // later (resolved then) or the spawn was dropped
+                        // (counted as unmatched at end of stream).
+                        early_steals
+                            .entry((victim, frame))
+                            .or_default()
+                            .push_back(w);
+                        ws.path = PathVal::default();
+                    }
+                }
+                ws.on_strand = true;
+            }
+            EventKind::Join => {
+                out.joins += 1;
+                joins.entry(ev.arg).or_default().fold_max(&ws.path);
+                ws.on_strand = false;
+            }
+            EventKind::SyncInline => {
+                let j = joins.remove(&ev.arg).unwrap_or_default();
+                ws.path.fold_max(&j);
+                ws.on_strand = true;
+            }
+            EventKind::SyncSuspend => {
+                out.suspensions += 1;
+                suspended.insert(ev.arg, (ws.path.clone(), ts));
+                ws.on_strand = false;
+            }
+            EventKind::SyncResume => {
+                // The resuming worker just emitted the final Join for this
+                // frame, so its path is already folded into the join state;
+                // the continuation resumes as max(suspended side, joins).
+                let (sp, since) = suspended
+                    .remove(&ev.arg)
+                    .unwrap_or((PathVal::default(), ts));
+                let j = joins.remove(&ev.arg).unwrap_or_default();
+                suspend_wait.record(ts.saturating_sub(since));
+                let mut resumed = sp;
+                resumed.fold_max(&j);
+                resumed.suspend_wait_ns += ts.saturating_sub(since);
+                ws.path = resumed;
+                ws.on_strand = true;
+            }
+            EventKind::Root => {
+                out.roots += 1;
+                ws.path = PathVal::default();
+                ws.on_strand = true;
+            }
+            _ => unreachable!("instant kinds handled above"),
+        }
+        let ws = &st[w];
+        if ws.on_strand {
+            best.fold_max(&ws.path);
+        }
+    }
+
+    // Early steals never resolved by a spawn: the spawn was genuinely
+    // lost (ring overflow), not skewed.
+    out.unmatched_steals += early_steals.values().map(|q| q.len() as u64).sum::<u64>();
+
+    // Strands parked in join/suspend state at stream end (e.g. a dropped
+    // resume) still bound the span.
+    for j in joins.values() {
+        best.fold_max(j);
+    }
+    for (sp, _) in suspended.values() {
+        best.fold_max(sp);
+    }
+
+    out.wall_ns = last_ts.saturating_sub(first_ts.min(last_ts));
+    out.span_ns = best.len;
+    out.time_in_deque = time_in_deque;
+    out.steal_distance = steal_distance;
+    out.suspend_wait = suspend_wait;
+    out.critical = CriticalPath::from(best);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{pack_steal_arg, Event};
+
+    fn wt(index: usize, events: Vec<Event>) -> WorkerTrace {
+        WorkerTrace {
+            index,
+            events,
+            dropped: 0,
+        }
+    }
+
+    fn ev(ts: u64, kind: EventKind, arg: u64) -> Event {
+        Event::new(ts, kind, arg)
+    }
+
+    /// Serial run: root does 10ns, spawns child (20ns), fast-pops the
+    /// continuation, does 5ns, syncs inline.
+    /// Work = 35; span = max(child 10+20, continuation 10+5) = 30.
+    #[test]
+    fn serial_fastpop_roundtrip() {
+        let f = 99;
+        let events = vec![
+            ev(100, EventKind::Root, 0),
+            ev(110, EventKind::Spawn, f),      // 10ns of root work
+            ev(130, EventKind::FastPop, f),    // child ran 20ns
+            ev(135, EventKind::SyncInline, f), // continuation ran 5ns
+        ];
+        let p = CausalProfile::from_workers(&[wt(0, events)]);
+        assert_eq!(p.t1_ns, 35);
+        assert_eq!(p.span_ns, 30, "child path dominates the inline sync");
+        assert_eq!(p.fast_pops, 1);
+        assert_eq!(p.spawns, 1);
+        assert!(p.complete());
+        assert!(p.steal_edges.is_empty());
+    }
+
+    /// Same DAG but the continuation is stolen: worker 1 takes the
+    /// continuation, worker 0 finishes the child and joins; worker 1
+    /// suspends at the sync and worker 0's join resumes it.
+    #[test]
+    fn stolen_continuation_roundtrip() {
+        let f = 7;
+        let w0 = vec![
+            ev(100, EventKind::Root, 0),
+            ev(110, EventKind::Spawn, f),      // 10ns before the spawn
+            ev(140, EventKind::Join, f),       // child ran 30ns, cont stolen
+            ev(140, EventKind::SyncResume, f), // last joiner resumes
+            ev(150, EventKind::SyncInline, f), // next region: 10ns then sync
+        ];
+        let w1 = vec![
+            ev(111, EventKind::Steal, pack_steal_arg(0, f)),
+            ev(116, EventKind::SyncSuspend, f), // continuation ran 5ns
+        ];
+        let p = CausalProfile::from_workers(&[wt(0, w0), wt(1, w1)]);
+        // T1: worker 0 busy 100→140 and 140→150; worker 1 busy 111→116.
+        assert_eq!(p.t1_ns, 50 + 5);
+        // Span: child path 10+30=40 beats continuation 10+5=15; the
+        // resumed strand adds 10 → 50.
+        assert_eq!(p.span_ns, 50);
+        assert_eq!(p.matched_steals, 1);
+        assert_eq!(p.unmatched_steals, 0);
+        assert_eq!(p.suspensions, 1);
+        assert!(p.complete());
+        let edge = p.steal_edges[0];
+        assert_eq!((edge.thief, edge.victim), (1, 0));
+        assert_eq!(edge.deque_wait_ns(), 1);
+        assert_eq!(p.suspend_wait.count, 1);
+        assert_eq!(p.suspend_wait.max, 24, "suspended 116→140");
+        assert_eq!(p.critical.steal_edges, 0, "child side won the join");
+        assert_eq!(p.critical.suspend_wait_ns, 24);
+    }
+
+    /// Idle spans subtract from T1 and break the busy clock.
+    #[test]
+    fn idle_spans_excluded_from_work() {
+        let f = 3;
+        let events = vec![
+            ev(100, EventKind::Root, 0),
+            ev(110, EventKind::Spawn, f),
+            ev(120, EventKind::Join, f),    // strand ends
+            ev(120, EventKind::Idle, 70),   // idle 120→190
+            ev(200, EventKind::OwnTake, f), // 10ns of post-idle search burden
+            ev(230, EventKind::SyncInline, f),
+        ];
+        let p = CausalProfile::from_workers(&[wt(0, events)]);
+        // Busy: 100→120 (20) + 190→200 burden (10) + 200→230 (30).
+        assert_eq!(p.t1_ns, 60);
+        // Path: root 10 + child 10 joined; continuation resumes from the
+        // spawn point (path 10) + 30 = 40; search burden is not on it.
+        assert_eq!(p.span_ns, 40);
+        assert_eq!(p.own_takes, 1);
+        assert!(p.complete());
+    }
+
+    /// A steal whose spawn record was dropped is counted, not fatal.
+    #[test]
+    fn unmatched_steal_is_best_effort() {
+        let w0 = vec![ev(100, EventKind::Root, 0)];
+        let w1 = vec![ev(150, EventKind::Steal, pack_steal_arg(0, 5))];
+        let p = CausalProfile::from_workers(&[wt(0, w0), wt(1, w1)]);
+        assert_eq!(p.unmatched_steals, 1);
+        assert_eq!(p.matched_steals, 0);
+        assert!(!p.complete());
+    }
+
+    /// Steals consume the top (FIFO) while pops consume the bottom (LIFO)
+    /// of the replayed deque.
+    #[test]
+    fn replay_respects_deque_ends() {
+        let (f1, f2) = (11, 22);
+        let w0 = vec![
+            ev(100, EventKind::Root, 0),
+            ev(110, EventKind::Spawn, f1),
+            ev(120, EventKind::Spawn, f2),
+            ev(130, EventKind::FastPop, f2), // bottom: the younger record
+        ];
+        let w1 = vec![ev(125, EventKind::Steal, pack_steal_arg(0, f1))];
+        let p = CausalProfile::from_workers(&[wt(0, w0), wt(1, w1)]);
+        assert_eq!(p.matched_steals, 1);
+        assert_eq!(p.frame_mismatches, 0, "steal got f1 (top), pop got f2");
+        assert_eq!(p.steal_edges[0].frame, f1);
+    }
+}

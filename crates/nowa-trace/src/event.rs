@@ -8,28 +8,63 @@
 /// Mask for the 56-bit event argument.
 pub const ARG_MASK: u64 = (1 << 56) - 1;
 
+/// Bits of frame id carried in a [`EventKind::Steal`] argument (the low 8
+/// bits hold the victim index).
+pub const STEAL_FRAME_BITS: u32 = 48;
+
+/// Packs a steal argument: victim index in the low 8 bits, the low
+/// [`STEAL_FRAME_BITS`] bits of the stolen record's frame id above them.
+/// Frame ids are address-derived ([`crate::frame_id`]), so truncation only
+/// risks a (harmless) collision in post-run pairing.
+#[inline]
+pub fn pack_steal_arg(victim: usize, frame: u64) -> u64 {
+    (victim as u64 & 0xFF) | ((frame & ((1 << STEAL_FRAME_BITS) - 1)) << 8)
+}
+
+/// The victim index from a [`EventKind::Steal`] argument.
+#[inline]
+pub fn steal_victim(arg: u64) -> usize {
+    (arg & 0xFF) as usize
+}
+
+/// The (truncated) frame id from a [`EventKind::Steal`] argument.
+#[inline]
+pub fn steal_frame(arg: u64) -> u64 {
+    (arg >> 8) & ((1 << STEAL_FRAME_BITS) - 1)
+}
+
 /// What happened. The argument's meaning depends on the kind.
+///
+/// Deque-lifecycle kinds (`Spawn`, `Steal`, `FastPop`, `OwnTake`, `Join`,
+/// `SyncInline`, `SyncSuspend`, `SyncResume`) carry the *frame id* of the
+/// spawn record or sync frame involved, giving every continuation a causal
+/// identity: a post-run pass ([`crate::CausalProfile`]) can replay the
+/// per-worker deques and rebuild the fork/join DAG across workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
-    /// A continuation was offered to thieves. arg: deque occupancy after
-    /// the push when sampled, else 0.
+    /// A continuation was offered to thieves (pushed on the owner deque).
+    /// arg: the spawning frame's id. Emitted only for *offered* spawns —
+    /// spawns elided by the flavor's no-offer path create no deque record
+    /// and so no DAG edge.
     Spawn = 0,
     /// A steal attempt found the victim's deque empty. arg: victim index.
     StealEmpty = 1,
     /// A steal attempt lost a race and will retry. arg: victim index.
     StealRetry = 2,
-    /// A steal succeeded. arg: victim index.
+    /// A steal succeeded. arg: [`pack_steal_arg`]`(victim, frame)` — the
+    /// victim index plus the stolen record's frame id (steal provenance).
     Steal = 3,
-    /// Fast-path pop: the continuation was not stolen. arg: 0.
+    /// Fast-path pop: the continuation was not stolen. arg: the popped
+    /// record's frame id.
     FastPop = 4,
     /// The work-finding loop took a continuation from its own deque.
-    /// arg: 0.
+    /// arg: the taken record's frame id.
     OwnTake = 5,
     /// A child joined (its continuation had been consumed elsewhere).
-    /// arg: 0.
+    /// arg: the child's frame id.
     Join = 6,
-    /// An explicit sync was satisfied inline. arg: 0.
+    /// An explicit sync was satisfied inline. arg: frame id.
     SyncInline = 7,
     /// An explicit sync suspended its frame. arg: frame id.
     SyncSuspend = 8,
@@ -172,5 +207,17 @@ mod tests {
     #[test]
     fn unknown_kind_rejected() {
         assert!(Event::from_words(0, (NUM_KINDS as u64) << 56).is_none());
+    }
+
+    #[test]
+    fn steal_arg_packs_victim_and_frame() {
+        let arg = pack_steal_arg(7, 0xDEAD_BEEF);
+        assert_eq!(steal_victim(arg), 7);
+        assert_eq!(steal_frame(arg), 0xDEAD_BEEF);
+        assert!(arg <= ARG_MASK, "packed arg fits the 56-bit field");
+        // Frame ids wider than 48 bits truncate; the victim is unaffected.
+        let wide = pack_steal_arg(255, u64::MAX);
+        assert_eq!(steal_victim(wide), 255);
+        assert_eq!(steal_frame(wide), (1 << STEAL_FRAME_BITS) - 1);
     }
 }

@@ -16,6 +16,15 @@
 //!   exporters: a human-readable summary table, JSON, and Chrome
 //!   `trace_event` JSON (one track per worker) loadable in Perfetto or
 //!   `chrome://tracing`.
+//! * [`CausalProfile`] — the analysis half: events carry causal identity
+//!   (frame ids, steal provenance), so a post-run pass replays the
+//!   per-worker deques, rebuilds the fork/join DAG, and computes work T1,
+//!   span T∞, parallelism, steal-edge statistics and the critical path.
+//! * [`FlightRing`] — a bounded overwrite-oldest ring (no exporter
+//!   needed) holding the last moments of scheduler history for
+//!   post-mortem dumps on panic, stall, or guard-page fault.
+//! * [`MetricsRegistry`] — a pull-based metrics surface with Prometheus
+//!   text and JSON encoders, fed from the runtime's stats counters.
 //!
 //! The runtime integrates this behind its `trace` cargo feature; with the
 //! feature off nothing here is compiled into the hot path.
@@ -24,16 +33,25 @@
 
 mod buffer;
 mod clock;
+mod critical;
+mod dag;
 mod event;
+pub mod flight;
 mod hist;
 pub mod json;
+mod metrics;
 mod report;
 mod ring;
 
 pub use buffer::{frame_id, TraceBuffer, OCCUPANCY_SHIFT};
 pub use clock::now_ns;
-pub use event::{Event, EventKind, ARG_MASK};
+pub use critical::{CausalProfile, CriticalPath, StealEdge};
+pub use event::{
+    pack_steal_arg, steal_frame, steal_victim, Event, EventKind, ARG_MASK, STEAL_FRAME_BITS,
+};
+pub use flight::FlightRing;
 pub use hist::{Hist64, HistSnapshot};
+pub use metrics::{Metric, MetricKind, MetricsRegistry};
 pub use report::{TraceReport, WorkerTrace};
 pub use ring::EventRing;
 

@@ -1,0 +1,275 @@
+//! A process-wide metrics registry with Prometheus-text and JSON encoders.
+//!
+//! Pull-based: the runtime builds a fresh registry from its per-worker
+//! `StatsSnapshot`s and idle-engine counters on each call (no hot-path
+//! cost, no background thread), and serving surfaces encode it with
+//! [`MetricsRegistry::render_prometheus`] or
+//! [`MetricsRegistry::render_json`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// Prometheus metric kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing.
+    Counter,
+    /// Free-moving instantaneous value.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One sample: a metric name, optional labels, and a value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric family name (must be a valid Prometheus name).
+    pub name: String,
+    /// Help text for the family.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Label pairs, rendered in insertion order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// An ordered collection of metric samples.
+///
+/// Multiple samples may share a name (differing by labels); `# HELP` /
+/// `# TYPE` headers are emitted once per family, at its first sample.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The collected samples.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Adds an unlabelled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, MetricKind::Counter, Vec::new(), value);
+    }
+
+    /// Adds a labelled counter sample.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        self.push(name, help, MetricKind::Counter, own_labels(labels), value);
+    }
+
+    /// Adds an unlabelled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, MetricKind::Gauge, Vec::new(), value);
+    }
+
+    /// Adds a labelled gauge sample.
+    pub fn gauge_with(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        self.push(name, help, MetricKind::Gauge, own_labels(labels), value);
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: Vec<(String, String)>,
+        value: f64,
+    ) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            labels,
+            value,
+        });
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+                let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind.as_str());
+            }
+            out.push_str(&m.name);
+            if !m.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in m.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, " {}", fmt_value(m.value));
+        }
+        out
+    }
+
+    /// Renders the registry as JSON: an object keyed by metric name, each
+    /// entry `{"kind": ..., "help": ..., "samples": [{"labels": {...},
+    /// "value": ...}]}`.
+    pub fn render_json(&self) -> String {
+        let mut families: BTreeMap<String, (MetricKind, String, Vec<Json>)> = BTreeMap::new();
+        for m in &self.metrics {
+            let fam = families
+                .entry(m.name.clone())
+                .or_insert_with(|| (m.kind, m.help.clone(), Vec::new()));
+            let mut sample = BTreeMap::new();
+            let mut labels = BTreeMap::new();
+            for (k, v) in &m.labels {
+                labels.insert(k.clone(), Json::Str(v.clone()));
+            }
+            sample.insert("labels".to_string(), Json::Obj(labels));
+            sample.insert("value".to_string(), Json::Num(m.value));
+            fam.2.push(Json::Obj(sample));
+        }
+        let mut root = BTreeMap::new();
+        for (name, (kind, help, samples)) in families {
+            let mut fam = BTreeMap::new();
+            fam.insert("kind".to_string(), Json::Str(kind.as_str().to_string()));
+            fam.insert("help".to_string(), Json::Str(help));
+            fam.insert("samples".to_string(), Json::Arr(samples));
+            root.insert(name, Json::Obj(fam));
+        }
+        Json::Obj(root).render()
+    }
+}
+
+fn own_labels(labels: &[(&str, String)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("nowa_spawns_total", "Spawns executed.", 12.0);
+        reg.gauge("nowa_workers", "Worker threads.", 4.0);
+        reg.counter_with(
+            "nowa_steals_total",
+            "Successful steals.",
+            &[("worker", "0".to_string())],
+            3.0,
+        );
+        reg.counter_with(
+            "nowa_steals_total",
+            "Successful steals.",
+            &[("worker", "1".to_string())],
+            5.0,
+        );
+        reg.gauge("nowa_wake_ratio", "Targeted wake hit ratio.", 0.75);
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# HELP nowa_spawns_total Spawns executed."));
+        assert!(text.contains("# TYPE nowa_spawns_total counter"));
+        assert!(text.contains("\nnowa_spawns_total 12\n"));
+        assert!(text.contains("# TYPE nowa_workers gauge"));
+        assert!(text.contains("nowa_steals_total{worker=\"0\"} 3"));
+        assert!(text.contains("nowa_steals_total{worker=\"1\"} 5"));
+        assert!(text.contains("nowa_wake_ratio 0.75"));
+        // One TYPE header per family even with multiple samples.
+        assert_eq!(text.matches("# TYPE nowa_steals_total").count(), 1);
+    }
+
+    #[test]
+    fn label_and_help_escaping() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_with(
+            "nowa_test",
+            "multi\nline \\ help",
+            &[("path", "a\"b\\c\nd".to_string())],
+            1.0,
+        );
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP nowa_test multi\\nline \\\\ help"));
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let json = sample_registry().render_json();
+        let parsed = Json::parse(&json).unwrap();
+        let steals = parsed.get("nowa_steals_total").unwrap();
+        assert_eq!(steals.get("kind").unwrap().as_str(), Some("counter"));
+        let samples = steals.get("samples").unwrap().as_arr().unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(
+            samples[1]
+                .get("labels")
+                .unwrap()
+                .get("worker")
+                .unwrap()
+                .as_str(),
+            Some("1")
+        );
+        assert_eq!(samples[1].get("value").unwrap().as_num(), Some(5.0));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("nowa_spawns_total"));
+        assert!(valid_name("_x:y"));
+        assert!(!valid_name("9lives"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(""));
+    }
+}

@@ -251,16 +251,40 @@ impl TraceReport {
                 }
                 if ev.arg != 0 && !matches!(ev.kind, EventKind::Idle | EventKind::Unpark) {
                     let mut args = BTreeMap::new();
-                    let key = match ev.kind {
-                        EventKind::Steal | EventKind::StealEmpty | EventKind::StealRetry => {
-                            "victim"
+                    match ev.kind {
+                        // Steal args pack victim + stolen frame id.
+                        EventKind::Steal => {
+                            args.insert(
+                                "victim".to_string(),
+                                Json::Num(crate::event::steal_victim(ev.arg) as f64),
+                            );
+                            args.insert(
+                                "frame".to_string(),
+                                Json::Num(crate::event::steal_frame(ev.arg) as f64),
+                            );
                         }
-                        EventKind::SyncSuspend | EventKind::SyncResume => "frame",
-                        EventKind::Occupancy => "len",
-                        EventKind::Wake => "target",
-                        _ => "arg",
-                    };
-                    args.insert(key.to_string(), Json::Num(ev.arg as f64));
+                        EventKind::StealEmpty | EventKind::StealRetry => {
+                            args.insert("victim".to_string(), Json::Num(ev.arg as f64));
+                        }
+                        EventKind::Spawn
+                        | EventKind::FastPop
+                        | EventKind::OwnTake
+                        | EventKind::Join
+                        | EventKind::SyncInline
+                        | EventKind::SyncSuspend
+                        | EventKind::SyncResume => {
+                            args.insert("frame".to_string(), Json::Num(ev.arg as f64));
+                        }
+                        EventKind::Occupancy => {
+                            args.insert("len".to_string(), Json::Num(ev.arg as f64));
+                        }
+                        EventKind::Wake => {
+                            args.insert("target".to_string(), Json::Num(ev.arg as f64));
+                        }
+                        _ => {
+                            args.insert("arg".to_string(), Json::Num(ev.arg as f64));
+                        }
+                    }
                     obj.insert("args".to_string(), Json::Obj(args));
                 }
                 events.push(Json::Obj(obj));
@@ -334,12 +358,13 @@ mod tests {
 
     fn sample_buffers() -> Vec<TraceBuffer> {
         let bufs = vec![TraceBuffer::new(256), TraceBuffer::new(256)];
+        let frame = frame_id(0x1000 as *const ());
         // Worker 0: spawns + a suspend.
-        bufs[0].spawn(|| 2);
-        bufs[0].event(EventKind::FastPop, 0);
-        bufs[0].event(EventKind::SyncSuspend, frame_id(0x1000 as *const ()));
+        bufs[0].spawn(frame, || 2);
+        bufs[0].event(EventKind::FastPop, frame);
+        bufs[0].event(EventKind::SyncSuspend, frame);
         // Worker 1: steals and resumes the suspended frame.
-        bufs[1].steal_success(0);
+        bufs[1].steal_success(0, frame);
         bufs[1].resume_finished();
         bufs[1].event(EventKind::SyncResume, frame_id(0x1000 as *const ()));
         bufs[1].idle_enter();
@@ -438,6 +463,10 @@ mod tests {
             .unwrap();
         assert_eq!(steal.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(steal.get("s").unwrap().as_str(), Some("t"));
+        // Packed steal args decode to victim + frame provenance.
+        let steal_args = steal.get("args").unwrap();
+        assert_eq!(steal_args.get("victim").unwrap().as_num(), Some(0.0));
+        assert!(steal_args.get("frame").unwrap().as_num().unwrap() > 0.0);
         // A park renders as an unpark duration slice plus a park instant.
         let unpark = events
             .iter()

@@ -78,12 +78,26 @@ impl EventRing {
         let p = self.published.load(Ordering::Relaxed);
         let c = self.consumed.load(Ordering::Acquire);
         if p.wrapping_sub(c) >= self.capacity as u64 {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Producer-owned counter: a load + store is a plain pair of
+            // moves, where `fetch_add` would be a locked RMW — the drop
+            // path is the *steady state* of an overflowing ring and must
+            // stay as cheap as the push path (R5 hot-path).
+            let d = self.dropped.load(Ordering::Relaxed);
+            self.dropped.store(d + 1, Ordering::Relaxed);
             return false;
         }
         let i = (p as usize & (self.capacity - 1)) * 2;
-        self.slots[i].store(ev.ts_ns, Ordering::Relaxed);
-        self.slots[i + 1].store(ev.pack_word(), Ordering::Relaxed);
+        // SAFETY: `capacity` is a power of two and `slots.len() == 2 *
+        // capacity`, so `i + 1 <= 2 * capacity - 1` is always in bounds;
+        // the checked indexing cost is real on this path (R5 hot-path).
+        unsafe {
+            self.slots
+                .get_unchecked(i)
+                .store(ev.ts_ns, Ordering::Relaxed);
+            self.slots
+                .get_unchecked(i + 1)
+                .store(ev.pack_word(), Ordering::Relaxed);
+        }
         self.published.store(p + 1, Ordering::Release);
         true
     }

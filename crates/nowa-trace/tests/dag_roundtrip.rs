@@ -1,0 +1,244 @@
+//! Property test: DAG reconstruction round-trips against simulator ground
+//! truth.
+//!
+//! `nowa-sim`'s [`SimDag`] computes work T1 and span T∞ analytically by
+//! the standard work/span recurrence. This suite generates random
+//! fork/join programs, *executes* them with two synthetic schedulers that
+//! emit exactly the causal event streams the real runtime would —
+//!
+//! * **serial**: one worker, every continuation reclaimed by fast-path pop
+//!   (`Spawn` → child → `FastPop` → … → `SyncInline`);
+//! * **always-steal**: every offered continuation is stolen by a fresh
+//!   virtual worker at the spawn instant, children emit `Join` when they
+//!   end, and syncs suspend/resume exactly when the schedule demands it —
+//!
+//! and asserts that [`CausalProfile`] reconstructs T1 and T∞ **exactly**.
+//! Both schedules realise the same DAG, so both must agree with the
+//! analytic values: the serial one exercises the deque-rewind half of the
+//! replay, the always-steal one the steal-edge/suspension half.
+
+use nowa_sim::{DagBuilder, Item, SimDag};
+use nowa_trace::{pack_steal_arg, CausalProfile, Event, EventKind, WorkerTrace};
+use proptest::prelude::*;
+
+/// Generator shape: a task body, recursively containing child bodies.
+#[derive(Debug, Clone)]
+enum Shape {
+    Work(u64),
+    Sync,
+    Spawn(Vec<Shape>),
+    Call(Vec<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Vec<Shape>> {
+    let leaf = prop_oneof![
+        3 => (0u64..100).prop_map(Shape::Work),
+        1 => Just(Shape::Sync),
+    ];
+    let node = leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            3 => (0u64..100).prop_map(Shape::Work),
+            1 => Just(Shape::Sync),
+            2 => prop::collection::vec(inner.clone(), 0..4).prop_map(Shape::Spawn),
+            1 => prop::collection::vec(inner, 0..4).prop_map(Shape::Call),
+        ]
+    });
+    prop::collection::vec(node, 0..6)
+}
+
+fn build_into(b: &mut DagBuilder, task: usize, prog: &[Shape]) {
+    for s in prog {
+        match s {
+            Shape::Work(w) => b.work(task, *w),
+            Shape::Sync => b.sync(task),
+            Shape::Spawn(p) => {
+                let c = b.spawn(task);
+                build_into(b, c, p);
+            }
+            Shape::Call(p) => {
+                let c = b.call(task);
+                build_into(b, c, p);
+            }
+        }
+    }
+}
+
+fn build_dag(prog: &[Shape]) -> SimDag {
+    let mut b = DagBuilder::new();
+    build_into(&mut b, 0, prog);
+    b.build()
+}
+
+/// Frame ids are task indices offset by one (0 is never a valid frame).
+fn frame_of(task: usize) -> u64 {
+    task as u64 + 1
+}
+
+struct Emitter {
+    workers: Vec<Vec<Event>>,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter {
+            workers: vec![Vec::new()],
+        }
+    }
+
+    fn push(&mut self, w: usize, ts: u64, kind: EventKind, arg: u64) {
+        self.workers[w].push(Event::new(ts, kind, arg));
+    }
+
+    fn new_worker(&mut self) -> usize {
+        self.workers.push(Vec::new());
+        self.workers.len() - 1
+    }
+
+    fn into_traces(self) -> Vec<WorkerTrace> {
+        self.workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, events)| WorkerTrace {
+                index,
+                events,
+                dropped: 0,
+            })
+            .collect()
+    }
+}
+
+/// Serial schedule: everything on worker 0; spawned children run to
+/// completion immediately and the continuation is reclaimed by `FastPop`.
+/// Returns the completion time.
+fn run_serial(dag: &SimDag, task: usize, em: &mut Emitter, mut t: u64) -> u64 {
+    let f = frame_of(task);
+    for item in &dag.tasks[task].items {
+        match item {
+            Item::Work(w) => t += w,
+            Item::Call(c) => t = run_serial(dag, *c, em, t),
+            Item::Spawn(c) => {
+                em.push(0, t, EventKind::Spawn, f);
+                t = run_serial(dag, *c, em, t);
+                em.push(0, t, EventKind::FastPop, f);
+            }
+            Item::Sync => em.push(0, t, EventKind::SyncInline, f),
+        }
+    }
+    t
+}
+
+/// Always-steal schedule: every offered continuation is stolen by a fresh
+/// virtual worker at the spawn instant (zero-latency steal), the child
+/// keeps the spawning worker, and each child end emits `Join`. A sync
+/// whose children all ended by the time the continuation reaches it is
+/// inline; otherwise it suspends and the last joiner resumes it.
+///
+/// Control flow migrates, so execution is tracked as a (worker, time)
+/// cursor; the function returns where the task's final strand ended.
+fn run_stolen(dag: &SimDag, task: usize, em: &mut Emitter, w: usize, t: u64) -> (usize, u64) {
+    let f = frame_of(task);
+    let (mut cur_w, mut cur_t) = (w, t);
+    // (end ts, end worker) per child of the open region; merged-stream
+    // order on ties is push order, which matches this Vec's order.
+    let mut region: Vec<(u64, usize)> = Vec::new();
+    for item in &dag.tasks[task].items {
+        match item {
+            Item::Work(wk) => cur_t += wk,
+            Item::Call(c) => (cur_w, cur_t) = run_stolen(dag, *c, em, cur_w, cur_t),
+            Item::Spawn(c) => {
+                em.push(cur_w, cur_t, EventKind::Spawn, f);
+                let thief = em.new_worker();
+                em.push(thief, cur_t, EventKind::Steal, pack_steal_arg(cur_w, f));
+                // Child on the spawning worker; continuation on the thief.
+                let (cw, ct) = run_stolen(dag, *c, em, cur_w, cur_t);
+                em.push(cw, ct, EventKind::Join, f);
+                region.push((ct, cw));
+                cur_w = thief;
+            }
+            Item::Sync => {
+                // The fresh-thief discipline gives every strand end a
+                // distinct (ts, worker) ordering key, so "did every child
+                // end before the continuation arrived?" is exact.
+                let last = region.iter().copied().max();
+                region.clear();
+                match last {
+                    Some((lt, lw)) if (lt, lw) > (cur_t, cur_w) => {
+                        em.push(cur_w, cur_t, EventKind::SyncSuspend, f);
+                        em.push(lw, lt, EventKind::SyncResume, f);
+                        (cur_w, cur_t) = (lw, lt);
+                    }
+                    _ => em.push(cur_w, cur_t, EventKind::SyncInline, f),
+                }
+            }
+        }
+    }
+    (cur_w, cur_t)
+}
+
+fn profile_serial(dag: &SimDag) -> CausalProfile {
+    let mut em = Emitter::new();
+    em.push(0, 0, EventKind::Root, 0);
+    let end = run_serial(dag, 0, &mut em, 0);
+    // Terminal marker so the root's trailing strand has a busy boundary.
+    em.push(0, end, EventKind::SyncInline, frame_of(0));
+    CausalProfile::from_workers(&em.into_traces())
+}
+
+fn profile_stolen(dag: &SimDag) -> CausalProfile {
+    let mut em = Emitter::new();
+    em.push(0, 0, EventKind::Root, 0);
+    let (ew, et) = run_stolen(dag, 0, &mut em, 0, 0);
+    em.push(ew, et, EventKind::SyncInline, frame_of(0));
+    CausalProfile::from_workers(&em.into_traces())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serial_schedule_roundtrips_work_and_span(prog in shape_strategy()) {
+        let dag = build_dag(&prog);
+        let p = profile_serial(&dag);
+        prop_assert!(p.complete(), "lossless stream must replay cleanly: {p:?}");
+        prop_assert_eq!(p.t1_ns, dag.total_work(), "T1 == total work");
+        prop_assert_eq!(p.span_ns, dag.span(), "T∞ == analytic span");
+        prop_assert_eq!(p.spawns as usize, dag.spawn_count());
+        prop_assert_eq!(p.fast_pops, p.spawns, "serial: every spawn fast-popped");
+        prop_assert_eq!(p.steals, 0);
+    }
+
+    #[test]
+    fn always_steal_schedule_roundtrips_work_and_span(prog in shape_strategy()) {
+        let dag = build_dag(&prog);
+        // The event encoding carries 8-bit victim indices, mirroring the
+        // runtime's worker-count bound; fresh-thief scheduling allocates
+        // one worker per spawn, so oversized DAGs are skipped (the
+        // generator's sizing makes them rare).
+        if dag.spawn_count() >= 255 {
+            return Ok(());
+        }
+        let p = profile_stolen(&dag);
+        prop_assert!(p.complete(), "every steal must pair with its spawn: {p:?}");
+        prop_assert_eq!(p.t1_ns, dag.total_work(), "T1 == total work");
+        prop_assert_eq!(p.span_ns, dag.span(), "T∞ == analytic span");
+        prop_assert_eq!(p.steals as usize, dag.spawn_count());
+        prop_assert_eq!(p.matched_steals, p.steals);
+        prop_assert_eq!(p.fast_pops, 0);
+        prop_assert_eq!(p.steal_edges.len() as u64, p.matched_steals);
+    }
+
+    /// The two schedules realise the same DAG: their reconstructed T1 and
+    /// T∞ must agree with each other, not just with the oracle.
+    #[test]
+    fn schedules_agree_on_the_dag(prog in shape_strategy()) {
+        let dag = build_dag(&prog);
+        if dag.spawn_count() >= 255 {
+            return Ok(());
+        }
+        let a = profile_serial(&dag);
+        let b = profile_stolen(&dag);
+        prop_assert_eq!(a.t1_ns, b.t1_ns);
+        prop_assert_eq!(a.span_ns, b.span_ns);
+        prop_assert_eq!(a.spawns, b.spawns);
+    }
+}
