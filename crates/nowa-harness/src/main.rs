@@ -37,6 +37,12 @@ experiments:
   chaos  [--seed N] [--iters K] [--workers N]
                                  seeded fault-injection stress over the real
                                  kernels (requires the `chaos` cargo feature)
+  cancel-soak [--seed N] [--iters K] [--workers N]
+                                 forced cancellations at steal/sync/suspend
+                                 boundaries over K seeds; every run must
+                                 complete or unwind with a typed Cancelled
+                                 payload and shut down cleanly (requires the
+                                 `chaos` cargo feature)
   wakeup [--iters K|small] [--workers N]
                                  idle-engine wakeup latency + idle CPU burn
                                  vs a pre-engine emulation; writes
@@ -212,12 +218,18 @@ fn main() {
             args.iters.unwrap_or(3),
             args.workers,
         )),
+        #[cfg(feature = "chaos")]
+        "cancel-soak" => print_tables(&nowa_harness::chaosexp::cancel_soak(
+            args.seed,
+            args.iters.unwrap_or(8),
+            args.workers,
+        )),
         #[cfg(not(feature = "chaos"))]
-        "chaos" => {
+        "chaos" | "cancel-soak" => {
             eprintln!(
-                "nowa-bench: the chaos stress mode needs the `chaos` cargo feature:\n  \
+                "nowa-bench: the {cmd} mode needs the `chaos` cargo feature:\n  \
                  cargo run -p nowa-harness --features chaos --bin nowa-bench -- \
-                 chaos --seed {} --iters {}",
+                 {cmd} --seed {} --iters {}",
                 args.seed,
                 args.iters.unwrap_or(3)
             );

@@ -206,7 +206,7 @@ fn steal_table(p: &CausalProfile) -> Table {
 }
 
 /// Measures `fib` with tracing off and on and returns `false` (CI
-/// failure) when tracing costs more than [`OVERHEAD_BUDGET`]. Uses
+/// failure) when tracing costs more than `OVERHEAD_BUDGET` (10%). Uses
 /// min-of-reps per configuration: the minimum is the least noisy
 /// estimator of the true cost on a shared CI host.
 pub fn trace_overhead(size: Size, workers: usize, reps: usize) -> bool {

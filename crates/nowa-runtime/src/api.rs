@@ -22,11 +22,16 @@
 
 use std::ops::Range;
 use std::panic::resume_unwind;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use crate::cancel::{self, CancelCell, CancelReason, CancelToken, ScopeHandle};
 use crate::foreign::{foreign_executor, foreign_join2};
+use crate::obs;
 use crate::record::Frame;
 use crate::scheduler::{spawn_execute, sync_execute};
-use crate::worker::current_worker;
+use crate::stats::WorkerStats;
+use crate::worker::{current_worker, Worker};
 
 /// True when the calling thread is a runtime worker executing a task.
 pub fn in_task() -> bool {
@@ -87,6 +92,62 @@ fn propagate(frame: &Frame) {
     }
 }
 
+/// Attributes and raises a cancellation unwind: bumps the cancel counter,
+/// ticks the watchdog heartbeat (cooperative unwinding is forward
+/// progress, not a stall) and emits the `Cancel` trace event.
+#[cold]
+#[inline(never)]
+fn raise_cancelled(frame: *const Frame, reason: CancelReason) -> ! {
+    let worker = current_worker();
+    if !worker.is_null() {
+        // SAFETY: non-null means the calling thread's live worker.
+        unsafe {
+            WorkerStats::bump(&(*worker).stats().cancels);
+            WorkerStats::bump(&(*worker).stats().loop_ticks);
+            obs::on_cancel(worker, frame);
+        }
+    }
+    cancel::raise(reason)
+}
+
+/// Stamps `frame` with the worker's ambient cancellation scope and unwinds
+/// with [`crate::Cancelled`] if that scope's chain is already cancelled —
+/// the entry checkpoint of every safe combinator, placed *before* the sync
+/// guard is armed so a cancelled entry unwinds with no children to wait
+/// for. One relaxed load on the never-cancelled unscoped path.
+///
+/// # Safety
+/// `worker` must be the calling thread's live worker, with no capture
+/// point between its derivation and this call.
+// lint: hot-path
+#[inline]
+unsafe fn adopt_scope_and_check(worker: *mut Worker, frame: &Frame) {
+    // SAFETY: live worker per the function contract.
+    let scope = unsafe { (*worker).cancel_scope };
+    frame.core.scope.set(scope);
+    // SAFETY: the ambient chain is live while this strand runs.
+    if let Some(reason) = unsafe { cancel::cancelled_chain(scope) } {
+        raise_cancelled(frame, reason);
+    }
+}
+
+/// Cooperative checkpoint against the worker's ambient scope (no frame
+/// involved); a no-op outside a runtime.
+fn checkpoint_ambient() {
+    let worker = current_worker();
+    if worker.is_null() {
+        return;
+    }
+    // SAFETY: non-null means the calling thread's live worker, and its
+    // ambient chain is live while this strand runs.
+    unsafe {
+        let scope = (*worker).cancel_scope;
+        if let Some(reason) = cancel::cancelled_chain(scope) {
+            raise_cancelled(core::ptr::null(), reason);
+        }
+    }
+}
+
 /// Forks `a` and runs `b`; returns both results once both finished.
 ///
 /// `a` is spawned (it runs immediately on this worker; the *continuation* —
@@ -115,7 +176,8 @@ where
     RA: Send,
     RB: Send,
 {
-    if !in_task() {
+    let worker = current_worker();
+    if worker.is_null() {
         if let Some(fx) = foreign_executor() {
             return foreign_join2(fx, a, b);
         }
@@ -124,6 +186,9 @@ where
         return (ra, rb);
     }
     let frame = Frame::new();
+    // SAFETY: `worker` is the calling thread's live worker (non-null
+    // above); no capture point lies between its derivation and here.
+    unsafe { adopt_scope_and_check(worker, &frame) };
     let mut slot_a: Option<RA> = None;
     let ptr_a = SendPtr(&mut slot_a as *mut Option<RA>);
     let rb;
@@ -158,7 +223,8 @@ where
     RB: Send,
     RC: Send,
 {
-    if !in_task() {
+    let worker = current_worker();
+    if worker.is_null() {
         if foreign_executor().is_some() {
             let (ra, (rb, rc)) = join2(a, move || join2(b, c));
             return (ra, rb, rc);
@@ -169,6 +235,8 @@ where
         return (ra, rb, rc);
     }
     let frame = Frame::new();
+    // SAFETY: as in `join2`.
+    unsafe { adopt_scope_and_check(worker, &frame) };
     let mut slot_a: Option<RA> = None;
     let mut slot_b: Option<RB> = None;
     let ptr_a = SendPtr(&mut slot_a as *mut Option<RA>);
@@ -212,7 +280,8 @@ where
     RC: Send,
     RD: Send,
 {
-    if !in_task() {
+    let worker = current_worker();
+    if worker.is_null() {
         if foreign_executor().is_some() {
             let ((ra, rb), (rc, rd)) = join2(move || join2(a, b), move || join2(c, d));
             return (ra, rb, rc, rd);
@@ -224,6 +293,8 @@ where
         return (ra, rb, rc, rd);
     }
     let frame = Frame::new();
+    // SAFETY: as in `join2`.
+    unsafe { adopt_scope_and_check(worker, &frame) };
     let mut slot_a: Option<RA> = None;
     let mut slot_b: Option<RB> = None;
     let mut slot_c: Option<RC> = None;
@@ -269,6 +340,9 @@ pub fn par_for<F>(range: Range<usize>, grain: usize, body: &F)
 where
     F: Fn(usize) + Sync,
 {
+    // Every recursion level re-enters here, so this one checkpoint covers
+    // interior splits and serial leaves alike.
+    checkpoint_ambient();
     let grain = grain.max(1);
     let len = range.end.saturating_sub(range.start);
     if len <= grain {
@@ -371,16 +445,27 @@ where
     T: Send,
     F: Fn(T) + Sync,
 {
-    if !in_task() {
+    let worker = current_worker();
+    if worker.is_null() {
         for item in iter {
             f(item);
         }
         return;
     }
     let frame = Frame::new();
+    // SAFETY: as in `join2`.
+    unsafe { adopt_scope_and_check(worker, &frame) };
+    let scope = frame.core.scope.get();
     {
         let guard = SyncOnDrop { frame: &frame };
         for item in iter {
+            // Skip not-yet-started children once a sibling panicked or
+            // the governing scope was cancelled; the guard still syncs
+            // the already-running ones and `propagate` rethrows.
+            // SAFETY: the frame's scope chain is live while we run.
+            if frame.core.is_flagged() || unsafe { cancel::cancelled_chain(scope) }.is_some() {
+                break;
+            }
             // SAFETY: values live across the spawn are `iter` (Send),
             // `f` (&F, F: Sync ⇒ &F: Send), `frame`/`guard` (runtime
             // state); the guard syncs before any of them dies, even when
@@ -392,6 +477,12 @@ where
         drop(guard);
     }
     propagate(&frame);
+    // Cancellation must surface even when every started child completed
+    // cleanly (e.g. the loop broke before any child saw the flag).
+    // SAFETY: as above.
+    if let Some(reason) = unsafe { cancel::cancelled_chain(scope) } {
+        raise_cancelled(&frame, reason);
+    }
 }
 
 /// A raw spawn region: the linear loop-of-spawns shape of the paper's
@@ -402,6 +493,11 @@ where
 /// *spawn* operation itself is `unsafe` — see [`Region::spawn`].
 pub struct Region {
     frame: Frame,
+    /// The region's own cancellation scope; `Some` iff built with
+    /// [`Region::cancellable`] / [`Region::with_deadline`]. The `Arc`
+    /// keeps the cell alive for outstanding [`CancelToken`]s and the
+    /// deadline queue after the region itself is gone.
+    scope: Option<Arc<ScopeHandle>>,
     /// Children deferred under a foreign (child-stealing) executor; run as
     /// a balanced join tree at the sync. Deferral *is* child-stealing
     /// semantics — the continuation proceeds, children run later.
@@ -424,13 +520,141 @@ fn run_deferred(tasks: &mut [Option<Box<dyn FnOnce() + Send + 'static>>]) {
 }
 
 impl Region {
-    /// A fresh region.
+    /// A fresh region, governed by the enclosing scope (no scope of its
+    /// own — it cannot be cancelled individually, costs no allocation).
     #[allow(clippy::new_without_default)]
     pub fn new() -> Region {
-        Region {
+        Region::build(None)
+    }
+
+    /// A region with its own cancellation scope, chained under the
+    /// enclosing one: cancelling the enclosing scope (or shutting the
+    /// runtime down) still cancels this region, and
+    /// [`cancel_token`](Region::cancel_token) cancels it individually.
+    pub fn cancellable() -> Region {
+        Region::build(Some(Region::new_scope()))
+    }
+
+    /// A cancellable region whose scope is cancelled automatically
+    /// ([`CancelReason::Deadline`]) once
+    /// `timeout` elapses, driven by the runtime's watchdog thread.
+    /// Outside a runtime the deadline is inert (serial elision runs to
+    /// completion); the token still works.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use nowa_runtime::{CancelReason, Cancelled, Config, Region, Runtime};
+    ///
+    /// let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    /// let out = rt.run(|| {
+    ///     std::panic::catch_unwind(|| {
+    ///         let region = Region::with_deadline(Duration::from_millis(30));
+    ///         loop {
+    ///             // A long cooperative computation: each checkpoint
+    ///             // raises `Cancelled` once the deadline fires.
+    ///             region.checkpoint();
+    ///             std::hint::spin_loop();
+    ///         }
+    ///     })
+    /// });
+    /// let payload = out.unwrap_err();
+    /// let cancelled = payload.downcast_ref::<Cancelled>().unwrap();
+    /// assert_eq!(cancelled.reason, CancelReason::Deadline);
+    /// ```
+    pub fn with_deadline(timeout: Duration) -> Region {
+        let region = Region::cancellable();
+        if let Some(scope) = &region.scope {
+            let worker = current_worker();
+            if !worker.is_null() {
+                // SAFETY: non-null means the calling thread's live worker.
+                unsafe {
+                    let shared = &(*worker).shared;
+                    shared.deadlines.arm(scope, Instant::now() + timeout);
+                }
+            }
+        }
+        region
+    }
+
+    /// A clonable, sendable token that cancels this region, or `None` for
+    /// a plain [`Region::new`] region (no scope of its own).
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.scope
+            .as_ref()
+            .map(|s| CancelToken { scope: s.clone() })
+    }
+
+    /// Explicit cooperative checkpoint: unwinds with
+    /// [`Cancelled`](crate::Cancelled) if this region's scope chain has
+    /// been cancelled. Intended for long serial stretches between spawns
+    /// (the combinators checkpoint on their own).
+    pub fn checkpoint(&self) {
+        let scope = self.frame.core.scope.get();
+        if scope.is_null() {
+            return;
+        }
+        // SAFETY: the chain head is either our own live `ScopeHandle` or
+        // the ambient scope adopted at build time, whose chain outlives
+        // this region structurally.
+        if let Some(reason) = unsafe { cancel::cancelled_chain(scope) } {
+            raise_cancelled(&self.frame, reason);
+        }
+    }
+
+    /// A scope cell chained under the calling strand's ambient scope (or
+    /// standalone outside a runtime).
+    fn new_scope() -> Arc<ScopeHandle> {
+        let worker = current_worker();
+        let parent: *const CancelCell = if worker.is_null() {
+            core::ptr::null()
+        } else {
+            // SAFETY: non-null means the calling thread's live worker.
+            unsafe { (*worker).cancel_scope }
+        };
+        Arc::new(ScopeHandle {
+            cell: CancelCell::new(parent),
+        })
+    }
+
+    fn build(scope: Option<Arc<ScopeHandle>>) -> Region {
+        let region = Region {
             frame: Frame::new(),
+            scope,
             deferred: core::cell::RefCell::new(Vec::new()),
             _not_sync: core::marker::PhantomData,
+        };
+        let worker = current_worker();
+        match &region.scope {
+            Some(s) => {
+                // The Arc pins the cell's address, so the frame pointer
+                // stays valid across moves of the Region itself.
+                region.frame.core.scope.set(&s.cell);
+                if !worker.is_null() {
+                    // SAFETY: the calling thread's live worker. Children
+                    // spawned here must inherit the region scope.
+                    unsafe { (*worker).cancel_scope = &s.cell };
+                }
+            }
+            None if !worker.is_null() => {
+                // SAFETY: as above.
+                let ambient = unsafe { (*worker).cancel_scope };
+                region.frame.core.scope.set(ambient);
+            }
+            None => {}
+        }
+        region
+    }
+
+    /// Resets the worker's ambient scope to this region's parent after the
+    /// sync — the main path has left the region's dynamic extent. The
+    /// worker is re-derived: the sync may have migrated us.
+    fn restore_ambient(&self) {
+        if let Some(scope) = &self.scope {
+            let worker = current_worker();
+            if !worker.is_null() {
+                // SAFETY: the calling thread's live worker.
+                unsafe { (*worker).cancel_scope = scope.cell.parent() };
+            }
         }
     }
 
@@ -493,7 +717,21 @@ impl Region {
     where
         F: FnOnce() + Send,
     {
+        // Cooperative cancellation: a flagged frame means a child already
+        // recorded a panic/cancel — skip not-yet-started siblings (the
+        // sync surfaces the payload). A cancelled scope chain unwinds us
+        // here, before the child ever starts.
+        if self.frame.core.is_flagged() {
+            return;
+        }
+        self.checkpoint();
         if in_task() {
+            let worker = current_worker();
+            // Re-establish this region as the ambient scope: an inner
+            // region's sync (or a steal/migration) may have repointed the
+            // worker's ambient since our build.
+            // SAFETY: in_task() implies a live worker on this thread.
+            unsafe { (*worker).cancel_scope = self.frame.core.scope.get() };
             unsafe { spawn_execute(&self.frame, f) };
             return;
         }
@@ -521,7 +759,11 @@ impl Region {
             let mut deferred: Vec<_> = self.deferred.borrow_mut().drain(..).map(Some).collect();
             run_deferred(&mut deferred);
         }
+        self.restore_ambient();
         propagate(&self.frame);
+        // A cancelled region whose children all finished cleanly still
+        // unwinds: cancellation must surface even with no recorded payload.
+        self.checkpoint();
     }
 }
 
@@ -536,6 +778,7 @@ impl Drop for Region {
             let mut deferred: Vec<_> = self.deferred.borrow_mut().drain(..).map(Some).collect();
             run_deferred(&mut deferred);
         }
+        self.restore_ambient();
         // Panics captured from children are intentionally dropped here if
         // the region is dropped during an unwind; `sync()` on the normal
         // path propagates them.

@@ -35,10 +35,14 @@
 //!   of the lost-wakeup window.
 //! * **SpuriousWake** — a park consumes its announce but skips the kernel
 //!   wait, simulating a spurious futex return.
+//! * **ForceCancel** — latches the enclosing region's cancellation scope
+//!   at a steal, sync, or suspend boundary, as if its token had been
+//!   cancelled at the worst possible moment.
 //!
 //! The two idle sites are *not* armed by `ChaosConfig::aggressive`: their
 //! visit counts depend on wall-clock idleness, so arming them would break
-//! the exact snapshot-equality determinism gates. Dedicated idle-engine
+//! the exact snapshot-equality determinism gates. `ForceCancel` stays
+//! unarmed there too — cancellation reshapes the strand tree. Dedicated
 //! tests arm them explicitly.
 
 #[cfg(feature = "chaos")]
@@ -80,10 +84,13 @@ mod imp {
         ForcePark = 5,
         /// Spurious (kernel-less) return from a park.
         SpuriousWake = 6,
+        /// Forced cancellation of the enclosing region at a steal, sync,
+        /// or suspend boundary.
+        ForceCancel = 7,
     }
 
     /// Number of distinct injection sites.
-    pub const SITES: usize = 7;
+    pub const SITES: usize = 8;
 
     const SITE_NAMES: [&str; SITES] = [
         "steal_fail",
@@ -93,6 +100,7 @@ mod imp {
         "child_panic",
         "force_park",
         "spurious_wake",
+        "force_cancel",
     ];
 
     /// Per-worker chaos state: one tick and one injected counter per site.
@@ -318,6 +326,19 @@ mod imp {
         }
     }
 
+    /// At a steal/sync/suspend boundary: returns `true` to force-cancel
+    /// the enclosing region (the caller does the latching — it knows the
+    /// frame whose scope is enclosing).
+    #[inline]
+    pub(crate) unsafe fn on_force_cancel(worker: *mut Worker) -> bool {
+        unsafe {
+            match state(worker) {
+                Some((st, cfg)) => st.decide(ChaosSite::ForceCancel, cfg.force_cancel),
+                None => false,
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -398,11 +419,15 @@ mod imp {
     pub(crate) unsafe fn on_park_wait(_: *mut Worker) -> bool {
         false
     }
+    #[inline(always)]
+    pub(crate) unsafe fn on_force_cancel(_: *mut Worker) -> bool {
+        false
+    }
 }
 
 pub(crate) use imp::{
-    on_child_start, on_idle_backoff, on_park_wait, on_spawn_push, on_stack_get, on_steal_attempt,
-    on_sync,
+    on_child_start, on_force_cancel, on_idle_backoff, on_park_wait, on_spawn_push, on_stack_get,
+    on_steal_attempt, on_sync,
 };
 
 #[cfg(feature = "chaos")]

@@ -45,6 +45,14 @@ pub struct ChaosConfig {
     /// skips the kernel wait, returning immediately as if the futex had
     /// woken spuriously. Same determinism caveat as `force_park`.
     pub spurious_wake: u16,
+    /// Rate of forced cancellations: the enclosing region's scope is
+    /// latched (as if its token had been cancelled) at a steal, sync, or
+    /// suspend boundary — the three places a cancellation race with the
+    /// join protocol is most delicate. No-op for unscoped work. Stays `0`
+    /// in [`ChaosConfig::aggressive`]: cancellation changes which strands
+    /// run, so arming it would break the exact snapshot-equality
+    /// determinism gates — the dedicated cancel-soak tests arm it.
+    pub force_cancel: u16,
 }
 
 impl ChaosConfig {
@@ -59,6 +67,7 @@ impl ChaosConfig {
             child_panic: 0,
             force_park: 0,
             spurious_wake: 0,
+            force_cancel: 0,
         }
     }
 
@@ -79,6 +88,9 @@ impl ChaosConfig {
             // determinism gates. See the field docs; armed per-test.
             force_park: 0,
             spurious_wake: 0,
+            // Cancellation reshapes the strand tree, so it too would break
+            // the exact-replay gates; armed by the cancel-soak tests.
+            force_cancel: 0,
         }
     }
 }
@@ -340,6 +352,7 @@ mod tests {
         assert_eq!(loud.child_panic, 0, "panics stay opt-in");
         assert_eq!(loud.force_park, 0, "idle sites stay replay-safe");
         assert_eq!(loud.spurious_wake, 0, "idle sites stay replay-safe");
+        assert_eq!(loud.force_cancel, 0, "cancellation stays replay-safe");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use crate::sync::Ordering;
 
-use crate::record::{AfterChild, Frame, SpawnRecord, I_MAX};
+use crate::record::{AfterChild, Frame, SpawnRecord, I_MAX, SUSP_IDLE, SUSP_SUSPENDED};
 
 /// A continuation token as stored in the deques.
 pub type Rec = Ptr<SpawnRecord>;
@@ -263,6 +263,11 @@ pub fn pop_or_join(protocol: ProtocolKind, dq: &OwnerDeque, frame: &Frame) -> Af
                     // Wait-free child join: one atomic RMW, no lock.
                     let post = frame.join.counter.fetch_sub(1, Ordering::AcqRel) - 1;
                     if post == 0 {
+                        // We crossed zero, so the main path already
+                        // restored the counter — and published its
+                        // suspension before that restore. Claim it.
+                        let retired = retire_suspension(frame);
+                        debug_assert!(retired, "zero-crossing without a parked suspension");
                         AfterChild::ResumeSync
                     } else {
                         AfterChild::OutOfWork
@@ -431,10 +436,21 @@ pub fn sync_precheck(protocol: ProtocolKind, frame: &Frame) -> bool {
 pub fn sync_restore(protocol: ProtocolKind, frame: &Frame) -> bool {
     match protocol {
         ProtocolKind::NowaWaitFree => {
+            // Publish the suspension *before* restoring the counter: the
+            // joiner whose decrement crosses zero must observe it (its
+            // AcqRel RMW on the counter synchronizes with ours below, so
+            // this Release store happens-before its `retire_suspension`).
+            frame.join.susp.store(SUSP_SUSPENDED, Ordering::Release);
             let alpha = frame.join.alpha.load(Ordering::Relaxed) as i64;
             let delta = I_MAX - alpha;
             let post = frame.join.counter.fetch_sub(delta, Ordering::AcqRel) - delta;
             debug_assert!(post >= 0, "sync counter restored below zero");
+            if post == 0 {
+                // The restore itself crossed zero: no joiner will, so we
+                // retire our own suspension and resume immediately.
+                let retired = retire_suspension(frame);
+                debug_assert!(retired, "restore zero-crossing lost its own suspension");
+            }
             post == 0
         }
         ProtocolKind::FibrilLocked => {
@@ -449,6 +465,20 @@ pub fn sync_restore(protocol: ProtocolKind, frame: &Frame) -> bool {
     }
 }
 
+/// Claims a parked suspension at a counter zero-crossing: swaps the
+/// suspension state machine back to [`SUSP_IDLE`] and reports whether this
+/// call retired it. The zero crossing is a unique event in the counter's
+/// modification order, so exactly one party retires each suspension — the
+/// "retired exactly once" half of the abortable-suspension protocol
+/// (DESIGN.md §6f); the loom cancel model asserts it.
+#[inline]
+pub fn retire_suspension(frame: &Frame) -> bool {
+    // AcqRel: acquire the suspender's pre-suspension writes (sync_ctx,
+    // suspended_stack) before resuming them; release our own join so the
+    // resumed continuation sees it.
+    frame.join.susp.swap(SUSP_IDLE, Ordering::AcqRel) == SUSP_SUSPENDED
+}
+
 /// Re-arms a frame after a completed sync so the same frame can host the
 /// next spawn region (Listing 3 allows several spawn…sync regions per
 /// spawning function).
@@ -456,6 +486,11 @@ pub fn sync_restore(protocol: ProtocolKind, frame: &Frame) -> bool {
 pub fn rearm(protocol: ProtocolKind, frame: &Frame) {
     match protocol {
         ProtocolKind::NowaWaitFree => {
+            debug_assert_eq!(
+                frame.join.susp.load(Ordering::Relaxed),
+                SUSP_IDLE,
+                "rearm with a suspension still parked"
+            );
             frame.join.counter.store(I_MAX, Ordering::Relaxed);
             frame.join.alpha.store(0, Ordering::Relaxed);
         }
@@ -538,9 +573,37 @@ mod tests {
         assert!(!sync_precheck(p, &frame));
         assert!(!sync_restore(p, &frame), "one child outstanding");
         assert_eq!(frame.join.counter.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            frame.join.susp.load(Ordering::Relaxed),
+            SUSP_SUSPENDED,
+            "restore published the parked suspension"
+        );
 
-        // Child joins: it is the last one and must resume the sync ctx.
+        // Child joins: it is the last one and must resume the sync ctx,
+        // retiring the suspension exactly once on the way.
         assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::ResumeSync);
+        assert_eq!(frame.join.susp.load(Ordering::Relaxed), SUSP_IDLE);
+        assert!(
+            !retire_suspension(&frame),
+            "a second retire of the same suspension must fail"
+        );
+    }
+
+    /// A restore that itself crosses zero retires its own suspension.
+    #[test]
+    fn nowa_restore_self_resume_retires_suspension() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let rec = SpawnRecord::new(&frame);
+
+        assert!(push(&dq, Ptr::from_ref(&rec)));
+        let _stolen = steal_from(p, &st).success().unwrap();
+        // Child joins *before* the main path syncs.
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::OutOfWork);
+        // Restore crosses zero itself: immediate resume, suspension retired.
+        assert!(sync_restore(p, &frame));
+        assert_eq!(frame.join.susp.load(Ordering::Relaxed), SUSP_IDLE);
     }
 
     #[test]

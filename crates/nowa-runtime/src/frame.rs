@@ -10,11 +10,14 @@
 //!   node, cf. Listing 2's `f->stack = victim->stack`),
 //! * a slot for a panic payload propagated out of a child strand.
 
-use core::cell::UnsafeCell;
+use core::cell::{Cell, UnsafeCell};
 use std::any::Any;
 
 use nowa_context::{RawContext, Stack};
 use parking_lot::Mutex;
+
+use crate::cancel::{CancelCell, Cancelled};
+use crate::sync::{AtomicU32, Ordering};
 
 /// Panic payload captured from a child strand.
 pub type PanicPayload = Box<dyn Any + Send + 'static>;
@@ -37,6 +40,15 @@ pub struct FrameCore {
     /// First panic observed in any child strand of this frame. Multiple
     /// children may panic concurrently, hence the mutex (cold path).
     pub panic: Mutex<Option<PanicPayload>>,
+    /// The innermost cancellation scope governing this frame. Written once
+    /// by the spawning strand before the frame is published to any child
+    /// (so reads never race a write); read at checkpoints and at resume
+    /// boundaries to re-establish the worker's ambient scope.
+    pub(crate) scope: Cell<*const CancelCell>,
+    /// Set (relaxed) when any child strand of this frame records a panic;
+    /// per-spawn checkpoints read it to skip not-yet-started siblings even
+    /// when no cancellable region governs the frame.
+    pub flagged: AtomicU32,
 }
 
 impl FrameCore {
@@ -46,15 +58,37 @@ impl FrameCore {
             sync_ctx: UnsafeCell::new(RawContext::null()),
             suspended_stack: UnsafeCell::new(None),
             panic: Mutex::new(None),
+            scope: Cell::new(core::ptr::null()),
+            flagged: AtomicU32::new(0),
         }
     }
 
-    /// Records a child panic (first one wins).
+    /// Records a child panic. First one wins, with one exception: a *real*
+    /// fault replaces a stored [`Cancelled`] payload, so when cancellation
+    /// races an organic panic the genuine fault is the one that surfaces
+    /// (the unwind cancellation triggered must not mask what it found).
     pub fn set_panic(&self, payload: PanicPayload) {
+        // Relaxed latch: readers only use it to skip future spawns; the
+        // payload itself is published by the mutex below.
+        self.flagged.store(1, Ordering::Relaxed);
         let mut slot = self.panic.lock();
-        if slot.is_none() {
+        let displaceable = match &*slot {
+            None => true,
+            Some(stored) => {
+                stored.downcast_ref::<Cancelled>().is_some()
+                    && payload.downcast_ref::<Cancelled>().is_none()
+            }
+        };
+        if displaceable {
             *slot = Some(payload);
         }
+    }
+
+    /// Whether any child strand of this frame has recorded a panic.
+    // lint: hot-path
+    #[inline(always)]
+    pub fn is_flagged(&self) -> bool {
+        self.flagged.load(Ordering::Relaxed) != 0
     }
 
     /// Takes a recorded panic, if any. Called by the main-path control flow
@@ -89,6 +123,38 @@ mod tests {
         let payload = core.take_panic().unwrap();
         assert_eq!(*payload.downcast::<&str>().unwrap(), "first");
         assert!(core.take_panic().is_none());
+    }
+
+    #[test]
+    fn real_fault_displaces_cancelled_payload() {
+        use crate::cancel::{CancelReason, Cancelled};
+        let core = FrameCore::new();
+        core.set_panic(Box::new(Cancelled {
+            reason: CancelReason::Token,
+        }));
+        assert!(core.is_flagged());
+        core.set_panic(Box::new("real fault"));
+        let payload = core.take_panic().unwrap();
+        assert_eq!(*payload.downcast::<&str>().unwrap(), "real fault");
+
+        // But cancellation never displaces a real fault…
+        core.set_panic(Box::new("first fault"));
+        core.set_panic(Box::new(Cancelled {
+            reason: CancelReason::Token,
+        }));
+        let payload = core.take_panic().unwrap();
+        assert_eq!(*payload.downcast::<&str>().unwrap(), "first fault");
+
+        // …and a second Cancelled never displaces the first.
+        core.set_panic(Box::new(Cancelled {
+            reason: CancelReason::Deadline,
+        }));
+        core.set_panic(Box::new(Cancelled {
+            reason: CancelReason::Token,
+        }));
+        let payload = core.take_panic().unwrap();
+        let c = payload.downcast::<Cancelled>().unwrap();
+        assert_eq!(c.reason, CancelReason::Deadline);
     }
 
     #[test]

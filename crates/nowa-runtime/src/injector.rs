@@ -62,6 +62,9 @@ pub struct Injector {
     /// Consumers' segment (trails the tail; advanced past drained
     /// segments).
     deq_seg: AtomicPtr<Segment>,
+    /// Closed latch: once set by [`close`](Injector::close), `push`
+    /// rejects new submissions. Monotonic — never reset.
+    closed: AtomicU32,
     /// Head of the whole chain, for `Drop` reclamation only.
     chain: *mut Segment,
 }
@@ -86,12 +89,29 @@ impl Injector {
         Injector {
             enq_seg: AtomicPtr::new(first),
             deq_seg: AtomicPtr::new(first),
+            closed: AtomicU32::new(0),
             chain: first,
         }
     }
 
-    /// Enqueues a task (any thread).
-    pub fn push(&self, task: RootTask) {
+    /// Closes the queue: later `push` calls are rejected. A push that
+    /// passed its closed check concurrently with this call may still land;
+    /// shutdown tolerates that by draining *after* closing.
+    pub fn close(&self) {
+        // ordering: Relaxed — a monotonic admission latch; no data is
+        // published through it (tasks synchronize via the slot Release/
+        // Acquire pair), and the close/push race is benign by design.
+        self.closed.store(1, Ordering::Relaxed);
+    }
+
+    /// Enqueues a task (any thread). Returns `false` — dropping `task`
+    /// unrun — if the queue has been closed.
+    #[must_use]
+    pub fn push(&self, task: RootTask) -> bool {
+        // ordering: Relaxed — see `close`.
+        if self.closed.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
         let ptr = Box::into_raw(Box::new(task));
         loop {
             // Acquire pairs with `advance_enq`'s Release CAS: a segment
@@ -105,7 +125,7 @@ impl Injector {
                 // Release publishes the boxed task; pairs with the
                 // consumer's Acquire spin on this slot.
                 seg_ref.slots[i].store(ptr, Ordering::Release);
-                return;
+                return true;
             }
             self.advance_enq(seg);
         }
@@ -246,7 +266,7 @@ mod tests {
         assert!(q.is_empty());
         assert!(q.pop().is_none());
         for i in 1..=5 {
-            q.push(task(&sum, i));
+            assert!(q.push(task(&sum, i)));
         }
         assert!(!q.is_empty());
         let mut seen = 0;
@@ -265,7 +285,7 @@ mod tests {
         let sum = Arc::new(AtomicU64::new(0));
         let n = SEG_CAP * 3 + 7;
         for _ in 0..n {
-            q.push(task(&sum, 1));
+            assert!(q.push(task(&sum, 1)));
         }
         let mut seen = 0;
         while let Some(t) = q.pop() {
@@ -291,14 +311,30 @@ mod tests {
         let q = Injector::new();
         for _ in 0..(SEG_CAP + 3) {
             let m = Marker(drops.clone());
-            q.push(RootTask {
+            assert!(q.push(RootTask {
                 run: Box::new(move || {
                     let _keep = &m;
                 }),
-            });
+            }));
         }
         drop(q);
         assert_eq!(drops.load(Ordering::Relaxed), (SEG_CAP + 3) as u64);
+    }
+
+    #[test]
+    fn close_rejects_new_pushes_but_drains_landed_ones() {
+        let q = Injector::new();
+        let sum = Arc::new(AtomicU64::new(0));
+        assert!(q.push(task(&sum, 7)));
+        q.close();
+        assert!(!q.push(task(&sum, 100)));
+        // The pre-close submission still drains.
+        let t = q.pop().expect("landed task survives close");
+        (t.run)();
+        assert_eq!(sum.load(Ordering::Relaxed), 7);
+        assert!(q.pop().is_none());
+        // The rejected task was dropped unrun.
+        assert_eq!(sum.load(Ordering::Relaxed), 7);
     }
 
     #[test]
@@ -315,7 +351,7 @@ mod tests {
                 let sum = sum.clone();
                 std::thread::spawn(move || {
                     for i in 1..=per_producer {
-                        q.push(task(&sum, i));
+                        assert!(q.push(task(&sum, i)));
                     }
                 })
             })

@@ -47,6 +47,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
+pub mod cancel;
 pub mod chaos;
 pub mod config;
 pub mod flavor;
@@ -68,10 +69,11 @@ pub mod worker;
 pub use api::{
     for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, worker_index, Region,
 };
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use config::{ChaosConfig, Config, IdleConfig};
 pub use flavor::{DequeKind, Flavor, ProtocolKind};
 pub use foreign::ForeignForkJoin;
 pub use nowa_context::{MadvisePolicy, StackError};
-pub use runtime::{Runtime, RuntimeError};
+pub use runtime::{Runtime, RuntimeError, ShutdownError};
 pub use snzi::Snzi;
 pub use stats::StatsSnapshot;

@@ -22,7 +22,7 @@
 // to the calling worker's live `Worker` (the scheduler invokes hooks only
 // from that worker's own loop), which makes the derefs in `buf`/`flight`
 // sound. The contract is spelled once here — mirroring the no-op arm —
-// instead of on each of the sixteen hooks.
+// instead of on each of the eighteen hooks.
 #[allow(clippy::missing_safety_doc)]
 mod imp {
     use nowa_trace::{frame_id, EventKind, FlightRing, TraceBuffer};
@@ -286,6 +286,45 @@ mod imp {
             }
         }
     }
+
+    /// A cooperative checkpoint on `frame` observed a cancelled scope and
+    /// is raising `Cancelled`. Rare by construction (each strand raises at
+    /// most once), so it goes through the ordinary event path, not the
+    /// hot ring. `frame` may be null (an ambient checkpoint outside any
+    /// join frame); null maps to id 0.
+    #[inline]
+    pub(crate) unsafe fn on_cancel(worker: *mut Worker, frame: *const Frame) {
+        unsafe {
+            let id = if frame.is_null() {
+                0
+            } else {
+                frame_id(frame as *const ())
+            };
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::Cancel, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Cancel, id);
+            }
+        }
+    }
+
+    /// A suspended sync continuation of `frame` is being resumed into a
+    /// cancelled scope — the abort path: the last joiner retired the
+    /// suspension and the continuation wakes specifically to unwind.
+    #[inline]
+    pub(crate) unsafe fn on_abort(worker: *mut Worker, frame: *const Frame) {
+        unsafe {
+            let id = frame_id(frame as *const ());
+            if let Some(b) = buf(worker) {
+                b.idle_exit();
+                b.event(EventKind::Abort, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::Abort, id);
+            }
+        }
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -326,6 +365,10 @@ mod imp {
     pub(crate) unsafe fn on_unpark(_: *mut Worker) {}
     #[inline(always)]
     pub(crate) unsafe fn on_wake(_: *mut Worker, _: usize) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_cancel(_: *mut Worker, _: *const Frame) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_abort(_: *mut Worker, _: *const Frame) {}
 }
 
 pub(crate) use imp::*;

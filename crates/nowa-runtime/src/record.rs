@@ -14,6 +14,13 @@ use crate::frame::FrameCore;
 /// `N_r' = I_max − ω`; the explicit sync restores `N_r = N_r' − (I_max − α)`.
 pub const I_MAX: i64 = i64::MAX;
 
+/// [`JoinState::susp`]: no suspension is parked at the explicit sync.
+pub const SUSP_IDLE: u32 = 0;
+/// [`JoinState::susp`]: the main path has suspended at the explicit sync
+/// and exactly one party (last joiner or the restoring sync itself) may
+/// claim the resume by swapping the state back to [`SUSP_IDLE`].
+pub const SUSP_SUSPENDED: u32 = 1;
+
 /// Join state for the Fibril-style lock-based protocol (Listing 2).
 #[derive(Debug, Default)]
 pub struct LockedJoin {
@@ -38,6 +45,20 @@ pub struct JoinState {
     /// increments it (Invariant II), so `Relaxed` suffices; atomicity is
     /// only needed because the main path migrates between OS threads.
     pub alpha: AtomicU32,
+    /// Explicit suspension state machine ([`SUSP_IDLE`] /
+    /// [`SUSP_SUSPENDED`]), making the counter algebra's implicit
+    /// "exactly one party resumes a suspension" guarantee assertable —
+    /// the abortable-suspension protocol's "retired exactly once"
+    /// invariant (DESIGN.md §6f) is precisely "the `swap(SUSP_IDLE)`
+    /// returns [`SUSP_SUSPENDED`] exactly once per suspension".
+    ///
+    /// The suspending sync stores [`SUSP_SUSPENDED`] *before* its
+    /// counter restore; the zero-crossing winner (last joiner, or the
+    /// restore itself) swaps it back. Visibility rides the counter's
+    /// AcqRel chain: the store is sequenced before the restoring
+    /// `fetch_sub`, and a joiner only consults `susp` after its own
+    /// `fetch_sub` observed the restored count.
+    pub susp: AtomicU32,
     /// The lock-based protocol's guarded count.
     pub locked: Mutex<LockedJoin>,
 }
@@ -48,6 +69,7 @@ impl JoinState {
         JoinState {
             counter: AtomicI64::new(I_MAX),
             alpha: AtomicU32::new(0),
+            susp: AtomicU32::new(SUSP_IDLE),
             locked: Mutex::new(LockedJoin::default()),
         }
     }
@@ -140,6 +162,7 @@ mod tests {
         let j = JoinState::new();
         assert_eq!(j.counter.load(Ordering::Relaxed), I_MAX);
         assert_eq!(j.alpha.load(Ordering::Relaxed), 0);
+        assert_eq!(j.susp.load(Ordering::Relaxed), SUSP_IDLE);
         assert_eq!(j.locked.lock().count, 0);
         assert!(!j.locked.lock().suspended);
     }

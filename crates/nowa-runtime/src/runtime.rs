@@ -1,13 +1,15 @@
 //! The runtime instance: worker threads, submission, shutdown.
 
-use crate::sync::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use nowa_context::{RawContext, StackError, StackPool, WorkerStackCache};
 use parking_lot::{Condvar, Mutex};
 
+use crate::cancel::{CancelCell, CancelReason, DeadlineQueue};
 use crate::config::Config;
 use crate::flavor::{self, Flavor};
 use crate::idle::IdleState;
@@ -64,8 +66,11 @@ fn crash_trace_dump() {
 /// ```
 pub struct Runtime {
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
-    watchdog: Option<JoinHandle<()>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+    /// Memoized shutdown outcome: makes [`Runtime::shutdown`] idempotent
+    /// and lets `Drop` skip the work after an explicit call.
+    done: Mutex<Option<Result<(), ShutdownError>>>,
 }
 
 /// Error constructing a runtime.
@@ -96,6 +101,44 @@ impl core::fmt::Display for RuntimeError {
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// A shutdown that did not complete cleanly within its timeout.
+///
+/// Partial success is reported faithfully: workers that exited but died by
+/// panic are in `panicked`; workers still running at the deadline (a task
+/// ignoring cancellation, or a scheduler bug) are in `stuck` and have been
+/// detached, not killed — their threads may still be alive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShutdownError {
+    /// Thread names of workers still running when the timeout expired.
+    pub stuck: Vec<String>,
+    /// `(thread name, panic message)` for workers that exited by panic.
+    pub panicked: Vec<(String, String)>,
+}
+
+impl core::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "runtime shutdown incomplete:")?;
+        for name in &self.stuck {
+            write!(f, " [{name}: still running at timeout]")?;
+        }
+        for (name, msg) in &self.panicked {
+            write!(f, " [{name}: panicked: {msg}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+/// Renders a worker's panic payload for [`ShutdownError::panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned())
+}
 
 struct Completion<R> {
     result: Mutex<Option<std::thread::Result<R>>>,
@@ -151,6 +194,9 @@ impl Runtime {
             injector: Injector::new(),
             idle: IdleState::new(config.workers),
             shutdown: AtomicBool::new(false),
+            cancel_root: CancelCell::new(core::ptr::null()),
+            active_roots: AtomicU64::new(0),
+            deadlines: DeadlineQueue::default(),
             pool: pool.clone(),
             #[cfg(feature = "trace")]
             trace: config.tracing.then(|| {
@@ -180,9 +226,10 @@ impl Runtime {
             nowa_context::signal::set_crash_hook(crash_trace_dump);
         }
 
-        let watchdog = config
-            .watchdog
-            .map(|threshold| crate::watchdog::spawn(shared.clone(), threshold));
+        // Always spawned: the thread drives region deadlines even when the
+        // stall watchdog (`config.watchdog`) is off, and sleeps on the
+        // deadline condvar when it has nothing to do.
+        let watchdog = Some(crate::watchdog::spawn(shared.clone()));
 
         let threads = owners
             .into_iter()
@@ -199,6 +246,7 @@ impl Runtime {
                     exit_ctx: RawContext::null(),
                     rng: 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1,
                     last_victim: usize::MAX,
+                    cancel_scope: &shared.cancel_root,
                 });
                 std::thread::Builder::new()
                     .name(format!("nowa-worker-{index}"))
@@ -212,8 +260,9 @@ impl Runtime {
 
         Ok(Runtime {
             shared,
-            threads,
-            watchdog,
+            threads: Mutex::new(threads),
+            watchdog: Mutex::new(watchdog),
+            done: Mutex::new(None),
         })
     }
 
@@ -229,7 +278,7 @@ impl Runtime {
 
     /// The number of worker threads.
     pub fn workers(&self) -> usize {
-        self.threads.len()
+        self.shared.config.workers
     }
 
     /// Aggregated scheduler statistics since startup.
@@ -359,7 +408,7 @@ impl Runtime {
         );
 
         let s = self.stats();
-        let totals: [(&str, &str, u64); 16] = [
+        let totals: [(&str, &str, u64); 18] = [
             (
                 "nowa_spawns_total",
                 "Continuations offered to thieves.",
@@ -406,6 +455,16 @@ impl Runtime {
                 "nowa_sync_resumes_total",
                 "Suspended syncs resumed by joiners.",
                 s.sync_resumes,
+            ),
+            (
+                "nowa_cancels_total",
+                "Cooperative checkpoints that raised cancellation.",
+                s.cancels,
+            ),
+            (
+                "nowa_aborts_total",
+                "Suspended syncs resumed into a cancelled scope.",
+                s.aborts,
             ),
             ("nowa_roots_total", "Root tasks executed.", s.roots),
             (
@@ -510,17 +569,29 @@ impl Runtime {
 
         {
             let completion = completion.clone();
+            let shared = self.shared.clone();
+            // Counted before the push so `shutdown`'s drain wait can never
+            // observe zero while a submitted task is still in flight.
+            // ordering: AcqRel — the decrement releases the task's writes
+            // (the filled completion slot) to shutdown's Acquire drain load.
+            self.shared.active_roots.fetch_add(1, Ordering::AcqRel);
             let task: Box<dyn FnOnce() + Send> = Box::new(move || {
                 let result = catch_unwind(AssertUnwindSafe(f));
                 *completion.result.lock() = Some(result);
                 completion.cv.notify_all();
+                // ordering: AcqRel — see the increment above.
+                shared.active_roots.fetch_sub(1, Ordering::AcqRel);
             });
             // SAFETY: lifetime erasure of `f`'s borrows (and `R`). Sound
             // because this function blocks until the task has completed and
             // the completion slot has been consumed — the same argument as
             // `std::thread::scope`.
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { core::mem::transmute(task) };
-            self.shared.injector.push(RootTask { run: task });
+            if !self.shared.injector.push(RootTask { run: task }) {
+                // ordering: AcqRel — undo of the pre-push increment.
+                self.shared.active_roots.fetch_sub(1, Ordering::AcqRel);
+                panic!("runtime is shut down");
+            }
             // Root submission always wakes one worker: there is no spawner
             // on a worker thread to pick this up, so the eventcount is the
             // only thing standing between the task and a full `max_park`.
@@ -545,31 +616,119 @@ impl Runtime {
             }
         }
     }
-}
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
+    /// Graceful shutdown: cancels in-flight work, refuses new submissions,
+    /// and joins every runtime thread, all bounded by `timeout`.
+    ///
+    /// The sequence: the root cancellation scope is latched with
+    /// [`CancelReason::Shutdown`] (every cooperative checkpoint in every
+    /// in-flight task starts unwinding), the injector is closed (later
+    /// [`run`](Runtime::run) calls panic with "runtime is shut down"),
+    /// and the call waits for in-flight root tasks to drain before
+    /// flipping the worker-exit flag and joining threads.
+    ///
+    /// `Ok(())` means full quiescence: no task running, every worker and
+    /// the watchdog joined. Otherwise the [`ShutdownError`] enumerates
+    /// workers that panicked and workers still stuck at the deadline
+    /// (detached, not killed). Idempotent — the first outcome is memoized
+    /// and returned to later callers, including the implicit one in `Drop`.
+    pub fn shutdown(&self, timeout: Duration) -> Result<(), ShutdownError> {
+        assert!(
+            current_worker().is_null(),
+            "Runtime::shutdown must not be called from inside a task"
+        );
+        let mut done = self.done.lock();
+        if let Some(result) = &*done {
+            return result.clone();
+        }
+        let deadline = Instant::now() + timeout;
+        const POLL: Duration = Duration::from_micros(200);
+
+        // Cancel before closing: a task observing the closed injector has
+        // a cancelled ambient scope to unwind with.
+        self.shared.cancel_root.cancel(CancelReason::Shutdown);
+        self.shared.injector.close();
+        // Parked workers hold no tasks; waking them here just accelerates
+        // the exit-flag observation below. Running ones see the root latch
+        // at their next checkpoint.
+        self.shared.idle.wake_all();
+
+        // Drain: wait (bounded) for in-flight root tasks to finish their
+        // cooperative unwind. Workers must keep scheduling during this
+        // window — a suspended continuation still needs its joiners to run
+        // so the abort-resume at the sync can happen.
+        loop {
+            // ordering: Acquire — pairs with the AcqRel decrement in the
+            // completion closure; zero here means those tasks' effects
+            // (filled completion slots) are visible.
+            let drained = self.shared.active_roots.load(Ordering::Acquire) == 0;
+            if drained || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(POLL);
+        }
+
+        // Quiesce: tell worker loops to exit, and wake everything that
+        // could be sleeping — parked workers and the deadline watchdog.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.idle.wake_all();
-        for t in self.threads.drain(..) {
+        self.shared.deadlines.cv.notify_all();
+
+        let mut error = ShutdownError::default();
+        for t in self.threads.lock().drain(..) {
             let name = t
                 .thread()
                 .name()
                 .map(str::to_owned)
                 .unwrap_or_else(|| "<unnamed>".to_owned());
-            if let Err(payload) = t.join() {
-                // A worker thread dying by panic is a runtime bug or an
-                // abort-worthy environment failure — never swallow it.
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "<non-string panic payload>".to_owned());
-                eprintln!("nowa-runtime: worker thread {name} panicked during shutdown: {msg}");
+            while !t.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(POLL);
+            }
+            if t.is_finished() {
+                if let Err(payload) = t.join() {
+                    error.panicked.push((name, panic_message(&*payload)));
+                }
+            } else {
+                // Detach: joining would block past the caller's budget. The
+                // thread stays alive (we cannot kill it), which is exactly
+                // what `stuck` reports.
+                error.stuck.push(name);
             }
         }
-        if let Some(w) = self.watchdog.take() {
-            let _ = w.join();
+        if let Some(w) = self.watchdog.lock().take() {
+            // The watchdog re-checks the exit flag on every condvar wakeup
+            // and was notified above; its join is prompt.
+            if let Err(payload) = w.join() {
+                error
+                    .panicked
+                    .push(("nowa-watchdog".to_owned(), panic_message(&*payload)));
+            }
+        }
+
+        let result = if error.stuck.is_empty() && error.panicked.is_empty() {
+            Ok(())
+        } else {
+            // The fourth flight-drain leg: a shutdown timeout is a
+            // post-mortem moment like a crash or a task panic — dump the
+            // last scheduler events while the rings are still alive.
+            #[cfg(feature = "trace")]
+            if let Some(dump) = self.flight_dump() {
+                eprintln!("nowa: flight recorder at shutdown timeout:\n{dump}");
+            }
+            Err(error)
+        };
+        *done = Some(result.clone());
+        result
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Best-effort wrapper over the real shutdown path. A worker dying
+        // by panic is a runtime bug — surfaced on stderr here because Drop
+        // cannot return the typed error; call `shutdown` to receive it.
+        if let Err(e) = self.shutdown(Duration::from_secs(10)) {
+            eprintln!("nowa-runtime: {e}");
         }
     }
 }

@@ -32,6 +32,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use nowa_context::capture_and_run_on;
 
+use crate::cancel::{self, Cancelled};
 use crate::chaos;
 use crate::flavor;
 use crate::obs;
@@ -174,7 +175,22 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
             f()
         })) {
             Ok(()) => {}
-            Err(payload) => (*frame).core.set_panic(payload),
+            Err(payload) => {
+                let organic = payload.downcast_ref::<Cancelled>().is_none();
+                (*frame).core.set_panic(payload);
+                if organic {
+                    // Panic→cancel-siblings: a real fault cancels the
+                    // governing region (never the runtime root) so the
+                    // rest of its tree unwinds at the next checkpoints
+                    // instead of computing work the fault already doomed.
+                    let shared = &(*worker).shared;
+                    cancel::cancel_enclosing_region(
+                        (*frame).core.scope.get(),
+                        &shared.cancel_root,
+                        cancel::CancelReason::SiblingPanic,
+                    );
+                }
+            }
         }
 
         // The child may have migrated OS threads internally (nested sync
@@ -233,6 +249,17 @@ pub unsafe fn sync_execute(frame: &Frame) {
             let w: &Worker = &*worker;
             w.shared.flavor.protocol
         };
+        // Chaos: a forced cancellation at the sync boundary latches the
+        // enclosing region (if any) right where suspension decisions race
+        // with joins.
+        if chaos::on_force_cancel(worker) {
+            let shared = &(*worker).shared;
+            cancel::cancel_enclosing_region(
+                frame.core.scope.get(),
+                &shared.cancel_root,
+                cancel::CancelReason::Token,
+            );
+        }
         // Chaos: a forced suspension vetoes the fast path, driving the
         // capture/restore machinery even when all children already joined.
         let forced_suspend = chaos::on_sync(worker);
@@ -283,6 +310,17 @@ unsafe extern "C" fn sync_body(arg: *mut c_void) -> ! {
         let frame = args.frame;
         WorkerStats::bump(&(*worker).stats().suspensions);
         obs::on_sync_suspend(worker, frame);
+        // Chaos: a forced cancellation at the suspend boundary drives the
+        // cancel-during-suspended-sync path (children unwind, the last
+        // joiner retires the suspension, the resume becomes an abort).
+        if chaos::on_force_cancel(worker) {
+            let shared = &(*worker).shared;
+            cancel::cancel_enclosing_region(
+                (*frame).core.scope.get(),
+                &shared.cancel_root,
+                cancel::CancelReason::Token,
+            );
+        }
 
         // The frame's stack is now blocked by the suspended frame: move it
         // into the frame and release the unused space below the suspended

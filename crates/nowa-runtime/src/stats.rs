@@ -29,6 +29,13 @@ pub struct WorkerStats {
     pub suspensions: AtomicU64,
     /// Suspended sync continuations resumed by a last joiner.
     pub sync_resumes: AtomicU64,
+    /// Cooperative checkpoints that raised cancellation (the strand
+    /// started unwinding with a `Cancelled` payload).
+    pub cancels: AtomicU64,
+    /// Suspended syncs whose last joiner resumed them into a cancelled
+    /// scope — the CQS-style abort path: the suspension was retired and
+    /// the continuation woken specifically to unwind.
+    pub aborts: AtomicU64,
     /// Root tasks executed.
     pub roots: AtomicU64,
     /// Futex parks entered by the idle engine (announce survived the
@@ -65,6 +72,10 @@ impl WorkerStats {
             .wrapping_add(self.syncs_inline.load(Ordering::Relaxed))
             .wrapping_add(self.suspensions.load(Ordering::Relaxed))
             .wrapping_add(self.sync_resumes.load(Ordering::Relaxed))
+            // Cancellation work is progress: a worker cooperatively
+            // unwinding a cancelled subtree must not read as stalled.
+            .wrapping_add(self.cancels.load(Ordering::Relaxed))
+            .wrapping_add(self.aborts.load(Ordering::Relaxed))
             .wrapping_add(self.roots.load(Ordering::Relaxed))
             .wrapping_add(self.own_takes.load(Ordering::Relaxed))
             .wrapping_add(self.steals.load(Ordering::Relaxed))
@@ -96,6 +107,10 @@ pub struct StatsSnapshot {
     pub suspensions: u64,
     /// Sync resumptions by last joiners.
     pub sync_resumes: u64,
+    /// Cooperative checkpoints that raised cancellation.
+    pub cancels: u64,
+    /// Suspended syncs resumed into a cancelled scope (abort path).
+    pub aborts: u64,
     /// Root tasks executed.
     pub roots: u64,
     /// Futex parks entered by the idle engine.
@@ -124,6 +139,8 @@ impl StatsSnapshot {
             s.syncs_inline += w.syncs_inline.load(Ordering::Relaxed);
             s.suspensions += w.suspensions.load(Ordering::Relaxed);
             s.sync_resumes += w.sync_resumes.load(Ordering::Relaxed);
+            s.cancels += w.cancels.load(Ordering::Relaxed);
+            s.aborts += w.aborts.load(Ordering::Relaxed);
             s.roots += w.roots.load(Ordering::Relaxed);
             s.parks += w.parks.load(Ordering::Relaxed);
             s.wakes_issued += w.wakes_issued.load(Ordering::Relaxed);
@@ -147,6 +164,8 @@ impl StatsSnapshot {
         self.syncs_inline += other.syncs_inline;
         self.suspensions += other.suspensions;
         self.sync_resumes += other.sync_resumes;
+        self.cancels += other.cancels;
+        self.aborts += other.aborts;
         self.roots += other.roots;
         self.parks += other.parks;
         self.wakes_issued += other.wakes_issued;
@@ -220,6 +239,25 @@ mod tests {
         assert_eq!(s.steal_empty, 5);
         assert_eq!(s.steal_retry, 2);
         assert_eq!(s.steal_attempts(), 8);
+    }
+
+    /// Watchdog regression: a worker that only cancels/aborts (cooperative
+    /// unwinding of a cancelled subtree) must still read as progressing.
+    #[test]
+    fn cancellation_counts_as_progress() {
+        let w = WorkerStats::default();
+        let before = w.progress();
+        w.cancels.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            w.progress() > before,
+            "cancel raise not counted as progress"
+        );
+        let before = w.progress();
+        w.aborts.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            w.progress() > before,
+            "abort resume not counted as progress"
+        );
     }
 
     #[test]

@@ -1,23 +1,38 @@
-//! Stall watchdog: a monitor thread that samples per-worker progress
-//! counters and reports workers that stop making progress.
+//! Watchdog thread: region deadlines plus the stall monitor.
 //!
-//! Progress is [`WorkerStats::progress`] — any scheduling event or
-//! work-finding iteration advances it. A deep-idle worker may be futex-
-//! parked for long stretches with a frozen counter; the monitor asks the
-//! idle engine ([`crate::idle::IdleState::is_parked`]) and classifies
-//! parked workers as healthy, so only a genuinely wedged worker trips the
-//! threshold. A genuine stall (a task stuck in a
-//! syscall, a deadlocked lock inside user code, a scheduler bug) leaves the
-//! counter frozen; after `threshold` without movement the watchdog prints
-//! one report per stall episode to stderr — worker index, seconds stalled,
-//! last progress value — plus the flight-recorder dump (when the flight
-//! recorder is on) and the merged trace report (when tracing is enabled).
-//! Reports are counted in `Shared::watchdog_reports` so tests and
-//! harnesses can assert on them.
+//! One background thread per runtime, always spawned, with two duties:
 //!
-//! The monitor wakes four times per threshold (at least every 5 ms), so
-//! detection latency is at most ~1.25 × threshold; the thread exits when
-//! the runtime shuts down.
+//! * **Region deadlines** — [`Region::with_deadline`](crate::api::Region)
+//!   arms an entry in [`Shared::deadlines`]; this thread sleeps on the
+//!   queue's condvar until the earliest expiry (or a new arm, or
+//!   shutdown), then fires due entries by latching their scopes with
+//!   [`CancelReason::Deadline`](crate::cancel::CancelReason). Firing is a
+//!   flag store — the cancelled region unwinds cooperatively at its next
+//!   checkpoint — so a late watchdog delays detection, never correctness.
+//! * **Stall monitoring** — only when `Config::watchdog` is `Some`: samples
+//!   per-worker progress counters and reports workers that stop moving.
+//!
+//! Progress is [`WorkerStats::progress`] — any scheduling event,
+//! work-finding iteration, or cancellation checkpoint advances it (a
+//! worker cooperatively unwinding a cancelled subtree bumps `cancels` and
+//! `loop_ticks`, so an unwind in progress never reads as a stall). A
+//! deep-idle worker may be futex-parked for long stretches with a frozen
+//! counter; the monitor asks the idle engine
+//! ([`crate::idle::IdleState::is_parked`]) and classifies parked workers
+//! as healthy, so only a genuinely wedged worker trips the threshold. A
+//! genuine stall (a task stuck in a syscall, a deadlocked lock inside user
+//! code, a scheduler bug) leaves the counter frozen; after `threshold`
+//! without movement the watchdog prints one report per stall episode to
+//! stderr — worker index, seconds stalled, last progress value — plus the
+//! flight-recorder dump (when the flight recorder is on) and the merged
+//! trace report (when tracing is enabled). Reports are counted in
+//! `Shared::watchdog_reports` so tests and harnesses can assert on them.
+//!
+//! With stall monitoring on, the thread wakes four times per threshold (at
+//! least every 5 ms), so detection latency is at most ~1.25 × threshold;
+//! without it, the thread sleeps until the next armed deadline. The thread
+//! exits when the runtime shuts down (the shutdown path notifies the
+//! deadline condvar).
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -25,16 +40,23 @@ use std::time::{Duration, Instant};
 
 use crate::worker::Shared;
 
-/// Spawns the watchdog thread for `shared`, sampling against `threshold`.
-pub(crate) fn spawn(shared: Arc<Shared>, threshold: Duration) -> std::thread::JoinHandle<()> {
+/// Sleep cap while no deadline is armed and stall monitoring is off: a
+/// periodic re-check of the shutdown flag in case the shutdown notify
+/// raced the condvar wait.
+const IDLE_NAP: Duration = Duration::from_millis(500);
+
+/// Spawns the watchdog thread for `shared`. The stall threshold (if any)
+/// comes from `shared.config.watchdog`; deadline firing is unconditional.
+pub(crate) fn spawn(shared: Arc<Shared>) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("nowa-watchdog".to_string())
-        .spawn(move || run(&shared, threshold))
+        .spawn(move || run(&shared))
         .expect("spawning watchdog thread")
 }
 
-fn run(shared: &Shared, threshold: Duration) {
-    let interval = (threshold / 4).max(Duration::from_millis(5));
+fn run(shared: &Shared) {
+    let threshold = shared.config.watchdog;
+    let interval = threshold.map(|t| (t / 4).max(Duration::from_millis(5)));
     let n = shared.stats.len();
     let mut last_progress: Vec<u64> = (0..n).map(|i| shared.stats[i].progress()).collect();
     let mut last_change: Vec<Instant> = vec![Instant::now(); n];
@@ -42,7 +64,19 @@ fn run(shared: &Shared, threshold: Duration) {
     let mut reported: Vec<bool> = vec![false; n];
 
     while !shared.shutdown.load(Ordering::Acquire) {
-        std::thread::sleep(interval);
+        let now = Instant::now();
+        let next_deadline = shared.deadlines.fire_due(now);
+
+        // Sleep until whichever comes first: the stall-sampling tick, the
+        // earliest armed deadline, or a condvar notify (new deadline armed
+        // earlier than our sleep, or shutdown).
+        let mut nap = interval.unwrap_or(IDLE_NAP);
+        if let Some(at) = next_deadline {
+            nap = nap.min(at.saturating_duration_since(now));
+        }
+        shared.deadlines.wait(nap);
+
+        let Some(threshold) = threshold else { continue };
         let now = Instant::now();
         for i in 0..n {
             let progress = shared.stats[i].progress();
@@ -60,6 +94,10 @@ fn run(shared: &Shared, threshold: Duration) {
             }
         }
     }
+    // Fire anything already due one last time so a deadline that expired
+    // during shutdown still latches (its region may already be cancelled
+    // by the root latch anyway; latching twice is idempotent).
+    let _ = shared.deadlines.fire_due(Instant::now());
 }
 
 fn report(shared: &Shared, worker: usize, stalled_for: Duration, progress: u64) {

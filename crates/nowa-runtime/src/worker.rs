@@ -25,6 +25,7 @@ use std::sync::Arc;
 use nowa_context::{capture_and_run_on, resume, RawContext, Stack, StackPool, WorkerStackCache};
 use nowa_deque::Steal;
 
+use crate::cancel::{self, CancelCell, DeadlineQueue};
 use crate::chaos;
 use crate::config::Config;
 use crate::flavor::{self, Flavor, OwnerDeque, Rec, SharedStealer};
@@ -54,6 +55,16 @@ pub struct Shared {
     pub idle: IdleState,
     /// Set once at shutdown.
     pub shutdown: AtomicBool,
+    /// The runtime-root cancellation scope: parent of every region chain
+    /// and the ambient scope of unscoped frames, so the unscoped hot-path
+    /// checkpoint is a chain of depth one. [`crate::Runtime::shutdown`]
+    /// latches it to cancel all in-flight work cooperatively.
+    pub(crate) cancel_root: CancelCell,
+    /// Root tasks submitted but not yet completed; `shutdown` drains to
+    /// zero (or times out) on this.
+    pub active_roots: AtomicU64,
+    /// Armed region deadlines, fired by the watchdog thread.
+    pub(crate) deadlines: DeadlineQueue,
     /// The global stack pool.
     pub pool: Arc<StackPool>,
     /// The configuration the runtime was built with.
@@ -106,6 +117,12 @@ pub struct Worker {
     /// Victim of this worker's most recent successful steal
     /// (`usize::MAX` = none yet); retried first in every sweep.
     pub last_victim: usize,
+    /// The ambient cancellation scope: the scope governing whatever code
+    /// this worker is currently running. Re-established at every resume
+    /// boundary from the resumed frame's recorded scope (and reset to
+    /// `Shared::cancel_root` before each root task), so freshly created
+    /// frames always inherit the right scope even after migration.
+    pub(crate) cancel_scope: *const CancelCell,
 }
 
 // SAFETY: a Worker is moved to its OS thread once at startup and from then
@@ -186,6 +203,9 @@ impl Drop for AbortOnUnwind {
 pub unsafe fn resume_record(worker: *mut Worker, rec: Rec) -> ! {
     unsafe {
         debug_assert!((*worker).pending_recycle.is_none());
+        // The resumed continuation belongs to the record's frame: make its
+        // scope this worker's ambient so nested frames inherit it.
+        (*worker).cancel_scope = (*(*rec.as_ptr()).frame).core.scope.get();
         (*worker).pending_recycle = (*worker).current_stack.take();
         let ctx = (*rec.as_ptr()).ctx;
         debug_assert!(!ctx.is_null());
@@ -201,8 +221,20 @@ pub unsafe fn resume_record(worker: *mut Worker, rec: Rec) -> ! {
 /// state.
 pub unsafe fn resume_sync(worker: *mut Worker, frame: *const crate::record::Frame) -> ! {
     unsafe {
-        WorkerStats::bump(&(*worker).stats().sync_resumes);
-        obs::on_sync_resume(worker, frame);
+        let scope = (*frame).core.scope.get();
+        // SAFETY: the frame is live (we own its suspension), so its whole
+        // scope chain is live.
+        if cancel::cancelled_chain(scope).is_some() {
+            // Resuming a suspension whose scope is cancelled *is* the
+            // abort: the continuation proceeds straight into the sync
+            // checkpoint and unwinds. Attribute it as such.
+            WorkerStats::bump(&(*worker).stats().aborts);
+            obs::on_abort(worker, frame);
+        } else {
+            WorkerStats::bump(&(*worker).stats().sync_resumes);
+            obs::on_sync_resume(worker, frame);
+        }
+        (*worker).cancel_scope = scope;
         debug_assert!((*worker).pending_recycle.is_none());
         (*worker).pending_recycle = (*worker).current_stack.take();
         let ctx = *(*frame).core.sync_ctx.get();
@@ -261,6 +293,9 @@ pub unsafe fn find_work() -> ! {
             unsafe {
                 WorkerStats::bump(&(*worker).stats().roots);
                 obs::on_root(worker);
+                // A root tree starts unscoped: governed by the runtime
+                // root cell only.
+                (*worker).cancel_scope = &shared.cancel_root;
             }
             // The task's control flow may suspend internally and complete
             // on another worker; everything below re-derives state.
@@ -305,6 +340,16 @@ pub unsafe fn find_work() -> ! {
                             (*worker).last_victim = victim;
                             WorkerStats::bump(&(*worker).stats().steals);
                             obs::on_steal_success(worker, victim, (*rec.as_ptr()).frame);
+                            // Chaos: forced cancellation at the steal
+                            // boundary — the stolen continuation resumes
+                            // straight into a cancelled checkpoint.
+                            if chaos::on_force_cancel(worker) {
+                                cancel::cancel_enclosing_region(
+                                    (*(*rec.as_ptr()).frame).core.scope.get(),
+                                    &shared.cancel_root,
+                                    cancel::CancelReason::Token,
+                                );
+                            }
                             resume_record(worker, rec)
                         },
                         Steal::Retry => {

@@ -2,12 +2,14 @@
 //!
 //! The flight recorder is a bounded overwrite-oldest ring per worker that
 //! keeps the last moments of scheduler history with no exporter thread.
-//! These tests drive the three drain paths end to end:
+//! These tests drive the four drain paths end to end:
 //!
 //! * a child panic propagating out of [`Runtime::run`] leaves the final
 //!   scheduler events in the rings (and dumps them to stderr on the way);
 //! * a watchdog-detected stall counts a report and leaves the rings
 //!   dumpable;
+//! * a shutdown that times out dumps the rings before reporting the
+//!   stragglers — the last thing a wedged runtime does is explain itself;
 //! * the recorder works with full tracing *off* — it is the always-on
 //!   half of the observability story.
 //!
@@ -92,6 +94,33 @@ fn watchdog_stall_counts_report_with_flight_recorder_armed() {
         dump.contains(" spawn "),
         "scheduler history retained:\n{dump}"
     );
+}
+
+/// The fourth drain leg: a shutdown that times out dumps the flight rings
+/// (to stderr) before returning the typed error, and leaves them dumpable
+/// for post-mortem inspection.
+#[test]
+fn shutdown_timeout_drains_flight_recorder() {
+    let rt = Runtime::new(Config::with_workers(2).flight_recorder(2048)).unwrap();
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            rt.run(|| {
+                let _ = fib(10);
+                // Uncancellable straggler: pins a worker past the deadline.
+                std::thread::sleep(Duration::from_millis(400));
+            })
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let err = rt
+            .shutdown(Duration::from_millis(100))
+            .expect_err("a sleeping worker cannot drain in 100ms");
+        assert!(!err.stuck.is_empty(), "{err:?}");
+        // The timeout path dumped the rings on the way out; the history
+        // that explains the wedge is still retrievable afterwards.
+        let dump = rt.flight_dump().expect("flight recorder configured");
+        assert!(dump.contains(" spawn "), "history retained:\n{dump}");
+        handle.join().unwrap();
+    });
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! RUSTFLAGS="--cfg loom" cargo test -p nowa-runtime --test loom --release
 //! ```
 //!
-//! Four protocols are modeled, each against the *real* implementation (the
+//! Five protocols are modeled, each against the *real* implementation (the
 //! `crate::sync` shim swaps `core::sync::atomic` for loom's atomics under
 //! `--cfg loom`, so the code under test is byte-for-byte the shipping
 //! protocol logic):
@@ -18,7 +18,11 @@
 //!    vs. publish/wake handshake whose failure mode is a lost wakeup;
 //! 3. the MPMC segment injector (`Injector`), with loom-shrunk segments so
 //!    the boundary paths are in reach;
-//! 4. the SNZI tree's ½-state arrival handshake.
+//! 4. the SNZI tree's ½-state arrival handshake;
+//! 5. the abortable-suspension handoff of the cancellation layer — a
+//!    suspended sync raced by its last joiner and a canceller latching
+//!    the region's (all-Relaxed) cancel flag; the suspension must be
+//!    retired exactly once and never resumed with torn context.
 //!
 //! Each passing model is paired with a `*_canary` that re-implements the
 //! protocol core with one ordering deliberately weakened and asserts (via
@@ -31,7 +35,7 @@ use loom::sync::Arc;
 use nowa_runtime::flavor::{self, new_deque, Flavor, ProtocolKind, Rec};
 use nowa_runtime::idle::IdleState;
 use nowa_runtime::injector::Injector;
-use nowa_runtime::record::{AfterChild, Frame, SpawnRecord, I_MAX};
+use nowa_runtime::record::{AfterChild, Frame, SpawnRecord, I_MAX, SUSP_IDLE};
 use nowa_runtime::worker::RootTask;
 use nowa_runtime::Snzi;
 
@@ -414,15 +418,15 @@ fn injector_mpmc_exactly_once() {
             let q = q.clone();
             let sum = sum.clone();
             loom::thread::spawn(move || {
-                q.push(counting_task(&sum, 1));
-                q.push(counting_task(&sum, 2));
+                assert!(q.push(counting_task(&sum, 1)));
+                assert!(q.push(counting_task(&sum, 2)));
             })
         };
         let p2 = {
             let q = q.clone();
             let sum = sum.clone();
             loom::thread::spawn(move || {
-                q.push(counting_task(&sum, 4));
+                assert!(q.push(counting_task(&sum, 4)));
             })
         };
         p1.join().unwrap();
@@ -456,7 +460,7 @@ fn injector_concurrent_push_pop() {
             let q = q.clone();
             let sum = sum.clone();
             loom::thread::spawn(move || {
-                q.push(counting_task(&sum, 1));
+                assert!(q.push(counting_task(&sum, 1)));
             })
         };
 
@@ -617,5 +621,135 @@ fn snzi_relaxed_arrive_canary_fails() {
             assert_eq!(payload.load(Ordering::Relaxed), 1, "surplus payload lost");
         }
         arriver.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 5. The abortable-suspension handoff (cancellation layer)
+// ---------------------------------------------------------------------------
+
+/// A suspended sync raced by its last joiner and a canceller. The main
+/// flow publishes its pre-suspension context, then suspends via the real
+/// `sync_restore`; the last child's wait-free decrement races it; a third
+/// thread latches the region's cancel flag exactly as `CancelCell` does
+/// (an all-Relaxed monotonic latch — the flag publishes nothing but
+/// itself; effects ride the join counter's AcqRel chain). Checked:
+///
+/// * the suspension is retired **exactly once** — either by the restore's
+///   own zero-crossing or by the joiner's (`retire_suspension`'s AcqRel
+///   swap makes the claim exclusive), never both, never neither;
+/// * whichever side resumes sees the suspender's context writes — an
+///   abort wakes the continuation to *unwind*, which still walks frames
+///   the pre-suspension writes describe, so torn context is unsafe even
+///   on the cancellation path;
+/// * no party ever blocks: cancellation never adds a wait to the
+///   wait-free join (the canceller returns immediately, the joiner's
+///   classification is one Relaxed load).
+#[test]
+fn cancel_abort_retires_suspension_exactly_once() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Arc::new(Frame::new());
+        // Continuation already stolen: α = 1, one child outstanding.
+        frame.join.alpha.store(1, Ordering::Relaxed);
+        // The suspender's pre-suspension writes (sync_ctx / stack analog).
+        let ctx = Arc::new(AtomicU64::new(0));
+        // The region's cancel flag, latched as `CancelCell::cancel` does.
+        let cancel = Arc::new(AtomicU32::new(0));
+
+        let canceller = {
+            let cancel = cancel.clone();
+            loom::thread::spawn(move || {
+                let _ = cancel.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+            })
+        };
+        let joiner = {
+            let frame = frame.clone();
+            let ctx = ctx.clone();
+            let cancel = cancel.clone();
+            loom::thread::spawn(move || {
+                // Last child join: the wait-free decrement (flavor.rs
+                // pop-miss path), then the abort classification the
+                // scheduler's `resume_sync` performs.
+                let post = frame.join.counter.fetch_sub(1, Ordering::AcqRel) - 1;
+                if post == 0 {
+                    assert!(
+                        flavor::retire_suspension(&frame),
+                        "zero-crossing found no parked suspension"
+                    );
+                    assert_eq!(
+                        ctx.load(Ordering::Relaxed),
+                        42,
+                        "resumed a suspension with torn context"
+                    );
+                    // Abort vs. normal resume: a classification only —
+                    // both paths resume the continuation; neither blocks.
+                    Some(cancel.load(Ordering::Relaxed) != 0)
+                } else {
+                    None
+                }
+            })
+        };
+
+        // Main flow: context writes, then the sync (precheck or suspend).
+        ctx.store(42, Ordering::Relaxed);
+        let main_resumes = flavor::sync_precheck(p, &frame) || flavor::sync_restore(p, &frame);
+        let joiner_resumed = joiner.join().unwrap();
+        canceller.join().unwrap();
+
+        assert_eq!(
+            usize::from(main_resumes) + usize::from(joiner_resumed.is_some()),
+            1,
+            "the suspension must be claimed exactly once \
+             (main={main_resumes}, joiner={joiner_resumed:?})"
+        );
+        assert_eq!(
+            frame.join.susp.load(Ordering::Relaxed),
+            SUSP_IDLE,
+            "every claim must return the suspension machine to idle"
+        );
+    });
+}
+
+/// CANARY: the handoff reduced to its essential publication chain, with
+/// that chain weakened. The shipping code is belt-and-braces — the
+/// suspender's context is released both by `sync_restore`'s Release store
+/// of the suspension flag *and* by the counter's AcqRel traffic — so this
+/// model strips the counter down to a pure Relaxed count (no release) and
+/// weakens the suspension publication to Relaxed: the retirer's AcqRel
+/// swap then orders nothing, and the model finds an interleaving where a
+/// cancelled suspension is woken to unwind over torn context.
+#[test]
+#[should_panic(expected = "torn context")]
+fn cancel_abort_relaxed_publish_canary_fails() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+        let counter = Arc::new(AtomicI64::new(I_MAX));
+        let susp = Arc::new(AtomicU32::new(0));
+        let ctx = Arc::new(AtomicU64::new(0));
+        let alpha = 1i64;
+
+        let suspender = {
+            let counter = counter.clone();
+            let susp = susp.clone();
+            let ctx = ctx.clone();
+            loom::thread::spawn(move || {
+                ctx.store(42, Ordering::Relaxed);
+                // BUG: Relaxed instead of Release — the context writes are
+                // not ordered before the suspension becomes claimable.
+                susp.store(1, Ordering::Relaxed);
+                // Reduced model: the restore is a bare count (the real
+                // one's AcqRel is the redundancy being stripped).
+                counter.fetch_sub(I_MAX - alpha, Ordering::Relaxed);
+            })
+        };
+
+        // Joiner: decrement, retire on the zero-crossing, resume.
+        let post = counter.fetch_sub(1, Ordering::Relaxed) - 1;
+        if post == 0 && susp.swap(0, Ordering::AcqRel) == 1 {
+            assert_eq!(ctx.load(Ordering::Relaxed), 42, "torn context");
+        }
+        suspender.join().unwrap();
     });
 }

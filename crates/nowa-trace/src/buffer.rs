@@ -111,7 +111,7 @@ impl TraceBuffer {
         self.ring.push(Event::new(self.fresh_ts(), kind, arg));
     }
 
-    /// Records a hot-path event with an amortized stamp ([`STAMP_SHIFT`]).
+    /// Records a hot-path event with an amortized stamp (`STAMP_SHIFT`).
     #[inline]
     pub fn hot_event(&self, kind: EventKind, arg: u64) {
         self.ring.push(Event::new(self.hot_ts(), kind, arg));

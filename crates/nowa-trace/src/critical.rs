@@ -103,7 +103,7 @@ impl From<PathVal> for CriticalPath {
 
 /// Cilkview-style numbers for one run, reconstructed from causal events.
 ///
-/// Built by [`CausalProfile::from_workers`] (see [`crate::dag`] for the
+/// Built by [`CausalProfile::from_workers`] (see the `dag` module for the
 /// replay). Robust to ring overflow: drops make the reconstruction
 /// best-effort and are reported via [`CausalProfile::complete`] and the
 /// `unmatched_*` counters rather than corrupting the numbers.

@@ -97,12 +97,16 @@ pub(crate) fn rebuild(workers: &[WorkerTrace]) -> CausalProfile {
         match ev.kind {
             // Search/idle-engine instants: stats only, no clock movement
             // (their time folds into the surrounding segment or idle span).
+            // Cancellation instants likewise — a cancelled strand's
+            // structural events (joins, resumes) still drive the DAG.
             EventKind::StealEmpty
             | EventKind::StealRetry
             | EventKind::Park
             | EventKind::Unpark
             | EventKind::Wake
-            | EventKind::Occupancy => continue,
+            | EventKind::Occupancy
+            | EventKind::Cancel
+            | EventKind::Abort => continue,
             // Idle spans are backdated to the period start and carry the
             // duration: account busy time up to the start, then skip the
             // span (it covers any parks inside it).

@@ -85,10 +85,17 @@ pub enum EventKind {
     Unpark = 14,
     /// A targeted wake was issued. arg: the woken worker's index.
     Wake = 15,
+    /// A cooperative checkpoint observed a cancelled scope and raised.
+    /// arg: the checkpointing frame's id (0 for an ambient checkpoint
+    /// outside any join frame).
+    Cancel = 16,
+    /// A suspended sync continuation was resumed into a cancelled scope —
+    /// the abort path: woken specifically to unwind. arg: frame id.
+    Abort = 17,
 }
 
 /// Number of distinct [`EventKind`]s.
-pub const NUM_KINDS: usize = 16;
+pub const NUM_KINDS: usize = 18;
 
 impl EventKind {
     /// All kinds, in discriminant order.
@@ -109,6 +116,8 @@ impl EventKind {
         EventKind::Park,
         EventKind::Unpark,
         EventKind::Wake,
+        EventKind::Cancel,
+        EventKind::Abort,
     ];
 
     /// Kind from its discriminant.
@@ -135,6 +144,8 @@ impl EventKind {
             EventKind::Park => "park",
             EventKind::Unpark => "unpark",
             EventKind::Wake => "wake",
+            EventKind::Cancel => "cancel",
+            EventKind::Abort => "abort",
         }
     }
 }
