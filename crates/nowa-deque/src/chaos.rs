@@ -38,6 +38,7 @@ impl ForcedSteal {
 
 std::thread_local! {
     static FORCED: Cell<Option<ForcedSteal>> = const { Cell::new(None) };
+    static PROMOTION_FAIL: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Forces the next steal attempt on the calling thread to fail as `outcome`.
@@ -49,6 +50,21 @@ pub fn force_next_steal(outcome: ForcedSteal) {
 /// `steal` implementation.
 pub fn take_forced() -> Option<ForcedSteal> {
     FORCED.with(|f| f.take())
+}
+
+/// Forces the next private→public promotion batch on the calling thread to
+/// fail before moving anything: the split layer's put-back path runs (the
+/// in-flight item returns to the private front) and the batch stops, as if
+/// the public deque had been full. Items are delayed, never lost — the
+/// same contract as a real overflow.
+pub fn force_promotion_failure() {
+    PROMOTION_FAIL.with(|f| f.set(true));
+}
+
+/// Consumes a pending forced promotion failure, if any. Called by the
+/// split layer's promotion loop per batch.
+pub fn take_promotion_failure() -> bool {
+    PROMOTION_FAIL.with(|f| f.take())
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ mod abp;
 pub mod chaos;
 mod cl;
 mod locked;
+mod split;
 mod sync;
 mod the;
 mod token;
@@ -57,6 +58,7 @@ mod token;
 pub use abp::{AbpDeque, AbpStealer, AbpWorker};
 pub use cl::{ClDeque, ClStealer, ClWorker};
 pub use locked::{LockedDeque, LockedStealer, LockedWorker};
+pub use split::{SplitConfig, SplitDeque, SplitPush, SplitStealer, SplitWorker};
 pub use the::{TheDeque, TheStealer, TheWorker};
 pub use token::{Ptr, Token};
 

@@ -15,7 +15,9 @@
 
 #![cfg(loom)]
 
-use nowa_deque::{AbpDeque, ClDeque, Steal, StealerOps, TheDeque, WorkerOps};
+use nowa_deque::{
+    AbpDeque, ClDeque, SplitConfig, SplitDeque, Steal, StealerOps, TheDeque, WorkerOps,
+};
 
 /// Owner pushes then pops while one thief steals: every item claimed
 /// exactly once, none lost, none duplicated.
@@ -172,6 +174,100 @@ fn abp_reset_blocks_stale_thief() {
             vec![1, 2],
             "tag generation must fence off stale thieves"
         );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Split layer (§6g): lazy promotion from the owner-private segment into the
+// public deque, raced against thieves. The promotion itself publishes items
+// through the wrapped deque's own release/acquire push, and the hunger flag
+// is advisory `Relaxed` — these models check that conservation holds across
+// every interleaving of that protocol.
+// ---------------------------------------------------------------------------
+
+/// Owner promotes (batch boundary, `promote_batch = 1`) while a thief
+/// steals: every item is claimed by exactly one of {owner pop, thief
+/// steal}, and a promoted item never surfaces twice — once from the
+/// private ring and once from the public deque.
+///
+/// Covers the §7b rows for `push_spawn`'s hunger probe/clear: the thief's
+/// `Relaxed` hunger store races the owner's load, flipping the owner
+/// between keep-one (boundary) and keep-zero (hungry) promotion — both
+/// must conserve.
+#[test]
+fn split_promote_visible_exactly_once() {
+    loom::model(|| {
+        let (w, s) = ClDeque::<usize>::new(4);
+        let cfg = SplitConfig {
+            enabled: true,
+            promote_batch: 1,
+            promote_on_wake: true,
+        };
+        let (w, s) = SplitDeque::wrap(w, s, cfg, 4);
+        let thief = loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                if let Steal::Success(v) = s.steal() {
+                    got.push(v);
+                }
+            }
+            got
+        });
+        w.push_spawn(1).unwrap();
+        w.push_spawn(2).unwrap(); // boundary: promotes the oldest item
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        got.extend(thief.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![1, 2],
+            "every item claimed exactly once across promotion"
+        );
+    });
+}
+
+/// The hunger signal: a thief's failed sweep (`Relaxed` store) races the
+/// owner's per-push probe (`Relaxed` load). Whichever way the race lands,
+/// no item is lost or duplicated; and when the owner provably missed the
+/// signal (`promoted == 0`), the post-join flag must be visible and the
+/// next push must promote everything despite the distant batch boundary.
+#[test]
+fn split_hungry_promotion() {
+    loom::model(|| {
+        let (w, s) = ClDeque::<usize>::new(8);
+        let cfg = SplitConfig {
+            enabled: true,
+            promote_batch: 1024, // only hunger can trigger promotion here
+            promote_on_wake: true,
+        };
+        let (w, s) = SplitDeque::wrap(w, s, cfg, 8);
+        w.push_spawn(1).unwrap(); // stays private: the boundary is far away
+        let s2 = s.clone();
+        let thief = loom::thread::spawn(move || s2.steal().success());
+        let r = w.push_spawn(2).unwrap(); // races the thief's hunger store
+        let stolen = thief.join().unwrap();
+        if r.promoted == 0 {
+            // The owner's probe read 0, so nothing was ever public: the
+            // sweep can only have failed, and its hunger store is now
+            // visible (join edge). The very next push promotes all.
+            assert!(stolen.is_none(), "nothing was public to steal");
+            assert!(w.hungry_flag(), "failed sweep raised hunger");
+            assert_eq!(w.push_spawn(3).unwrap().promoted, 3);
+        } else {
+            w.push_spawn(3).unwrap();
+        }
+        let mut got: Vec<usize> = stolen.into_iter().collect();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        while let Steal::Success(v) = s.steal() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "conservation across the hunger race");
     });
 }
 
@@ -336,6 +432,93 @@ fn cl_push_release_canary_fails() {
             loom::thread::spawn(move || q.steal())
         };
         q.push(9);
+        if let Some(v) = thief.join().unwrap() {
+            assert_eq!(v, 9, "stale payload");
+        }
+    });
+}
+
+mod mini_split {
+    //! A one-slot promotion mailbox: the essence of the split layer's
+    //! private→public handoff, reduced to "store the payload, then publish
+    //! the ready flag". In the real layer the publish edge is the wrapped
+    //! deque's release push (the hunger flag is advisory and carries no
+    //! data) — this mini model isolates exactly that edge so the canary
+    //! can break it.
+
+    use loom::sync::atomic::{AtomicU64, Ordering};
+
+    pub struct MiniSplit {
+        /// The promoted item's payload — the "public slot".
+        slot: AtomicU64,
+        /// Nonzero once the slot is ready for thieves.
+        ready: AtomicU64,
+        /// `false` downgrades the publish to `Relaxed` — the hole the
+        /// wrapped deque's release push closes in the real layer.
+        publish_release: bool,
+    }
+
+    impl MiniSplit {
+        pub fn new(publish_release: bool) -> MiniSplit {
+            MiniSplit {
+                slot: AtomicU64::new(0),
+                ready: AtomicU64::new(0),
+                publish_release,
+            }
+        }
+
+        /// Owner: promote `v` out of the private segment.
+        pub fn promote(&self, v: u64) {
+            self.slot.store(v, Ordering::Relaxed);
+            let publish = if self.publish_release {
+                Ordering::Release
+            } else {
+                Ordering::Relaxed
+            };
+            self.ready.store(1, publish);
+        }
+
+        /// Thief: take the promoted item if published.
+        pub fn steal(&self) -> Option<u64> {
+            if self.ready.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            Some(self.slot.load(Ordering::Relaxed))
+        }
+    }
+}
+
+/// Sanity: the mini-split with the release publish intact never hands a
+/// thief a stale payload (so the canary below is attributable to the
+/// planted downgrade).
+#[test]
+fn mini_split_intact_passes() {
+    loom::model(|| {
+        let q = loom::sync::Arc::new(mini_split::MiniSplit::new(true));
+        let thief = {
+            let q = q.clone();
+            loom::thread::spawn(move || q.steal())
+        };
+        q.promote(9);
+        if let Some(v) = thief.join().unwrap() {
+            assert_eq!(v, 9, "stale payload");
+        }
+    });
+}
+
+/// CANARY: with the promotion publish downgraded to `Relaxed` a thief can
+/// observe the ready flag before the payload — the stale-read hole the
+/// split layer avoids by riding the wrapped deque's release push.
+#[test]
+#[should_panic(expected = "stale payload")]
+fn split_publish_canary_fails() {
+    loom::model(|| {
+        let q = loom::sync::Arc::new(mini_split::MiniSplit::new(false));
+        let thief = {
+            let q = q.clone();
+            loom::thread::spawn(move || q.steal())
+        };
+        q.promote(9);
         if let Some(v) = thief.join().unwrap() {
             assert_eq!(v, 9, "stale payload");
         }

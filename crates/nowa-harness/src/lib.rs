@@ -27,7 +27,10 @@
 //! `--trace-out FILE` exports a Chrome `trace_event` JSON for Perfetto.
 //! `wakeup` ([`wakeexp`]) measures spawn-to-steal wakeup latency and idle
 //! CPU burn of the idle engine against a pre-engine emulation, writing
-//! `BENCH_wakeup.json`. `profile` ([`profileexp`]) reconstructs the
+//! `BENCH_wakeup.json`. `spawn` ([`spawnexp`]) measures the per-spawn
+//! fast-path cost (ns and TSC cycles) with the §6g split layer on and
+//! off, per flavor, writing `BENCH_spawn.json`; it doubles as the CI gate
+//! keeping the split-on fast path within budget. `profile` ([`profileexp`]) reconstructs the
 //! fork/join DAG from causal trace events and reports work T1, span T∞,
 //! parallelism, steal-edge statistics, and per-phase critical-path
 //! attribution, writing `BENCH_profile.json`; `trace-overhead` is the CI
@@ -42,6 +45,7 @@ pub mod chaosexp;
 pub mod profileexp;
 pub mod real;
 pub mod simexp;
+pub mod spawnexp;
 pub mod stats;
 pub mod traceexp;
 pub mod wakeexp;

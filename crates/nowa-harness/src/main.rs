@@ -47,6 +47,11 @@ experiments:
                                  idle-engine wakeup latency + idle CPU burn
                                  vs a pre-engine emulation; writes
                                  BENCH_wakeup.json
+  spawn  [--quick]               spawn fast-path microbenchmark: per-spawn
+                                 ns/cycles with the split deque layer on vs
+                                 off, per flavor; writes BENCH_spawn.json
+                                 and exits non-zero when the split-on fast
+                                 path blows its budget (CI gate)
   all    [--quick]               everything
 
 flags:
@@ -239,6 +244,11 @@ fn main() {
             args.workers,
             args.iters.unwrap_or(200),
         )),
+        "spawn" => {
+            if !nowa_harness::spawnexp::spawn_bench(args.quick) {
+                std::process::exit(1);
+            }
+        }
         "table1" => print_tables(&real::table1()),
         "fig1" => print_tables(&simexp::fig1(args.quick)),
         "fig7" => print_tables(&simexp::fig7(sim_bench, args.quick)),

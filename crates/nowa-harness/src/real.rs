@@ -132,6 +132,10 @@ fn scheduler_stats_table(title: String, rows: &[(String, StatsSnapshot)]) -> Tab
             "wakes",
             "spurious",
             "targeted-wake",
+            "promotions",
+            "promoted",
+            "priv-pops",
+            "promo-rate",
         ],
     );
     for (name, s) in rows {
@@ -148,6 +152,10 @@ fn scheduler_stats_table(title: String, rows: &[(String, StatsSnapshot)]) -> Tab
             s.wakes_issued.to_string(),
             s.wakes_spurious.to_string(),
             format!("{:.3}", s.targeted_wake_ratio()),
+            s.promotions.to_string(),
+            s.promoted_items.to_string(),
+            s.private_pops.to_string(),
+            format!("{:.3}", s.promotion_ratio()),
         ]);
     }
     table
@@ -491,6 +499,30 @@ mod tests {
         assert!(rendered.contains('3'), "wakes value rendered:\n{rendered}");
         // targeted_wake_ratio = (parks − spurious) / parks = 3/4.
         assert!(rendered.contains("0.750"), "{rendered}");
+    }
+
+    #[test]
+    fn stats_table_formats_promotion_counters() {
+        let s = StatsSnapshot {
+            spawns: 16,
+            fast_pops: 12,
+            steals: 4,
+            promotions: 5,
+            promoted_items: 4,
+            private_pops: 11,
+            ..Default::default()
+        };
+        let t = scheduler_stats_table("t".to_string(), &[("nowa".to_string(), s)]);
+        for col in ["promotions", "promoted", "priv-pops", "promo-rate"] {
+            assert!(t.header.iter().any(|h| h == col), "missing column {col}");
+        }
+        let rendered = t.render();
+        assert!(
+            rendered.contains("11"),
+            "private pops rendered:\n{rendered}"
+        );
+        // promotion_ratio = promoted_items / spawns = 4/16.
+        assert!(rendered.contains("0.250"), "{rendered}");
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub struct FnItem {
     pub in_test: bool,
     /// `// lint: hot-path` marker in the comment block above the fn.
     pub hot_path: bool,
+    /// `// lint: hot-path private` marker: the fn additionally claims to
+    /// touch no shared atomic at all (§6g owner-private fast path).
+    pub hot_path_private: bool,
     /// `/// # Safety` doc section or adjacent `// SAFETY:` comment.
     pub has_safety_comment: bool,
     /// Attributes attached to the fn (full bracket text, spaces stripped).
@@ -754,7 +757,7 @@ impl FileModel {
             || pending_attrs
                 .iter()
                 .any(|a| a == "[test]" || a.contains("[test]"));
-        let (hot_path, safety_above) = self.fn_markers(fn_line, pending_attrs);
+        let (hot_path, hot_path_private, safety_above) = self.fn_markers(fn_line, pending_attrs);
         let body = body_open.map(|b| (line_of(b), line_of(b))); // end patched at `}`
 
         (
@@ -766,6 +769,7 @@ impl FileModel {
                 is_unsafe,
                 in_test,
                 hot_path,
+                hot_path_private,
                 has_safety_comment: safety_above,
                 attrs: pending_attrs.to_vec(),
                 scope_attrs: Self::inherited_attrs(stack),
@@ -793,16 +797,17 @@ impl FileModel {
         q
     }
 
-    /// (hot_path, safety) markers from the comment block directly above
-    /// `fn_line` (doc comments, line comments and attribute lines form one
-    /// contiguous block).
-    fn fn_markers(&self, fn_line: u32, _attrs: &[String]) -> (bool, bool) {
+    /// (hot_path, hot_path_private, safety) markers from the comment block
+    /// directly above `fn_line` (doc comments, line comments and attribute
+    /// lines form one contiguous block).
+    fn fn_markers(&self, fn_line: u32, _attrs: &[String]) -> (bool, bool, bool) {
         let block = self.comment_block_above(fn_line);
         let hot = block.iter().any(|l| l.contains("lint: hot-path"));
+        let private = block.iter().any(|l| l.contains("lint: hot-path private"));
         let safety = block
             .iter()
             .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
-        (hot, safety)
+        (hot, private, safety)
     }
 
     /// The contiguous run of comment/attribute lines directly above `line`
@@ -958,6 +963,13 @@ impl S {
         self.inner.load(Ordering::Acquire)
     }
 
+    // lint: hot-path private
+    #[inline]
+    pub fn owner_bump(&mut self) -> u64 {
+        self.x += 1;
+        self.x
+    }
+
     /// # Safety
     /// Caller must hold the lock.
     pub unsafe fn dangerous(&self, p: *mut u64) {
@@ -990,7 +1002,11 @@ mod tests {
             .any(|a| a.path == "core::sync::atomic"));
         let load = m.fns.iter().find(|f| f.name == "load_it").unwrap();
         assert!(load.hot_path);
+        assert!(!load.hot_path_private);
         assert!(!load.in_test);
+        let bump = m.fns.iter().find(|f| f.name == "owner_bump").unwrap();
+        assert!(bump.hot_path, "`hot-path private` implies hot-path");
+        assert!(bump.hot_path_private);
         let dang = m.fns.iter().find(|f| f.name == "dangerous").unwrap();
         assert!(dang.is_unsafe);
         assert!(dang.has_safety_comment);

@@ -18,6 +18,7 @@ pub const SHIM_MODULES: &[&str] = &[
     "nowa-deque/src/cl.rs",
     "nowa-deque/src/the.rs",
     "nowa-deque/src/abp.rs",
+    "nowa-deque/src/split.rs",
     "nowa-runtime/src/idle.rs",
     "nowa-runtime/src/injector.rs",
     "nowa-runtime/src/snzi.rs",

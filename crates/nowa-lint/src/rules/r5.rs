@@ -8,6 +8,13 @@
 //! needles are chosen to be rare outside their std meanings, and every
 //! hit can be suppressed with a reasoned allowlist entry (the THE deque's
 //! arbitration lock is the canonical example).
+//!
+//! The stronger marker `// lint: hot-path private` additionally claims the
+//! §6g zero-shared-atomic fast path: the split deque's private ring ops
+//! are owner-only `Cell` state, and any atomic load/store/RMW or fence in
+//! such a fn falsifies the layer's whole performance argument. Those fns
+//! are scanned for a second needle list of shared-synchronization
+//! constructs on top of the standard one.
 
 use crate::diag::Diagnostic;
 use crate::Workspace;
@@ -36,6 +43,18 @@ const NEEDLES: &[&str] = &[
     ".join(",
 ];
 
+/// Shared-synchronization constructs banned from `hot-path private` fns:
+/// the marker claims the fn runs on owner-only state with no coherence
+/// traffic at all, so even a Relaxed probe needs an explicit exception.
+const PRIVATE_NEEDLES: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_",
+    ".compare_exchange",
+    "fence(",
+];
+
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for f in &ws.files {
@@ -61,6 +80,29 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
                                     "hot-path fn `{}` calls `{}` — blocking or \
                                      allocating on the fast path (allowlist it \
                                      with a reason if intentional)",
+                                    fun.name,
+                                    needle.trim_start_matches('.').trim_end_matches('('),
+                                ),
+                            )
+                            .in_fn(Some(&fun.name)),
+                        );
+                    }
+                }
+                if !fun.hot_path_private {
+                    continue;
+                }
+                for needle in PRIVATE_NEEDLES {
+                    if code.contains(needle) && !f.allowed_inline("R5", line) {
+                        out.push(
+                            Diagnostic::new(
+                                &f.rel_path,
+                                line,
+                                "R5",
+                                format!(
+                                    "hot-path-private fn `{}` uses `{}` — the \
+                                     `private` marker claims a zero-shared-atomic \
+                                     path (drop the marker or allowlist it with \
+                                     a reason)",
                                     fun.name,
                                     needle.trim_start_matches('.').trim_end_matches('('),
                                 ),

@@ -1,0 +1,9 @@
+//! R5 private-marker fail fixture: a claimed-private fast path that
+//! synchronizes through a shared atomic.
+
+use crate::sync::{AtomicU64, Ordering};
+
+// lint: hot-path private
+pub fn fast(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}

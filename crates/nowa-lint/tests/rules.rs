@@ -203,6 +203,42 @@ fn r5_fires_on_hot_path_allocation() {
 }
 
 #[test]
+fn r5_private_pass_fixture_is_clean() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/fix5p.rs",
+            include_str!("fixtures/r5_private_pass.rs"),
+        )],
+        AUDIT,
+    );
+    assert_eq!(findings(&ws, "R5"), Vec::<String>::new());
+}
+
+#[test]
+fn r5_private_fires_on_shared_atomic() {
+    let ws = workspace(
+        &[(
+            "crates/nowa-deque/src/fix5p.rs",
+            include_str!("fixtures/r5_private_fail.rs"),
+        )],
+        AUDIT,
+    );
+    let out = findings(&ws, "R5");
+    assert_eq!(out.len(), 1, "exactly the `load` probe fires: {out:?}");
+    assert!(out[0].contains("load"), "{out:?}");
+    assert!(out[0].contains("zero-shared-atomic"), "{out:?}");
+}
+
+#[test]
+fn r5_plain_hot_path_marker_permits_atomics() {
+    // The same body under the *plain* marker is legal — atomics are the
+    // point of most hot paths; only the `private` claim bans them.
+    let src = include_str!("fixtures/r5_private_fail.rs").replace("hot-path private", "hot-path");
+    let ws = workspace(&[("crates/nowa-deque/src/fix5p.rs", src.as_str())], AUDIT);
+    assert_eq!(findings(&ws, "R5"), Vec::<String>::new());
+}
+
+#[test]
 fn allowlist_suppresses_and_reports_stale_entries() {
     let ws = workspace(
         &[(

@@ -38,6 +38,11 @@
 //! * **ForceCancel** — latches the enclosing region's cancellation scope
 //!   at a steal, sync, or suspend boundary, as if its token had been
 //!   cancelled at the worst possible moment.
+//! * **ForcePromote** — at the spawn-push site, alternately forces an
+//!   out-of-band private→public promotion batch or arms a forced
+//!   promotion *failure* (the split layer's put-back path runs as if the
+//!   public deque were full). Fires once per spawn visit, so it is
+//!   replay-deterministic and armed by `ChaosConfig::aggressive`.
 //!
 //! The two idle sites are *not* armed by `ChaosConfig::aggressive`: their
 //! visit counts depend on wall-clock idleness, so arming them would break
@@ -87,10 +92,13 @@ mod imp {
         /// Forced cancellation of the enclosing region at a steal, sync,
         /// or suspend boundary.
         ForceCancel = 7,
+        /// Forced promotion event at the spawn-push site (out-of-band
+        /// batch or armed promotion failure, alternating).
+        ForcePromote = 8,
     }
 
     /// Number of distinct injection sites.
-    pub const SITES: usize = 8;
+    pub const SITES: usize = 9;
 
     const SITE_NAMES: [&str; SITES] = [
         "steal_fail",
@@ -101,6 +109,7 @@ mod imp {
         "force_park",
         "spurious_wake",
         "force_cancel",
+        "force_promote",
     ];
 
     /// Per-worker chaos state: one tick and one injected counter per site.
@@ -339,6 +348,27 @@ mod imp {
         }
     }
 
+    /// At the spawn-push site: returns `true` to force an out-of-band
+    /// promotion batch. Every other firing instead arms a forced
+    /// promotion *failure* at the deque layer (put-back path) and returns
+    /// `false` — that failure is consumed by the next promotion attempt.
+    #[inline]
+    pub(crate) unsafe fn on_force_promote(worker: *mut Worker) -> bool {
+        unsafe {
+            if let Some((st, cfg)) = state(worker) {
+                if st.decide(ChaosSite::ForcePromote, cfg.force_promote) {
+                    let n = st.injected[ChaosSite::ForcePromote as usize].load(Ordering::Relaxed);
+                    if n % 2 == 0 {
+                        nowa_deque::chaos::force_promotion_failure();
+                        return false;
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -423,11 +453,15 @@ mod imp {
     pub(crate) unsafe fn on_force_cancel(_: *mut Worker) -> bool {
         false
     }
+    #[inline(always)]
+    pub(crate) unsafe fn on_force_promote(_: *mut Worker) -> bool {
+        false
+    }
 }
 
 pub(crate) use imp::{
-    on_child_start, on_force_cancel, on_idle_backoff, on_park_wait, on_spawn_push, on_stack_get,
-    on_steal_attempt, on_sync,
+    on_child_start, on_force_cancel, on_force_promote, on_idle_backoff, on_park_wait,
+    on_spawn_push, on_stack_get, on_steal_attempt, on_sync,
 };
 
 #[cfg(feature = "chaos")]

@@ -6,6 +6,8 @@ use nowa_context::MadvisePolicy;
 
 use crate::flavor::Flavor;
 
+pub use nowa_deque::SplitConfig;
+
 /// Fault-injection configuration (the `chaos` knob).
 ///
 /// All rates are probabilities per 65536 site visits; `0` disables a site
@@ -53,6 +55,12 @@ pub struct ChaosConfig {
     /// run, so arming it would break the exact snapshot-equality
     /// determinism gates — the dedicated cancel-soak tests arm it.
     pub force_cancel: u16,
+    /// Rate of forced promotion events at the spawn-push site: half the
+    /// firings force an out-of-band private→public promotion batch, the
+    /// other half arm a forced promotion *failure* (the split layer's
+    /// put-back path runs as if the public deque were full). Visit counts
+    /// are one per spawn, so the site is replay-deterministic.
+    pub force_promote: u16,
 }
 
 impl ChaosConfig {
@@ -68,13 +76,15 @@ impl ChaosConfig {
             force_park: 0,
             spurious_wake: 0,
             force_cancel: 0,
+            force_promote: 0,
         }
     }
 
     /// A stress profile: every non-destructive site at a high rate (1/8
-    /// steal failures and forced suspensions, 1/16 spurious yields, 1/32
-    /// mmap failures). `child_panic` stays 0 so workloads still produce
-    /// their results; arm it separately to test panic propagation.
+    /// steal failures and forced suspensions, 1/16 spurious yields and
+    /// forced promotions, 1/32 mmap failures). `child_panic` stays 0 so
+    /// workloads still produce their results; arm it separately to test
+    /// panic propagation.
     pub fn aggressive(seed: u64) -> ChaosConfig {
         ChaosConfig {
             seed,
@@ -91,6 +101,9 @@ impl ChaosConfig {
             // Cancellation reshapes the strand tree, so it too would break
             // the exact-replay gates; armed by the cancel-soak tests.
             force_cancel: 0,
+            // Safe to arm: fires once per spawn, so visit counts (and
+            // hence firings) replay exactly for a given seed.
+            force_promote: 4096,
         }
     }
 }
@@ -161,6 +174,10 @@ pub struct Config {
     pub flavor: Flavor,
     /// Per-worker deque capacity (bounded algorithms; CL grows beyond it).
     pub deque_capacity: usize,
+    /// Split-deque layer: private spawn segment + lazy promotion
+    /// (DESIGN.md §6g). Enabled by default; [`SplitConfig::disabled`]
+    /// restores the every-spawn-public behaviour of the unsplit deques.
+    pub split: SplitConfig,
     /// Per-worker stack-cache capacity (paper: "small per worker buffers").
     pub stack_cache: usize,
     /// Stripes of the global stack pool (1 = the paper's single pool).
@@ -214,6 +231,7 @@ impl Default for Config {
             madvise: MadvisePolicy::Keep,
             flavor: Flavor::NOWA,
             deque_capacity: 8192,
+            split: SplitConfig::default(),
             stack_cache: 8,
             pool_stripes: 1,
             pool_prefill: 0,
@@ -301,6 +319,12 @@ impl Config {
         self.idle = idle;
         self
     }
+
+    /// Sets the split-deque configuration (builder style).
+    pub fn split(mut self, split: SplitConfig) -> Config {
+        self.split = split;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +340,7 @@ mod tests {
         assert!(c.workers >= 1);
         assert_eq!(c.trace_ring, DEFAULT_TRACE_RING);
         assert_eq!(c.flight, None, "flight recorder is opt-in");
+        assert!(c.split.enabled, "split deques are the default fast path");
     }
 
     #[test]
@@ -329,7 +354,8 @@ mod tests {
             .flight_recorder(512)
             .chaos(ChaosConfig::aggressive(7))
             .watchdog(Duration::from_millis(100))
-            .guard_diagnostics(false);
+            .guard_diagnostics(false)
+            .split(SplitConfig::disabled());
         assert_eq!(c.workers, 3);
         assert_eq!(c.flavor, Flavor::FIBRIL);
         assert_eq!(c.madvise, MadvisePolicy::Free);
@@ -340,6 +366,7 @@ mod tests {
         assert_eq!(c.chaos.unwrap().seed, 7);
         assert_eq!(c.watchdog, Some(Duration::from_millis(100)));
         assert!(!c.guard_diagnostics);
+        assert!(!c.split.enabled);
     }
 
     #[test]
@@ -353,6 +380,8 @@ mod tests {
         assert_eq!(loud.force_park, 0, "idle sites stay replay-safe");
         assert_eq!(loud.spurious_wake, 0, "idle sites stay replay-safe");
         assert_eq!(loud.force_cancel, 0, "cancellation stays replay-safe");
+        assert_eq!(quiet.force_promote, 0);
+        assert!(loud.force_promote > 0, "promotion chaos is replay-safe");
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! dispatch cost — important for a fair comparison.
 
 use nowa_deque::{
-    AbpDeque, AbpStealer, AbpWorker, ClDeque, ClStealer, ClWorker, LockedDeque, LockedStealer,
-    LockedWorker, Ptr, Steal, StealerOps, TheDeque, TheStealer, TheWorker, WorkerOps,
+    AbpDeque, AbpStealer, AbpWorker, ClDeque, ClStealer, ClWorker, Full, LockedDeque,
+    LockedStealer, LockedWorker, Ptr, SplitConfig, SplitDeque, SplitPush, SplitStealer,
+    SplitWorker, Steal, StealerOps, TheDeque, TheStealer, TheWorker, WorkerOps,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -128,16 +129,20 @@ impl FusedDeque {
     }
 }
 
-/// Owner side of a flavor's deque.
+/// Owner side of a flavor's deque. Every real deque algorithm is wrapped
+/// in the split private/public layer (DESIGN.md §6g) — with the split
+/// disabled in [`SplitConfig`] the wrapper is a pass-through. The fused
+/// Fibril deque stays unsplit: its lock-based protocol is the baseline
+/// being measured, not optimised.
 pub enum OwnerDeque {
     /// Chase–Lev owner handle.
-    Cl(ClWorker<Rec>),
+    Cl(SplitWorker<ClWorker<Rec>, Rec>),
     /// THE owner handle.
-    The(TheWorker<Rec>),
+    The(SplitWorker<TheWorker<Rec>, Rec>),
     /// ABP owner handle.
-    Abp(AbpWorker<Rec>),
+    Abp(SplitWorker<AbpWorker<Rec>, Rec>),
     /// Locked-deque owner handle.
-    Locked(LockedWorker<Rec>),
+    Locked(SplitWorker<LockedWorker<Rec>, Rec>),
     /// Fibril fused deque (owner and thieves share it).
     Fused(Arc<FusedDeque>),
 }
@@ -146,19 +151,24 @@ pub enum OwnerDeque {
 #[derive(Clone)]
 pub enum SharedStealer {
     /// Chase–Lev stealer handle.
-    Cl(ClStealer<Rec>),
+    Cl(SplitStealer<ClStealer<Rec>>),
     /// THE stealer handle.
-    The(TheStealer<Rec>),
+    The(SplitStealer<TheStealer<Rec>>),
     /// ABP stealer handle.
-    Abp(AbpStealer<Rec>),
+    Abp(SplitStealer<AbpStealer<Rec>>),
     /// Locked-deque stealer handle.
-    Locked(LockedStealer<Rec>),
+    Locked(SplitStealer<LockedStealer<Rec>>),
     /// Fibril fused deque.
     Fused(Arc<FusedDeque>),
 }
 
-/// Creates the deque pair for `flavor` with the given capacity.
-pub fn new_deque(flavor: Flavor, capacity: usize) -> (OwnerDeque, SharedStealer) {
+/// Creates the deque pair for `flavor` with the given capacity and split
+/// configuration.
+pub fn new_deque(
+    flavor: Flavor,
+    capacity: usize,
+    split: SplitConfig,
+) -> (OwnerDeque, SharedStealer) {
     match (flavor.protocol, flavor.deque) {
         (ProtocolKind::FibrilLocked, _) => {
             let fused = FusedDeque::new(capacity);
@@ -169,25 +179,30 @@ pub fn new_deque(flavor: Flavor, capacity: usize) -> (OwnerDeque, SharedStealer)
         }
         (_, DequeKind::Cl) => {
             let (w, s) = ClDeque::new(capacity);
+            let (w, s) = SplitDeque::wrap(w, s, split, capacity);
             (OwnerDeque::Cl(w), SharedStealer::Cl(s))
         }
         (_, DequeKind::The) => {
             let (w, s) = TheDeque::new(capacity);
+            let (w, s) = SplitDeque::wrap(w, s, split, capacity);
             (OwnerDeque::The(w), SharedStealer::The(s))
         }
         (_, DequeKind::Abp) => {
             let (w, s) = AbpDeque::new(capacity);
+            let (w, s) = SplitDeque::wrap(w, s, split, capacity);
             (OwnerDeque::Abp(w), SharedStealer::Abp(s))
         }
         (_, DequeKind::Locked) => {
             let (w, s) = LockedDeque::new(capacity);
+            let (w, s) = SplitDeque::wrap(w, s, split, capacity);
             (OwnerDeque::Locked(w), SharedStealer::Locked(s))
         }
     }
 }
 
-/// Current occupancy of the owner side of a deque (observability only —
-/// the value is a racy snapshot for all lock-free algorithms).
+/// Current occupancy of the owner side of a deque, private segment
+/// included (observability only — the value is a racy snapshot for all
+/// lock-free algorithms).
 pub fn occupancy(dq: &OwnerDeque) -> usize {
     match dq {
         OwnerDeque::Cl(w) => w.len(),
@@ -198,32 +213,106 @@ pub fn occupancy(dq: &OwnerDeque) -> usize {
     }
 }
 
+/// Occupancy of the *public* (thief-visible) part of the owner's deque —
+/// what the wake-threshold gate should consult: a promotion makes a wake
+/// worthwhile only if the woken thief can actually see the work.
+pub fn public_occupancy(dq: &OwnerDeque) -> usize {
+    match dq {
+        OwnerDeque::Cl(w) => w.public_len(),
+        OwnerDeque::The(w) => w.public_len(),
+        OwnerDeque::Abp(w) => w.public_len(),
+        OwnerDeque::Locked(w) => w.public_len(),
+        OwnerDeque::Fused(f) => f.q.lock().len(),
+    }
+}
+
 /// Occupancy seen through a thief-side handle (racy snapshot) — used by the
 /// idle engine's park validation re-scan: anything non-zero anywhere means
-/// "don't sleep, go steal".
+/// "don't sleep, go steal". Private segments are invisible here by design;
+/// the hunger signal (raised by the failed steals of the sweep preceding a
+/// park) covers them.
 pub fn stealer_len(st: &SharedStealer) -> usize {
     match st {
-        SharedStealer::Cl(s) => s.len(),
-        SharedStealer::The(s) => s.len(),
-        SharedStealer::Abp(s) => s.len(),
-        SharedStealer::Locked(s) => s.len(),
+        SharedStealer::Cl(s) => s.inner().len(),
+        SharedStealer::The(s) => s.inner().len(),
+        SharedStealer::Abp(s) => s.inner().len(),
+        SharedStealer::Locked(s) => s.inner().len(),
         SharedStealer::Fused(f) => f.q.lock().len(),
     }
 }
 
-/// Offers a continuation to thieves (Fig. 5 line 2). Returns `false` when a
-/// bounded queue refuses — the caller then simply runs the child without
-/// offering the continuation (less parallelism, same semantics).
-#[inline]
-pub fn push(dq: &OwnerDeque, rec: Rec) -> bool {
+/// Whether the most recent successful owner-side pop on this deque was
+/// served by the private segment (feeds the `private_pops` statistic).
+pub fn last_pop_was_private(dq: &OwnerDeque) -> bool {
     match dq {
-        OwnerDeque::Cl(w) => w.push(rec).is_ok(),
-        OwnerDeque::The(w) => w.push(rec).is_ok(),
-        OwnerDeque::Abp(w) => w.push(rec).is_ok(),
-        OwnerDeque::Locked(w) => w.push(rec).is_ok(),
+        OwnerDeque::Cl(w) => w.last_pop_was_private(),
+        OwnerDeque::The(w) => w.last_pop_was_private(),
+        OwnerDeque::Abp(w) => w.last_pop_was_private(),
+        OwnerDeque::Locked(w) => w.last_pop_was_private(),
+        OwnerDeque::Fused(_) => false,
+    }
+}
+
+/// Promotes up to `max` private items to the public deque regardless of
+/// batch or hunger state. Used by the wake path (`promote_on_wake`) and
+/// the chaos `ForcePromote` site. Returns the number moved.
+pub fn force_promote(dq: &OwnerDeque, max: usize) -> u32 {
+    let moved = match dq {
+        OwnerDeque::Cl(w) => w.force_promote(max),
+        OwnerDeque::The(w) => w.force_promote(max),
+        OwnerDeque::Abp(w) => w.force_promote(max),
+        OwnerDeque::Locked(w) => w.force_promote(max),
+        OwnerDeque::Fused(_) => 0,
+    };
+    moved as u32
+}
+
+/// Outcome of offering a continuation to the deques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The continuation was enqueued (privately or publicly). `false`
+    /// means both segments of a bounded queue refused — the caller then
+    /// simply runs the child without offering the continuation (less
+    /// parallelism, same semantics).
+    pub offered: bool,
+    /// Private items promoted to the public deque as a side effect of this
+    /// push (batch boundary, hunger signal, or private-ring overflow).
+    pub promoted: u32,
+}
+
+#[inline]
+fn push_outcome(res: Result<SplitPush, Full<Rec>>) -> PushOutcome {
+    match res {
+        Ok(p) => PushOutcome {
+            offered: true,
+            promoted: p.promoted,
+        },
+        Err(Full(_)) => PushOutcome {
+            offered: false,
+            promoted: 0,
+        },
+    }
+}
+
+/// Offers a continuation to thieves (Fig. 5 line 2). With the split layer
+/// enabled the common case is a private, synchronization-free ring write;
+/// see [`PushOutcome`] for the side-channel information the scheduler
+/// consumes.
+#[inline]
+// lint: hot-path
+pub fn push(dq: &OwnerDeque, rec: Rec) -> PushOutcome {
+    match dq {
+        OwnerDeque::Cl(w) => push_outcome(w.push_spawn(rec)),
+        OwnerDeque::The(w) => push_outcome(w.push_spawn(rec)),
+        OwnerDeque::Abp(w) => push_outcome(w.push_spawn(rec)),
+        OwnerDeque::Locked(w) => push_outcome(w.push_spawn(rec)),
         OwnerDeque::Fused(f) => {
+            // lint: allow(R5) — the fused baseline is lock-based by definition
             f.q.lock().push_back(rec);
-            true
+            PushOutcome {
+                offered: true,
+                promoted: 0,
+            }
         }
     }
 }
@@ -527,16 +616,16 @@ mod tests {
     fn nowa_counter_algebra() {
         let p = ProtocolKind::NowaWaitFree;
         let frame = Frame::new();
-        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let (dq, st) = new_deque(Flavor::NOWA, 8, SplitConfig::disabled());
         let rec1 = SpawnRecord::new(&frame);
         let rec2 = SpawnRecord::new(&frame);
 
         // spawn #1: push, child runs, not stolen: pop succeeds.
-        assert!(push(&dq, Ptr::from_ref(&rec1)));
+        assert!(push(&dq, Ptr::from_ref(&rec1)).offered);
         assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::Continue);
 
         // spawn #2: push, continuation stolen while child runs.
-        assert!(push(&dq, Ptr::from_ref(&rec2)));
+        assert!(push(&dq, Ptr::from_ref(&rec2)).offered);
         let stolen = steal_from(p, &st).success().unwrap();
         assert_eq!(
             stolen.as_ptr() as *const SpawnRecord,
@@ -563,10 +652,10 @@ mod tests {
     fn nowa_late_joiner_resumes() {
         let p = ProtocolKind::NowaWaitFree;
         let frame = Frame::new();
-        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let (dq, st) = new_deque(Flavor::NOWA, 8, SplitConfig::disabled());
         let rec = SpawnRecord::new(&frame);
 
-        assert!(push(&dq, Ptr::from_ref(&rec)));
+        assert!(push(&dq, Ptr::from_ref(&rec)).offered);
         let _stolen = steal_from(p, &st).success().unwrap();
 
         // Main path reaches sync while the child still runs.
@@ -594,10 +683,10 @@ mod tests {
     fn nowa_restore_self_resume_retires_suspension() {
         let p = ProtocolKind::NowaWaitFree;
         let frame = Frame::new();
-        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let (dq, st) = new_deque(Flavor::NOWA, 8, SplitConfig::disabled());
         let rec = SpawnRecord::new(&frame);
 
-        assert!(push(&dq, Ptr::from_ref(&rec)));
+        assert!(push(&dq, Ptr::from_ref(&rec)).offered);
         let _stolen = steal_from(p, &st).success().unwrap();
         // Child joins *before* the main path syncs.
         assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::OutOfWork);
@@ -610,10 +699,10 @@ mod tests {
     fn fibril_locked_walkthrough() {
         let p = ProtocolKind::FibrilLocked;
         let frame = Frame::new();
-        let (dq, st) = new_deque(Flavor::FIBRIL, 8);
+        let (dq, st) = new_deque(Flavor::FIBRIL, 8, SplitConfig::disabled());
         let rec = SpawnRecord::new(&frame);
 
-        assert!(push(&dq, Ptr::from_ref(&rec)));
+        assert!(push(&dq, Ptr::from_ref(&rec)).offered);
         let _stolen = steal_from(p, &st).success().unwrap();
         assert_eq!(frame.join.locked.lock().count, 1);
 
@@ -631,9 +720,9 @@ mod tests {
     fn take_own_does_fork_bookkeeping() {
         let p = ProtocolKind::NowaWaitFree;
         let frame = Frame::new();
-        let (dq, _st) = new_deque(Flavor::NOWA, 8);
+        let (dq, _st) = new_deque(Flavor::NOWA, 8, SplitConfig::disabled());
         let rec = SpawnRecord::new(&frame);
-        assert!(push(&dq, Ptr::from_ref(&rec)));
+        assert!(push(&dq, Ptr::from_ref(&rec)).offered);
         let taken = take_own(p, &dq).unwrap();
         assert_eq!(
             taken.as_ptr() as *const SpawnRecord,
@@ -647,11 +736,83 @@ mod tests {
     fn fibril_take_own_counts() {
         let p = ProtocolKind::FibrilLocked;
         let frame = Frame::new();
-        let (dq, _st) = new_deque(Flavor::FIBRIL, 8);
+        let (dq, _st) = new_deque(Flavor::FIBRIL, 8, SplitConfig::disabled());
         let rec = SpawnRecord::new(&frame);
-        assert!(push(&dq, Ptr::from_ref(&rec)));
+        assert!(push(&dq, Ptr::from_ref(&rec)).offered);
         let _ = take_own(p, &dq).unwrap();
         assert_eq!(frame.join.locked.lock().count, 1);
+    }
+
+    /// With the split enabled, a fresh spawn stays private; a thief's
+    /// failed steal raises hunger; the next push promotes everything and
+    /// the thief gets the globally oldest record, with fork bookkeeping.
+    #[test]
+    fn split_promotion_feeds_hungry_thief() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::NOWA, 8, SplitConfig::default());
+        let rec1 = SpawnRecord::new(&frame);
+        let rec2 = SpawnRecord::new(&frame);
+
+        let first = push(&dq, Ptr::from_ref(&rec1));
+        assert!(first.offered);
+        assert_eq!(first.promoted, 0, "fresh spawn stays private");
+        assert_eq!(public_occupancy(&dq), 0);
+        assert_eq!(occupancy(&dq), 1, "private item counts in occupancy");
+
+        // A thief sweeps: the public deque is empty, hunger is raised.
+        assert!(steal_from(p, &st).is_empty());
+        // The next push promotes both records for the hungry thief.
+        let second = push(&dq, Ptr::from_ref(&rec2));
+        assert_eq!(second.promoted, 2);
+        assert_eq!(public_occupancy(&dq), 2);
+
+        let stolen = steal_from(p, &st).success().unwrap();
+        assert_eq!(
+            stolen.as_ptr() as *const SpawnRecord,
+            &rec1 as *const SpawnRecord,
+            "thief receives the globally oldest spawn"
+        );
+        assert_eq!(frame.join.alpha.load(Ordering::Relaxed), 1);
+    }
+
+    /// The owner's pop reports which segment served it, and a forced
+    /// promotion publishes private work without a push.
+    #[test]
+    fn split_private_pop_and_force_promote() {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Frame::new();
+        let (dq, st) = new_deque(Flavor::NOWA, 8, SplitConfig::default());
+        let rec1 = SpawnRecord::new(&frame);
+        let rec2 = SpawnRecord::new(&frame);
+
+        assert!(push(&dq, Ptr::from_ref(&rec1)).offered);
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::Continue);
+        assert!(last_pop_was_private(&dq));
+
+        assert!(push(&dq, Ptr::from_ref(&rec2)).offered);
+        assert_eq!(force_promote(&dq, usize::MAX), 1);
+        assert_eq!(public_occupancy(&dq), 1);
+        let _stolen = steal_from(p, &st).success().unwrap();
+        assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::OutOfWork);
+        assert!(
+            !last_pop_was_private(&dq),
+            "that join popped nothing private"
+        );
+    }
+
+    /// The fused Fibril deque ignores the split layer entirely.
+    #[test]
+    fn fused_deque_has_no_private_segment() {
+        let frame = Frame::new();
+        let (dq, _st) = new_deque(Flavor::FIBRIL, 8, SplitConfig::default());
+        let rec = SpawnRecord::new(&frame);
+        let out = push(&dq, Ptr::from_ref(&rec));
+        assert!(out.offered);
+        assert_eq!(out.promoted, 0);
+        assert_eq!(public_occupancy(&dq), 1, "fused pushes are public at once");
+        assert_eq!(force_promote(&dq, usize::MAX), 0);
+        assert!(!last_pop_was_private(&dq));
     }
 
     /// Two spawn…sync regions on one frame after `rearm`.
@@ -659,11 +820,11 @@ mod tests {
     fn frame_reuse_across_regions() {
         let p = ProtocolKind::NowaWaitFree;
         let frame = Frame::new();
-        let (dq, st) = new_deque(Flavor::NOWA, 8);
+        let (dq, st) = new_deque(Flavor::NOWA, 8, SplitConfig::disabled());
 
         for _region in 0..3 {
             let rec = SpawnRecord::new(&frame);
-            assert!(push(&dq, Ptr::from_ref(&rec)));
+            assert!(push(&dq, Ptr::from_ref(&rec)).offered);
             let _ = steal_from(p, &st).success().unwrap();
             assert_eq!(pop_or_join(p, &dq, &frame), AfterChild::OutOfWork);
             assert!(sync_precheck(p, &frame));

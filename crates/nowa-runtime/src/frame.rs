@@ -31,7 +31,28 @@ pub type PanicPayload = Box<dyn Any + Send + 'static>;
 /// under the frame lock in the locked protocol) and read by the single
 /// control flow that wins the sync — ordering is established by the join
 /// counter's `AcqRel` RMWs (or the frame mutex).
+///
+/// # Layout
+///
+/// Hot/cold split (DESIGN.md §6g): the fields every spawn checkpoint reads
+/// (`flagged`, `scope`) share the first 128-byte line; the suspension and
+/// panic state — touched only when a sync actually suspends or a child
+/// faults — starts on the second, so checkpoint polling never contends
+/// with a suspension in flight. Asserted below and in `layout.rs`; under
+/// loom the attributes drop away (model-sized atomics).
+#[cfg_attr(not(loom), repr(C, align(128)))]
 pub struct FrameCore {
+    /// Set (relaxed) when any child strand of this frame records a panic;
+    /// per-spawn checkpoints read it to skip not-yet-started siblings even
+    /// when no cancellable region governs the frame.
+    pub flagged: AtomicU32,
+    /// The innermost cancellation scope governing this frame. Written once
+    /// by the spawning strand before the frame is published to any child
+    /// (so reads never race a write); read at checkpoints and at resume
+    /// boundaries to re-establish the worker's ambient scope.
+    pub(crate) scope: Cell<*const CancelCell>,
+    #[cfg(not(loom))]
+    _hot_pad: [u8; 112],
     /// Continuation saved at a suspending explicit sync.
     pub sync_ctx: UnsafeCell<RawContext>,
     /// The stack holding the suspended frame; the resuming control flow
@@ -40,26 +61,28 @@ pub struct FrameCore {
     /// First panic observed in any child strand of this frame. Multiple
     /// children may panic concurrently, hence the mutex (cold path).
     pub panic: Mutex<Option<PanicPayload>>,
-    /// The innermost cancellation scope governing this frame. Written once
-    /// by the spawning strand before the frame is published to any child
-    /// (so reads never race a write); read at checkpoints and at resume
-    /// boundaries to re-establish the worker's ambient scope.
-    pub(crate) scope: Cell<*const CancelCell>,
-    /// Set (relaxed) when any child strand of this frame records a panic;
-    /// per-spawn checkpoints read it to skip not-yet-started siblings even
-    /// when no cancellable region governs the frame.
-    pub flagged: AtomicU32,
 }
+
+#[cfg(not(loom))]
+const _: () = {
+    // Checkpoint-polled fields on line one, suspension state on line two.
+    assert!(core::mem::offset_of!(FrameCore, flagged) == 0);
+    assert!(core::mem::offset_of!(FrameCore, scope) == 8);
+    assert!(core::mem::offset_of!(FrameCore, sync_ctx) == 128);
+    assert!(core::mem::align_of::<FrameCore>() == 128);
+};
 
 impl FrameCore {
     /// A fresh, non-suspended frame core.
     pub fn new() -> FrameCore {
         FrameCore {
+            flagged: AtomicU32::new(0),
+            scope: Cell::new(core::ptr::null()),
+            #[cfg(not(loom))]
+            _hot_pad: [0; 112],
             sync_ctx: UnsafeCell::new(RawContext::null()),
             suspended_stack: UnsafeCell::new(None),
             panic: Mutex::new(None),
-            scope: Cell::new(core::ptr::null()),
-            flagged: AtomicU32::new(0),
         }
     }
 

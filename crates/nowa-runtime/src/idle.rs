@@ -67,7 +67,7 @@ const SLEEPERS_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
 /// bounces a neighbour's cache line.
 #[repr(align(128))]
 #[derive(Debug)]
-struct ParkSlot {
+pub(crate) struct ParkSlot {
     state: AtomicU32,
 }
 

@@ -1,0 +1,86 @@
+//! Layout audit for the cache-conscious field grouping (DESIGN.md §6g).
+//!
+//! The `repr(C, align(128))` hot/warm/cold splits in `frame.rs` and
+//! `record.rs` are load-bearing for the spawn fast path: a field added in
+//! the wrong place silently drags the lock-based baseline's mutex — or a
+//! neighbour's park flag — onto the line the wait-free counters live on,
+//! and nothing fails except the benchmark numbers. These tests (plus the
+//! `const` asserts next to the structs) turn that into a compile/test
+//! failure with a named field.
+//!
+//! Everything here is `cfg(not(loom))` by way of the test build: the loom
+//! build drops the layout attributes because loom's atomics are
+//! model-sized objects.
+
+use core::mem::{align_of, offset_of, size_of};
+
+use crate::frame::FrameCore;
+use crate::idle::ParkSlot;
+use crate::record::{Frame, JoinState, SpawnRecord};
+use crate::stats::WorkerStats;
+
+/// One coherence-granule (two 64-byte lines — the prefetcher-pair unit the
+/// rest of the codebase pads to).
+const LINE: usize = 128;
+
+#[test]
+fn join_state_hot_line_holds_only_the_wait_free_atomics() {
+    assert_eq!(align_of::<JoinState>(), LINE);
+    assert_eq!(size_of::<JoinState>(), 2 * LINE);
+    // Hot group: counter, alpha, susp — packed from offset 0.
+    assert_eq!(offset_of!(JoinState, counter), 0);
+    assert_eq!(offset_of!(JoinState, alpha), 8);
+    assert_eq!(offset_of!(JoinState, susp), 12);
+    // Cold group: the lock-based baseline's mutex opens line two.
+    assert_eq!(offset_of!(JoinState, locked), LINE);
+}
+
+#[test]
+fn frame_core_checkpoint_fields_lead_their_own_line() {
+    assert_eq!(align_of::<FrameCore>(), LINE);
+    // Hot group: the two fields every per-spawn checkpoint reads.
+    assert_eq!(offset_of!(FrameCore, flagged), 0);
+    assert_eq!(offset_of!(FrameCore, scope), 8);
+    // Cold group: suspension + panic state on line two and beyond.
+    assert_eq!(offset_of!(FrameCore, sync_ctx), LINE);
+    assert!(offset_of!(FrameCore, suspended_stack) >= LINE);
+    assert!(offset_of!(FrameCore, panic) >= LINE);
+    assert_eq!(size_of::<FrameCore>() % LINE, 0);
+}
+
+#[test]
+fn frame_groups_stay_in_declaration_order() {
+    assert_eq!(align_of::<Frame>(), LINE);
+    assert_eq!(offset_of!(Frame, core), 0);
+    // `repr(C)` on Frame: the join state opens its own granule right
+    // after the core, so `frame.join.counter` is exactly
+    // `offset(join) + 0` — the address the joiners hammer.
+    assert_eq!(offset_of!(Frame, join), size_of::<FrameCore>());
+    assert_eq!(
+        size_of::<Frame>(),
+        size_of::<FrameCore>() + size_of::<JoinState>()
+    );
+}
+
+#[test]
+fn spawn_record_fits_one_exclusive_granule() {
+    assert_eq!(align_of::<SpawnRecord>(), LINE);
+    assert_eq!(
+        size_of::<SpawnRecord>(),
+        LINE,
+        "a record must not grow past its line — thief and owner share it"
+    );
+    assert_eq!(offset_of!(SpawnRecord, ctx), 0);
+    assert_eq!(offset_of!(SpawnRecord, frame), 8);
+}
+
+#[test]
+fn per_worker_slots_cannot_false_share() {
+    // The idle engine's park flags and the stats blocks live in arrays —
+    // alignment is what keeps worker i's futex traffic off worker i+1's
+    // line.
+    assert_eq!(align_of::<ParkSlot>(), LINE);
+    assert_eq!(size_of::<ParkSlot>(), LINE);
+    assert!(align_of::<WorkerStats>() >= LINE);
+    assert_eq!(size_of::<WorkerStats>() % LINE, 0);
+}

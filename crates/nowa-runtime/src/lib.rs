@@ -55,6 +55,8 @@ pub mod foreign;
 pub mod frame;
 pub mod idle;
 pub mod injector;
+#[cfg(all(test, not(loom)))]
+mod layout;
 mod obs;
 pub mod record;
 pub mod runtime;
@@ -70,7 +72,7 @@ pub use api::{
     for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, worker_index, Region,
 };
 pub use cancel::{CancelReason, CancelToken, Cancelled};
-pub use config::{ChaosConfig, Config, IdleConfig};
+pub use config::{ChaosConfig, Config, IdleConfig, SplitConfig};
 pub use flavor::{DequeKind, Flavor, ProtocolKind};
 pub use foreign::ForeignForkJoin;
 pub use nowa_context::{MadvisePolicy, StackError};

@@ -37,6 +37,18 @@ pub struct LockedJoin {
 /// nothing measurable and lets every runtime flavor share one frame layout,
 /// so records, deques and the scheduler need no per-protocol
 /// monomorphisation.
+///
+/// # Layout
+///
+/// Hot/cold split across cache-line groups (the Beat-style layout pass,
+/// DESIGN.md §6g): the wait-free protocol's atomics (`counter`, `alpha`,
+/// `susp`) — hammered by joiners and the owner on every spawn/join — sit
+/// alone on the first 128-byte line; the lock-based baseline's mutex (cold
+/// for every Nowa flavor) starts on the second. `repr(C)` plus the
+/// explicit pad make the grouping a compile-time guarantee (asserted
+/// below and in `layout.rs`), not an optimizer courtesy. Under loom the
+/// layout attributes drop away: loom's atomics have model-sized layouts.
+#[cfg_attr(not(loom), repr(C, align(128)))]
 pub struct JoinState {
     /// Nowa's sync-condition counter. `N_r'` in phase 1; `N_r` after the
     /// restore at the explicit sync point.
@@ -59,9 +71,24 @@ pub struct JoinState {
     /// `fetch_sub`, and a joiner only consults `susp` after its own
     /// `fetch_sub` observed the restored count.
     pub susp: AtomicU32,
+    #[cfg(not(loom))]
+    _hot_pad: [u8; 112],
     /// The lock-based protocol's guarded count.
     pub locked: Mutex<LockedJoin>,
 }
+
+#[cfg(not(loom))]
+const _: () = {
+    // The wait-free atomics share the first cache line; the baseline's
+    // mutex starts on the second. A new field that silently lands between
+    // them breaks these asserts, not the benchmark numbers.
+    assert!(core::mem::offset_of!(JoinState, counter) == 0);
+    assert!(core::mem::offset_of!(JoinState, alpha) == 8);
+    assert!(core::mem::offset_of!(JoinState, susp) == 12);
+    assert!(core::mem::offset_of!(JoinState, locked) == 128);
+    assert!(core::mem::align_of::<JoinState>() == 128);
+    assert!(core::mem::size_of::<JoinState>() == 256);
+};
 
 impl JoinState {
     /// Fresh join state: counter armed at `I_max`, nothing forked.
@@ -70,6 +97,8 @@ impl JoinState {
             counter: AtomicI64::new(I_MAX),
             alpha: AtomicU32::new(0),
             susp: AtomicU32::new(SUSP_IDLE),
+            #[cfg(not(loom))]
+            _hot_pad: [0; 112],
             locked: Mutex::new(LockedJoin::default()),
         }
     }
@@ -86,6 +115,11 @@ impl Default for JoinState {
 /// Created by the spawning function (e.g. inside [`join2`](crate::api::join2))
 /// in its own stack frame and **never moved** while spawns of the region are
 /// outstanding — records hold raw pointers to it.
+///
+/// `repr(C)` keeps the two aligned groups in declaration order, so the
+/// frame's line map is: core hot line, core cold line(s), join hot line,
+/// join cold line (asserted in `layout.rs`).
+#[cfg_attr(not(loom), repr(C))]
 pub struct Frame {
     /// Protocol-independent suspension/panic state.
     pub core: FrameCore,
@@ -118,6 +152,12 @@ impl Default for Frame {
 /// 2. the deque, until `pop` (fast path) or a successful `steal`;
 /// 3. the consumer, which resumes `ctx` and thereby hands the record back
 ///    to the spawn wrapper's post-capture code.
+///
+/// Cache-line aligned: a record is the one object both a thief and the
+/// owner touch around a steal, and the deques move only its address — one
+/// line holds all three fields, and no record shares its line with
+/// neighbouring parent-stack data.
+#[repr(C, align(128))]
 pub struct SpawnRecord {
     /// The captured parent continuation (filled by `capture_and_run_on`).
     pub ctx: RawContext,

@@ -181,7 +181,7 @@ impl Runtime {
         let mut owners = Vec::with_capacity(config.workers);
         let mut stealers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            let (w, s) = flavor::new_deque(config.flavor, config.deque_capacity);
+            let (w, s) = flavor::new_deque(config.flavor, config.deque_capacity, config.split);
             owners.push(w);
             stealers.push(s);
         }
@@ -408,7 +408,7 @@ impl Runtime {
         );
 
         let s = self.stats();
-        let totals: [(&str, &str, u64); 18] = [
+        let totals: [(&str, &str, u64); 21] = [
             (
                 "nowa_spawns_total",
                 "Continuations offered to thieves.",
@@ -487,6 +487,21 @@ impl Runtime {
                 "Nanoseconds spent parked.",
                 s.parked_ns,
             ),
+            (
+                "nowa_promotions_total",
+                "Private-to-public promotion batches (split deque).",
+                s.promotions,
+            ),
+            (
+                "nowa_promoted_items_total",
+                "Items moved public by promotion batches.",
+                s.promoted_items,
+            ),
+            (
+                "nowa_private_pops_total",
+                "Fast-path pops served by the private segment.",
+                s.private_pops,
+            ),
         ];
         for (name, help, value) in totals {
             reg.counter(name, help, value as f64);
@@ -505,6 +520,11 @@ impl Runtime {
             "nowa_targeted_wake_ratio",
             "Fraction of parks ended by a targeted wake.",
             s.targeted_wake_ratio(),
+        );
+        reg.gauge(
+            "nowa_promotion_ratio",
+            "Fraction of spawned continuations that ever became public.",
+            s.promotion_ratio(),
         );
 
         for (i, w) in self.shared.stats.iter().enumerate() {

@@ -151,20 +151,46 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
             w.shared.flavor.protocol
         };
         // Chaos: maybe yield right before the push, widening the window in
-        // which thieves observe the pre-push deque state.
+        // which thieves observe the pre-push deque state; maybe force an
+        // out-of-band promotion batch (or arm a promotion failure).
         chaos::on_spawn_push(worker);
-        let offered = flavor::push(&(*worker).deque, nowa_deque::Ptr::from_ref(&*record));
+        if chaos::on_force_promote(worker) {
+            let batch = {
+                let w: &Worker = &*worker;
+                w.shared.config.split.promote_batch.max(1)
+            };
+            let moved = flavor::force_promote(&(*worker).deque, batch);
+            crate::worker::note_promotion(worker, moved);
+        }
+        let out = flavor::push(&(*worker).deque, nowa_deque::Ptr::from_ref(&*record));
+        let offered = out.offered;
         if offered {
             WorkerStats::bump(&(*worker).stats().spawns);
+            crate::worker::note_promotion(worker, out.promoted);
         } else {
             WorkerStats::bump(&(*worker).stats().unoffered);
         }
         obs::on_spawn(worker, frame, offered);
+        let split_enabled = {
+            let w: &Worker = &*worker;
+            w.shared.config.split.enabled
+        };
         if offered {
-            // Idle engine: a relaxed sleeper-count load on the common path;
-            // a targeted wake only when parked workers exist and our deque
-            // is deep enough that we won't immediately reclaim this work.
-            crate::worker::maybe_wake_after_spawn(worker);
+            if split_enabled {
+                // Split fast path: a push that promoted nothing is private
+                // — invisible to thieves, so a wake would find nothing.
+                // Wakes ride promotions (which a hungry sweep guarantees
+                // before any thief parks).
+                if out.promoted > 0 {
+                    crate::worker::wake_after_promotion(worker);
+                }
+            } else {
+                // Idle engine: a relaxed sleeper-count load on the common
+                // path; a targeted wake only when parked workers exist and
+                // our deque is deep enough that we won't immediately
+                // reclaim this work.
+                crate::worker::maybe_wake_after_spawn(worker);
+            }
         }
 
         // The child, called directly (no further runtime involvement). An
@@ -205,6 +231,9 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
         match flavor::pop_or_join(protocol, &(*worker).deque, &*frame) {
             crate::record::AfterChild::Continue => {
                 WorkerStats::bump(&(*worker).stats().fast_pops);
+                if flavor::last_pop_was_private(&(*worker).deque) {
+                    WorkerStats::bump(&(*worker).stats().private_pops);
+                }
                 obs::on_fast_pop(worker, frame);
                 resume_record(worker, nowa_deque::Ptr::from_ref(&*record))
             }

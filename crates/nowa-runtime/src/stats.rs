@@ -48,6 +48,13 @@ pub struct WorkerStats {
     pub wakes_spurious: AtomicU64,
     /// Nanoseconds spent inside futex parks.
     pub parked_ns: AtomicU64,
+    /// Private→public promotion batches (split deque, §6g).
+    pub promotions: AtomicU64,
+    /// Items moved public by those batches.
+    pub promoted_items: AtomicU64,
+    /// Fast-path pops served entirely by the private segment — the pops
+    /// that touched zero shared atomics.
+    pub private_pops: AtomicU64,
     /// Work-finding loop iterations. Not part of [`StatsSnapshot`] (it's a
     /// liveness heartbeat, not a scheduling event): an idle worker still
     /// ticks every backoff period, so the stall watchdog can tell "parked
@@ -59,6 +66,13 @@ impl WorkerStats {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter — the batch form of [`WorkerStats::bump`],
+    /// used by the promotion bookkeeping.
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// A monotonically increasing progress measure for the stall watchdog:
@@ -121,6 +135,12 @@ pub struct StatsSnapshot {
     pub wakes_spurious: u64,
     /// Nanoseconds spent parked.
     pub parked_ns: u64,
+    /// Private→public promotion batches (split deque).
+    pub promotions: u64,
+    /// Items moved public by promotion batches.
+    pub promoted_items: u64,
+    /// Fast-path pops served by the private segment.
+    pub private_pops: u64,
 }
 
 impl StatsSnapshot {
@@ -146,6 +166,9 @@ impl StatsSnapshot {
             s.wakes_issued += w.wakes_issued.load(Ordering::Relaxed);
             s.wakes_spurious += w.wakes_spurious.load(Ordering::Relaxed);
             s.parked_ns += w.parked_ns.load(Ordering::Relaxed);
+            s.promotions += w.promotions.load(Ordering::Relaxed);
+            s.promoted_items += w.promoted_items.load(Ordering::Relaxed);
+            s.private_pops += w.private_pops.load(Ordering::Relaxed);
         }
         s
     }
@@ -171,6 +194,9 @@ impl StatsSnapshot {
         self.wakes_issued += other.wakes_issued;
         self.wakes_spurious += other.wakes_spurious;
         self.parked_ns += other.parked_ns;
+        self.promotions += other.promotions;
+        self.promoted_items += other.promoted_items;
+        self.private_pops += other.private_pops;
     }
 
     /// Total steal attempts, successful or not.
@@ -204,6 +230,18 @@ impl StatsSnapshot {
             0.0
         } else {
             self.fast_pops as f64 / consumed as f64
+        }
+    }
+
+    /// Fraction of spawns whose continuation ever became publicly visible
+    /// (0 when nothing was spawned). Low values mean the split layer is
+    /// doing its job: most continuations lived and died in the private
+    /// segment without a single shared-atomic store.
+    pub fn promotion_ratio(&self) -> f64 {
+        if self.spawns == 0 {
+            0.0
+        } else {
+            self.promoted_items as f64 / self.spawns as f64
         }
     }
 
@@ -321,5 +359,31 @@ mod tests {
         assert!((s.steal_success_ratio() - 0.25).abs() < 1e-12);
         // consumed = 6 + 1 + 1 = 8; fast-path share 6/8.
         assert!((s.fast_path_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn promotion_counters_aggregate_and_merge() {
+        let w = WorkerStats::default();
+        WorkerStats::add(&w.promotions, 2);
+        WorkerStats::add(&w.promoted_items, 5);
+        WorkerStats::bump(&w.private_pops);
+        w.spawns.store(10, Ordering::Relaxed);
+        let stats = [w];
+        let mut s = StatsSnapshot::aggregate(&stats);
+        assert_eq!(s.promotions, 2);
+        assert_eq!(s.promoted_items, 5);
+        assert_eq!(s.private_pops, 1);
+        assert!((s.promotion_ratio() - 0.5).abs() < 1e-12);
+        let other = StatsSnapshot {
+            promotions: 1,
+            promoted_items: 3,
+            private_pops: 4,
+            ..Default::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.promotions, 3);
+        assert_eq!(s.promoted_items, 8);
+        assert_eq!(s.private_pops, 5);
+        assert_eq!(StatsSnapshot::default().promotion_ratio(), 0.0);
     }
 }

@@ -282,6 +282,9 @@ pub unsafe fn find_work() -> ! {
         if let Some(rec) = flavor::take_own(protocol, unsafe { &(*worker).deque }) {
             unsafe {
                 WorkerStats::bump(&(*worker).stats().own_takes);
+                if flavor::last_pop_was_private(&(*worker).deque) {
+                    WorkerStats::bump(&(*worker).stats().private_pops);
+                }
                 obs::on_own_take(worker, (*rec.as_ptr()).frame);
                 resume_record(worker, rec)
             }
@@ -468,7 +471,54 @@ pub(crate) unsafe fn maybe_wake_after_spawn(worker: *mut Worker) {
         return;
     }
     let threshold = shared.config.idle.wake_threshold;
-    if threshold > 0 && flavor::occupancy(unsafe { &(*worker).deque }) < threshold {
+    if threshold > 0 && flavor::public_occupancy(unsafe { &(*worker).deque }) < threshold {
+        return;
+    }
+    if let Some(target) = shared.idle.wake_one() {
+        unsafe {
+            WorkerStats::bump(&(*worker).stats().wakes_issued);
+            obs::on_wake(worker, target);
+        }
+    }
+}
+
+/// Promotion bookkeeping: one batch, `moved` items. No-op when `moved`
+/// is 0 so callers can pass a promotion result unconditionally.
+///
+/// # Safety
+/// `worker` must be the calling thread's live worker.
+#[inline]
+pub(crate) unsafe fn note_promotion(worker: *mut Worker, moved: u32) {
+    if moved > 0 {
+        unsafe {
+            let stats = (*worker).stats();
+            WorkerStats::bump(&stats.promotions);
+            WorkerStats::add(&stats.promoted_items, u64::from(moved));
+        }
+    }
+}
+
+/// The split-deque wake hook, called when a spawn push promoted items:
+/// if sleepers exist, optionally promote another batch (`promote_on_wake`,
+/// so the woken thief finds more than a single stealable item) and issue
+/// one targeted wake, gated on the *public* depth — a wake is only useful
+/// if the woken thief can actually see the work.
+///
+/// # Safety
+/// `worker` must be the calling thread's live worker.
+#[inline]
+pub(crate) unsafe fn wake_after_promotion(worker: *mut Worker) {
+    let shared: &Shared = unsafe { &*Arc::as_ptr(&(*worker).shared) };
+    if shared.idle.sleepers() == 0 {
+        return;
+    }
+    let split = &shared.config.split;
+    if split.promote_on_wake {
+        let moved = flavor::force_promote(unsafe { &(*worker).deque }, split.promote_batch.max(1));
+        unsafe { note_promotion(worker, moved) };
+    }
+    let threshold = shared.config.idle.wake_threshold;
+    if threshold > 0 && flavor::public_occupancy(unsafe { &(*worker).deque }) < threshold {
         return;
     }
     if let Some(target) = shared.idle.wake_one() {

@@ -111,6 +111,74 @@ fn sustained_spawns_wake_parked_thieves() {
     }
 }
 
+/// One producer against eagerly parking hungry thieves with the smallest
+/// promotion batch (§6g): work becomes public only when a thief's failed
+/// sweep raises hunger or the post-promotion wake path promotes. A missed
+/// hunger signal or a lost post-promotion wake turns the handoff into a
+/// `max_park` nap and blows the wall-clock bound.
+#[test]
+fn starved_thieves_feed_via_promotion_all_flavors() {
+    use nowa_runtime::SplitConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    for flavor in ALL_FLAVORS {
+        let rt = Runtime::new(
+            Config::with_workers(4)
+                .flavor(flavor)
+                .idle(eager_park())
+                .split(SplitConfig {
+                    enabled: true,
+                    promote_batch: 1,
+                    promote_on_wake: true,
+                }),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let total = AtomicU64::new(0);
+        rt.run(|| {
+            let region = api::Region::new();
+            let total = &total;
+            for i in 0..2_000u64 {
+                // Cede the CPU so the eagerly parking thieves actually get
+                // to sweep (and starve, and signal) on a small host.
+                if i % 32 == 0 {
+                    std::thread::yield_now();
+                }
+                // SAFETY: the atomic is Send and outlives the region; the
+                // region syncs before drop.
+                unsafe {
+                    region.spawn(move || {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    })
+                };
+            }
+            region.sync();
+        });
+        assert_eq!(total.into_inner(), 2_000, "flavor {}", flavor.name());
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "flavor {}: starvation handoff stalled into a park nap \
+             (max_park is 5s)",
+            flavor.name()
+        );
+        let stats = rt.stats();
+        assert_eq!(
+            stats.spawns,
+            stats.continuations_consumed(),
+            "steal conservation violated, flavor {}",
+            flavor.name()
+        );
+        if flavor != Flavor::FIBRIL {
+            assert!(
+                stats.promotions > 0,
+                "hungry parked thieves never triggered a promotion, \
+                 flavor {}",
+                flavor.name()
+            );
+        }
+    }
+}
+
 /// Parked workers must read as healthy: a runtime sitting idle for several
 /// watchdog thresholds must produce zero stall reports.
 #[test]

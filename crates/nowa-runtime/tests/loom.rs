@@ -38,6 +38,7 @@ use nowa_runtime::injector::Injector;
 use nowa_runtime::record::{AfterChild, Frame, SpawnRecord, I_MAX, SUSP_IDLE};
 use nowa_runtime::worker::RootTask;
 use nowa_runtime::Snzi;
+use nowa_runtime::SplitConfig;
 
 // ---------------------------------------------------------------------------
 // 1. The wait-free sync counter (Fig. 6 / §IV-B)
@@ -57,11 +58,11 @@ fn sync_counter_exactly_one_resumes() {
     loom::model(|| {
         let p = ProtocolKind::NowaWaitFree;
         let frame = Arc::new(Frame::new());
-        let (dq, st) = new_deque(Flavor::NOWA, 4);
+        let (dq, st) = new_deque(Flavor::NOWA, 4, SplitConfig::disabled());
         // The record outlives both threads' use: the thief is joined
         // before it drops.
         let rec = SpawnRecord::new(&*frame);
-        assert!(flavor::push(&dq, Rec::from_ref(&rec)));
+        assert!(flavor::push(&dq, Rec::from_ref(&rec)).offered);
 
         // Thief: on a successful steal (which does the α fork
         // bookkeeping), run the stolen continuation to the explicit sync.
@@ -86,6 +87,60 @@ fn sync_counter_exactly_one_resumes() {
             // restored counter at zero (owner resumes the suspended sync)
             // or the thief's precheck/restore found all children joined
             // (thief proceeds past the sync) — never both, never neither.
+            (AfterChild::OutOfWork, Some(true)) => {}
+            (AfterChild::ResumeSync, Some(false)) => {}
+            other => panic!(
+                "sync condition must be claimed exactly once, got \
+                 (owner, thief) = {other:?}"
+            ),
+        }
+    });
+}
+
+/// The same hazardous race with the split layer *enabled* (§6g): the spawn
+/// lands in the owner-private segment, invisible to the thief, and the
+/// wake path's promotion (`force_promote`, the scheduler's
+/// `promote_on_wake` step) races the thief's sweep. Whether the thief's
+/// hunger store lands before the push (hungry promotion) or the explicit
+/// promotion moves the record, the continuation must still be claimed by
+/// exactly one of {owner pop, thief steal} and the sync condition by
+/// exactly one side — the `I_max` arming must not care which path made
+/// the record public.
+#[test]
+fn sync_counter_exactly_one_resumes_with_promotion() {
+    loom::model(|| {
+        let p = ProtocolKind::NowaWaitFree;
+        let frame = Arc::new(Frame::new());
+        let split = SplitConfig {
+            enabled: true,
+            promote_batch: 1024, // no boundary promotion: hunger or force only
+            promote_on_wake: true,
+        };
+        let (dq, st) = new_deque(Flavor::NOWA, 4, split);
+        // The record outlives both threads' use: the thief is joined
+        // before it drops.
+        let rec = SpawnRecord::new(&*frame);
+
+        let thief = {
+            let frame = frame.clone();
+            loom::thread::spawn(move || {
+                flavor::steal_from(p, &st)
+                    .success()
+                    .map(|_| flavor::sync_precheck(p, &frame) || flavor::sync_restore(p, &frame))
+            })
+        };
+
+        // Owner: spawn (private unless the thief's hunger landed first),
+        // then the wake path's promotion, then the child returns.
+        let out = flavor::push(&dq, Rec::from_ref(&rec));
+        assert!(out.offered);
+        let moved = out.promoted + flavor::force_promote(&dq, 1);
+        assert_eq!(moved, 1, "the lone record is promoted exactly once");
+        let after = flavor::pop_or_join(p, &dq, &frame);
+        let thief_resumed = thief.join().unwrap();
+
+        match (after, thief_resumed) {
+            (AfterChild::Continue, None) => {}
             (AfterChild::OutOfWork, Some(true)) => {}
             (AfterChild::ResumeSync, Some(false)) => {}
             other => panic!(

@@ -48,5 +48,5 @@ pub use nowa_sim as sim;
 pub use nowa_runtime::slice;
 pub use nowa_runtime::{
     for_each, in_task, join2, join3, join4, map_reduce, par_for, par_map, ChaosConfig, Config,
-    Flavor, MadvisePolicy, Region, Runtime, StackError, StatsSnapshot,
+    Flavor, MadvisePolicy, Region, Runtime, SplitConfig, StackError, StatsSnapshot,
 };

@@ -2,7 +2,7 @@
 //! deep suspension chains, concurrent external submitters.
 
 use nowa::kernels::{BenchId, Size};
-use nowa::{join2, Config, Flavor, MadvisePolicy, Runtime};
+use nowa::{join2, Config, Flavor, MadvisePolicy, Runtime, SplitConfig};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -160,6 +160,82 @@ fn region_stress_many_linear_spawns() {
     assert_eq!(total.into_inner(), 4999 * 5000 / 2);
 }
 
+/// Thief starvation (§6g): one producer strand spawning a long linear run
+/// of tiny children against hungry thieves, with the smallest possible
+/// promotion batch. With linear spawns the owner's deque never holds more
+/// than one continuation, so batch-boundary promotion (which keeps one
+/// item back) moves nothing — every continuation a thief gets must have
+/// crossed the hunger-signal path. Steal conservation must survive, and
+/// the thieves must actually eat.
+#[test]
+fn thief_starvation_tiny_promote_batch_all_flavors() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    for flavor in [
+        Flavor::NOWA,
+        Flavor::NOWA_THE,
+        Flavor::NOWA_ABP,
+        Flavor::NOWA_LOCKED_DEQUE,
+        Flavor::FIBRIL,
+    ] {
+        let config = Config::with_workers(4).flavor(flavor).split(SplitConfig {
+            enabled: true,
+            promote_batch: 1,
+            promote_on_wake: true,
+        });
+        let rt = Runtime::new(config).unwrap();
+        let total = AtomicU64::new(0);
+        rt.run(|| {
+            let region = nowa::Region::new();
+            let total = &total;
+            for i in 0..20_000u64 {
+                // Give the thieves CPU time: on a small host the producer
+                // can otherwise finish before a thief ever sweeps (and a
+                // thief that never runs never raises hunger).
+                if i % 64 == 0 {
+                    std::thread::yield_now();
+                }
+                // SAFETY: as in `region_stress_many_linear_spawns` — the
+                // child captures `i` by value and the region syncs before
+                // drop.
+                unsafe {
+                    region.spawn(move || {
+                        total.fetch_add(i, Ordering::Relaxed);
+                    })
+                };
+            }
+            region.sync();
+        });
+        assert_eq!(total.into_inner(), 19_999 * 20_000 / 2);
+        let stats = rt.stats();
+        assert_eq!(
+            stats.spawns,
+            stats.continuations_consumed(),
+            "steal conservation violated under starvation, flavor {}",
+            flavor.name()
+        );
+        assert!(
+            stats.private_pops <= stats.fast_pops,
+            "private pops are a subset of fast pops, flavor {}",
+            flavor.name()
+        );
+        assert!(
+            stats.promoted_items <= stats.spawns,
+            "cannot promote more than was spawned, flavor {}",
+            flavor.name()
+        );
+        if flavor == Flavor::FIBRIL {
+            // The fused baseline has no private segment.
+            assert_eq!(stats.promotions, 0, "fused deque cannot promote");
+        } else {
+            assert!(
+                stats.promotions > 0,
+                "hungry thieves never triggered a promotion, flavor {}",
+                flavor.name()
+            );
+        }
+    }
+}
+
 /// Seeded fault-injection stress (`--features chaos`): the scheduler is
 /// battered with forced steal failures, forced suspensions, spurious
 /// yields and injected stack-`mmap` failures, and must still produce
@@ -244,6 +320,51 @@ mod chaos {
             }
             let (a, b) = nowa::join2(|| fib(n - 1), || fib(n - 2));
             a + b
+        }
+    }
+
+    #[test]
+    fn starved_thieves_survive_forced_promotions() {
+        use nowa::SplitConfig;
+
+        // The ForcePromote site (armed in `aggressive`) alternates between
+        // forcing an extra promotion batch and arming a promotion failure
+        // (put-back path). Under a tiny promote batch both must leave the
+        // results bit-identical across replays and conserve continuations.
+        for flavor in [Flavor::NOWA, Flavor::NOWA_THE] {
+            for replay in 0..2 {
+                let mut config = Config::with_workers(4)
+                    .flavor(flavor)
+                    .stack_size(256 * 1024)
+                    .chaos(ChaosConfig::aggressive(0xBEE5))
+                    .split(SplitConfig {
+                        enabled: true,
+                        promote_batch: 1,
+                        promote_on_wake: true,
+                    });
+                config.stack_cache = 0;
+                let rt = Runtime::new(config).unwrap();
+                assert_eq!(
+                    rt.run(|| super::fib(16)),
+                    987,
+                    "flavor {} replay {replay} diverged",
+                    flavor.name()
+                );
+                let snap = rt.chaos_stats().unwrap();
+                assert!(
+                    snap.injected[ChaosSite::ForcePromote as usize] > 0,
+                    "ForcePromote never fired, flavor {} replay {replay}",
+                    flavor.name()
+                );
+                let stats = rt.stats();
+                assert_eq!(
+                    stats.spawns,
+                    stats.continuations_consumed(),
+                    "conservation violated under forced promotions, \
+                     flavor {} replay {replay}",
+                    flavor.name()
+                );
+            }
         }
     }
 
