@@ -14,7 +14,9 @@ use core::ffi::c_void;
 // Syscall numbers.
 #[cfg(target_arch = "x86_64")]
 mod nr {
+    pub const READ: usize = 0;
     pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
     pub const MMAP: usize = 9;
     pub const MPROTECT: usize = 10;
     pub const MUNMAP: usize = 11;
@@ -23,11 +25,17 @@ mod nr {
     pub const SIGALTSTACK: usize = 131;
     pub const FUTEX: usize = 202;
     pub const SCHED_SETAFFINITY: usize = 203;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
 }
 
 #[cfg(target_arch = "aarch64")]
 mod nr {
+    pub const READ: usize = 63;
     pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
     pub const MMAP: usize = 222;
     pub const MPROTECT: usize = 226;
     pub const MUNMAP: usize = 215;
@@ -36,6 +44,10 @@ mod nr {
     pub const SIGALTSTACK: usize = 132;
     pub const FUTEX: usize = 98;
     pub const SCHED_SETAFFINITY: usize = 122;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
 }
 
 /// `PROT_*` constants for [`mmap`]/[`mprotect`].
@@ -311,6 +323,143 @@ pub fn pin_current_thread_to(cpu: usize) -> Result<(), SysError> {
     check(ret).map(|_| ())
 }
 
+/// `EPOLL_CTL_*` op codes and `EPOLL*` event bits for [`epoll_ctl`].
+pub mod epoll {
+    /// Register a new fd with the epoll instance.
+    pub const CTL_ADD: i32 = 1;
+    /// Deregister an fd.
+    pub const CTL_DEL: i32 = 2;
+    /// Change the interest set of a registered fd.
+    pub const CTL_MOD: i32 = 3;
+    /// The fd is readable.
+    pub const IN: u32 = 0x001;
+    /// The fd is writable.
+    pub const OUT: u32 = 0x004;
+    /// Error condition (always reported, need not be requested).
+    pub const ERR: u32 = 0x008;
+    /// Hang-up (always reported, need not be requested).
+    pub const HUP: u32 = 0x010;
+    /// Peer closed its writing half.
+    pub const RDHUP: u32 = 0x2000;
+}
+
+/// One `struct epoll_event`. On x86_64 the kernel ABI packs the struct
+/// (no padding between `events` and `data`); aarch64 uses the natural
+/// 16-byte layout. The `cfg_attr` reproduces exactly what the kernel
+/// expects on each architecture.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `epoll::*` event bits.
+    pub events: u32,
+    /// Caller-chosen cookie returned verbatim with the event.
+    pub data: u64,
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`: a fresh epoll instance.
+pub fn epoll_create1() -> Result<i32, SysError> {
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    // SAFETY: epoll_create1 reads no caller memory.
+    let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// `epoll_ctl(epfd, op, fd, event)`. `event` is ignored by the kernel for
+/// [`epoll::CTL_DEL`] (pass anything).
+pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: &EpollEvent) -> Result<(), SysError> {
+    // SAFETY: the kernel reads one `EpollEvent` from the live reference
+    // (and nothing for CTL_DEL).
+    let ret = unsafe {
+        syscall6(
+            nr::EPOLL_CTL,
+            epfd as usize,
+            op as usize,
+            fd as usize,
+            event as *const EpollEvent as usize,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+/// Outcome of an [`epoll_wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpollWait {
+    /// `n` events were written into the caller's buffer (possibly 0 on
+    /// timeout). The caller must treat 0 as a spurious return and
+    /// revalidate its sleep condition, exactly like [`FutexWait`].
+    Ready(usize),
+    /// The wait was interrupted by a signal (`EINTR`); retry or revalidate.
+    Interrupted,
+}
+
+/// `epoll_pwait(epfd, events, timeout_ms, NULL)`: blocks until an event,
+/// the timeout, or a signal. `timeout_ms` of `None` blocks forever; `Some(0)`
+/// polls without blocking. A negative kernel timeout is never passed —
+/// `None` maps to `-1` explicitly.
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: Option<i32>) -> EpollWait {
+    let timeout = timeout_ms.unwrap_or(-1).max(-1);
+    // SAFETY: the kernel writes at most `events.len()` entries into the
+    // live mutable slice; a null sigmask pointer means "don't touch the
+    // signal mask" (plain epoll_wait semantics — epoll_pwait is used
+    // because aarch64 has no epoll_wait syscall).
+    let ret = unsafe {
+        syscall6(
+            nr::EPOLL_PWAIT,
+            epfd as usize,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout as usize,
+            0,
+            0,
+        )
+    };
+    match check(ret) {
+        Ok(n) => EpollWait::Ready(n),
+        Err(_) => EpollWait::Interrupted, // EINTR and anything exotic
+    }
+}
+
+/// `eventfd2(initval, EFD_CLOEXEC | EFD_NONBLOCK)`: the reactor's kick fd.
+/// Non-blocking so a kick never stalls the kicker and a drain never stalls
+/// the poller.
+pub fn eventfd() -> Result<i32, SysError> {
+    const EFD_CLOEXEC: usize = 0o2000000;
+    const EFD_NONBLOCK: usize = 0o4000;
+    // SAFETY: eventfd2 reads no caller memory.
+    let ret = unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Raw `read(2)` into `buf`. Returns the byte count, 0 at EOF, or the
+/// negated-errno mapped into [`SysError`] (`EAGAIN` = 11 for an empty
+/// non-blocking fd).
+pub fn read_raw(fd: i32, buf: &mut [u8]) -> Result<usize, SysError> {
+    // SAFETY: the kernel writes at most `buf.len()` bytes into the live
+    // mutable slice.
+    let ret = unsafe {
+        syscall6(
+            nr::READ,
+            fd as usize,
+            buf.as_mut_ptr() as usize,
+            buf.len(),
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret)
+}
+
+/// `close(2)`. Errors are ignored by design: the only caller is reactor
+/// teardown, where a failed close of an fd we own has no recovery.
+pub fn close(fd: i32) {
+    // SAFETY: close reads no caller memory.
+    let _ = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+}
+
 /// The system page size. Linux/x86_64 and the common aarch64 configuration
 /// use 4 KiB pages, which is also what the paper's evaluation used.
 pub const PAGE_SIZE: usize = 4096;
@@ -441,6 +590,67 @@ mod tests {
             "2ms relative timeout"
         );
         assert!(start.elapsed() >= std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        // x86_64 packs the struct to 12 bytes; everywhere else it is the
+        // natural 16. Getting this wrong corrupts every second event in a
+        // multi-event wait, so pin it here.
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(core::mem::size_of::<EpollEvent>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(core::mem::size_of::<EpollEvent>(), 16);
+    }
+
+    #[test]
+    fn epoll_reports_eventfd_readability() {
+        let ep = epoll_create1().expect("epoll_create1");
+        let efd = eventfd().expect("eventfd");
+        let ev = EpollEvent {
+            events: epoll::IN,
+            data: 0x5EED,
+        };
+        epoll_ctl(ep, epoll::CTL_ADD, efd, &ev).expect("ctl add");
+
+        // Nothing written yet: a zero-timeout wait returns no events.
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll_wait(ep, &mut buf, Some(0)), EpollWait::Ready(0));
+
+        // An eventfd write makes it readable; the cookie comes back.
+        assert_eq!(write_raw(efd, &1u64.to_ne_bytes()), 8);
+        match epoll_wait(ep, &mut buf, Some(100)) {
+            EpollWait::Ready(n) => {
+                assert_eq!(n, 1);
+                let (events, data) = (buf[0].events, buf[0].data);
+                assert_ne!(events & epoll::IN, 0);
+                assert_eq!(data, 0x5EED);
+            }
+            EpollWait::Interrupted => panic!("unexpected EINTR in test"),
+        }
+
+        // Draining resets readability (level-triggered).
+        let mut eight = [0u8; 8];
+        assert_eq!(read_raw(efd, &mut eight), Ok(8));
+        assert_eq!(u64::from_ne_bytes(eight), 1);
+        assert_eq!(epoll_wait(ep, &mut buf, Some(0)), EpollWait::Ready(0));
+
+        // A drained non-blocking eventfd reads EAGAIN.
+        assert_eq!(read_raw(efd, &mut eight), Err(SysError(11)));
+
+        epoll_ctl(ep, epoll::CTL_DEL, efd, &ev).expect("ctl del");
+        close(efd);
+        close(ep);
+    }
+
+    #[test]
+    fn epoll_wait_times_out() {
+        let ep = epoll_create1().expect("epoll_create1");
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 1];
+        let start = std::time::Instant::now();
+        assert_eq!(epoll_wait(ep, &mut buf, Some(5)), EpollWait::Ready(0));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(4));
+        close(ep);
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //! `BENCH_wakeup.json`. `spawn` ([`spawnexp`]) measures the per-spawn
 //! fast-path cost (ns and TSC cycles) with the §6g split layer on and
 //! off, per flavor, writing `BENCH_spawn.json`; it doubles as the CI gate
-//! keeping the split-on fast path within budget. `profile` ([`profileexp`]) reconstructs the
+//! keeping the split-on fast path within budget. `serve` ([`serveexp`])
+//! drives the §6h async serving surface with open-loop Poisson arrivals
+//! over local socket pairs — one `spawn_async` handler per connection, a
+//! fork/join DAG per request — sweeping offered load and reporting
+//! p50/p99/p999 latency, writing `BENCH_serve.json`; it doubles as the CI
+//! smoke gate for the reactor path. `profile` ([`profileexp`]) reconstructs the
 //! fork/join DAG from causal trace events and reports work T1, span T∞,
 //! parallelism, steal-edge statistics, and per-phase critical-path
 //! attribution, writing `BENCH_profile.json`; `trace-overhead` is the CI
@@ -44,6 +49,7 @@ pub mod artifact;
 pub mod chaosexp;
 pub mod profileexp;
 pub mod real;
+pub mod serveexp;
 pub mod simexp;
 pub mod spawnexp;
 pub mod stats;

@@ -52,6 +52,15 @@ experiments:
                                  off, per flavor; writes BENCH_spawn.json
                                  and exits non-zero when the split-on fast
                                  path blows its budget (CI gate)
+  serve  [--quick] [--workers N] [--conns K]
+                                 open-loop request/response serving over
+                                 local socket pairs: Poisson arrivals, one
+                                 async handler per connection, a fork/join
+                                 DAG per request; sweeps offered load and
+                                 reports p50/p99/p999 latency; writes
+                                 BENCH_serve.json and exits non-zero when
+                                 responses are lost or the low-load median
+                                 blows the sanity bound (CI gate)
   all    [--quick]               everything
 
 flags:
@@ -64,6 +73,7 @@ flags:
   --trace-out F  write a Chrome trace_event JSON (one track per worker) to F;
                  open in Perfetto or chrome://tracing (trace mode only)
   --out F        artifact path for profile mode (default BENCH_profile.json)
+  --conns K      serving connections (default 4; serve mode only)
   --seed N       chaos injection seed (default 1; chaos mode only)
   --iters K      chaos iterations per flavor (default 3; chaos mode only) or
                  wakeup latency samples per config (default 200; `small` = 50)"
@@ -82,6 +92,7 @@ struct Args {
     out: Option<String>,
     seed: u64,
     iters: Option<usize>,
+    conns: usize,
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -96,6 +107,7 @@ fn parse_flags(rest: &[String]) -> Args {
         out: None,
         seed: 1,
         iters: None,
+        conns: 4,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -127,6 +139,13 @@ fn parse_flags(rest: &[String]) -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--stats" => args.stats = true,
+            "--conns" => {
+                i += 1;
+                args.conns = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--seed" => {
                 i += 1;
                 args.seed = rest
@@ -246,6 +265,11 @@ fn main() {
         )),
         "spawn" => {
             if !nowa_harness::spawnexp::spawn_bench(args.quick) {
+                std::process::exit(1);
+            }
+        }
+        "serve" => {
+            if !nowa_harness::serveexp::serve(args.workers, args.conns, args.quick) {
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,442 @@
+//! `nowa-bench serve` — open-loop serving latency over the async surface.
+//!
+//! An HTTP-ish request/response benchmark over local socket pairs that
+//! exercises the whole §6h stack end to end: the epoll reactor, the
+//! waker/continuation bridge, `Region::spawn_async`, and the fork/join
+//! substrate underneath.
+//!
+//! Topology: `conns` connected [`UnixStream`] pairs. The server side lives
+//! inside one runtime — one `spawn_async` handler per connection reading
+//! 16-byte request frames and answering each with a 16-byte response after
+//! running a small fork/join DAG (`join2`-recursive fib), so every request
+//! fans out into real continuation-stealing work. The client side is plain
+//! OS threads *outside* the runtime: per connection one writer replaying a
+//! precomputed **Poisson arrival schedule** (open loop: a slow server does
+//! not slow the arrival process down, queueing delay shows up in the tail)
+//! and one reader timestamping responses.
+//!
+//! Latency is measured from the request's *intended* arrival time, not
+//! from when the writer managed to send it — the open-loop convention that
+//! keeps coordinated omission out of the percentiles.
+//!
+//! The offered load is swept across several rates; for each rate the
+//! p50/p99/p999 and the achieved throughput are reported. Reading the
+//! result: p50 tracks service time, and the **p999 knee** — the rate where
+//! the extreme tail departs from p50 by orders of magnitude — is where the
+//! runtime stops keeping up with the offered load. Results are written to
+//! `BENCH_serve.json` in the versioned [`crate::artifact`] envelope, and
+//! the function doubles as the CI smoke gate: it fails when requests are
+//! lost or the low-load median blows a very generous sanity bound.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::pin::pin;
+use std::time::{Duration, Instant};
+
+use nowa_runtime::{api, AsyncFd, Config, Region, Runtime};
+use nowa_trace::json::Json;
+
+use crate::stats::Table;
+
+/// Wire frame, both directions: `seq: u64 | work: u32 | pad: u32`, LE.
+const FRAME: usize = 16;
+
+/// Fork/join depth of the per-request DAG (`fib(REQUEST_WORK)` with a
+/// `join2` at every level): enough spawns to make each request a real
+/// parallel task, small enough that service time stays in the tens of
+/// microseconds.
+const REQUEST_WORK: u32 = 8;
+
+/// CI sanity bound on the lowest-rate median: generous enough for any
+/// loaded CI box, tight enough to catch a serving path that degraded from
+/// microseconds to scheduling-timeout territory.
+const SANITY_P50: Duration = Duration::from_millis(100);
+
+// ---- deterministic Poisson arrivals --------------------------------------
+
+/// xorshift64* — deterministic schedules, no RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 + f64::EPSILON
+    }
+
+    /// Exponential inter-arrival gap for a Poisson process of `rate` Hz.
+    fn exp_gap_ns(&mut self, rate: f64) -> u64 {
+        (-self.unit().ln() / rate * 1e9) as u64
+    }
+}
+
+/// Arrival offsets (ns from the common start) for one connection: a
+/// Poisson process at `rate` per second, `count` arrivals.
+fn schedule(seed: u64, rate: f64, count: usize) -> Vec<u64> {
+    let mut rng = Rng(seed | 1);
+    let mut at = 0u64;
+    (0..count)
+        .map(|_| {
+            at += rng.exp_gap_ns(rate);
+            at
+        })
+        .collect()
+}
+
+// ---- the server side -----------------------------------------------------
+
+/// The per-request fork/join DAG.
+fn fib_dag(n: u32) -> u64 {
+    if n < 2 {
+        return u64::from(n);
+    }
+    let (a, b) = api::join2(|| fib_dag(n - 1), || fib_dag(n - 2));
+    a + b
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` on a clean EOF at a frame
+/// boundary (the client finished and shut its write half down).
+async fn read_frame(fd: &AsyncFd<UnixStream>, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut got = 0;
+    while got < buf.len() {
+        match (&mut fd.get_ref()).read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    Err(std::io::Error::from(ErrorKind::UnexpectedEof))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => fd.readable().await?,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes the whole frame, parking on writability when the socket buffer
+/// pushes back.
+async fn write_frame(fd: &AsyncFd<UnixStream>, buf: &[u8]) -> std::io::Result<()> {
+    let mut sent = 0;
+    while sent < buf.len() {
+        match (&mut fd.get_ref()).write(&buf[sent..]) {
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => fd.writable().await?,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One connection's server loop: request frame in, DAG, response out.
+/// Returns the number of requests served.
+async fn serve_conn(stream: UnixStream) -> u64 {
+    let fd = match AsyncFd::new(stream) {
+        Ok(fd) => fd,
+        Err(e) => {
+            eprintln!("nowa-bench serve: register failed: {e}");
+            return 0;
+        }
+    };
+    let mut served = 0u64;
+    let mut buf = [0u8; FRAME];
+    loop {
+        match read_frame(&fd, &mut buf).await {
+            Ok(true) => {}
+            Ok(false) => return served, // client done
+            Err(e) => {
+                eprintln!("nowa-bench serve: read failed: {e}");
+                return served;
+            }
+        }
+        let work = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        // The actual service: a continuation-stealing fork/join DAG per
+        // request, stamped into the (otherwise echoed) response frame.
+        let result = fib_dag(work.min(REQUEST_WORK));
+        buf[12..16].copy_from_slice(&(result as u32).to_le_bytes());
+        if let Err(e) = write_frame(&fd, &buf).await {
+            eprintln!("nowa-bench serve: write failed: {e}");
+            return served;
+        }
+        served += 1;
+    }
+}
+
+// ---- the client side -----------------------------------------------------
+
+/// Replays `offsets` on `stream` (blocking side): request `i` is written at
+/// `t0 + offsets[i]`, late or not — the open-loop writer never waits for
+/// responses. Shuts the write half down when the schedule is drained.
+fn client_writer(stream: &UnixStream, t0: Instant, offsets: &[u64]) {
+    let mut s = stream;
+    for (seq, &at) in offsets.iter().enumerate() {
+        let due = t0 + Duration::from_nanos(at);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let mut frame = [0u8; FRAME];
+        frame[..8].copy_from_slice(&(seq as u64).to_le_bytes());
+        frame[8..12].copy_from_slice(&REQUEST_WORK.to_le_bytes());
+        if let Err(e) = s.write_all(&frame) {
+            eprintln!("nowa-bench serve: client write failed: {e}");
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// Reads responses until EOF, returning each request's latency in ns
+/// measured from its *intended* arrival instant.
+fn client_reader(stream: &UnixStream, t0: Instant, offsets: &[u64]) -> Vec<u64> {
+    let mut s = stream;
+    let mut latencies = Vec::with_capacity(offsets.len());
+    let mut frame = [0u8; FRAME];
+    loop {
+        match s.read_exact(&mut frame) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
+            Err(e) => {
+                eprintln!("nowa-bench serve: client read failed: {e}");
+                break;
+            }
+        }
+        let seq = u64::from_le_bytes(frame[..8].try_into().unwrap()) as usize;
+        let Some(&at) = offsets.get(seq) else { break };
+        let intended = t0 + Duration::from_nanos(at);
+        latencies.push(Instant::now().duration_since(intended).as_nanos() as u64);
+        if latencies.len() == offsets.len() {
+            break;
+        }
+    }
+    latencies
+}
+
+// ---- one point of the sweep ----------------------------------------------
+
+/// Measured numbers for one offered load.
+struct LoadPoint {
+    offered_rps: f64,
+    achieved_rps: f64,
+    sent: usize,
+    completed: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+    async_parks: u64,
+    async_resumes: u64,
+    reactor_polls: u64,
+    reactor_events: u64,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one rate of the sweep: fresh runtime, `conns` connections, a
+/// Poisson arrival schedule totalling `offered_rps` across them for
+/// `duration`.
+fn run_load(workers: usize, conns: usize, offered_rps: f64, duration: Duration) -> LoadPoint {
+    let per_conn_rate = offered_rps / conns as f64;
+    let per_conn_count = ((per_conn_rate * duration.as_secs_f64()) as usize).max(1);
+    let schedules: Vec<Vec<u64>> = (0..conns)
+        .map(|c| schedule(0x5EED + c as u64, per_conn_rate, per_conn_count))
+        .collect();
+    let sent = per_conn_count * conns;
+
+    let mut server_ends = Vec::with_capacity(conns);
+    let mut client_ends = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let (server, client) = UnixStream::pair().expect("socketpair");
+        server
+            .set_nonblocking(true)
+            .expect("non-blocking server end");
+        server_ends.push(server);
+        client_ends.push(client);
+    }
+
+    let rt = Runtime::new(Config::with_workers(workers)).expect("runtime");
+    let t0 = Instant::now() + Duration::from_millis(20); // common start line
+
+    // Clients: two plain threads per connection, outside the runtime.
+    let client_threads: Vec<_> = client_ends
+        .into_iter()
+        .zip(&schedules)
+        .map(|(stream, offsets)| {
+            let offsets = offsets.clone();
+            std::thread::spawn(move || {
+                let reader = {
+                    let stream = stream.try_clone().expect("clone client end");
+                    let offsets = offsets.clone();
+                    std::thread::spawn(move || client_reader(&stream, t0, &offsets))
+                };
+                client_writer(&stream, t0, &offsets);
+                reader.join().expect("client reader panicked")
+            })
+        })
+        .collect();
+
+    // Server: one root task owning every connection handler.
+    let served = rt.run(move || {
+        let region = pin!(Region::cancellable());
+        let region = region.as_ref();
+        let handles: Vec<_> = server_ends
+            .into_iter()
+            .map(|stream| region.spawn_async(serve_conn(stream)))
+            .collect();
+        region.block_on(async {
+            let mut total = 0u64;
+            for h in handles {
+                total += h.await;
+            }
+            total
+        })
+    });
+
+    let wall = t0.elapsed();
+    let mut latencies: Vec<u64> = client_threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread panicked"))
+        .collect();
+    latencies.sort_unstable();
+    let stats = rt.stats();
+    drop(rt);
+
+    LoadPoint {
+        offered_rps,
+        achieved_rps: served as f64 / wall.as_secs_f64(),
+        sent,
+        completed: latencies.len(),
+        p50_ns: quantile(&latencies, 0.50),
+        p99_ns: quantile(&latencies, 0.99),
+        p999_ns: quantile(&latencies, 0.999),
+        max_ns: latencies.last().copied().unwrap_or(0),
+        async_parks: stats.async_parks,
+        async_resumes: stats.async_resumes,
+        reactor_polls: stats.reactor_polls,
+        reactor_events: stats.reactor_events,
+    }
+}
+
+fn json_of(p: &LoadPoint) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("offered_rps".into(), Json::Num(p.offered_rps));
+    obj.insert("achieved_rps".into(), Json::Num(p.achieved_rps));
+    obj.insert("sent".into(), Json::Num(p.sent as f64));
+    obj.insert("completed".into(), Json::Num(p.completed as f64));
+    obj.insert("p50_ns".into(), Json::Num(p.p50_ns as f64));
+    obj.insert("p99_ns".into(), Json::Num(p.p99_ns as f64));
+    obj.insert("p999_ns".into(), Json::Num(p.p999_ns as f64));
+    obj.insert("max_ns".into(), Json::Num(p.max_ns as f64));
+    obj.insert("async_parks".into(), Json::Num(p.async_parks as f64));
+    obj.insert("async_resumes".into(), Json::Num(p.async_resumes as f64));
+    obj.insert("reactor_polls".into(), Json::Num(p.reactor_polls as f64));
+    obj.insert("reactor_events".into(), Json::Num(p.reactor_events as f64));
+    Json::Obj(obj)
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1} µs", ns as f64 / 1000.0)
+}
+
+/// Runs the offered-load sweep and writes `BENCH_serve.json`. Returns
+/// `false` (CI failure) when requests were lost or the low-load median
+/// breaks the sanity bound.
+pub fn serve(workers: usize, conns: usize, quick: bool) -> bool {
+    let workers = workers.max(2);
+    let conns = conns.max(1);
+    let (rates, duration): (&[f64], Duration) = if quick {
+        (&[500.0, 2_000.0], Duration::from_millis(500))
+    } else {
+        (&[1_000.0, 4_000.0, 16_000.0], Duration::from_secs(1))
+    };
+
+    let points: Vec<LoadPoint> = rates
+        .iter()
+        .map(|&r| run_load(workers, conns, r, duration))
+        .collect();
+
+    let mut table = Table::new(
+        format!("open-loop serving latency — {workers} workers, {conns} conns"),
+        &[
+            "offered",
+            "achieved",
+            "done/sent",
+            "p50",
+            "p99",
+            "p999",
+            "max",
+            "polls",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            format!("{:.0}/s", p.offered_rps),
+            format!("{:.0}/s", p.achieved_rps),
+            format!("{}/{}", p.completed, p.sent),
+            fmt_us(p.p50_ns),
+            fmt_us(p.p99_ns),
+            fmt_us(p.p999_ns),
+            fmt_us(p.max_ns),
+            p.reactor_polls.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut root = BTreeMap::new();
+    root.insert("workers".into(), Json::Num(workers as f64));
+    root.insert("conns".into(), Json::Num(conns as f64));
+    root.insert("duration_ms".into(), Json::Num(duration.as_millis() as f64));
+    root.insert("request_work".into(), Json::Num(REQUEST_WORK as f64));
+    root.insert(
+        "sweep".into(),
+        Json::Arr(points.iter().map(json_of).collect()),
+    );
+    crate::artifact::write(
+        "BENCH_serve.json",
+        &crate::artifact::envelope("nowa-bench-serve", root),
+    );
+
+    // CI gate: no lost requests anywhere, and the lowest offered load's
+    // median within the (very generous) sanity bound.
+    let mut ok = true;
+    for p in &points {
+        if p.completed != p.sent {
+            eprintln!(
+                "nowa-bench serve: lost {} of {} responses at {:.0}/s",
+                p.sent - p.completed,
+                p.sent,
+                p.offered_rps
+            );
+            ok = false;
+        }
+    }
+    if let Some(low) = points.first() {
+        if low.p50_ns > SANITY_P50.as_nanos() as u64 {
+            eprintln!(
+                "nowa-bench serve: low-load p50 {} blew the {} sanity bound",
+                fmt_us(low.p50_ns),
+                fmt_us(SANITY_P50.as_nanos() as u64),
+            );
+            ok = false;
+        }
+    }
+    ok
+}

@@ -25,6 +25,8 @@ pub const SHIM_MODULES: &[&str] = &[
     "nowa-runtime/src/record.rs",
     "nowa-runtime/src/flavor.rs",
     "nowa-runtime/src/worker.rs",
+    "nowa-runtime/src/task.rs",
+    "nowa-runtime/src/reactor.rs",
 ];
 
 /// R3: cfg-twinned files whose arms must export the same public surface.

@@ -97,7 +97,7 @@ fn propagate(frame: &Frame) {
 /// progress, not a stall) and emits the `Cancel` trace event.
 #[cold]
 #[inline(never)]
-fn raise_cancelled(frame: *const Frame, reason: CancelReason) -> ! {
+pub(crate) fn raise_cancelled(frame: *const Frame, reason: CancelReason) -> ! {
     let worker = current_worker();
     if !worker.is_null() {
         // SAFETY: non-null means the calling thread's live worker.
@@ -505,6 +505,11 @@ pub struct Region {
     // Spawning from several threads would violate the protocol's
     // Invariant II (single main path); keep the type !Sync and !Send.
     _not_sync: core::marker::PhantomData<*mut ()>,
+    // `!Unpin`, so `Pin<&Region>` is a real address-stability witness:
+    // [`Region::spawn_async`] is the *safe* spawn, and its soundness
+    // leans on the pinned region (whose Drop syncs) outliving every
+    // child frame pointer.
+    _pin: core::marker::PhantomPinned,
 }
 
 /// Runs a slice of deferred children as a balanced parallel join tree.
@@ -579,9 +584,21 @@ impl Region {
     /// A clonable, sendable token that cancels this region, or `None` for
     /// a plain [`Region::new`] region (no scope of its own).
     pub fn cancel_token(&self) -> Option<CancelToken> {
-        self.scope
-            .as_ref()
-            .map(|s| CancelToken { scope: s.clone() })
+        self.scope.as_ref().map(|s| {
+            let worker = current_worker();
+            let shared = if worker.is_null() {
+                std::sync::Weak::new()
+            } else {
+                // SAFETY: non-null means the calling thread's live worker.
+                // The token keeps only a Weak: it must not prolong the
+                // runtime's shared state.
+                unsafe { Arc::downgrade(&(*worker).shared) }
+            };
+            CancelToken {
+                scope: s.clone(),
+                shared,
+            }
+        })
     }
 
     /// Explicit cooperative checkpoint: unwinds with
@@ -622,6 +639,7 @@ impl Region {
             scope,
             deferred: core::cell::RefCell::new(Vec::new()),
             _not_sync: core::marker::PhantomData,
+            _pin: core::marker::PhantomPinned,
         };
         let worker = current_worker();
         match &region.scope {
@@ -764,6 +782,96 @@ impl Region {
         // A cancelled region whose children all finished cleanly still
         // unwinds: cancellation must surface even with no recorded payload.
         self.checkpoint();
+    }
+
+    /// Drives `fut` to completion on this region's main path, under the
+    /// region's cancellation scope.
+    ///
+    /// The strand parks whenever `fut` is pending (the worker keeps
+    /// scheduling other work) and is resumed by the future's waker; the
+    /// park re-checks the region's scope chain, so cancelling the region
+    /// — token, deadline, or runtime shutdown — unwinds a parked await
+    /// with [`Cancelled`](crate::Cancelled).
+    ///
+    /// ```
+    /// use nowa_runtime::{Config, Region, Runtime};
+    ///
+    /// let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    /// let out = rt.run(|| {
+    ///     let region = Region::cancellable();
+    ///     region.block_on(async { 6 * 7 })
+    /// });
+    /// assert_eq!(out, 42);
+    /// ```
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: core::future::Future + Send,
+        F::Output: Send,
+    {
+        let worker = current_worker();
+        if !worker.is_null() {
+            // Re-establish this region as the ambient scope (an inner
+            // region's sync or a migration may have repointed it), so the
+            // parked cell checkpoints against the right chain.
+            // SAFETY: non-null means the calling thread's live worker.
+            unsafe { (*worker).cancel_scope = self.frame.core.scope.get() };
+        }
+        crate::task::block_on(fut)
+    }
+
+    /// Spawns `fut` as a child strand of this region and returns a
+    /// [`JoinHandle`](crate::task::JoinHandle) resolving to its output.
+    /// This is the *safe* spawn: `Pin` witnesses that the region's address
+    /// is stable until its destructor runs, and the destructor syncs — so
+    /// the child's frame pointer into the region cannot dangle, which is
+    /// exactly the obligation [`Region::spawn`] leaves to the caller.
+    ///
+    /// The child runs `fut` under the region's cancellation scope on the
+    /// continuation substrate ([`crate::task::block_on`] inside a spawned
+    /// strand); the region's [`sync`](Region::sync)/drop still joins it
+    /// like any other child, whether or not the handle is awaited.
+    ///
+    /// A child that panics is surfaced by [`sync`](Region::sync), not by
+    /// the handle; await handles before the sync only in cancellable
+    /// regions (a sibling panic cancels the region scope, which wakes and
+    /// unwinds parked awaits — an unscoped region would leave them parked
+    /// until the sync).
+    ///
+    /// ```
+    /// use std::pin::pin;
+    /// use nowa_runtime::{Config, Region, Runtime};
+    ///
+    /// let rt = Runtime::new(Config::with_workers(2)).unwrap();
+    /// let total = rt.run(|| {
+    ///     let region = pin!(Region::cancellable());
+    ///     let region = region.as_ref();
+    ///     let a = region.spawn_async(async { 40 });
+    ///     let b = region.spawn_async(async { 2 });
+    ///     let sum = region.block_on(async { a.await + b.await });
+    ///     region.sync();
+    ///     sum
+    /// });
+    /// assert_eq!(total, 42);
+    /// ```
+    pub fn spawn_async<F>(self: core::pin::Pin<&Self>, fut: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: core::future::Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let this = core::pin::Pin::get_ref(self);
+        let (inner, handle) = crate::task::join_pair();
+        // SAFETY: the Pin contract guarantees the Region's address stays
+        // stable until Drop, and Drop syncs — the region (and its frame)
+        // outlives the child strand. The closure captures only `'static`
+        // Send values (the future and the Arc'd completion slot), so no
+        // borrow outlives the sync either.
+        unsafe {
+            this.spawn(move || {
+                let out = crate::task::block_on(fut);
+                crate::task::complete_join(&inner, out);
+            });
+        }
+        handle
     }
 }
 

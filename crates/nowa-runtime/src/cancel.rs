@@ -193,14 +193,21 @@ pub(crate) unsafe fn cancelled_chain(cell: *const CancelCell) -> Option<CancelRe
 /// scope (or null).
 pub(crate) unsafe fn cancel_enclosing_region(
     scope: *const CancelCell,
-    root: *const CancelCell,
+    shared: &crate::worker::Shared,
     reason: CancelReason,
 ) {
+    let root: *const CancelCell = &shared.cancel_root;
     if scope.is_null() || core::ptr::eq(scope, root) {
         return;
     }
     // SAFETY: live per the function contract.
-    unsafe { (*scope).cancel(reason) };
+    if unsafe { (*scope).cancel(reason) } {
+        // Strands of this region parked in `block_on` have no checkpoint
+        // to trip; broadcast so they re-check their scope chains. (Cells
+        // of unrelated scopes wake spuriously, re-poll, and re-park.)
+        shared.async_waiters.wake_all();
+        shared.reactor.kick_if_claimed();
+    }
 }
 
 /// Raises the typed [`Cancelled`] unwind. Out of line: checkpoints stay
@@ -227,6 +234,11 @@ pub(crate) struct ScopeHandle {
 #[derive(Clone)]
 pub struct CancelToken {
     pub(crate) scope: Arc<ScopeHandle>,
+    /// The owning runtime, used to broadcast to parked async strands on
+    /// latch. Weak: a token must not keep a dropped runtime's shared
+    /// state alive, and cancelling after shutdown degrades to the plain
+    /// flag store.
+    pub(crate) shared: Weak<crate::worker::Shared>,
 }
 
 impl CancelToken {
@@ -234,7 +246,17 @@ impl CancelToken {
     /// this call latched the cancellation, `false` if the region was
     /// already cancelled (double-cancel is an idempotent no-op).
     pub fn cancel(&self) -> bool {
-        self.scope.cell.cancel(CancelReason::Token)
+        let latched = self.scope.cell.cancel(CancelReason::Token);
+        if latched {
+            if let Some(shared) = self.shared.upgrade() {
+                // Strands of this region parked in `block_on` have no
+                // checkpoint to trip; wake them so they re-check their
+                // scope chains (see `cancel_enclosing_region`).
+                shared.async_waiters.wake_all();
+                shared.reactor.kick_if_claimed();
+            }
+        }
+        latched
     }
 
     /// Whether the region's own scope has been cancelled (any cause).
@@ -271,22 +293,27 @@ impl DeadlineQueue {
     }
 
     /// Fires every expired deadline, prunes dead entries, and returns the
-    /// next pending expiry (if any). Called from the watchdog loop.
-    pub(crate) fn fire_due(&self, now: Instant) -> Option<Instant> {
+    /// next pending expiry (if any) plus how many scopes were latched —
+    /// a non-zero count tells the watchdog to broadcast to parked async
+    /// strands, which have no checkpoint to trip on their own. Called from
+    /// the watchdog loop.
+    pub(crate) fn fire_due(&self, now: Instant) -> (Option<Instant>, usize) {
         let mut entries = self.entries.lock();
         let mut next: Option<Instant> = None;
+        let mut fired = 0usize;
         entries.retain(|(weak, at)| {
             let Some(scope) = weak.upgrade() else {
                 return false;
             };
             if *at <= now {
                 scope.cell.cancel(CancelReason::Deadline);
+                fired += 1;
                 return false;
             }
             next = Some(next.map_or(*at, |n| n.min(*at)));
             true
         });
-        next
+        (next, fired)
     }
 
     /// Parks the watchdog on the queue's condvar for `dur`; wakes early
@@ -360,9 +387,10 @@ mod tests {
         q.arm(&dead, now);
         q.arm(&future, now + std::time::Duration::from_secs(60));
         drop(dead); // region completed before its deadline
-        let next = q.fire_due(now);
+        let (next, fired) = q.fire_due(now);
         assert_eq!(live.cell.local(), Some(CancelReason::Deadline));
         assert_eq!(future.cell.local(), None, "future deadline untouched");
         assert_eq!(next, Some(now + std::time::Duration::from_secs(60)));
+        assert_eq!(fired, 1, "the pruned entry doesn't count as fired");
     }
 }

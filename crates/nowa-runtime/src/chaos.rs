@@ -43,12 +43,18 @@
 //!   promotion *failure* (the split layer's put-back path runs as if the
 //!   public deque were full). Fires once per spawn visit, so it is
 //!   replay-deterministic and armed by `ChaosConfig::aggressive`.
+//! * **ReactorSpuriousWake** — the claimed reactor poller skips its
+//!   `epoll_wait` and reports zero events, exercising the re-validate
+//!   loop around the poll (§6h).
+//! * **ReactorEintr** — the reactor poll behaves as if `epoll_wait`
+//!   returned `EINTR`, exercising the interrupted-syscall path.
 //!
 //! The two idle sites are *not* armed by `ChaosConfig::aggressive`: their
 //! visit counts depend on wall-clock idleness, so arming them would break
 //! the exact snapshot-equality determinism gates. `ForceCancel` stays
-//! unarmed there too — cancellation reshapes the strand tree. Dedicated
-//! tests arm them explicitly.
+//! unarmed there too — cancellation reshapes the strand tree — and so do
+//! the two reactor sites, whose visit counts depend on wall-clock poll
+//! cadence. Dedicated tests arm them explicitly.
 
 #[cfg(feature = "chaos")]
 // Shared safety contract for every hook in this module: `worker` must point
@@ -95,10 +101,17 @@ mod imp {
         /// Forced promotion event at the spawn-push site (out-of-band
         /// batch or armed promotion failure, alternating).
         ForcePromote = 8,
+        /// Spurious reactor wake: the claimed poller returns from its poll
+        /// without calling `epoll_wait`, as if the kernel delivered zero
+        /// events.
+        ReactorSpuriousWake = 9,
+        /// Injected `EINTR`: the reactor poll behaves as if `epoll_wait`
+        /// was interrupted by a signal before any event arrived.
+        ReactorEintr = 10,
     }
 
     /// Number of distinct injection sites.
-    pub const SITES: usize = 9;
+    pub const SITES: usize = 11;
 
     const SITE_NAMES: [&str; SITES] = [
         "steal_fail",
@@ -110,6 +123,8 @@ mod imp {
         "spurious_wake",
         "force_cancel",
         "force_promote",
+        "reactor_spurious_wake",
+        "reactor_eintr",
     ];
 
     /// Per-worker chaos state: one tick and one injected counter per site.
@@ -369,6 +384,32 @@ mod imp {
         }
     }
 
+    /// Before the reactor's `epoll_wait`: returns `true` to skip the
+    /// syscall and report zero events (a spurious poller wake).
+    #[inline]
+    pub(crate) unsafe fn on_reactor_poll(worker: *mut Worker) -> bool {
+        unsafe {
+            match state(worker) {
+                Some((st, cfg)) => {
+                    st.decide(ChaosSite::ReactorSpuriousWake, cfg.reactor_spurious_wake)
+                }
+                None => false,
+            }
+        }
+    }
+
+    /// Before the reactor's `epoll_wait`: returns `true` to behave as if
+    /// the wait returned `EINTR` (interrupted, no events dispatched).
+    #[inline]
+    pub(crate) unsafe fn on_reactor_eintr(worker: *mut Worker) -> bool {
+        unsafe {
+            match state(worker) {
+                Some((st, cfg)) => st.decide(ChaosSite::ReactorEintr, cfg.reactor_eintr),
+                None => false,
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -457,11 +498,19 @@ mod imp {
     pub(crate) unsafe fn on_force_promote(_: *mut Worker) -> bool {
         false
     }
+    #[inline(always)]
+    pub(crate) unsafe fn on_reactor_poll(_: *mut Worker) -> bool {
+        false
+    }
+    #[inline(always)]
+    pub(crate) unsafe fn on_reactor_eintr(_: *mut Worker) -> bool {
+        false
+    }
 }
 
 pub(crate) use imp::{
     on_child_start, on_force_cancel, on_force_promote, on_idle_backoff, on_park_wait,
-    on_spawn_push, on_stack_get, on_steal_attempt, on_sync,
+    on_reactor_eintr, on_reactor_poll, on_spawn_push, on_stack_get, on_steal_attempt, on_sync,
 };
 
 #[cfg(feature = "chaos")]

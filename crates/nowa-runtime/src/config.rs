@@ -61,6 +61,16 @@ pub struct ChaosConfig {
     /// put-back path runs as if the public deque were full). Visit counts
     /// are one per spawn, so the site is replay-deterministic.
     pub force_promote: u16,
+    /// Rate of spurious reactor wakes: the claimed poller skips its
+    /// `epoll_wait` and reports zero events, exercising the re-validate
+    /// loop around the poll. Stays `0` in [`ChaosConfig::aggressive`]:
+    /// poll visit counts depend on wall-clock idleness, same caveat as
+    /// `force_park` — the reactor edge-case tests arm it.
+    pub reactor_spurious_wake: u16,
+    /// Rate of injected `EINTR` returns from the reactor poll (the wait is
+    /// skipped and reported as interrupted). Same determinism caveat as
+    /// `reactor_spurious_wake`.
+    pub reactor_eintr: u16,
 }
 
 impl ChaosConfig {
@@ -77,6 +87,8 @@ impl ChaosConfig {
             spurious_wake: 0,
             force_cancel: 0,
             force_promote: 0,
+            reactor_spurious_wake: 0,
+            reactor_eintr: 0,
         }
     }
 
@@ -104,6 +116,11 @@ impl ChaosConfig {
             // Safe to arm: fires once per spawn, so visit counts (and
             // hence firings) replay exactly for a given seed.
             force_promote: 4096,
+            // Reactor sites stay 0: poll visit counts are wall-clock
+            // dependent (how often workers go idle), same reasoning as
+            // the idle sites above; armed by the reactor edge-case tests.
+            reactor_spurious_wake: 0,
+            reactor_eintr: 0,
         }
     }
 }
@@ -382,6 +399,11 @@ mod tests {
         assert_eq!(loud.force_cancel, 0, "cancellation stays replay-safe");
         assert_eq!(quiet.force_promote, 0);
         assert!(loud.force_promote > 0, "promotion chaos is replay-safe");
+        assert_eq!(
+            loud.reactor_spurious_wake, 0,
+            "reactor sites stay replay-safe"
+        );
+        assert_eq!(loud.reactor_eintr, 0, "reactor sites stay replay-safe");
     }
 
     #[test]

@@ -32,19 +32,19 @@ const SEG_CAP: usize = 64;
 #[cfg(loom)]
 const SEG_CAP: usize = 2;
 
-struct Segment {
+struct Segment<T> {
     /// Next producer slot; claims `>= SEG_CAP` mean "segment full, move on".
     enq: AtomicU32,
     /// Next consumer slot; never claimed past the committed range.
     deq: AtomicU32,
     /// Following segment in the chain (null until a producer grows it).
-    next: AtomicPtr<Segment>,
-    /// Published task pointers; null = not yet published / consumed.
-    slots: [AtomicPtr<RootTask>; SEG_CAP],
+    next: AtomicPtr<Segment<T>>,
+    /// Published item pointers; null = not yet published / consumed.
+    slots: [AtomicPtr<T>; SEG_CAP],
 }
 
-impl Segment {
-    fn boxed() -> Box<Segment> {
+impl<T> Segment<T> {
+    fn boxed() -> Box<Segment<T>> {
         Box::new(Segment {
             enq: AtomicU32::new(0),
             deq: AtomicU32::new(0),
@@ -55,36 +55,42 @@ impl Segment {
 }
 
 /// The queue. See the module docs for the algorithm.
-pub struct Injector {
+///
+/// Generic over the carried item: the runtime instantiates it twice, as
+/// the root-task injector (`Injector<RootTask>`, the default) and as the
+/// async ready queue (`Injector<ReadyCell>` — parked `block_on`
+/// continuations claimed by their wakers, §6h). Both instances share this
+/// one loom-modeled protocol.
+pub struct Injector<T = RootTask> {
     /// Producers' segment (tail of the chain, possibly stale — producers
     /// re-advance it themselves).
-    enq_seg: AtomicPtr<Segment>,
+    enq_seg: AtomicPtr<Segment<T>>,
     /// Consumers' segment (trails the tail; advanced past drained
     /// segments).
-    deq_seg: AtomicPtr<Segment>,
+    deq_seg: AtomicPtr<Segment<T>>,
     /// Closed latch: once set by [`close`](Injector::close), `push`
     /// rejects new submissions. Monotonic — never reset.
     closed: AtomicU32,
     /// Head of the whole chain, for `Drop` reclamation only.
-    chain: *mut Segment,
+    chain: *mut Segment<T>,
 }
 
 // SAFETY: all shared mutation goes through atomics; the raw pointers are
 // only dereferenced while the chain is alive (segments are never freed
-// before `Drop`), and `RootTask` is `Send`.
-unsafe impl Send for Injector {}
+// before `Drop`), and the carried item is `Send`.
+unsafe impl<T: Send> Send for Injector<T> {}
 // SAFETY: as for `Send`.
-unsafe impl Sync for Injector {}
+unsafe impl<T: Send> Sync for Injector<T> {}
 
-impl Default for Injector {
-    fn default() -> Injector {
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
         Injector::new()
     }
 }
 
-impl Injector {
+impl<T> Injector<T> {
     /// An empty injector with one pre-allocated segment.
-    pub fn new() -> Injector {
+    pub fn new() -> Injector<T> {
         let first = Box::into_raw(Segment::boxed());
         Injector {
             enq_seg: AtomicPtr::new(first),
@@ -104,10 +110,10 @@ impl Injector {
         self.closed.store(1, Ordering::Relaxed);
     }
 
-    /// Enqueues a task (any thread). Returns `false` — dropping `task`
+    /// Enqueues an item (any thread). Returns `false` — dropping `task`
     /// unrun — if the queue has been closed.
     #[must_use]
-    pub fn push(&self, task: RootTask) -> bool {
+    pub fn push(&self, task: T) -> bool {
         // ordering: Relaxed — see `close`.
         if self.closed.load(Ordering::Relaxed) != 0 {
             return false;
@@ -133,7 +139,7 @@ impl Injector {
 
     /// Installs (or discovers) the successor of a full segment and swings
     /// `enq_seg` forward. Losing either race is fine — someone advanced.
-    fn advance_enq(&self, seg: *mut Segment) {
+    fn advance_enq(&self, seg: *mut Segment<T>) {
         // SAFETY: segments live until Drop; `seg` came from the chain.
         let seg_ref = unsafe { &*seg };
         let mut next = seg_ref.next.load(Ordering::Acquire);
@@ -160,9 +166,9 @@ impl Injector {
             .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Acquire);
     }
 
-    /// Dequeues a task, or `None` when the queue is (momentarily) empty.
+    /// Dequeues an item, or `None` when the queue is (momentarily) empty.
     /// An empty poll performs no RMW.
-    pub fn pop(&self) -> Option<RootTask> {
+    pub fn pop(&self) -> Option<T> {
         loop {
             let seg = self.deq_seg.load(Ordering::Acquire);
             // SAFETY: segments live until Drop.
@@ -224,7 +230,7 @@ impl Injector {
     }
 }
 
-impl Drop for Injector {
+impl<T> Drop for Injector<T> {
     fn drop(&mut self) {
         // Exclusive access now: free every unconsumed task, then the chain.
         let mut seg = self.chain;

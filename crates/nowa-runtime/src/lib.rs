@@ -58,6 +58,7 @@ pub mod injector;
 #[cfg(all(test, not(loom)))]
 mod layout;
 mod obs;
+pub mod reactor;
 pub mod record;
 pub mod runtime;
 pub mod scheduler;
@@ -65,6 +66,8 @@ pub mod slice;
 pub mod snzi;
 pub mod stats;
 mod sync;
+pub mod task;
+pub mod time;
 mod watchdog;
 pub mod worker;
 
@@ -76,6 +79,9 @@ pub use config::{ChaosConfig, Config, IdleConfig, SplitConfig};
 pub use flavor::{DequeKind, Flavor, ProtocolKind};
 pub use foreign::ForeignForkJoin;
 pub use nowa_context::{MadvisePolicy, StackError};
+pub use reactor::AsyncFd;
 pub use runtime::{Runtime, RuntimeError, ShutdownError};
 pub use snzi::Snzi;
 pub use stats::StatsSnapshot;
+pub use task::{block_on, JoinHandle};
+pub use time::{sleep, timeout, Elapsed};

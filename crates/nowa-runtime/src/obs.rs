@@ -325,6 +325,67 @@ mod imp {
             }
         }
     }
+
+    /// A `block_on` continuation (cell `id`) is parking behind a waker.
+    #[inline]
+    pub(crate) unsafe fn on_async_park(worker: *mut Worker, id: u64) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::AsyncPark, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::AsyncPark, id);
+            }
+        }
+    }
+
+    /// A parked async continuation (cell `id`) is being resumed.
+    #[inline]
+    pub(crate) unsafe fn on_async_resume(worker: *mut Worker, id: u64) {
+        unsafe {
+            if let Some(b) = buf(worker) {
+                b.idle_exit();
+                b.event(EventKind::AsyncWake, id);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::AsyncWake, id);
+            }
+        }
+    }
+
+    /// This worker completed one reactor poll dispatching `events` I/O
+    /// events. Suppressed when nothing was dispatched — an idle serving
+    /// runtime polls every `max_park` and would flood the ring.
+    #[inline]
+    pub(crate) unsafe fn on_reactor_poll(worker: *mut Worker, events: u64) {
+        unsafe {
+            if events == 0 {
+                return;
+            }
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::ReactorPoll, events);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::ReactorPoll, events);
+            }
+        }
+    }
+
+    /// This worker's reactor poll fired `count` timer-wheel entries.
+    #[inline]
+    pub(crate) unsafe fn on_timer_fire(worker: *mut Worker, count: u64) {
+        unsafe {
+            if count == 0 {
+                return;
+            }
+            if let Some(b) = buf(worker) {
+                b.event(EventKind::TimerFire, count);
+            }
+            if let Some(f) = flight(worker) {
+                f.record_now(EventKind::TimerFire, count);
+            }
+        }
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -369,6 +430,14 @@ mod imp {
     pub(crate) unsafe fn on_cancel(_: *mut Worker, _: *const Frame) {}
     #[inline(always)]
     pub(crate) unsafe fn on_abort(_: *mut Worker, _: *const Frame) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_async_park(_: *mut Worker, _: u64) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_async_resume(_: *mut Worker, _: u64) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_reactor_poll(_: *mut Worker, _: u64) {}
+    #[inline(always)]
+    pub(crate) unsafe fn on_timer_fire(_: *mut Worker, _: u64) {}
 }
 
 pub(crate) use imp::*;

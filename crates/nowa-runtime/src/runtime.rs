@@ -83,6 +83,9 @@ pub enum RuntimeError {
     StackPrefill(StackError),
     /// Installing the guard-page SIGSEGV handler failed.
     GuardHandler(i32),
+    /// Creating the I/O reactor failed (errno from `epoll_create1`,
+    /// `eventfd2`, or the kick-fd registration).
+    Reactor(i32),
 }
 
 impl core::fmt::Display for RuntimeError {
@@ -95,6 +98,9 @@ impl core::fmt::Display for RuntimeError {
                     f,
                     "installing the guard-page handler failed (errno {errno})"
                 )
+            }
+            RuntimeError::Reactor(errno) => {
+                write!(f, "creating the I/O reactor failed (errno {errno})")
             }
         }
     }
@@ -197,6 +203,9 @@ impl Runtime {
             cancel_root: CancelCell::new(core::ptr::null()),
             active_roots: AtomicU64::new(0),
             deadlines: DeadlineQueue::default(),
+            ready: Injector::new(),
+            async_waiters: Default::default(),
+            reactor: crate::reactor::Reactor::new().map_err(|e| RuntimeError::Reactor(e.0))?,
             pool: pool.clone(),
             #[cfg(feature = "trace")]
             trace: config.tracing.then(|| {
@@ -408,7 +417,7 @@ impl Runtime {
         );
 
         let s = self.stats();
-        let totals: [(&str, &str, u64); 21] = [
+        let totals: [(&str, &str, u64); 26] = [
             (
                 "nowa_spawns_total",
                 "Continuations offered to thieves.",
@@ -501,6 +510,31 @@ impl Runtime {
                 "nowa_private_pops_total",
                 "Fast-path pops served by the private segment.",
                 s.private_pops,
+            ),
+            (
+                "nowa_async_parks_total",
+                "block_on continuations parked behind a waker.",
+                s.async_parks,
+            ),
+            (
+                "nowa_async_resumes_total",
+                "Parked async continuations resumed.",
+                s.async_resumes,
+            ),
+            (
+                "nowa_reactor_polls_total",
+                "Reactor polls (epoll_wait + dispatch).",
+                s.reactor_polls,
+            ),
+            (
+                "nowa_reactor_events_total",
+                "I/O readiness events dispatched.",
+                s.reactor_events,
+            ),
+            (
+                "nowa_timer_fires_total",
+                "Timer-wheel entries fired.",
+                s.timer_fires,
             ),
         ];
         for (name, help, value) in totals {
@@ -615,7 +649,11 @@ impl Runtime {
             // Root submission always wakes one worker: there is no spawner
             // on a worker thread to pick this up, so the eventcount is the
             // only thing standing between the task and a full `max_park`.
-            self.shared.idle.wake_one();
+            if self.shared.idle.wake_one().is_none() {
+                // Every sleeper may be the claimed reactor poller, which
+                // the eventcount cannot see; kick it out of `epoll_wait`.
+                self.shared.reactor.kick_if_claimed();
+            }
         }
 
         let mut guard = completion.result.lock();
@@ -672,6 +710,12 @@ impl Runtime {
         // the exit-flag observation below. Running ones see the root latch
         // at their next checkpoint.
         self.shared.idle.wake_all();
+        // Async strands parked behind wakers have no checkpoint to trip:
+        // broadcast to every registered cell so their `block_on` loops
+        // re-check the (now latched) scope chain and unwind, and kick the
+        // reactor so a claimed poller re-scans instead of napping.
+        self.shared.async_waiters.wake_all();
+        self.shared.reactor.kick();
 
         // Drain: wait (bounded) for in-flight root tasks to finish their
         // cooperative unwind. Workers must keep scheduling during this
@@ -692,6 +736,7 @@ impl Runtime {
         // could be sleeping — parked workers and the deadline watchdog.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.idle.wake_all();
+        self.shared.reactor.kick();
         self.shared.deadlines.cv.notify_all();
 
         let mut error = ShutdownError::default();

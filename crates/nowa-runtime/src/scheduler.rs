@@ -212,7 +212,7 @@ unsafe extern "C" fn spawn_body<F: FnOnce() + Send>(arg: *mut c_void) -> ! {
                     let shared = &(*worker).shared;
                     cancel::cancel_enclosing_region(
                         (*frame).core.scope.get(),
-                        &shared.cancel_root,
+                        shared,
                         cancel::CancelReason::SiblingPanic,
                     );
                 }
@@ -285,7 +285,7 @@ pub unsafe fn sync_execute(frame: &Frame) {
             let shared = &(*worker).shared;
             cancel::cancel_enclosing_region(
                 frame.core.scope.get(),
-                &shared.cancel_root,
+                shared,
                 cancel::CancelReason::Token,
             );
         }
@@ -346,7 +346,7 @@ unsafe extern "C" fn sync_body(arg: *mut c_void) -> ! {
             let shared = &(*worker).shared;
             cancel::cancel_enclosing_region(
                 (*frame).core.scope.get(),
-                &shared.cancel_root,
+                shared,
                 cancel::CancelReason::Token,
             );
         }

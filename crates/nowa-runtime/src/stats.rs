@@ -55,6 +55,17 @@ pub struct WorkerStats {
     /// Fast-path pops served entirely by the private segment — the pops
     /// that touched zero shared atomics.
     pub private_pops: AtomicU64,
+    /// `block_on` continuations parked behind a waker (async surface).
+    pub async_parks: AtomicU64,
+    /// Parked async continuations resumed (by a claimer or in place after
+    /// a lost publish race).
+    pub async_resumes: AtomicU64,
+    /// Reactor polls performed by this worker (epoll_wait + dispatch).
+    pub reactor_polls: AtomicU64,
+    /// I/O events dispatched by those polls.
+    pub reactor_events: AtomicU64,
+    /// Timer-wheel entries fired by this worker's reactor polls.
+    pub timer_fires: AtomicU64,
     /// Work-finding loop iterations. Not part of [`StatsSnapshot`] (it's a
     /// liveness heartbeat, not a scheduling event): an idle worker still
     /// ticks every backoff period, so the stall watchdog can tell "parked
@@ -86,6 +97,10 @@ impl WorkerStats {
             .wrapping_add(self.syncs_inline.load(Ordering::Relaxed))
             .wrapping_add(self.suspensions.load(Ordering::Relaxed))
             .wrapping_add(self.sync_resumes.load(Ordering::Relaxed))
+            // Async parking and resumption are progress for the same
+            // reason suspensions are: the strand moved, it didn't wedge.
+            .wrapping_add(self.async_parks.load(Ordering::Relaxed))
+            .wrapping_add(self.async_resumes.load(Ordering::Relaxed))
             // Cancellation work is progress: a worker cooperatively
             // unwinding a cancelled subtree must not read as stalled.
             .wrapping_add(self.cancels.load(Ordering::Relaxed))
@@ -141,6 +156,16 @@ pub struct StatsSnapshot {
     pub promoted_items: u64,
     /// Fast-path pops served by the private segment.
     pub private_pops: u64,
+    /// `block_on` continuations parked behind a waker.
+    pub async_parks: u64,
+    /// Parked async continuations resumed.
+    pub async_resumes: u64,
+    /// Reactor polls (epoll_wait + dispatch).
+    pub reactor_polls: u64,
+    /// I/O events dispatched by reactor polls.
+    pub reactor_events: u64,
+    /// Timer-wheel entries fired.
+    pub timer_fires: u64,
 }
 
 impl StatsSnapshot {
@@ -169,6 +194,11 @@ impl StatsSnapshot {
             s.promotions += w.promotions.load(Ordering::Relaxed);
             s.promoted_items += w.promoted_items.load(Ordering::Relaxed);
             s.private_pops += w.private_pops.load(Ordering::Relaxed);
+            s.async_parks += w.async_parks.load(Ordering::Relaxed);
+            s.async_resumes += w.async_resumes.load(Ordering::Relaxed);
+            s.reactor_polls += w.reactor_polls.load(Ordering::Relaxed);
+            s.reactor_events += w.reactor_events.load(Ordering::Relaxed);
+            s.timer_fires += w.timer_fires.load(Ordering::Relaxed);
         }
         s
     }
@@ -197,6 +227,11 @@ impl StatsSnapshot {
         self.promotions += other.promotions;
         self.promoted_items += other.promoted_items;
         self.private_pops += other.private_pops;
+        self.async_parks += other.async_parks;
+        self.async_resumes += other.async_resumes;
+        self.reactor_polls += other.reactor_polls;
+        self.reactor_events += other.reactor_events;
+        self.timer_fires += other.timer_fires;
     }
 
     /// Total steal attempts, successful or not.

@@ -65,7 +65,18 @@ fn run(shared: &Shared) {
 
     while !shared.shutdown.load(Ordering::Acquire) {
         let now = Instant::now();
-        let next_deadline = shared.deadlines.fire_due(now);
+        let (next_deadline, fired) = shared.deadlines.fire_due(now);
+        if fired > 0 {
+            // A latched deadline cancels cooperatively — but a strand
+            // parked in `block_on` has no checkpoint to trip. Broadcast so
+            // every parked async cell re-checks its scope chain.
+            shared.async_waiters.wake_all();
+            shared.reactor.kick_if_claimed();
+        }
+        // Bound timer staleness under full saturation: when every worker
+        // is busy, nobody reactor-polls, so the wheel would stall. The
+        // watchdog sweep is the same backstop the deadline queue uses.
+        shared.reactor.advance_timers_external();
 
         // Sleep until whichever comes first: the stall-sampling tick, the
         // earliest armed deadline, or a condvar notify (new deadline armed
@@ -74,6 +85,14 @@ fn run(shared: &Shared) {
         if let Some(at) = next_deadline {
             nap = nap.min(at.saturating_duration_since(now));
         }
+        // Armed wheel timers also cap the nap (floored at 5 ms so the
+        // watchdog never busy-spins on 1 ms timers the poller normally
+        // serves): the cap only matters when every worker stays busy.
+        let timer_ms = shared
+            .reactor
+            .timers
+            .next_timeout_ms(now, nap.as_millis().min(u64::MAX as u128) as u64);
+        nap = nap.min(Duration::from_millis(timer_ms.max(5)));
         shared.deadlines.wait(nap);
 
         let Some(threshold) = threshold else { continue };
@@ -83,7 +102,10 @@ fn run(shared: &Shared) {
             // A futex-parked worker is healthy by construction (it is
             // exactly where an idle worker should be), so its frozen
             // progress counter must not read as a stall.
-            if progress != last_progress[i] || shared.idle.is_parked(i) {
+            if progress != last_progress[i]
+                || shared.idle.is_parked(i)
+                || shared.reactor.is_poller(i)
+            {
                 last_progress[i] = progress;
                 last_change[i] = now;
                 reported[i] = false;

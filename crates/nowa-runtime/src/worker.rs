@@ -32,7 +32,9 @@ use crate::flavor::{self, Flavor, OwnerDeque, Rec, SharedStealer};
 use crate::idle::IdleState;
 use crate::injector::Injector;
 use crate::obs;
+use crate::reactor::Reactor;
 use crate::stats::{StatsSnapshot, WorkerStats};
+use crate::task::{resume_ready, AsyncWaiters, ReadyCell};
 
 /// A submitted root task (type-erased; completion signalling is baked into
 /// the closure by [`crate::runtime::Runtime::run`]).
@@ -65,6 +67,17 @@ pub struct Shared {
     pub active_roots: AtomicU64,
     /// Armed region deadlines, fired by the watchdog thread.
     pub(crate) deadlines: DeadlineQueue,
+    /// Async continuations claimed by a waker and awaiting a worker
+    /// (MPMC, same segment queue as the injector). Never closed: the
+    /// shutdown drain still resumes these so their `block_on` frames can
+    /// unwind through their cancellation checkpoints.
+    pub(crate) ready: Injector<ReadyCell>,
+    /// Registry of parked async continuations, notified en masse when a
+    /// cancellation source fires (token, deadline, sibling panic,
+    /// shutdown) so `block_on` loops re-check their scope chains.
+    pub(crate) async_waiters: AsyncWaiters,
+    /// The epoll reactor + timer wheel, polled by parked workers.
+    pub(crate) reactor: Reactor,
     /// The global stack pool.
     pub pool: Arc<StackPool>,
     /// The configuration the runtime was built with.
@@ -290,6 +303,21 @@ pub unsafe fn find_work() -> ! {
             }
         }
 
+        // Claimed async continuations next: a ready cell was explicitly
+        // made runnable by a waker and its stack is already built, so it
+        // outranks starting a fresh root.
+        if let Some(cell) = shared.ready.pop() {
+            unsafe {
+                // Drop our queue Arc *before* diverging into the resume
+                // (nothing after `resume_ready` runs). The parked
+                // `block_on` frame holds its own Arc on the suspended
+                // stack, which keeps the cell alive across the switch.
+                let ptr = Arc::as_ptr(&cell.0);
+                drop(cell);
+                resume_ready(worker, ptr)
+            }
+        }
+
         // Root tasks. An empty poll is three loads on read-mostly lines —
         // N workers polling no longer serialize on an injector lock.
         if let Some(task) = shared.injector.pop() {
@@ -349,7 +377,7 @@ pub unsafe fn find_work() -> ! {
                             if chaos::on_force_cancel(worker) {
                                 cancel::cancel_enclosing_region(
                                     (*(*rec.as_ptr()).frame).core.scope.get(),
-                                    &shared.cancel_root,
+                                    shared,
                                     cancel::CancelReason::Token,
                                 );
                             }
@@ -411,12 +439,50 @@ pub unsafe fn find_work() -> ! {
 /// `worker` must be the calling thread's live worker; `shared` its runtime.
 unsafe fn park_worker(worker: *mut Worker, shared: &Shared) {
     let index = unsafe { (*worker).index };
+
+    // Reactor-poller branch: the first idle worker to claim the poller
+    // slot sleeps in `epoll_wait` instead of on a futex, so I/O readiness
+    // and timers are served by parked capacity — no dedicated reactor
+    // thread. The claimant does NOT announce to the idle engine (it is
+    // not futex-parked and a targeted wake could not reach it); producers
+    // that find no futex sleeper kick the eventfd instead, and the poll
+    // timeout is clamped to `max_park` as the store-buffering backstop.
+    if shared.reactor.try_claim(index) {
+        // Same validation re-scan as the futex path: anything runnable
+        // aborts the poll before it blocks.
+        let runnable = shared.shutdown.load(Ordering::Acquire)
+            || !shared.injector.is_empty()
+            || !shared.ready.is_empty()
+            || shared
+                .stealers
+                .iter()
+                .enumerate()
+                .any(|(i, s)| i != index && flavor::stealer_len(s) > 0);
+        if !runnable {
+            let max_ms = (shared
+                .config
+                .idle
+                .max_park
+                .as_millis()
+                .min(i32::MAX as u128) as u64)
+                .max(1);
+            let timeout = shared
+                .reactor
+                .timers
+                .next_timeout_ms(std::time::Instant::now(), max_ms);
+            unsafe { shared.reactor.poll(worker, timeout) };
+        }
+        shared.reactor.release();
+        return;
+    }
+
     let epoch = shared.idle.announce(index);
 
     // Validation re-scan: anything runnable anywhere? (Our own deque can't
     // have grown — only this worker pushes to it — so scan the others.)
     let runnable = shared.shutdown.load(Ordering::Acquire)
         || !shared.injector.is_empty()
+        || !shared.ready.is_empty()
         || shared
             .stealers
             .iter()
@@ -456,6 +522,16 @@ unsafe fn park_worker(worker: *mut Worker, shared: &Shared) {
     }
 }
 
+/// The wake hook of the async ready queue, callable from ANY thread (a
+/// `Waker` may fire from a non-worker thread): one targeted futex wake if
+/// a sleeper exists, otherwise a reactor kick — the only parked worker may
+/// be the claimed poller, which the idle engine cannot see.
+pub(crate) fn wake_for_ready(shared: &Shared) {
+    if shared.idle.wake_one().is_none() {
+        shared.reactor.kick_if_claimed();
+    }
+}
+
 /// The spawn-path wake hook: one relaxed load of the sleeper count on the
 /// common path; only when sleepers exist *and* this worker's deque has
 /// crossed the configured depth does a targeted single-worker wake go out.
@@ -468,6 +544,10 @@ unsafe fn park_worker(worker: *mut Worker, shared: &Shared) {
 pub(crate) unsafe fn maybe_wake_after_spawn(worker: *mut Worker) {
     let shared: &Shared = unsafe { &*Arc::as_ptr(&(*worker).shared) };
     if shared.idle.sleepers() == 0 {
+        // No futex sleeper — but the claimed reactor poller (invisible to
+        // the idle engine) may be napping. Kicks are eventfd-coalesced, so
+        // a spawn storm pays at most one write per poll cycle.
+        shared.reactor.kick_if_claimed();
         return;
     }
     let threshold = shared.config.idle.wake_threshold;
@@ -510,6 +590,8 @@ pub(crate) unsafe fn note_promotion(worker: *mut Worker, moved: u32) {
 pub(crate) unsafe fn wake_after_promotion(worker: *mut Worker) {
     let shared: &Shared = unsafe { &*Arc::as_ptr(&(*worker).shared) };
     if shared.idle.sleepers() == 0 {
+        // See `maybe_wake_after_spawn`: the poller doesn't announce.
+        shared.reactor.kick_if_claimed();
         return;
     }
     let split = &shared.config.split;

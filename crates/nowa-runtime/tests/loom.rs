@@ -6,7 +6,7 @@
 //! RUSTFLAGS="--cfg loom" cargo test -p nowa-runtime --test loom --release
 //! ```
 //!
-//! Five protocols are modeled, each against the *real* implementation (the
+//! Seven protocols are modeled, each against the *real* implementation (the
 //! `crate::sync` shim swaps `core::sync::atomic` for loom's atomics under
 //! `--cfg loom`, so the code under test is byte-for-byte the shipping
 //! protocol logic):
@@ -22,7 +22,14 @@
 //! 5. the abortable-suspension handoff of the cancellation layer — a
 //!    suspended sync raced by its last joiner and a canceller latching
 //!    the region's (all-Relaxed) cancel flag; the suspension must be
-//!    retired exactly once and never resumed with torn context.
+//!    retired exactly once and never resumed with torn context;
+//! 6. the async wake-state handoff (§6h) — a parking `block_on` strand
+//!    raced by concurrent wakers; the continuation must be resumed
+//!    exactly once, a wake arriving before the park must not be lost,
+//!    and whoever resumes must see the parker's staged context;
+//! 7. the reactor poller claim (§6h) — at most one worker may sit in
+//!    `epoll_wait`, and a release must publish the outgoing poller's
+//!    duty-state writes to the next claimant.
 //!
 //! Each passing model is paired with a `*_canary` that re-implements the
 //! protocol core with one ordering deliberately weakened and asserts (via
@@ -35,7 +42,9 @@ use loom::sync::Arc;
 use nowa_runtime::flavor::{self, new_deque, Flavor, ProtocolKind, Rec};
 use nowa_runtime::idle::IdleState;
 use nowa_runtime::injector::Injector;
+use nowa_runtime::reactor::PollerSlot;
 use nowa_runtime::record::{AfterChild, Frame, SpawnRecord, I_MAX, SUSP_IDLE};
+use nowa_runtime::task::{WakeClaim, WakeState};
 use nowa_runtime::worker::RootTask;
 use nowa_runtime::Snzi;
 use nowa_runtime::SplitConfig;
@@ -806,5 +815,304 @@ fn cancel_abort_relaxed_publish_canary_fails() {
             assert_eq!(ctx.load(Ordering::Relaxed), 42, "torn context");
         }
         suspender.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 6. The async wake-state handoff (§6h)
+// ---------------------------------------------------------------------------
+
+/// Exactly-once resume under waker races: one parking strand, two
+/// concurrent wakers (an I/O dispatch and a timer fire, say). Whatever
+/// the interleaving, the continuation is resumed exactly once — either a
+/// waker `Claimed` the parked cell (and the worker popping the ready
+/// queue performs `resume_begin`), or the wake landed first as a flag and
+/// the parker's failed `park_publish` self-resumes. Never both, never
+/// neither, and the resumer always sees the parker's staged context
+/// (the `ctx`/`stack` analog) through the publish/claim pairing.
+#[test]
+fn wake_state_exactly_once_resume() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+        let ws = Arc::new(WakeState::new());
+        // The parker's pre-park writes (the captured continuation).
+        let ctx = Arc::new(AtomicU64::new(0));
+        // Each waker publishes a readiness event before its wake — the
+        // thing a self-resuming parker's re-poll must observe.
+        let ready_events = Arc::new(AtomicU32::new(0));
+
+        let wakers: Vec<_> = (0..2)
+            .map(|_| {
+                let ws = ws.clone();
+                let ctx = ctx.clone();
+                let ready_events = ready_events.clone();
+                loom::thread::spawn(move || {
+                    ready_events.fetch_add(1, Ordering::Relaxed);
+                    match ws.wake_claim() {
+                        WakeClaim::Claimed => {
+                            // This thread now owns the continuation: the
+                            // real waker pushes a ReadyCell; the popping
+                            // worker runs `resume_begin` and walks the
+                            // published context. Model both steps here.
+                            assert_eq!(
+                                ctx.load(Ordering::Relaxed),
+                                42,
+                                "claimed a continuation with torn context"
+                            );
+                            ws.resume_begin();
+                            true
+                        }
+                        WakeClaim::Flagged | WakeClaim::Stale => false,
+                    }
+                })
+            })
+            .collect();
+
+        // Parker: stage the continuation, then publish.
+        ctx.store(42, Ordering::Relaxed);
+        let self_resumed = if ws.park_publish() {
+            false // parked; ownership is with the next claimer
+        } else {
+            // A wake raced in first: the failed CAS's Acquire edge must
+            // order the flagging waker's readiness event before our
+            // re-poll.
+            assert!(
+                ready_events.load(Ordering::Relaxed) >= 1,
+                "self-resume re-poll missed the waker's readiness"
+            );
+            ws.resume_begin();
+            true
+        };
+
+        let claims = wakers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .filter(|&claimed| claimed)
+            .count();
+        assert_eq!(
+            usize::from(self_resumed) + claims,
+            1,
+            "the continuation must be resumed exactly once \
+             (self={self_resumed}, claims={claims})"
+        );
+    });
+}
+
+/// The lost-wake window on the park edge: a single waker firing entirely
+/// before, entirely after, or interleaved with the park. The wake must
+/// never vanish — exactly one of {the parker's `park_publish` fails (it
+/// keeps ownership and self-resumes), the waker `Claimed` the parked
+/// cell} holds, and a `Claimed` waker sees the staged context.
+#[test]
+fn wake_state_wake_before_park_not_lost() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+        let ws = Arc::new(WakeState::new());
+        let ctx = Arc::new(AtomicU64::new(0));
+        let ready = Arc::new(AtomicU32::new(0));
+
+        let waker = {
+            let ws = ws.clone();
+            let ctx = ctx.clone();
+            let ready = ready.clone();
+            loom::thread::spawn(move || {
+                ready.store(1, Ordering::Relaxed);
+                let claim = ws.wake_claim();
+                if claim == WakeClaim::Claimed {
+                    assert_eq!(
+                        ctx.load(Ordering::Relaxed),
+                        42,
+                        "claimed a continuation with torn context"
+                    );
+                    ws.resume_begin();
+                }
+                claim
+            })
+        };
+
+        ctx.store(42, Ordering::Relaxed);
+        let parked = ws.park_publish();
+        if !parked {
+            assert_eq!(
+                ready.load(Ordering::Relaxed),
+                1,
+                "self-resume re-poll missed the waker's readiness"
+            );
+            ws.resume_begin();
+        }
+        let claim = waker.join().unwrap();
+
+        // One wake, one park attempt: a `Stale` outcome is impossible and
+        // the wake is consumed by exactly one side.
+        assert_ne!(claim, WakeClaim::Stale, "the only wake turned stale");
+        assert_eq!(
+            usize::from(!parked) + usize::from(claim == WakeClaim::Claimed),
+            1,
+            "the wake must be consumed exactly once \
+             (parked={parked}, claim={claim:?})"
+        );
+    });
+}
+
+/// CANARY: the handoff with the parker's publish CAS weakened to Relaxed.
+/// The staged context is then unordered against the state transition, and
+/// a claiming waker can resume a continuation whose `ctx`/`stack` writes
+/// are still in flight. The checker must find that interleaving.
+#[test]
+#[should_panic(expected = "torn continuation")]
+fn wake_state_relaxed_publish_canary_fails() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+        const RUNNING: u32 = 0;
+        const PARKED: u32 = 1;
+        const NOTIFIED: u32 = 2;
+        let state = Arc::new(AtomicU32::new(RUNNING));
+        let ctx = Arc::new(AtomicU64::new(0));
+
+        let parker = {
+            let state = state.clone();
+            let ctx = ctx.clone();
+            loom::thread::spawn(move || {
+                ctx.store(42, Ordering::Relaxed);
+                // BUG: Relaxed instead of Release — the staged context is
+                // not published with the PARKED transition.
+                let _ =
+                    state.compare_exchange(RUNNING, PARKED, Ordering::Relaxed, Ordering::Relaxed);
+            })
+        };
+
+        // Waker: the real claim CAS (AcqRel), as in `wake_claim`.
+        if state
+            .compare_exchange(PARKED, NOTIFIED, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            assert_eq!(ctx.load(Ordering::Relaxed), 42, "torn continuation");
+        }
+        parker.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 7. The reactor poller claim (§6h)
+// ---------------------------------------------------------------------------
+
+/// Mutual exclusion of the poller slot: two workers descend idle and race
+/// the claim. At most one may sit in `epoll_wait` at a time (two
+/// concurrent pollers would steal each other's events), and `is_poller`
+/// must agree with the holder while the slot is held. Sequential
+/// claim→release→claim handoff is legal; concurrent holding is not.
+#[test]
+fn reactor_poller_claim_is_exclusive() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, Ordering};
+        let slot = Arc::new(PollerSlot::new());
+        // Detector: set while a claimant believes it is the sole poller.
+        // The Relaxed flag traffic is ordered by the claim/release SeqCst
+        // edges themselves — which is exactly the property under test.
+        let in_epoll = Arc::new(AtomicU32::new(0));
+
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let slot = slot.clone();
+                let in_epoll = in_epoll.clone();
+                loom::thread::spawn(move || {
+                    if slot.try_claim(i) {
+                        assert!(slot.is_poller(i), "claimant not visible as poller");
+                        assert!(!slot.is_poller(1 - i), "two workers read as poller");
+                        assert_eq!(
+                            in_epoll.swap(1, Ordering::Relaxed),
+                            0,
+                            "two pollers inside epoll_wait"
+                        );
+                        in_epoll.store(0, Ordering::Relaxed);
+                        slot.release();
+                        true
+                    } else {
+                        false
+                    }
+                })
+            })
+            .collect();
+
+        let wins = workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert!(wins >= 1, "an uncontended-or-raced CAS on 0 must admit one");
+        assert!(!slot.claimed(), "every claim released exactly once");
+    });
+}
+
+/// Claim handoff publishes duty state: the outgoing poller's writes
+/// (timer-wheel advances, dispatched readiness) must be visible to the
+/// next claimant — the release store is what the successful claim CAS
+/// reads, forming the ordering edge.
+#[test]
+fn reactor_poller_release_publishes_duty_state() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU64, Ordering};
+        let slot = Arc::new(PollerSlot::new());
+        let duty = Arc::new(AtomicU64::new(0));
+
+        // Outgoing poller: claimed before the successor exists.
+        assert!(slot.try_claim(0));
+        let successor = {
+            let slot = slot.clone();
+            let duty = duty.clone();
+            loom::thread::spawn(move || {
+                // Spin for the slot as park_worker's idle descent would
+                // (the model yield bounds the spin at quiescence).
+                while !slot.try_claim(1) {
+                    loom::thread::yield_now();
+                }
+                assert_eq!(
+                    duty.load(Ordering::Relaxed),
+                    42,
+                    "next poller missed the outgoing poller's duty state"
+                );
+                slot.release();
+            })
+        };
+        duty.store(42, Ordering::Relaxed);
+        slot.release();
+        successor.join().unwrap();
+        assert!(!slot.claimed());
+    });
+}
+
+/// CANARY: the same handoff with the release weakened to Relaxed. The
+/// duty-state writes are then unordered against the slot becoming free,
+/// and the next claimant can observe stale duty state — the exact bug the
+/// SeqCst release prevents.
+#[test]
+#[should_panic(expected = "stale poller duty state")]
+fn reactor_poller_relaxed_release_canary_fails() {
+    loom::model(|| {
+        use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+        let slot = Arc::new(AtomicU32::new(0));
+        let duty = Arc::new(AtomicU64::new(0));
+
+        assert!(slot
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok());
+        let successor = {
+            let slot = slot.clone();
+            let duty = duty.clone();
+            loom::thread::spawn(move || {
+                while slot
+                    .compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    loom::thread::yield_now();
+                }
+                assert_eq!(duty.load(Ordering::Relaxed), 42, "stale poller duty state");
+            })
+        };
+        duty.store(42, Ordering::Relaxed);
+        // BUG: Relaxed instead of the SeqCst (Release-or-stronger) store —
+        // the duty write is not published with the slot.
+        slot.store(0, Ordering::Relaxed);
+        successor.join().unwrap();
     });
 }

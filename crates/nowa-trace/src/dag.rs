@@ -106,7 +106,15 @@ pub(crate) fn rebuild(workers: &[WorkerTrace]) -> CausalProfile {
             | EventKind::Wake
             | EventKind::Occupancy
             | EventKind::Cancel
-            | EventKind::Abort => continue,
+            | EventKind::Abort
+            // Async-surface instants: the serving layer's parks, wakes,
+            // reactor polls and timer fires are engine events, not strand
+            // structure — the fork/join DAG flows through the sync events
+            // the parked continuation emits when it runs.
+            | EventKind::AsyncPark
+            | EventKind::AsyncWake
+            | EventKind::ReactorPoll
+            | EventKind::TimerFire => continue,
             // Idle spans are backdated to the period start and carry the
             // duration: account busy time up to the start, then skip the
             // span (it covers any parks inside it).

@@ -92,10 +92,22 @@ pub enum EventKind {
     /// A suspended sync continuation was resumed into a cancelled scope —
     /// the abort path: woken specifically to unwind. arg: frame id.
     Abort = 17,
+    /// A `block_on` future returned `Pending` and its continuation was
+    /// parked behind a waker (async serving surface, §6h). arg: the
+    /// parked cell's id.
+    AsyncPark = 18,
+    /// A waker claimed a parked async continuation and enqueued it on the
+    /// ready queue. arg: the woken cell's id.
+    AsyncWake = 19,
+    /// A worker completed one reactor poll (epoll_wait + dispatch).
+    /// arg: the number of I/O events dispatched.
+    ReactorPoll = 20,
+    /// The timer wheel fired due timers. arg: how many fired.
+    TimerFire = 21,
 }
 
 /// Number of distinct [`EventKind`]s.
-pub const NUM_KINDS: usize = 18;
+pub const NUM_KINDS: usize = 22;
 
 impl EventKind {
     /// All kinds, in discriminant order.
@@ -118,6 +130,10 @@ impl EventKind {
         EventKind::Wake,
         EventKind::Cancel,
         EventKind::Abort,
+        EventKind::AsyncPark,
+        EventKind::AsyncWake,
+        EventKind::ReactorPoll,
+        EventKind::TimerFire,
     ];
 
     /// Kind from its discriminant.
@@ -146,6 +162,10 @@ impl EventKind {
             EventKind::Wake => "wake",
             EventKind::Cancel => "cancel",
             EventKind::Abort => "abort",
+            EventKind::AsyncPark => "async_park",
+            EventKind::AsyncWake => "async_wake",
+            EventKind::ReactorPoll => "reactor_poll",
+            EventKind::TimerFire => "timer_fire",
         }
     }
 }
